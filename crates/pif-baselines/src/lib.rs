@@ -1,0 +1,49 @@
+//! Baseline instruction prefetchers the paper compares PIF against
+//! (§5.5, §5.6 / Fig. 10):
+//!
+//! * [`NextLinePrefetcher`] — the classic sequential prefetcher
+//!   [Smith 1978; Jouppi 1990]: on a trigger event, prefetch the next `N`
+//!   sequential blocks. Catches spatially contiguous fetches, blind to
+//!   discontinuities.
+//! * [`Tifs`] — Temporal Instruction Fetch Streaming [Ferdman et al.,
+//!   MICRO 2008]: records the L1-I **miss** stream and replays recorded
+//!   miss sequences when a miss recurs. The state of the art PIF improves
+//!   on; its history is filtered and fragmented by the cache (§2.1),
+//!   which is precisely the coverage gap Fig. 10 shows.
+//! * [`DiscontinuityPrefetcher`] — [Spracklen et al., HPCA 2005]: records
+//!   fetch discontinuities (non-sequential block transitions) in a table
+//!   and prefetches the recorded target when the source block is fetched
+//!   again; limited to one transition of lookahead (§6).
+//! * [`PerfectICache`] — the perfect-latency instruction cache bound: all
+//!   fetches complete at hit latency (Fig. 10 right, "Perfect").
+//!
+//! All implement [`pif_sim::Prefetcher`] and plug into the engine
+//! interchangeably with `pif_core::Pif`.
+//!
+//! # Example
+//!
+//! ```
+//! use pif_baselines::{NextLinePrefetcher, Tifs};
+//! use pif_sim::{Engine, EngineConfig};
+//! use pif_workloads::WorkloadProfile;
+//!
+//! let trace = WorkloadProfile::dss_qry2().scaled(0.03).generate(40_000);
+//! let engine = Engine::new(EngineConfig::paper_default());
+//! let nl = engine.run(&trace, NextLinePrefetcher::aggressive());
+//! let tifs = engine.run(&trace, Tifs::unbounded());
+//! assert!(nl.prefetch.issued > 0);
+//! assert_eq!(tifs.fetch.demand_accesses, nl.fetch.demand_accesses);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod discontinuity;
+mod next_line;
+mod perfect;
+mod tifs;
+
+pub use discontinuity::DiscontinuityPrefetcher;
+pub use next_line::{NextLinePrefetcher, NextLineTrigger};
+pub use perfect::PerfectICache;
+pub use tifs::{Tifs, TifsConfig};

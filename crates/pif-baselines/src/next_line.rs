@@ -1,0 +1,175 @@
+//! Next-line (sequential) instruction prefetcher.
+
+use pif_sim::cache::AccessOutcome;
+use pif_sim::{PrefetchContext, Prefetcher};
+use pif_types::{BlockAddr, FetchAccess};
+
+/// When the next-line prefetcher fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextLineTrigger {
+    /// Prefetch on every demand miss.
+    OnMiss,
+    /// Prefetch on every access (most aggressive, most redundant probes).
+    OnAccess,
+    /// Tagged: fire on misses *and* on the first use of a prefetched
+    /// block, keeping the sequential run alive (Smith's tagged scheme).
+    Tagged,
+}
+
+/// Sequential next-N-line prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use pif_baselines::{NextLinePrefetcher, NextLineTrigger};
+///
+/// let nl = NextLinePrefetcher::new(4, NextLineTrigger::Tagged);
+/// assert_eq!(nl.degree(), 4);
+/// let aggressive = NextLinePrefetcher::aggressive();
+/// assert_eq!(aggressive.degree(), 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+    trigger: NextLineTrigger,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher issuing `degree` sequential blocks
+    /// per trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize, trigger: NextLineTrigger) -> Self {
+        assert!(degree > 0, "degree must be non-zero");
+        NextLinePrefetcher { degree, trigger }
+    }
+
+    /// The paper's "aggressive next-line prefetcher" configuration:
+    /// tagged, deep lookahead.
+    pub fn aggressive() -> Self {
+        Self::new(8, NextLineTrigger::Tagged)
+    }
+
+    /// Prefetch degree (blocks per trigger).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    fn fire(&self, block: BlockAddr, ctx: &mut PrefetchContext<'_>) {
+        for i in 1..=self.degree as i64 {
+            ctx.prefetch(block.offset(i));
+        }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn name(&self) -> &'static str {
+        "Next-Line"
+    }
+
+    fn on_access_outcome(
+        &mut self,
+        _access: &FetchAccess,
+        block: BlockAddr,
+        outcome: AccessOutcome,
+        ctx: &mut PrefetchContext<'_>,
+    ) {
+        let fire = match self.trigger {
+            NextLineTrigger::OnMiss => outcome == AccessOutcome::Miss,
+            NextLineTrigger::OnAccess => true,
+            NextLineTrigger::Tagged => matches!(
+                outcome,
+                AccessOutcome::Miss | AccessOutcome::HitFirstUseOfPrefetch
+            ),
+        };
+        if fire {
+            self.fire(block, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_sim::{Engine, EngineConfig, NoPrefetcher, ICacheConfig, PrefetcherHarness};
+    use pif_types::{Address, RetiredInstr, TrapLevel};
+
+    #[test]
+    fn miss_triggers_sequential_prefetches() {
+        let mut nl = NextLinePrefetcher::new(3, NextLineTrigger::OnMiss);
+        let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
+        let access = FetchAccess::correct(Address::new(0), TrapLevel::Tl0);
+        let reqs = h.drive(|ctx| {
+            nl.on_access_outcome(&access, BlockAddr::from_number(0), AccessOutcome::Miss, ctx)
+        });
+        assert_eq!(
+            reqs,
+            vec![
+                BlockAddr::from_number(1),
+                BlockAddr::from_number(2),
+                BlockAddr::from_number(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn hit_does_not_trigger_on_miss_mode() {
+        let mut nl = NextLinePrefetcher::new(3, NextLineTrigger::OnMiss);
+        let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
+        let access = FetchAccess::correct(Address::new(0), TrapLevel::Tl0);
+        let reqs = h.drive(|ctx| {
+            nl.on_access_outcome(&access, BlockAddr::from_number(0), AccessOutcome::Hit, ctx)
+        });
+        assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn tagged_mode_chains_on_prefetch_first_use() {
+        let mut nl = NextLinePrefetcher::new(2, NextLineTrigger::Tagged);
+        let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
+        let access = FetchAccess::correct(Address::new(64), TrapLevel::Tl0);
+        let reqs = h.drive(|ctx| {
+            nl.on_access_outcome(
+                &access,
+                BlockAddr::from_number(1),
+                AccessOutcome::HitFirstUseOfPrefetch,
+                ctx,
+            )
+        });
+        assert_eq!(reqs.len(), 2, "tagged scheme keeps the run alive");
+    }
+
+    #[test]
+    fn covers_sequential_thrashing_workload() {
+        // Sequential sweep larger than the cache: next-line should cover
+        // nearly everything after the first block of each run.
+        let mut trace = Vec::new();
+        for _ in 0..3 {
+            for blk in 0..2048u64 {
+                for i in 0..8 {
+                    trace.push(RetiredInstr::simple(
+                        Address::new(blk * 64 + i * 8),
+                        TrapLevel::Tl0,
+                    ));
+                }
+            }
+        }
+        let engine = Engine::new(EngineConfig::paper_default());
+        let base = engine.run_instrs(&trace, NoPrefetcher);
+        let nl = engine.run_instrs(&trace, NextLinePrefetcher::aggressive());
+        assert!(
+            nl.miss_coverage() > 0.8,
+            "sequential coverage {}",
+            nl.miss_coverage()
+        );
+        assert!(nl.speedup_over(&base) > 1.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_degree_rejected() {
+        let _ = NextLinePrefetcher::new(0, NextLineTrigger::OnMiss);
+    }
+}

@@ -1,0 +1,58 @@
+//! Perfect-latency instruction cache (the Fig. 10 "Perfect" bound).
+
+use pif_sim::Prefetcher;
+
+/// A perfect-latency L1-I: every fetch completes at hit latency (§5.6
+/// footnote: "the perfect-latency cache we simulate always returns the
+/// requested instruction block with the latency of a cache hit"). The
+/// engine recognizes the marker and charges no fetch stalls.
+///
+/// # Example
+///
+/// ```
+/// use pif_baselines::PerfectICache;
+/// use pif_sim::Prefetcher;
+///
+/// assert!(PerfectICache.is_perfect());
+/// assert_eq!(PerfectICache.name(), "Perfect");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectICache;
+
+impl Prefetcher for PerfectICache {
+    fn name(&self) -> &'static str {
+        "Perfect"
+    }
+
+    fn is_perfect(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+    use pif_types::{Address, RetiredInstr, TrapLevel};
+
+    #[test]
+    fn perfect_cache_outperforms_everything() {
+        let mut trace = Vec::new();
+        for _ in 0..3 {
+            for blk in 0..3000u64 {
+                for i in 0..4 {
+                    trace.push(RetiredInstr::simple(
+                        Address::new(blk * 64 + i * 16),
+                        TrapLevel::Tl0,
+                    ));
+                }
+            }
+        }
+        let engine = Engine::new(EngineConfig::paper_default());
+        let base = engine.run_instrs(&trace, NoPrefetcher);
+        let perfect = engine.run_instrs(&trace, PerfectICache);
+        assert_eq!(perfect.fetch.demand_misses, 0);
+        assert_eq!(perfect.timing.fetch_stall_cycles, 0);
+        assert!(perfect.speedup_over(&base) > 1.0);
+    }
+}

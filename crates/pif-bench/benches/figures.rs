@@ -1,0 +1,74 @@
+//! One benchmark per paper table/figure: times the experiment runner that
+//! regenerates each artifact (at a reduced scale — use the
+//! `pif-experiments` binaries with `PIF_SCALE=paper` for full-scale
+//! numbers), plus ablation benches for the design choices DESIGN.md calls
+//! out.
+//!
+//! Run with: `cargo bench -p pif-bench --bench figures`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pif_bench::{bench_scale, bench_trace};
+use pif_core::{Pif, PifConfig};
+use pif_experiments::{fig10, fig2, fig3, fig7, fig8, fig9, table1};
+use pif_sim::{Engine, EngineConfig};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| {
+        b.iter(|| {
+            black_box(table1::system_table(&EngineConfig::paper_default()).to_string());
+            black_box(table1::pif_table(&PifConfig::paper_default()).to_string());
+            black_box(table1::workload_table().to_string())
+        })
+    });
+    g.bench_function("fig2_stream_coverage", |b| b.iter(|| black_box(fig2::run(&scale))));
+    g.bench_function("fig3_regions", |b| b.iter(|| black_box(fig3::run(&scale))));
+    g.bench_function("fig7_jump_distance", |b| b.iter(|| black_box(fig7::run(&scale))));
+    g.bench_function("fig8_offsets", |b| b.iter(|| black_box(fig8::run_offsets(&scale))));
+    g.bench_function("fig9_history_sweep", |b| {
+        b.iter(|| black_box(fig9::run_history_sweep(&scale)))
+    });
+    g.bench_function("fig10_competitive", |b| b.iter(|| black_box(fig10::run(&scale))));
+    g.finish();
+}
+
+/// Ablations: the design choices the paper justifies in §4-§5, measured
+/// as engine runs with the feature weakened.
+fn bench_ablations(c: &mut Criterion) {
+    let trace = bench_trace(120_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    g.bench_function("pif_paper_design", |b| {
+        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(PifConfig::paper_default()))))
+    });
+    g.bench_function("pif_no_temporal_compactor", |b| {
+        let mut cfg = PifConfig::paper_default();
+        cfg.temporal_entries = 1; // effectively disabled
+        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+    });
+    g.bench_function("pif_single_block_regions", |b| {
+        let mut cfg = PifConfig::paper_default();
+        cfg.geometry = pif_types::RegionGeometry::new(0, 0).unwrap();
+        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+    });
+    g.bench_function("pif_tiny_history", |b| {
+        let mut cfg = PifConfig::paper_default();
+        cfg.history_capacity = 1024;
+        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+    });
+    g.bench_function("pif_one_sab", |b| {
+        let mut cfg = PifConfig::paper_default();
+        cfg.sab_count = 1;
+        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared fixtures for the Criterion benchmark suites.
+//!
+//! Two suites live in `benches/`:
+//!
+//! * `components` — microbenchmarks of every hardware structure (caches,
+//!   predictors, compactors, history buffer, SABs, front end, engine);
+//! * `figures` — one benchmark per paper table/figure, timing the
+//!   experiment runners at a reduced scale (the full-scale numbers are
+//!   produced by the `pif-experiments` binaries).
+
+#![warn(missing_docs)]
+
+use pif_types::RetiredInstr;
+use pif_workloads::WorkloadProfile;
+
+/// A standard small OLTP trace used across benchmarks.
+pub fn bench_trace(instructions: usize) -> Vec<RetiredInstr> {
+    WorkloadProfile::oltp_db2()
+        .scaled(0.2)
+        .generate(instructions)
+        .instrs()
+        .to_vec()
+}
+
+/// The benchmark experiment scale: small enough for Criterion iteration,
+/// large enough to exercise real cache pressure.
+pub fn bench_scale() -> pif_experiments::Scale {
+    pif_experiments::Scale {
+        instructions: 120_000,
+        footprint: 0.15,
+        warmup_fraction: 0.3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_data() {
+        assert_eq!(bench_trace(1_000).len(), 1_000);
+        assert_eq!(bench_scale().instructions, 120_000);
+    }
+}

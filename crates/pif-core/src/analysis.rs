@@ -1,0 +1,490 @@
+//! Trace-study instrumentation over the PIF mechanism.
+//!
+//! The paper's Figures 3, 7, 8 and 9 are *trace-based* studies on
+//! correct-path, in-order instruction traces (§5: "For the trace-based
+//! analyses, we use correct-path, in-order instruction reference
+//! traces"). This module runs the real PIF structures (compactors,
+//! history, index, SABs) over a retire-order trace — tracking the
+//! predictions that would be made without prefetching or perturbing the
+//! cache — and reports:
+//!
+//! * per-trap-level **miss coverage** and **predictor coverage** (Fig. 8
+//!   right, Fig. 9 right);
+//! * the **jump distance** distribution weighted by correct predictions
+//!   (Fig. 7);
+//! * the **stream length** distribution weighted by correct predictions
+//!   (Fig. 9 left);
+//! * **spatial-region density**, **discontinuous runs**, and
+//!   **trigger-offset** distributions (Fig. 3, Fig. 8 left).
+
+use pif_sim::cache::InstructionCache;
+use pif_sim::{ICacheConfig, Log2Histogram};
+use pif_types::{BlockAddr, RegionGeometry, RetiredInstr, TrapLevel};
+
+use crate::config::PifConfig;
+use crate::history::HistoryBuffer;
+use crate::index::IndexTable;
+use crate::sab::SabPool;
+use crate::spatial::SpatialCompactor;
+use crate::temporal::TemporalCompactor;
+
+/// Coverage and stream-shape measurements from one analysis run.
+#[derive(Debug, Clone)]
+pub struct PifCoverageReport {
+    /// Correct-path block accesses per trap level.
+    pub access_total: [u64; TrapLevel::COUNT],
+    /// Accesses predicted by an active stream, per trap level.
+    pub access_predicted: [u64; TrapLevel::COUNT],
+    /// L1-I misses per trap level.
+    pub miss_total: [u64; TrapLevel::COUNT],
+    /// Misses predicted by an active stream, per trap level.
+    pub miss_predicted: [u64; TrapLevel::COUNT],
+    /// Jump distances (recorded blocks between stream recurrence and its
+    /// recording), weighted by the stream's correct predictions (Fig. 7).
+    pub jump_distance: Log2Histogram,
+    /// Stream lengths in regions advanced, weighted by correct
+    /// predictions (Fig. 9 left).
+    pub stream_length: Log2Histogram,
+}
+
+impl PifCoverageReport {
+    /// Miss coverage for one trap level (Fig. 8 right).
+    pub fn miss_coverage(&self, tl: TrapLevel) -> f64 {
+        let i = tl.index();
+        if self.miss_total[i] == 0 {
+            return 0.0;
+        }
+        self.miss_predicted[i] as f64 / self.miss_total[i] as f64
+    }
+
+    /// Predictor coverage for one trap level: fraction of all block
+    /// accesses predicted (§5.4 uses this for Fig. 9 right, where stream
+    /// heads may hit in the cache).
+    pub fn predictor_coverage(&self, tl: TrapLevel) -> f64 {
+        let i = tl.index();
+        if self.access_total[i] == 0 {
+            return 0.0;
+        }
+        self.access_predicted[i] as f64 / self.access_total[i] as f64
+    }
+
+    /// Miss coverage over both trap levels.
+    pub fn overall_miss_coverage(&self) -> f64 {
+        let total: u64 = self.miss_total.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.miss_predicted.iter().sum::<u64>() as f64 / total as f64
+    }
+
+    /// Predictor coverage over both trap levels.
+    pub fn overall_predictor_coverage(&self) -> f64 {
+        let total: u64 = self.access_total.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.access_predicted.iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+/// Runs the PIF predictor over a correct-path trace, measuring coverage
+/// without prefetching (the processor is undisturbed, as in §2's studies).
+///
+/// `warmup_instrs` retirements are processed before counting begins.
+#[derive(Debug)]
+pub struct PifAnalyzer {
+    config: PifConfig,
+    icache: InstructionCache,
+    levels: Vec<LevelState>,
+    sabs: SabPool,
+    report: PifCoverageReport,
+    counting: bool,
+    last_block: Option<BlockAddr>,
+    last_tl: TrapLevel,
+}
+
+#[derive(Debug)]
+struct LevelState {
+    spatial: SpatialCompactor,
+    temporal: TemporalCompactor,
+    history: HistoryBuffer,
+    index: IndexTable,
+}
+
+impl PifAnalyzer {
+    /// Creates an analyzer with the given PIF design point and L1-I
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn new(config: PifConfig, icache: ICacheConfig) -> Self {
+        config.validate().expect("invalid PIF configuration");
+        PifAnalyzer {
+            icache: InstructionCache::new(icache).expect("invalid icache configuration"),
+            levels: (0..TrapLevel::COUNT)
+                .map(|_| LevelState {
+                    spatial: SpatialCompactor::new(config.geometry),
+                    temporal: TemporalCompactor::new(config.temporal_entries),
+                    history: HistoryBuffer::new(config.history_capacity),
+                    index: IndexTable::new(config.index_entries, config.index_ways)
+                        .expect("validated geometry"),
+                })
+                .collect(),
+            sabs: SabPool::new(config.sab_count, config.sab_window),
+            report: PifCoverageReport {
+                access_total: [0; TrapLevel::COUNT],
+                access_predicted: [0; TrapLevel::COUNT],
+                miss_total: [0; TrapLevel::COUNT],
+                miss_predicted: [0; TrapLevel::COUNT],
+                jump_distance: Log2Histogram::new(26),
+                stream_length: Log2Histogram::new(22),
+            },
+            counting: false,
+            last_block: None,
+            last_tl: TrapLevel::Tl0,
+            config,
+        }
+    }
+
+    /// Analyzes a whole trace with the first `warmup_instrs` uncounted.
+    pub fn analyze(mut self, trace: &[RetiredInstr], warmup_instrs: usize) -> PifCoverageReport {
+        for (i, instr) in trace.iter().enumerate() {
+            if !self.counting && i >= warmup_instrs {
+                self.counting = true;
+            }
+            self.step(instr);
+        }
+        self.finish()
+    }
+
+    fn step(&mut self, instr: &RetiredInstr) {
+        let tl = instr.trap_level;
+        let block = instr.pc.block();
+
+        // Fetch side: block-granularity accesses with redirect on trap
+        // switch, mirroring the front end.
+        if tl != self.last_tl {
+            self.last_block = None;
+            self.last_tl = tl;
+        }
+        if self.last_block != Some(block) {
+            self.last_block = Some(block);
+            self.on_block_access(tl, block);
+        }
+
+        // Retire side: the compactor chain records the stream. All
+        // instructions carry the not-prefetched tag (nothing is
+        // prefetched in an analysis run).
+        let state = &mut self.levels[tl.index()];
+        if let Some(finished) = state.spatial.observe(block, true) {
+            if let Some(admitted) = state.temporal.filter(finished) {
+                let pos = state.history.append(admitted.record, true);
+                state.index.insert(admitted.record.trigger, pos);
+            }
+        }
+    }
+
+    fn on_block_access(&mut self, tl: TrapLevel, block: BlockAddr) {
+        let level = tl.index();
+        let geometry = self.config.geometry;
+        let missed = !self.icache.demand_access(block).is_hit();
+
+        let predicted = self
+            .sabs
+            .advance(level, block, geometry, &self.levels[level].history)
+            .is_some();
+
+        if self.counting {
+            self.report.access_total[level] += 1;
+            if predicted {
+                self.report.access_predicted[level] += 1;
+            }
+            if missed {
+                self.report.miss_total[level] += 1;
+                if predicted {
+                    self.report.miss_predicted[level] += 1;
+                }
+            }
+        }
+
+        if !predicted {
+            // Try to open a stream at the block's most recent record.
+            let state = &mut self.levels[level];
+            if let Some(pos) = state.index.lookup(block) {
+                if let Some(entry) = state.history.get(pos) {
+                    let jump = state.history.block_position() - entry.block_position;
+                    let (_, completed) =
+                        self.sabs.allocate(level, pos, jump, geometry, &state.history);
+                    if let Some(done) = completed {
+                        self.record_stream(done.jump_distance_blocks, done.regions_advanced, done.predictions);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_stream(&mut self, jump: u64, regions: u64, predictions: u64) {
+        if predictions == 0 || !self.counting {
+            return;
+        }
+        self.report.jump_distance.record_weighted(jump.max(1), predictions);
+        self.report
+            .stream_length
+            .record_weighted(regions.max(1), predictions);
+    }
+
+    fn finish(mut self) -> PifCoverageReport {
+        for done in self.sabs.drain_completed() {
+            if done.predictions > 0 && self.counting {
+                self.report
+                    .jump_distance
+                    .record_weighted(done.jump_distance_blocks.max(1), done.predictions);
+                self.report
+                    .stream_length
+                    .record_weighted(done.regions_advanced.max(1), done.predictions);
+            }
+        }
+        self.report
+    }
+}
+
+/// Spatial-region characterization of a retire-order trace (Fig. 3 and
+/// Fig. 8 left): density of unique block accesses per region,
+/// discontinuous runs per region, and the distribution of accesses by
+/// offset from the trigger.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// Geometry the regions were formed with.
+    pub geometry: RegionGeometry,
+    /// `density[k]` = number of regions with exactly `k` accessed blocks
+    /// (index 0 unused).
+    pub density: Vec<u64>,
+    /// `runs[k]` = number of regions with exactly `k` discontinuous runs
+    /// (index 0 unused).
+    pub runs: Vec<u64>,
+    /// Accesses by offset from the trigger: index 0 is offset
+    /// `-preceding`, the trigger sits at index `preceding`.
+    pub offset_counts: Vec<u64>,
+    /// Total regions observed.
+    pub total_regions: u64,
+}
+
+impl RegionReport {
+    /// Fraction of regions whose accessed-block count falls in
+    /// `lo..=hi` (Fig. 3's bucket labels).
+    pub fn density_fraction(&self, lo: u32, hi: u32) -> f64 {
+        if self.total_regions == 0 {
+            return 0.0;
+        }
+        let count: u64 = (lo..=hi.min(self.density.len() as u32 - 1))
+            .map(|k| self.density[k as usize])
+            .sum();
+        count as f64 / self.total_regions as f64
+    }
+
+    /// Fraction of regions with `lo..=hi` discontinuous runs.
+    pub fn runs_fraction(&self, lo: u32, hi: u32) -> f64 {
+        if self.total_regions == 0 {
+            return 0.0;
+        }
+        let count: u64 = (lo..=hi.min(self.runs.len() as u32 - 1))
+            .map(|k| self.runs[k as usize])
+            .sum();
+        count as f64 / self.total_regions as f64
+    }
+
+    /// Normalized access frequency at `offset` from the trigger
+    /// (Fig. 8 left's y-axis).
+    pub fn offset_frequency(&self, offset: i64) -> f64 {
+        let idx = offset + i64::from(self.geometry.preceding());
+        if idx < 0 || idx as usize >= self.offset_counts.len() {
+            return 0.0;
+        }
+        let total: u64 = self.offset_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.offset_counts[idx as usize] as f64 / total as f64
+    }
+}
+
+/// Characterizes the spatial regions of a retire-order trace under
+/// `geometry` (application trap level only, matching Fig. 3's application
+/// reference analysis). The temporal compactor is applied first so loop
+/// iterations do not over-count (as the paper does: "we count only unique
+/// accesses to that region").
+pub fn analyze_regions(trace: &[RetiredInstr], geometry: RegionGeometry) -> RegionReport {
+    let total_blocks = geometry.total_blocks();
+    let mut spatial = SpatialCompactor::new(geometry);
+    let mut temporal = TemporalCompactor::new(4);
+    let mut density = vec![0u64; total_blocks + 1];
+    let mut runs = vec![0u64; total_blocks + 1];
+    let mut offset_counts = vec![0u64; total_blocks];
+    let mut total_regions = 0u64;
+
+    let mut tally = |record: crate::spatial::TaggedRecord,
+                     density: &mut Vec<u64>,
+                     runs: &mut Vec<u64>,
+                     offsets: &mut Vec<u64>| {
+        let r = record.record;
+        total_regions += 1;
+        density[(r.accessed_blocks() as usize).min(total_blocks)] += 1;
+        runs[(r.discontinuous_runs(geometry) as usize).min(total_blocks)] += 1;
+        let prec = i64::from(geometry.preceding());
+        for off in -prec..=i64::from(geometry.succeeding()) {
+            if r.bits.contains_offset(geometry, off) {
+                offsets[(off + prec) as usize] += 1;
+            }
+        }
+    };
+
+    for instr in trace {
+        if instr.trap_level != TrapLevel::Tl0 {
+            continue;
+        }
+        if let Some(finished) = spatial.observe(instr.pc.block(), true) {
+            if let Some(admitted) = temporal.filter(finished) {
+                tally(admitted, &mut density, &mut runs, &mut offset_counts);
+            }
+        }
+    }
+    if let Some(finished) = spatial.flush() {
+        if let Some(admitted) = temporal.filter(finished) {
+            tally(admitted, &mut density, &mut runs, &mut offset_counts);
+        }
+    }
+
+    RegionReport {
+        geometry,
+        density,
+        runs,
+        offset_counts,
+        total_regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_types::Address;
+
+    fn sweep(blocks: u64, reps: u64) -> Vec<RetiredInstr> {
+        let mut v = Vec::new();
+        for _ in 0..reps {
+            for blk in 0..blocks {
+                for i in 0..4 {
+                    v.push(RetiredInstr::simple(
+                        Address::new(blk * 64 + i * 16),
+                        TrapLevel::Tl0,
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn repetitive_sweep_reaches_high_coverage() {
+        let trace = sweep(4096, 4);
+        let report = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
+            .analyze(&trace, trace.len() / 2);
+        assert!(
+            report.overall_predictor_coverage() > 0.9,
+            "predictor coverage {}",
+            report.overall_predictor_coverage()
+        );
+        assert!(
+            report.miss_coverage(TrapLevel::Tl0) > 0.9,
+            "miss coverage {}",
+            report.miss_coverage(TrapLevel::Tl0)
+        );
+    }
+
+    #[test]
+    fn random_unrepetitive_code_has_low_coverage() {
+        // A non-repeating walk: nothing recurs, so nothing is predictable.
+        let mut v = Vec::new();
+        for blk in 0..20_000u64 {
+            v.push(RetiredInstr::simple(Address::new(blk * 131 * 64), TrapLevel::Tl0));
+        }
+        let report = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
+            .analyze(&v, v.len() / 4);
+        assert!(
+            report.overall_predictor_coverage() < 0.1,
+            "coverage {} on unrepeatable stream",
+            report.overall_predictor_coverage()
+        );
+    }
+
+    #[test]
+    fn small_history_hurts_coverage() {
+        let trace = sweep(4096, 4);
+        let big = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
+            .analyze(&trace, trace.len() / 2);
+        let mut small_cfg = PifConfig::paper_default();
+        small_cfg.history_capacity = 128; // 4096-block sweep >> 128 regions
+        let small = PifAnalyzer::new(small_cfg, ICacheConfig::paper_default())
+            .analyze(&trace, trace.len() / 2);
+        assert!(
+            small.overall_predictor_coverage() < big.overall_predictor_coverage(),
+            "small {} vs big {}",
+            small.overall_predictor_coverage(),
+            big.overall_predictor_coverage()
+        );
+    }
+
+    #[test]
+    fn jump_and_length_histograms_populate() {
+        let trace = sweep(2048, 6);
+        let report = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
+            .analyze(&trace, trace.len() / 3);
+        assert!(report.jump_distance.total() > 0);
+        assert!(report.stream_length.total() > 0);
+    }
+
+    #[test]
+    fn region_report_on_sequential_code_is_dense() {
+        // Straight-line code through 8-block groups: every region is full
+        // and has one run.
+        let trace = sweep(4096, 1);
+        let report = analyze_regions(&trace, RegionGeometry::paper_default());
+        assert!(report.total_regions > 100);
+        // Sequential code fills the trigger + all 5 succeeding blocks (the
+        // 2 preceding slots stay empty): 6 accessed blocks per region.
+        assert!(
+            report.density_fraction(5, 8) > 0.9,
+            "sequential code fills regions: {:?}",
+            &report.density[..]
+        );
+        assert!(report.runs_fraction(1, 1) > 0.9);
+    }
+
+    #[test]
+    fn region_report_counts_offsets() {
+        let trace = sweep(256, 1);
+        let g = RegionGeometry::new(4, 12).unwrap();
+        let report = analyze_regions(&trace, g);
+        // Sequential code: successor offsets dominate, predecessors ~0.
+        assert!(report.offset_frequency(1) > report.offset_frequency(-1));
+        assert_eq!(report.offset_frequency(100), 0.0);
+    }
+
+    #[test]
+    fn tl1_misses_tracked_separately() {
+        let mut trace = sweep(512, 2);
+        // Interleave handler bursts.
+        for rep in 0..50u64 {
+            for i in 0..8u64 {
+                trace.push(RetiredInstr::simple(
+                    Address::new(0x7000_0000 + (rep % 4) * 1024 + i * 64),
+                    TrapLevel::Tl1,
+                ));
+            }
+            trace.extend(sweep(64, 1));
+        }
+        let report = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
+            .analyze(&trace, 0);
+        assert!(report.access_total[1] > 0, "TL1 accesses counted");
+    }
+}

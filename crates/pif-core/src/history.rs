@@ -1,0 +1,221 @@
+//! The history buffer (§4.2): a circular FIFO of spatial region records.
+
+use std::collections::VecDeque;
+
+use pif_types::SpatialRegionRecord;
+
+/// One history buffer entry: the region record, its trigger's
+/// not-prefetched tag, and the cumulative block position at insertion
+/// (used for jump-distance accounting, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// The compacted region record.
+    pub record: SpatialRegionRecord,
+    /// Fetch-stage tag of the trigger instruction (gates index insertion).
+    pub tagged: bool,
+    /// Number of instruction-block accesses recorded before this entry
+    /// (monotonic across the whole run, not wrapped).
+    pub block_position: u64,
+}
+
+/// A circular buffer of [`HistoryEntry`]s addressed by *monotonic
+/// positions*: appending never invalidates position arithmetic, old
+/// positions simply stop resolving once overwritten.
+///
+/// # Example
+///
+/// ```
+/// use pif_core::HistoryBuffer;
+/// use pif_types::{BlockAddr, SpatialRegionRecord};
+///
+/// let mut h = HistoryBuffer::new(2);
+/// let p0 = h.append(SpatialRegionRecord::new(BlockAddr::from_number(1)), true);
+/// let p1 = h.append(SpatialRegionRecord::new(BlockAddr::from_number(2)), true);
+/// let p2 = h.append(SpatialRegionRecord::new(BlockAddr::from_number(3)), true);
+/// assert!(h.get(p0).is_none(), "overwritten by wraparound");
+/// assert!(h.get(p1).is_some() && h.get(p2).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryBuffer {
+    entries: VecDeque<HistoryEntry>,
+    capacity: usize,
+    /// Monotonic position of `entries[0]`.
+    base: u64,
+    /// Cumulative accessed-block count across all appended records.
+    block_position: u64,
+}
+
+impl HistoryBuffer {
+    /// Creates a history buffer holding `capacity` region records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history buffer needs >= 1 record");
+        HistoryBuffer {
+            entries: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            base: 0,
+            block_position: 0,
+        }
+    }
+
+    /// Appends a record (always performed, §4.2) and returns its position.
+    pub fn append(&mut self, record: SpatialRegionRecord, tagged: bool) -> u64 {
+        let pos = self.end();
+        self.entries.push_back(HistoryEntry {
+            record,
+            tagged,
+            block_position: self.block_position,
+        });
+        self.block_position += u64::from(record.accessed_blocks());
+        if self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.base += 1;
+        }
+        pos
+    }
+
+    /// Position one past the most recent record.
+    pub fn end(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Oldest still-resident position.
+    pub fn start(&self) -> u64 {
+        self.base
+    }
+
+    /// Fetches the entry at `pos`, if it has not been overwritten.
+    pub fn get(&self, pos: u64) -> Option<&HistoryEntry> {
+        if pos < self.base {
+            return None;
+        }
+        self.entries.get((pos - self.base) as usize)
+    }
+
+    /// Number of resident records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative accessed-block count (for jump-distance measurements).
+    pub fn block_position(&self) -> u64 {
+        self.block_position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_types::{BlockAddr, RegionGeometry};
+
+    fn rec(n: u64) -> SpatialRegionRecord {
+        SpatialRegionRecord::new(BlockAddr::from_number(n))
+    }
+
+    #[test]
+    fn append_returns_monotonic_positions() {
+        let mut h = HistoryBuffer::new(4);
+        assert_eq!(h.append(rec(1), true), 0);
+        assert_eq!(h.append(rec(2), true), 1);
+        assert_eq!(h.append(rec(3), false), 2);
+        assert_eq!(h.end(), 3);
+        assert_eq!(h.get(1).unwrap().record.trigger, BlockAddr::from_number(2));
+        assert!(!h.get(2).unwrap().tagged);
+    }
+
+    #[test]
+    fn wraparound_invalidates_oldest() {
+        let mut h = HistoryBuffer::new(3);
+        for n in 0..5 {
+            h.append(rec(n), true);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.start(), 2);
+        assert!(h.get(0).is_none());
+        assert!(h.get(1).is_none());
+        for pos in 2..5 {
+            assert_eq!(
+                h.get(pos).unwrap().record.trigger,
+                BlockAddr::from_number(pos)
+            );
+        }
+    }
+
+    #[test]
+    fn block_position_accumulates_accessed_blocks() {
+        let g = RegionGeometry::paper_default();
+        let mut h = HistoryBuffer::new(8);
+        let mut r = rec(100);
+        r.record_block(g, BlockAddr::from_number(101));
+        r.record_block(g, BlockAddr::from_number(102));
+        h.append(r, true); // 3 blocks
+        h.append(rec(200), true); // 1 block
+        assert_eq!(h.block_position(), 4);
+        assert_eq!(h.get(0).unwrap().block_position, 0);
+        assert_eq!(h.get(1).unwrap().block_position, 3);
+    }
+
+    #[test]
+    fn get_past_end_is_none() {
+        let mut h = HistoryBuffer::new(2);
+        h.append(rec(1), true);
+        assert!(h.get(1).is_none());
+        assert!(h.get(99).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = HistoryBuffer::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pif_types::BlockAddr;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FIFO/positions invariant: after any append sequence, exactly the
+        /// last min(n, capacity) positions resolve, in insertion order.
+        #[test]
+        fn fifo_positions_resolve(
+            cap in 1usize..16,
+            n in 0u64..200,
+        ) {
+            let mut h = HistoryBuffer::new(cap);
+            for i in 0..n {
+                let pos = h.append(
+                    SpatialRegionRecord::new(BlockAddr::from_number(i)),
+                    i % 2 == 0,
+                );
+                prop_assert_eq!(pos, i);
+            }
+            prop_assert_eq!(h.end(), n);
+            let start = n.saturating_sub(cap as u64);
+            for pos in 0..n {
+                match h.get(pos) {
+                    Some(e) => {
+                        prop_assert!(pos >= start);
+                        prop_assert_eq!(e.record.trigger, BlockAddr::from_number(pos));
+                    }
+                    None => prop_assert!(pos < start),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The temporal compactor (§4.1, Fig. 5 steps 4-7).
+//!
+//! Tight loops whose footprint spans several spatial regions re-emit the
+//! same region records every iteration. Recording every iteration wastes
+//! history storage *and* hurts predictability (§3.2). The temporal
+//! compactor keeps a small MRU list of recently emitted records: an
+//! incoming record matching a resident one (same trigger, bit vector a
+//! subset) is discarded and the resident record promoted; otherwise the
+//! record is admitted (evicting the LRU entry) and forwarded to the
+//! history buffer.
+
+use pif_types::{BlockAddr, SpatialRegionRecord};
+
+use crate::spatial::TaggedRecord;
+
+/// The temporal compactor: one per trap level.
+///
+/// # Example
+///
+/// ```
+/// use pif_core::TemporalCompactor;
+/// use pif_core::SpatialCompactor;
+/// use pif_types::{BlockAddr, RegionGeometry, SpatialRegionRecord};
+///
+/// let mut t = TemporalCompactor::new(2);
+/// let rec = SpatialRegionRecord::new(BlockAddr::from_number(100));
+/// let tagged = pif_core::spatial_tagged(rec, true);
+/// assert!(t.filter(tagged).is_some(), "first sighting is forwarded");
+/// assert!(t.filter(tagged).is_none(), "loop repetition is filtered");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalCompactor {
+    /// MRU-first list of recent records.
+    entries: Vec<SpatialRegionRecord>,
+    capacity: usize,
+    filtered: u64,
+    forwarded: u64,
+}
+
+/// Constructs a [`TaggedRecord`] (helper for examples and tests; the
+/// spatial compactor produces these in normal operation).
+pub fn spatial_tagged(record: SpatialRegionRecord, trigger_not_prefetched: bool) -> TaggedRecord {
+    TaggedRecord {
+        record,
+        trigger_not_prefetched,
+    }
+}
+
+impl TemporalCompactor {
+    /// Creates a temporal compactor tracking `capacity` recent records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "temporal compactor needs >= 1 entry");
+        TemporalCompactor {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            filtered: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Filters an incoming record. Returns `Some` if the record should be
+    /// appended to the history buffer, `None` if it repeats a
+    /// recently-seen record (loop iteration).
+    pub fn filter(&mut self, incoming: TaggedRecord) -> Option<TaggedRecord> {
+        // Match: same trigger and incoming bits ⊆ stored bits.
+        if let Some(pos) = self.entries.iter().position(|stored| {
+            stored.trigger == incoming.record.trigger
+                && incoming.record.bits.is_subset_of(stored.bits)
+        }) {
+            // Promote to MRU, discard the incoming record.
+            let stored = self.entries.remove(pos);
+            self.entries.insert(0, stored);
+            self.filtered += 1;
+            return None;
+        }
+        // No match: admit at MRU, evict LRU if full, forward to history.
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, incoming.record);
+        self.forwarded += 1;
+        Some(incoming)
+    }
+
+    /// Looks up the resident record for `trigger`, if any.
+    pub fn resident(&self, trigger: BlockAddr) -> Option<&SpatialRegionRecord> {
+        self.entries.iter().find(|r| r.trigger == trigger)
+    }
+
+    /// Number of records filtered out (loop repetitions).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Number of records forwarded to the history buffer.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Clears the MRU list and counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.filtered = 0;
+        self.forwarded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_types::{RegionBits, RegionGeometry};
+
+    const G: RegionGeometry = RegionGeometry::paper_default();
+
+    fn rec(trigger: u64, offsets: &[i64]) -> TaggedRecord {
+        let mut r = SpatialRegionRecord::new(BlockAddr::from_number(trigger));
+        for &o in offsets {
+            r.bits.set_offset(G, o);
+        }
+        spatial_tagged(r, true)
+    }
+
+    #[test]
+    fn loop_over_two_regions_recorded_once() {
+        // Paper Fig. 5 steps 4-7: alternating A and B records; each is
+        // forwarded once, all repetitions filtered.
+        let mut t = TemporalCompactor::new(4);
+        let a = rec(100, &[1, 2]);
+        let b = rec(200, &[]);
+        assert!(t.filter(a).is_some());
+        assert!(t.filter(b).is_some());
+        for _ in 0..10 {
+            assert!(t.filter(a).is_none());
+            assert!(t.filter(b).is_none());
+        }
+        assert_eq!(t.forwarded(), 2);
+        assert_eq!(t.filtered(), 20);
+    }
+
+    #[test]
+    fn superset_bits_are_not_filtered() {
+        let mut t = TemporalCompactor::new(4);
+        assert!(t.filter(rec(100, &[1])).is_some());
+        // Incoming has an extra block: not a subset -> forwarded.
+        assert!(t.filter(rec(100, &[1, 2])).is_some());
+        // Now the stored record has bits {1,2}: subset is filtered.
+        assert!(t.filter(rec(100, &[2])).is_none());
+    }
+
+    #[test]
+    fn subset_bits_are_filtered() {
+        let mut t = TemporalCompactor::new(4);
+        assert!(t.filter(rec(100, &[1, 2, 3])).is_some());
+        assert!(t.filter(rec(100, &[2])).is_none());
+        assert!(t.filter(rec(100, &[])).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_forgets_old_records() {
+        let mut t = TemporalCompactor::new(2);
+        t.filter(rec(100, &[]));
+        t.filter(rec(200, &[]));
+        t.filter(rec(300, &[])); // evicts 100
+        assert!(t.resident(BlockAddr::from_number(100)).is_none());
+        // 100 returns: forwarded again (loop longer than compactor reach).
+        assert!(t.filter(rec(100, &[])).is_some());
+    }
+
+    #[test]
+    fn match_promotes_to_mru() {
+        let mut t = TemporalCompactor::new(2);
+        t.filter(rec(100, &[]));
+        t.filter(rec(200, &[]));
+        // Touch 100: now 200 is LRU.
+        assert!(t.filter(rec(100, &[])).is_none());
+        t.filter(rec(300, &[])); // evicts 200
+        assert!(t.resident(BlockAddr::from_number(100)).is_some());
+        assert!(t.resident(BlockAddr::from_number(200)).is_none());
+    }
+
+    #[test]
+    fn distinct_triggers_never_match() {
+        let mut t = TemporalCompactor::new(4);
+        assert!(t.filter(rec(100, &[1])).is_some());
+        assert!(t.filter(rec(101, &[1])).is_some());
+        assert_eq!(t.forwarded(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TemporalCompactor::new(2);
+        t.filter(rec(100, &[]));
+        t.clear();
+        assert_eq!(t.forwarded(), 0);
+        assert!(t.resident(BlockAddr::from_number(100)).is_none());
+        assert!(t.filter(rec(100, &[])).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = TemporalCompactor::new(0);
+    }
+
+    #[test]
+    fn stored_record_keeps_original_bits_on_match() {
+        // Filtering a subset must not shrink the stored record.
+        let mut t = TemporalCompactor::new(4);
+        t.filter(rec(100, &[1, 2]));
+        t.filter(rec(100, &[1]));
+        let stored = t.resident(BlockAddr::from_number(100)).unwrap();
+        assert_eq!(stored.bits, {
+            let mut b = RegionBits::empty();
+            b.set_offset(G, 1);
+            b.set_offset(G, 2);
+            b
+        });
+    }
+}

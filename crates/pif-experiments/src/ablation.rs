@@ -1,0 +1,163 @@
+//! Ablation study: remove each PIF design element in turn and measure the
+//! coverage cost. Not a paper figure, but each row quantifies a design
+//! choice the paper argues for:
+//!
+//! * **spatial regions** (§3.1) — single-block records instead of 8-block
+//!   trigger+bit-vector regions;
+//! * **temporal compactor** (§3.2 / §4.1) — record every loop iteration;
+//! * **trap-level separation** (§2.3) — record interrupts inline;
+//! * **deep history** (§5.4) — 1K regions instead of 32K;
+//! * **multiple SABs** (§4.3) — a single prediction stream;
+//! * **preceding blocks** (§5.2) — regions skewed strictly forward.
+
+use pif_core::{Pif, PifConfig};
+use pif_sim::{Engine, EngineConfig};
+use pif_types::RegionGeometry;
+use serde::{Deserialize, Serialize};
+
+use crate::{pct, Scale, Table};
+
+/// One ablated design variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The paper's full design point.
+    Paper,
+    /// Regions of a single block (no spatial compaction).
+    NoSpatialRegions,
+    /// Temporal compactor reduced to one entry (loop records repeat).
+    NoTemporalCompactor,
+    /// All trap levels recorded in one unified stream.
+    NoTrapSeparation,
+    /// History shrunk to 1K regions.
+    TinyHistory,
+    /// A single stream address buffer.
+    OneSab,
+    /// No preceding blocks in the region (0 preceding + 7 succeeding).
+    NoPrecedingBlocks,
+}
+
+impl Variant {
+    /// All variants in presentation order.
+    pub const ALL: [Variant; 7] = [
+        Variant::Paper,
+        Variant::NoSpatialRegions,
+        Variant::NoTemporalCompactor,
+        Variant::NoTrapSeparation,
+        Variant::TinyHistory,
+        Variant::OneSab,
+        Variant::NoPrecedingBlocks,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Paper => "paper design",
+            Variant::NoSpatialRegions => "- spatial regions",
+            Variant::NoTemporalCompactor => "- temporal compactor",
+            Variant::NoTrapSeparation => "- trap separation",
+            Variant::TinyHistory => "- deep history (1K)",
+            Variant::OneSab => "- SAB pool (1 SAB)",
+            Variant::NoPrecedingBlocks => "- preceding blocks",
+        }
+    }
+
+    /// The PIF configuration implementing this variant.
+    pub fn config(self) -> PifConfig {
+        let mut cfg = PifConfig::paper_default();
+        match self {
+            Variant::Paper => {}
+            Variant::NoSpatialRegions => {
+                cfg.geometry = RegionGeometry::new(0, 0).expect("single block");
+            }
+            Variant::NoTemporalCompactor => cfg.temporal_entries = 1,
+            Variant::NoTrapSeparation => cfg.separate_trap_levels = false,
+            Variant::TinyHistory => cfg.history_capacity = 1024,
+            Variant::OneSab => cfg.sab_count = 1,
+            Variant::NoPrecedingBlocks => {
+                cfg.geometry = RegionGeometry::new(0, 7).expect("forward-only region");
+            }
+        }
+        cfg
+    }
+}
+
+/// Coverage of each variant on each workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Miss coverage per variant, aligned with [`Variant::ALL`].
+    pub coverage: Vec<f64>,
+}
+
+/// Runs the ablation grid.
+pub fn run(scale: &Scale) -> Vec<AblationRow> {
+    let engine = Engine::new(EngineConfig::paper_default());
+    let instructions = scale.instructions;
+    let warmup = scale.warmup_instrs();
+    crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let coverage = Variant::ALL
+            .iter()
+            .map(|v| {
+                engine
+                    .run_warmup(&trace, Pif::new(v.config()), warmup)
+                    .miss_coverage()
+            })
+            .collect();
+        AblationRow {
+            workload: w.name().to_string(),
+            coverage,
+        }
+    })
+}
+
+/// Renders the ablation grid.
+pub fn table(rows: &[AblationRow]) -> Table {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(Variant::ALL.iter().map(|v| v.label().to_string()));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.coverage.iter().map(|&v| pct(v)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_produce_valid_configs() {
+        for v in Variant::ALL {
+            assert!(v.config().validate().is_ok(), "{} invalid", v.label());
+        }
+        assert_eq!(Variant::Paper.config(), PifConfig::paper_default());
+        assert!(!Variant::NoTrapSeparation.config().separate_trap_levels);
+        assert_eq!(Variant::NoSpatialRegions.config().geometry.total_blocks(), 1);
+    }
+
+    #[test]
+    fn ablation_grid_runs_and_paper_design_is_competitive() {
+        let rows = run(&Scale::tiny());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.coverage.len(), Variant::ALL.len());
+            let paper = r.coverage[0];
+            for (v, &c) in Variant::ALL.iter().zip(&r.coverage) {
+                assert!((0.0..=1.0).contains(&c), "{}: {} = {c}", r.workload, v.label());
+            }
+            // The full design should roughly dominate the single-block
+            // ablation (spatial regions are the big win).
+            assert!(
+                paper >= r.coverage[1] - 0.10,
+                "{}: paper {paper} vs no-regions {}",
+                r.workload,
+                r.coverage[1]
+            );
+        }
+        assert_eq!(table(&rows).len(), 6);
+    }
+}

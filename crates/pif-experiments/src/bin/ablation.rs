@@ -1,0 +1,15 @@
+//! Ablation study: the coverage cost of removing each PIF design element
+//! (companion to the paper's §3-§5 design arguments).
+//!
+//! Usage: `cargo run --release -p pif-experiments --bin ablation`
+
+use pif_experiments::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("PIF design ablations — L1 miss coverage per variant\n");
+    let rows = ablation::run(&scale);
+    print!("{}", ablation::table(&rows));
+    println!("\nEach column removes one design element from the paper's configuration;");
+    println!("coverage drops quantify the §3-§5 design arguments.");
+}

@@ -1,0 +1,57 @@
+//! Runs the entire evaluation suite: Table I and every figure, in paper
+//! order.
+//!
+//! Usage: `PIF_SCALE=quick cargo run --release -p pif-experiments --bin all`
+
+use pif_core::PifConfig;
+use pif_experiments::{fig10, fig2, fig3, fig7, fig8, fig9, table1, Scale};
+use pif_sim::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== PIF reproduction: full evaluation suite ===");
+    println!(
+        "scale: {} instructions/workload, footprint x{:.2}\n",
+        scale.instructions, scale.footprint
+    );
+
+    println!("--- Table I ---\n");
+    print!("{}", table1::system_table(&EngineConfig::paper_default()));
+    println!();
+    print!("{}", table1::pif_table(&PifConfig::paper_default()));
+    println!();
+    print!("{}", table1::workload_table());
+
+    println!("\n--- Figure 2: predicted L1-I misses by stream point ---\n");
+    print!("{}", fig2::table(&fig2::run(&scale)));
+
+    println!("\n--- Figure 3: spatial region characterization ---\n");
+    let f3 = fig3::run(&scale);
+    print!("{}", fig3::density_table(&f3));
+    println!();
+    print!("{}", fig3::runs_table(&f3));
+
+    println!("\n--- Figure 7: weighted jump distance (CDF) ---\n");
+    print!("{}", fig7::table(&fig7::run(&scale)));
+
+    println!("\n--- Figure 8: region geometry studies ---\n");
+    print!("{}", fig8::offsets_table(&fig8::run_offsets(&scale)));
+    println!();
+    print!("{}", fig8::sizes_table(&fig8::run_sizes(&scale)));
+
+    println!("\n--- Figure 9: temporal stream studies ---\n");
+    print!("{}", fig9::lengths_table(&fig9::run_lengths(&scale)));
+    println!();
+    print!("{}", fig9::history_table(&fig9::run_history_sweep(&scale)));
+
+    println!("\n--- Figure 10: competitive comparison ---\n");
+    let f10 = fig10::run(&scale);
+    print!("{}", fig10::coverage_table(&f10));
+    println!();
+    print!("{}", fig10::speedup_table(&f10));
+    let s = fig10::summary(&f10);
+    println!(
+        "\nGeometric means — Next-Line: {:.2}x  TIFS: {:.2}x  PIF: {:.2}x  Perfect: {:.2}x",
+        s.next_line, s.tifs, s.pif, s.perfect
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 10: competitive coverage (left) and speedup
+//! (right) — Next-Line vs TIFS vs PIF vs perfect L1-I.
+//!
+//! Usage: `cargo run --release -p pif-experiments --bin fig10`
+
+use pif_experiments::{fig10, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 10 — Competitive comparison\n");
+    let rows = fig10::run(&scale);
+    println!("Left: L1 miss coverage");
+    print!("{}", fig10::coverage_table(&rows));
+    println!("\nRight: speedup over no-prefetch baseline");
+    print!("{}", fig10::speedup_table(&rows));
+    let s = fig10::summary(&rows);
+    println!(
+        "\nGeometric means — Next-Line: {:.2}x  TIFS: {:.2}x  PIF: {:.2}x  Perfect: {:.2}x",
+        s.next_line, s.tifs, s.pif, s.perfect
+    );
+    println!("Expected shape: NL < TIFS (65-90%) < PIF (~99%); PIF ~= Perfect.");
+}

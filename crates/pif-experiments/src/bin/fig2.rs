@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: percentage of correctly predicted L1-I misses.
+//!
+//! Usage: `cargo run --release -p pif-experiments --bin fig2`
+//! (set `PIF_SCALE=tiny|quick|paper` to control run size).
+
+use pif_experiments::{fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 2 — Correctly predicted correct-path L1-I misses");
+    println!(
+        "({} instructions/workload, footprint scale {:.2})\n",
+        scale.instructions, scale.footprint
+    );
+    let rows = fig2::run(&scale);
+    print!("{}", fig2::table(&rows));
+    println!("\nExpected shape: Miss < Access < Retire <= RetireSep; RetireSep ~99%+.");
+}

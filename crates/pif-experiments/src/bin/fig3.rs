@@ -1,0 +1,18 @@
+//! Regenerates Figure 3: spatial region density (left) and discontinuous
+//! accesses within spatial regions (right).
+//!
+//! Usage: `cargo run --release -p pif-experiments --bin fig3`
+
+use pif_experiments::{fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 3 — Spatial region characterization (32-block regions)\n");
+    let rows = fig3::run(&scale);
+    println!("Left: density of spatial regions (accessed blocks per region)");
+    print!("{}", fig3::density_table(&rows));
+    println!("\nRight: discontinuous groups of sequential blocks per region");
+    print!("{}", fig3::runs_table(&rows));
+    println!("\nExpected shape: >50% of regions access more than one block;");
+    println!("roughly one fifth of regions are discontinuous.");
+}

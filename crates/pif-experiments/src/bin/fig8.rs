@@ -1,0 +1,19 @@
+//! Regenerates Figure 8: accesses around the trigger block (left) and
+//! spatial region size sensitivity (right).
+//!
+//! Usage: `cargo run --release -p pif-experiments --bin fig8`
+
+use pif_experiments::{fig8, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 8 — Spatial region geometry studies\n");
+    println!("Left: distribution of accesses by offset from the trigger block");
+    let offsets = fig8::run_offsets(&scale);
+    print!("{}", fig8::offsets_table(&offsets));
+    println!("\nRight: coverage vs region size (TL0 = application, TL1 = interrupts)");
+    let sizes = fig8::run_sizes(&scale);
+    print!("{}", fig8::sizes_table(&sizes));
+    println!("\nExpected shape: +1/+2 dominate with a non-trivial backward tail at -1/-2;");
+    println!("coverage grows with region size, with TL1 gaining the most.");
+}

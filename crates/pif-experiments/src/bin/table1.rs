@@ -1,0 +1,17 @@
+//! Prints Table I: the simulated system, PIF design point, and workload
+//! suite — from the live configuration objects.
+//!
+//! Usage: `cargo run -p pif-experiments --bin table1`
+
+use pif_core::PifConfig;
+use pif_experiments::table1;
+use pif_sim::EngineConfig;
+
+fn main() {
+    println!("Table I — System parameters\n");
+    print!("{}", table1::system_table(&EngineConfig::paper_default()));
+    println!("\nPIF design point\n");
+    print!("{}", table1::pif_table(&PifConfig::paper_default()));
+    println!("\nApplication parameters (synthetic stand-ins)\n");
+    print!("{}", table1::workload_table());
+}

@@ -1,0 +1,127 @@
+//! Figure 3: spatial region density (left) and discontinuous accesses
+//! within spatial regions (right).
+//!
+//! The characterization uses wide regions (up to 32 blocks, per the
+//! figure's 17-32 bucket) over the application (TL0) retire stream.
+
+use pif_core::analysis::analyze_regions;
+use pif_types::RegionGeometry;
+use serde::{Deserialize, Serialize};
+
+use crate::{pct, Scale, Table};
+
+/// Density buckets the paper plots (left chart).
+pub const DENSITY_BUCKETS: [(u32, u32); 6] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (17, 32)];
+
+/// Discontinuous-run buckets the paper plots (right chart).
+pub const RUN_BUCKETS: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16)];
+
+/// One workload's spatial-region characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Fraction of regions per density bucket (aligned with
+    /// [`DENSITY_BUCKETS`]).
+    pub density: Vec<f64>,
+    /// Fraction of regions per discontinuous-run bucket (aligned with
+    /// [`RUN_BUCKETS`]).
+    pub runs: Vec<f64>,
+    /// Total regions observed.
+    pub regions: u64,
+}
+
+impl Fig3Row {
+    /// Fraction of regions with more than one accessed block (the paper
+    /// reports >50%).
+    pub fn multi_block_fraction(&self) -> f64 {
+        1.0 - self.density.first().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of regions with discontinuous accesses (~1/5 in the
+    /// paper).
+    pub fn discontinuous_fraction(&self) -> f64 {
+        1.0 - self.runs.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs the Figure 3 characterization (32-block regions, trigger-anchored
+/// with the paper's 8-preceding skew scaled up).
+pub fn run(scale: &Scale) -> Vec<Fig3Row> {
+    let geometry = RegionGeometry::new(8, 23).expect("32-block region");
+    let instructions = scale.instructions;
+    crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let report = analyze_regions(trace.instrs(), geometry);
+        Fig3Row {
+            workload: w.name().to_string(),
+            density: DENSITY_BUCKETS
+                .iter()
+                .map(|&(lo, hi)| report.density_fraction(lo, hi))
+                .collect(),
+            runs: RUN_BUCKETS
+                .iter()
+                .map(|&(lo, hi)| report.runs_fraction(lo, hi))
+                .collect(),
+            regions: report.total_regions,
+        }
+    })
+}
+
+/// Left chart: density distribution.
+pub fn density_table(rows: &[Fig3Row]) -> Table {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(DENSITY_BUCKETS.iter().map(|&(lo, hi)| {
+        if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}-{hi}")
+        }
+    }));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.density.iter().map(|&v| pct(v)));
+        t.row(cells);
+    }
+    t
+}
+
+/// Right chart: discontinuous runs distribution.
+pub fn runs_table(rows: &[Fig3Row]) -> Table {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(RUN_BUCKETS.iter().map(|&(lo, hi)| {
+        if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}-{hi}")
+        }
+    }));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.runs.iter().map(|&v| pct(v)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_form_distributions() {
+        let rows = run(&Scale::tiny());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let dsum: f64 = r.density.iter().sum();
+            assert!(dsum > 0.95 && dsum < 1.01, "{}: density sums to {dsum}", r.workload);
+            let rsum: f64 = r.runs.iter().sum();
+            assert!(rsum > 0.95 && rsum < 1.01, "{}: runs sum to {rsum}", r.workload);
+            assert!(r.regions > 0);
+        }
+        assert_eq!(density_table(&rows).len(), 6);
+        assert_eq!(runs_table(&rows).len(), 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 8: distribution of accesses around the trigger block (left) and
+//! spatial region size sensitivity at trap levels 0 and 1 (right).
+
+use pif_core::analysis::{analyze_regions, PifAnalyzer};
+use pif_core::PifConfig;
+use pif_sim::ICacheConfig;
+use pif_types::{RegionGeometry, TrapLevel};
+use serde::{Deserialize, Serialize};
+
+use crate::{pct, Scale, Table};
+
+/// Offsets plotted in the left chart (the paper plots -4..12, no 0: the
+/// trigger itself is implicit).
+pub const OFFSETS: [i64; 16] = [-4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+
+/// Region sizes swept in the right chart.
+pub const REGION_SIZES: [u8; 5] = [1, 2, 4, 6, 8];
+
+/// Left chart: one workload class's access-frequency-by-offset profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffsetRow {
+    /// Workload name.
+    pub workload: String,
+    /// Access frequency at each offset in [`OFFSETS`].
+    pub frequency: Vec<f64>,
+}
+
+/// Right chart: coverage by region size and trap level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeRow {
+    /// Workload name.
+    pub workload: String,
+    /// Region size (total blocks).
+    pub size: u8,
+    /// TL0 (application) miss coverage.
+    pub tl0: f64,
+    /// TL1 (interrupt) miss coverage.
+    pub tl1: f64,
+}
+
+/// Runs the left chart: trigger-offset distribution with a (4, 12) probe
+/// geometry.
+pub fn run_offsets(scale: &Scale) -> Vec<OffsetRow> {
+    let geometry = RegionGeometry::new(4, 12).expect("17-block probe region");
+    let instructions = scale.instructions;
+    crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let report = analyze_regions(trace.instrs(), geometry);
+        OffsetRow {
+            workload: w.name().to_string(),
+            frequency: OFFSETS.iter().map(|&o| report.offset_frequency(o)).collect(),
+        }
+    })
+}
+
+/// Runs the right chart: TL0/TL1 coverage as region size sweeps
+/// [`REGION_SIZES`].
+pub fn run_sizes(scale: &Scale) -> Vec<SizeRow> {
+    let warmup = scale.warmup_instrs();
+    let instructions = scale.instructions;
+    let per_workload = crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let mut rows = Vec::new();
+        for &size in &REGION_SIZES {
+            let mut config = PifConfig::paper_default();
+            config.geometry = RegionGeometry::skewed_with_total(size).expect("valid size");
+            let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
+                .analyze(trace.instrs(), warmup);
+            rows.push(SizeRow {
+                workload: w.name().to_string(),
+                size,
+                tl0: report.miss_coverage(TrapLevel::Tl0),
+                tl1: report.miss_coverage(TrapLevel::Tl1),
+            });
+        }
+        rows
+    });
+    per_workload.into_iter().flatten().collect()
+}
+
+/// Renders the offset distribution.
+pub fn offsets_table(rows: &[OffsetRow]) -> Table {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(OFFSETS.iter().map(|o| o.to_string()));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.frequency.iter().map(|&v| pct(v)));
+        t.row(cells);
+    }
+    t
+}
+
+/// Renders the size sweep.
+pub fn sizes_table(rows: &[SizeRow]) -> Table {
+    let mut t = Table::new(vec!["Workload", "Region size", "TL0", "TL1"]);
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.size.to_string(),
+            pct(r.tl0),
+            pct(r.tl1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_profile_shapes() {
+        let rows = run_offsets(&Scale::tiny());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.frequency.len(), OFFSETS.len());
+            // +1 should be the most frequent neighbour (sequential flow).
+            let plus1 = r.frequency[4];
+            let plus12 = r.frequency[15];
+            assert!(
+                plus1 >= plus12,
+                "{}: +1 ({plus1}) should dominate +12 ({plus12})",
+                r.workload
+            );
+        }
+    }
+
+    #[test]
+    fn size_sweep_covers_all_sizes() {
+        let rows = run_sizes(&Scale::tiny());
+        assert_eq!(rows.len(), 6 * REGION_SIZES.len());
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.tl0));
+            assert!((0.0..=1.0).contains(&r.tl1));
+        }
+        assert!(!sizes_table(&rows).is_empty());
+    }
+}

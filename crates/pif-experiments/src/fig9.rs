@@ -1,0 +1,182 @@
+//! Figure 9: temporal stream length contribution to prediction (left) and
+//! history size sensitivity (right).
+
+use pif_core::analysis::PifAnalyzer;
+use pif_core::PifConfig;
+use pif_sim::ICacheConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::{pct, Scale, Table};
+
+/// Log2 stream-length buckets plotted (the paper's x-axis runs to 21).
+pub const LENGTH_BUCKETS: usize = 22;
+
+/// History sizes swept in the right chart, in regions (the paper's x-axis
+/// is log2 of 8-block K-regions: 1, 3, 5, 7, 9 → 2K..512K).
+pub const HISTORY_SIZES: [usize; 5] = [
+    2 * 1024,
+    8 * 1024,
+    32 * 1024,
+    128 * 1024,
+    512 * 1024,
+];
+
+/// Left chart: correct predictions by stream length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LengthRow {
+    /// Workload name.
+    pub workload: String,
+    /// CDF of prediction-weighted stream lengths per log2 bucket.
+    pub cdf: Vec<f64>,
+}
+
+impl LengthRow {
+    /// Fraction of predictions from streams longer than `2^log2_regions`.
+    pub fn tail_beyond(&self, log2_regions: usize) -> f64 {
+        1.0 - self.cdf.get(log2_regions).copied().unwrap_or(1.0)
+    }
+}
+
+/// Right chart: predictor coverage at one history size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRow {
+    /// Workload name.
+    pub workload: String,
+    /// History capacity in regions.
+    pub history_regions: usize,
+    /// Predictor coverage (§5.4 plots predictor coverage, not miss
+    /// coverage, to remove cache ambiguity).
+    pub coverage: f64,
+}
+
+/// Runs the left chart (unbounded history, as stream lengths are a
+/// property of the workload).
+pub fn run_lengths(scale: &Scale) -> Vec<LengthRow> {
+    let mut config = PifConfig::paper_default();
+    config.history_capacity = 8 * 1024 * 1024;
+    config.index_entries = 64 * 1024;
+    let warmup = scale.warmup_instrs();
+    let instructions = scale.instructions;
+    crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
+            .analyze(trace.instrs(), warmup);
+        let mut cdf = report.stream_length.cdf();
+        cdf.resize(LENGTH_BUCKETS, 1.0);
+        LengthRow {
+            workload: w.name().to_string(),
+            cdf,
+        }
+    })
+}
+
+/// Runs the right chart: coverage as history capacity sweeps
+/// [`HISTORY_SIZES`].
+pub fn run_history_sweep(scale: &Scale) -> Vec<HistoryRow> {
+    let warmup = scale.warmup_instrs();
+    let instructions = scale.instructions;
+    let per_workload = crate::parallel_map(scale.workloads(), move |w| {
+        let trace = w.generate(instructions);
+        let mut rows = Vec::new();
+        for &capacity in &HISTORY_SIZES {
+            let mut config = PifConfig::paper_default();
+            config.history_capacity = capacity;
+            let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
+                .analyze(trace.instrs(), warmup);
+            rows.push(HistoryRow {
+                workload: w.name().to_string(),
+                history_regions: capacity,
+                coverage: report.overall_predictor_coverage(),
+            });
+        }
+        rows
+    });
+    per_workload.into_iter().flatten().collect()
+}
+
+/// Renders selected stream-length CDF points.
+pub fn lengths_table(rows: &[LengthRow]) -> Table {
+    let points = [3usize, 7, 11, 15, 19];
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(points.iter().map(|p| format!("<=2^{p} regions")));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(
+            points
+                .iter()
+                .map(|&p| pct(r.cdf.get(p).copied().unwrap_or(1.0))),
+        );
+        t.row(cells);
+    }
+    t
+}
+
+/// Renders the history sweep as workload x capacity coverage.
+pub fn history_table(rows: &[HistoryRow]) -> Table {
+    let mut headers = vec!["Workload".to_string()];
+    headers.extend(HISTORY_SIZES.iter().map(|s| format!("{}K", s / 1024)));
+    let mut t = Table::new(headers);
+    let workloads: Vec<String> = {
+        let mut names: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+        names.dedup();
+        names
+    };
+    for w in workloads {
+        let mut cells = vec![w.clone()];
+        for &cap in &HISTORY_SIZES {
+            let cov = rows
+                .iter()
+                .find(|r| r.workload == w && r.history_regions == cap)
+                .map(|r| r.coverage)
+                .unwrap_or(0.0);
+            cells.push(pct(cov));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_cdfs_valid() {
+        let rows = run_lengths(&Scale::tiny());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.cdf.len(), LENGTH_BUCKETS);
+            for w in r.cdf.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+        assert_eq!(lengths_table(&rows).len(), 6);
+    }
+
+    #[test]
+    fn history_sweep_is_monotonic_in_capacity() {
+        let rows = run_history_sweep(&Scale::tiny());
+        assert_eq!(rows.len(), 6 * HISTORY_SIZES.len());
+        for w in Scale::tiny().workloads() {
+            let series: Vec<f64> = HISTORY_SIZES
+                .iter()
+                .map(|&cap| {
+                    rows.iter()
+                        .find(|r| r.workload == w.name() && r.history_regions == cap)
+                        .unwrap()
+                        .coverage
+                })
+                .collect();
+            // Coverage should not *decrease* meaningfully with capacity.
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1] >= pair[0] - 0.02,
+                    "{}: coverage dropped with capacity: {series:?}",
+                    w.name()
+                );
+            }
+        }
+        assert_eq!(history_table(&rows).len(), 6);
+    }
+}

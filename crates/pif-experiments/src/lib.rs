@@ -1,0 +1,76 @@
+//! Experiment harness regenerating every table and figure of the PIF
+//! paper's evaluation (§5).
+//!
+//! One module per artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — system and application parameters |
+//! | [`fig2`] | Fig. 2 — correctly predicted L1-I misses per stream point |
+//! | [`fig3`] | Fig. 3 — spatial region density and discontinuous runs |
+//! | [`fig7`] | Fig. 7 — jump distance weighted by coverage |
+//! | [`fig8`] | Fig. 8 — accesses around the trigger; region size sweep |
+//! | [`fig9`] | Fig. 9 — stream lengths; history size sensitivity |
+//! | [`fig10`] | Fig. 10 — competitive coverage and speedup |
+//! | [`ablation`] | (extension) per-design-element coverage ablations |
+//!
+//! Every module exposes a `run(&Scale) -> …` function returning
+//! structured rows plus a [`Table`] rendering, and a binary of the same
+//! name prints it. The [`Scale`] controls trace length and footprint so
+//! the suite runs in seconds (`Scale::quick()`) or at paper-like fidelity
+//! (`Scale::paper()`, the default for binaries).
+//!
+//! # Example
+//!
+//! ```
+//! use pif_experiments::{fig2, Scale};
+//!
+//! let rows = fig2::run(&Scale::tiny());
+//! assert_eq!(rows.len(), 6);
+//! for r in &rows {
+//!     assert!(r.retire_sep >= 0.0 && r.retire_sep <= 1.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+mod runner;
+pub mod table1;
+mod tablefmt;
+
+pub use runner::{parallel_map, Scale};
+pub use tablefmt::Table;
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a speedup factor with two decimals.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.995), "99.5%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn speedup_formats() {
+        assert_eq!(speedup(1.27), "1.27x");
+    }
+}

@@ -1,0 +1,130 @@
+//! Experiment scale control and a tiny parallel mapper.
+
+use pif_workloads::WorkloadProfile;
+
+/// How big an experiment run should be.
+///
+/// The paper traces 1B instructions per core on full server binaries; the
+/// synthetic workloads reach steady state far sooner, so even
+/// [`Scale::paper`] runs on a laptop in minutes while preserving the
+/// result *shapes*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Instructions per workload trace.
+    pub instructions: usize,
+    /// Footprint scale factor applied to each profile.
+    pub footprint: f64,
+    /// Fraction of the trace treated as warmup (recorded, not measured).
+    pub warmup_fraction: f64,
+}
+
+impl Scale {
+    /// Minimal scale for doctests and unit tests (sub-second).
+    pub fn tiny() -> Self {
+        Scale {
+            instructions: 40_000,
+            footprint: 0.03,
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// Quick scale for integration tests (a few seconds per figure).
+    pub fn quick() -> Self {
+        Scale {
+            instructions: 300_000,
+            footprint: 0.15,
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// Paper-like scale used by the experiment binaries and benches.
+    pub fn paper() -> Self {
+        Scale {
+            instructions: 12_000_000,
+            footprint: 1.0,
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// Reads `PIF_SCALE` from the environment (`tiny`, `quick`, `paper`;
+    /// default `paper`).
+    pub fn from_env() -> Self {
+        match std::env::var("PIF_SCALE").as_deref() {
+            Ok("tiny") => Self::tiny(),
+            Ok("quick") => Self::quick(),
+            _ => Self::paper(),
+        }
+    }
+
+    /// The six workloads at this scale.
+    pub fn workloads(&self) -> Vec<WorkloadProfile> {
+        WorkloadProfile::all()
+            .into_iter()
+            .map(|w| w.scaled(self.footprint))
+            .collect()
+    }
+
+    /// Warmup length in instructions.
+    pub fn warmup_instrs(&self) -> usize {
+        (self.instructions as f64 * self.warmup_fraction) as usize
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Maps `f` over `items` on one thread per item (the experiment suite's
+/// unit of parallelism is the workload).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| s.spawn(|_| f(item)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::tiny().instructions < Scale::quick().instructions);
+        assert!(Scale::quick().instructions < Scale::paper().instructions);
+    }
+
+    #[test]
+    fn workloads_scaled() {
+        let s = Scale::tiny();
+        let ws = s.workloads();
+        assert_eq!(ws.len(), 6);
+        assert!(ws[0].params().num_functions < WorkloadProfile::oltp_db2().params().num_functions);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![1, 2, 3, 4], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn warmup_instrs_follow_fraction() {
+        let s = Scale {
+            instructions: 1000,
+            footprint: 1.0,
+            warmup_fraction: 0.25,
+        };
+        assert_eq!(s.warmup_instrs(), 250);
+    }
+}

@@ -1,0 +1,125 @@
+//! Table I: system and application parameters — rendered from the live
+//! configuration objects so the printed table always matches what the
+//! experiments actually simulate.
+
+use pif_core::PifConfig;
+use pif_sim::EngineConfig;
+use pif_workloads::WorkloadProfile;
+
+use crate::Table;
+
+/// Renders the system-parameters half of Table I from an engine config.
+pub fn system_table(config: &EngineConfig) -> Table {
+    let mut t = Table::new(vec!["Component", "Configuration"]);
+    t.row(vec![
+        "Processing nodes".into(),
+        format!(
+            "{}-wide OoO, {}-entry ROB model",
+            config.timing.dispatch_width, config.frontend.retire_delay_instrs
+        ),
+    ]);
+    t.row(vec![
+        "L1-I cache".into(),
+        format!(
+            "{}KB, {}-way, 64B blocks, {}-cycle load-to-use",
+            config.icache.capacity_bytes / 1024,
+            config.icache.ways,
+            config.icache.latency_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Branch predictor".into(),
+        format!(
+            "hybrid {}K gshare + {}K bimodal",
+            config.frontend.gshare_entries / 1024,
+            config.frontend.bimodal_entries / 1024
+        ),
+    ]);
+    t.row(vec![
+        "L2 (instruction)".into(),
+        format!(
+            "{}MB NUCA aggregate, {}-way, {}-cycle hit",
+            config.l2.capacity_bytes / (1024 * 1024),
+            config.l2.ways,
+            config.l2.hit_latency_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Main memory".into(),
+        format!("{}-cycle access", config.l2.memory_latency_cycles),
+    ]);
+    t
+}
+
+/// Renders the PIF-parameters summary.
+pub fn pif_table(config: &PifConfig) -> Table {
+    let mut t = Table::new(vec!["PIF structure", "Configuration"]);
+    t.row(vec![
+        "Spatial region".into(),
+        format!(
+            "{} preceding + trigger + {} succeeding blocks",
+            config.geometry.preceding(),
+            config.geometry.succeeding()
+        ),
+    ]);
+    t.row(vec![
+        "Temporal compactor".into(),
+        format!("{} MRU records", config.temporal_entries),
+    ]);
+    t.row(vec![
+        "History buffer".into(),
+        format!("{}K regions per trap level", config.history_capacity / 1024),
+    ]);
+    t.row(vec![
+        "Index table".into(),
+        format!("{}K entries, {}-way", config.index_entries / 1024, config.index_ways),
+    ]);
+    t.row(vec![
+        "Stream address buffers".into(),
+        format!("{} SABs x {}-region window", config.sab_count, config.sab_window),
+    ]);
+    t.row(vec![
+        "Approx. storage".into(),
+        format!("{} KB", config.approx_storage_bytes() / 1024),
+    ]);
+    t
+}
+
+/// Renders the application-parameters half of Table I from the workload
+/// profiles.
+pub fn workload_table() -> Table {
+    let mut t = Table::new(vec!["Workload", "Class", "Approx. footprint", "Tx types"]);
+    for w in WorkloadProfile::all() {
+        t.row(vec![
+            w.name().to_string(),
+            w.class().to_string(),
+            format!(
+                "{:.1} MB",
+                w.params().approx_footprint_bytes() as f64 / (1024.0 * 1024.0)
+            ),
+            w.params().num_transaction_types.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_with_paper_values() {
+        let sys = system_table(&EngineConfig::paper_default()).to_string();
+        assert!(sys.contains("64KB, 2-way"));
+        assert!(sys.contains("16K gshare + 16K bimodal"));
+
+        let pif = pif_table(&PifConfig::paper_default()).to_string();
+        assert!(pif.contains("2 preceding + trigger + 5 succeeding"));
+        assert!(pif.contains("32K regions"));
+        assert!(pif.contains("4 SABs x 7-region window"));
+
+        let wl = workload_table();
+        assert_eq!(wl.len(), 6);
+        assert!(wl.to_string().contains("OLTP-DB2"));
+    }
+}

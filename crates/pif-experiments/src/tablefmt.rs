@@ -1,0 +1,105 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use pif_experiments::Table;
+///
+/// let mut t = Table::new(vec!["Workload", "Coverage"]);
+/// t.row(vec!["OLTP-DB2".into(), "99.5%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("OLTP-DB2"));
+/// assert!(s.contains("Coverage"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A", "Long header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "1" and "2" start at the same offset.
+        let c1 = lines[2].find('1').unwrap();
+        let c2 = lines[3].find('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["A", "B", "C"]);
+        t.row(vec!["only".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let _ = t.to_string();
+    }
+}

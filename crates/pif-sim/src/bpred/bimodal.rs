@@ -1,0 +1,108 @@
+//! Bimodal (per-PC) direction predictor.
+
+use pif_types::Address;
+
+use super::counter::SaturatingCounter;
+use super::DirectionPredictor;
+
+/// A classic bimodal predictor: a table of 2-bit counters indexed by PC.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::bpred::{Bimodal, DirectionPredictor};
+/// use pif_types::Address;
+///
+/// let mut p = Bimodal::new(1024);
+/// let pc = Address::new(0x40);
+/// p.update(pc, true);
+/// p.update(pc, true);
+/// assert!(p.predict(pc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SaturatingCounter>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a non-zero power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "bimodal entries must be a power of two"
+        );
+        Bimodal {
+            table: vec![SaturatingCounter::weakly_not_taken(); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: Address) -> usize {
+        // Instructions are word-aligned; drop the low 2 bits.
+        ((pc.raw() >> 2) & self.mask) as usize
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: Address) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn update(&mut self, pc: Address, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_stable_branch() {
+        let mut p = Bimodal::new(16);
+        let pc = Address::new(0x100);
+        for _ in 0..4 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc));
+        for _ in 0..4 {
+            p.update(pc, false);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(16);
+        let a = Address::new(0x4);
+        let b = Address::new(0x8);
+        p.update(a, true);
+        p.update(a, true);
+        assert!(p.predict(a));
+        assert!(!p.predict(b), "untrained counter defaults to not-taken");
+    }
+
+    #[test]
+    fn aliasing_wraps_by_mask() {
+        let p = Bimodal::new(4);
+        // Entries 4 apart in word-index space alias.
+        assert_eq!(p.index(Address::new(0x0)), p.index(Address::new(0x40)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = Bimodal::new(3);
+    }
+}

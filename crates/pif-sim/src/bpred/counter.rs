@@ -1,0 +1,96 @@
+//! Two-bit saturating counters, the building block of every table-based
+//! direction predictor here.
+
+/// A 2-bit saturating counter: 0-1 predict not-taken, 2-3 predict taken.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::bpred::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::weakly_not_taken();
+/// assert!(!c.predict_taken());
+/// c.train(true);
+/// assert!(c.predict_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturatingCounter(u8);
+
+impl SaturatingCounter {
+    /// Strongly not-taken (0).
+    pub const fn strongly_not_taken() -> Self {
+        SaturatingCounter(0)
+    }
+
+    /// Weakly not-taken (1), the conventional initialization.
+    pub const fn weakly_not_taken() -> Self {
+        SaturatingCounter(1)
+    }
+
+    /// Weakly taken (2).
+    pub const fn weakly_taken() -> Self {
+        SaturatingCounter(2)
+    }
+
+    /// Current prediction.
+    pub const fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// True if the counter is in a strong (saturated) state.
+    pub const fn is_strong(self) -> bool {
+        self.0 == 0 || self.0 == 3
+    }
+
+    /// Trains toward the outcome.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw state in `0..=3`.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for SaturatingCounter {
+    fn default() -> Self {
+        Self::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SaturatingCounter::strongly_not_taken();
+        c.train(false);
+        assert_eq!(c.raw(), 0);
+        for _ in 0..5 {
+            c.train(true);
+        }
+        assert_eq!(c.raw(), 3);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = SaturatingCounter::strongly_not_taken();
+        c.train(true);
+        assert!(!c.predict_taken(), "one taken must not flip a strong state");
+        c.train(true);
+        assert!(c.predict_taken());
+    }
+
+    #[test]
+    fn strength_classification() {
+        assert!(SaturatingCounter::strongly_not_taken().is_strong());
+        assert!(!SaturatingCounter::weakly_not_taken().is_strong());
+        assert!(!SaturatingCounter::weakly_taken().is_strong());
+    }
+}

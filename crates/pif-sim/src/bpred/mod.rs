@@ -1,0 +1,33 @@
+//! Branch prediction: the paper's Table I front end uses a hybrid
+//! 16K-entry gshare + 16K-entry bimodal predictor. We add the BTB and
+//! return-address stack needed to synthesize wrong-path fetch sequences for
+//! indirect branches and returns.
+//!
+//! The predictors exist to reproduce §2.2's phenomenon: data-dependent
+//! branches mispredict, and every misprediction injects a burst of
+//! wrong-path instruction-cache accesses into the front-end access stream.
+
+mod bimodal;
+mod btb;
+mod counter;
+mod gshare;
+mod hybrid;
+mod ras;
+
+pub use bimodal::Bimodal;
+pub use btb::BranchTargetBuffer;
+pub use counter::SaturatingCounter;
+pub use gshare::Gshare;
+pub use hybrid::HybridPredictor;
+pub use ras::ReturnAddressStack;
+
+use pif_types::Address;
+
+/// A direction predictor for conditional branches.
+pub trait DirectionPredictor {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&self, pc: Address) -> bool;
+
+    /// Trains the predictor with the actual outcome.
+    fn update(&mut self, pc: Address, taken: bool);
+}

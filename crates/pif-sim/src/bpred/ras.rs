@@ -1,0 +1,96 @@
+//! Return address stack.
+
+use pif_types::Address;
+
+/// A bounded return-address stack. Calls push their return address; returns
+/// pop the predicted target. Overflow wraps (oldest entry lost), underflow
+/// predicts nothing — both cause return mispredictions, another §2.2 noise
+/// source.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::bpred::ReturnAddressStack;
+/// use pif_types::Address;
+///
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(Address::new(0x44));
+/// assert_eq!(ras.pop(), Some(Address::new(0x44)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<Address>,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS holding at most `depth` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be non-zero");
+        ReturnAddressStack {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// Pushes a return address, discarding the oldest on overflow.
+    pub fn push(&mut self, ret: Address) {
+        if self.stack.len() == self.depth {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret);
+    }
+
+    /// Pops the predicted return target.
+    pub fn pop(&mut self) -> Option<Address> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Address::new(1));
+        ras.push(Address::new(2));
+        assert_eq!(ras.pop(), Some(Address::new(2)));
+        assert_eq!(ras.pop(), Some(Address::new(1)));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Address::new(1));
+        ras.push(Address::new(2));
+        ras.push(Address::new(3));
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(Address::new(3)));
+        assert_eq!(ras.pop(), Some(Address::new(2)));
+        assert_eq!(ras.pop(), None, "address 1 was lost to overflow");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

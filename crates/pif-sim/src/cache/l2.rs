@@ -1,0 +1,136 @@
+//! L2/backing-store model for instruction blocks.
+//!
+//! Decides whether an L1-I miss is served by the on-chip L2 (15-cycle hit,
+//! Table I) or by main memory (~90 cycles at 2 GHz). The timing model uses
+//! this latency to charge fetch-stall cycles. Server instruction working
+//! sets are multi-megabyte but largely L2-resident (paper §5.4 cites
+//! ReactiveNUCA's working-set analysis), so with the paper's aggregate NUCA
+//! capacity most instruction misses are L2 hits.
+
+use pif_types::BlockAddr;
+
+use crate::config::L2Config;
+
+use super::replacement::Lru;
+use super::set_assoc::SetAssocCache;
+
+/// L2 model: a large set-associative presence tracker plus latencies.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::cache::L2Model;
+/// use pif_sim::L2Config;
+/// use pif_types::BlockAddr;
+///
+/// let mut l2 = L2Model::new(L2Config::paper_default()).unwrap();
+/// let b = BlockAddr::from_number(1);
+/// let first = l2.access(b);   // cold: memory latency
+/// let second = l2.access(b);  // now resident: L2 hit latency
+/// assert!(first > second);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2Model {
+    cache: SetAssocCache<Lru, ()>,
+    config: L2Config,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Model {
+    /// Creates the L2 model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pif_types::ConfigError`] on invalid geometry.
+    pub fn new(config: L2Config) -> Result<Self, pif_types::ConfigError> {
+        let blocks = config.capacity_bytes / pif_types::BLOCK_SIZE;
+        if blocks == 0 || !blocks.is_multiple_of(config.ways) {
+            return Err(pif_types::ConfigError::new("invalid L2 geometry"));
+        }
+        let sets = blocks / config.ways;
+        Ok(L2Model {
+            cache: SetAssocCache::new(sets, config.ways)?,
+            config,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Services an L1 miss (demand or prefetch) for `block`, returning the
+    /// fill latency in cycles and installing the block in the L2.
+    pub fn access(&mut self, block: BlockAddr) -> u64 {
+        if self.cache.access(block).is_some() {
+            self.hits += 1;
+            self.config.hit_latency_cycles
+        } else {
+            self.misses += 1;
+            self.cache.insert(block, ());
+            self.config.memory_latency_cycles
+        }
+    }
+
+    /// L2 hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// L2 miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &L2Config {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit_latencies() {
+        let cfg = L2Config::paper_default();
+        let mut l2 = L2Model::new(cfg).unwrap();
+        let b = BlockAddr::from_number(9);
+        assert_eq!(l2.access(b), cfg.memory_latency_cycles);
+        assert_eq!(l2.access(b), cfg.hit_latency_cycles);
+        assert_eq!(l2.hits(), 1);
+        assert_eq!(l2.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_pressure_causes_memory_accesses() {
+        let cfg = L2Config {
+            capacity_bytes: 4 * 64,
+            ways: 2,
+            hit_latency_cycles: 15,
+            memory_latency_cycles: 90,
+        };
+        let mut l2 = L2Model::new(cfg).unwrap();
+        // Touch 8 distinct blocks twice: second round still misses some
+        // because only 4 fit.
+        for round in 0..2 {
+            for n in 0..8 {
+                l2.access(BlockAddr::from_number(n));
+            }
+            if round == 0 {
+                assert_eq!(l2.misses(), 8);
+            }
+        }
+        assert!(l2.misses() > 8, "second round must re-miss evicted blocks");
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(L2Model::new(L2Config {
+            capacity_bytes: 0,
+            ways: 16,
+            hit_latency_cycles: 15,
+            memory_latency_cycles: 90,
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Cache models: a generic set-associative cache with pluggable
+//! replacement, the L1 instruction cache wrapper, and the L2 backing model.
+
+mod icache;
+mod l2;
+mod replacement;
+mod set_assoc;
+
+pub use icache::{AccessOutcome, InstructionCache, LineProvenance};
+pub use l2::L2Model;
+pub use replacement::{Fifo, Lru, RandomEvict, ReplacementPolicy};
+pub use set_assoc::SetAssocCache;

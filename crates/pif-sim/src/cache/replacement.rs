@@ -1,0 +1,183 @@
+//! Replacement policies for the set-associative cache model.
+//!
+//! Policies are per-set state machines: the cache tells the policy when a
+//! way is touched (hit or fill) and asks it which way to evict. Keeping the
+//! policy behind a trait lets tests demonstrate the paper's §2.1
+//! observation — that *the replacement policy's block-granularity decisions
+//! fragment temporal streams* — under different policies.
+
+use std::fmt::Debug;
+
+/// Per-set replacement policy.
+///
+/// Implementations hold the state for **one** cache set with `ways` ways.
+/// The cache owns one policy instance per set.
+pub trait ReplacementPolicy: Debug {
+    /// Creates policy state for a set with the given number of ways.
+    fn new(ways: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Notes that `way` was touched (demand hit or new fill).
+    fn touch(&mut self, way: usize);
+
+    /// Returns the way to evict next (does not modify state; the subsequent
+    /// fill will [`ReplacementPolicy::touch`] the way).
+    fn victim(&mut self) -> usize;
+}
+
+/// True least-recently-used replacement (the paper's L1-I policy, §2.1).
+#[derive(Debug, Clone)]
+pub struct Lru {
+    /// Way indices ordered most-recently-used first.
+    order: Vec<u8>,
+}
+
+impl ReplacementPolicy for Lru {
+    fn new(ways: usize) -> Self {
+        assert!(ways > 0 && ways <= u8::MAX as usize, "unsupported way count");
+        Lru {
+            order: (0..ways as u8).collect(),
+        }
+    }
+
+    fn touch(&mut self, way: usize) {
+        let way = way as u8;
+        if let Some(pos) = self.order.iter().position(|&w| w == way) {
+            self.order.remove(pos);
+            self.order.insert(0, way);
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        *self.order.last().expect("non-empty set") as usize
+    }
+}
+
+/// First-in-first-out replacement: evicts in fill order, ignoring hits.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    next: usize,
+    ways: usize,
+    /// FIFO ignores touches on hits but must still learn fill order; we
+    /// advance the pointer only when the victim is consumed, which the
+    /// cache signals by touching the way it just filled.
+    last_victim: Option<usize>,
+}
+
+impl ReplacementPolicy for Fifo {
+    fn new(ways: usize) -> Self {
+        assert!(ways > 0, "unsupported way count");
+        Fifo {
+            next: 0,
+            ways,
+            last_victim: None,
+        }
+    }
+
+    fn touch(&mut self, way: usize) {
+        // A touch on the way we last nominated means it was filled: advance.
+        if self.last_victim == Some(way) {
+            self.next = (self.next + 1) % self.ways;
+            self.last_victim = None;
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        self.last_victim = Some(self.next);
+        self.next
+    }
+}
+
+/// Pseudo-random replacement using a per-set xorshift generator.
+#[derive(Debug, Clone)]
+pub struct RandomEvict {
+    state: u64,
+    ways: usize,
+}
+
+impl ReplacementPolicy for RandomEvict {
+    fn new(ways: usize) -> Self {
+        assert!(ways > 0, "unsupported way count");
+        RandomEvict {
+            state: 0x9e37_79b9_7f4a_7c15,
+            ways,
+        }
+    }
+
+    fn touch(&mut self, _way: usize) {}
+
+    fn victim(&mut self) -> usize {
+        // xorshift64*
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        (self.state.wrapping_mul(0x2545_f491_4f6c_dd1d) % self.ways as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(3);
+        lru.touch(0);
+        lru.touch(1);
+        lru.touch(2);
+        assert_eq!(lru.victim(), 0);
+        lru.touch(0); // 0 becomes MRU
+        assert_eq!(lru.victim(), 1);
+    }
+
+    #[test]
+    fn lru_initial_order_is_way_order() {
+        let mut lru = Lru::new(4);
+        // No touches: way 3 is the initial LRU.
+        assert_eq!(lru.victim(), 3);
+    }
+
+    #[test]
+    fn lru_victim_is_idempotent_without_touch() {
+        let mut lru = Lru::new(2);
+        lru.touch(1);
+        assert_eq!(lru.victim(), 0);
+        assert_eq!(lru.victim(), 0);
+    }
+
+    #[test]
+    fn fifo_cycles_through_ways_on_fills() {
+        let mut fifo = Fifo::new(3);
+        let v0 = fifo.victim();
+        fifo.touch(v0); // fill
+        let v1 = fifo.victim();
+        fifo.touch(v1);
+        let v2 = fifo.victim();
+        fifo.touch(v2);
+        let v3 = fifo.victim();
+        assert_eq!([v0, v1, v2, v3], [0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut fifo = Fifo::new(2);
+        let v0 = fifo.victim();
+        fifo.touch(v0);
+        fifo.touch(0); // hit on way 0: must not perturb fill order
+        fifo.touch(0);
+        assert_eq!(fifo.victim(), 1);
+    }
+
+    #[test]
+    fn random_victims_in_range_and_vary() {
+        let mut r = RandomEvict::new(4);
+        let mut seen = [false; 4];
+        for _ in 0..64 {
+            let v = r.victim();
+            assert!(v < 4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 2, "degenerate RNG");
+    }
+}

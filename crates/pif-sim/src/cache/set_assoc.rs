@@ -1,0 +1,389 @@
+//! Generic set-associative cache keyed by cache-block address.
+
+use pif_types::{BlockAddr, ConfigError};
+
+use super::replacement::ReplacementPolicy;
+
+#[derive(Debug, Clone)]
+struct Line<T> {
+    /// Full block number; we store the whole number rather than a truncated
+    /// tag so debugging output stays legible.
+    block: u64,
+    meta: T,
+}
+
+/// A set-associative cache mapping [`BlockAddr`]s to per-line metadata `T`.
+///
+/// The cache tracks presence only (this is a trace-driven simulator; the
+/// actual instruction bytes are irrelevant). Per-line metadata carries
+/// provenance flags such as "installed by prefetch".
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::cache::{Lru, SetAssocCache};
+/// use pif_types::BlockAddr;
+///
+/// let mut cache: SetAssocCache<Lru, ()> = SetAssocCache::new(4, 2).unwrap();
+/// let b = BlockAddr::from_number(42);
+/// assert!(cache.access(b).is_none());
+/// cache.insert(b, ());
+/// assert!(cache.access(b).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<P, T = ()> {
+    sets: usize,
+    ways: usize,
+    set_mask: u64,
+    lines: Vec<Option<Line<T>>>,
+    policies: Vec<P>,
+    resident: usize,
+}
+
+impl<P: ReplacementPolicy, T> SetAssocCache<P, T> {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `sets` is not a power of two or either
+    /// dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Result<Self, ConfigError> {
+        if sets == 0 || ways == 0 {
+            return Err(ConfigError::new("cache sets and ways must be non-zero"));
+        }
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "set count {sets} is not a power of two"
+            )));
+        }
+        let mut lines = Vec::with_capacity(sets * ways);
+        lines.resize_with(sets * ways, || None);
+        Ok(SetAssocCache {
+            sets,
+            ways,
+            set_mask: sets as u64 - 1,
+            lines,
+            policies: (0..sets).map(|_| P::new(ways)).collect(),
+            resident: 0,
+        })
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line capacity.
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of currently resident lines.
+    pub fn len(&self) -> usize {
+        self.resident
+    }
+
+    /// True if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident == 0
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.number() & self.set_mask) as usize
+    }
+
+    fn way_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<(usize, usize)> {
+        let set = self.set_index(block);
+        for (way, slot) in self.lines[self.way_range(set)].iter().enumerate() {
+            if let Some(line) = slot {
+                if line.block == block.number() {
+                    return Some((set, way));
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up `block` without perturbing replacement state (a *probe*,
+    /// as issued by prefetchers before enqueueing requests, §4.3).
+    pub fn probe(&self, block: BlockAddr) -> Option<&T> {
+        self.find(block)
+            .map(|(set, way)| &self.lines[set * self.ways + way].as_ref().unwrap().meta)
+    }
+
+    /// True if `block` is resident (non-perturbing).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Demand access: on hit, touches the line for replacement and returns
+    /// its metadata; on miss returns `None` (the caller decides whether to
+    /// fill via [`SetAssocCache::insert`]).
+    pub fn access(&mut self, block: BlockAddr) -> Option<&mut T> {
+        let (set, way) = self.find(block)?;
+        self.policies[set].touch(way);
+        Some(&mut self.lines[set * self.ways + way].as_mut().unwrap().meta)
+    }
+
+    /// Inserts `block`, evicting a victim if the set is full. Returns the
+    /// evicted block and its metadata, if any. If the block is already
+    /// resident its metadata is replaced (and the line touched) without an
+    /// eviction.
+    pub fn insert(&mut self, block: BlockAddr, meta: T) -> Option<(BlockAddr, T)> {
+        if let Some((set, way)) = self.find(block) {
+            self.policies[set].touch(way);
+            let line = self.lines[set * self.ways + way].as_mut().unwrap();
+            line.meta = meta;
+            return None;
+        }
+        let set = self.set_index(block);
+        // Prefer an empty way.
+        let empty = self.lines[self.way_range(set)]
+            .iter()
+            .position(|slot| slot.is_none());
+        let (way, evicted) = match empty {
+            Some(way) => (way, None),
+            None => {
+                let way = self.policies[set].victim();
+                let old = self.lines[set * self.ways + way].take().unwrap();
+                (way, Some((BlockAddr::from_number(old.block), old.meta)))
+            }
+        };
+        self.lines[set * self.ways + way] = Some(Line {
+            block: block.number(),
+            meta,
+        });
+        self.policies[set].touch(way);
+        if evicted.is_none() {
+            self.resident += 1;
+        }
+        evicted
+    }
+
+    /// Removes `block` from the cache, returning its metadata if resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
+        let (set, way) = self.find(block)?;
+        self.resident -= 1;
+        self.lines[set * self.ways + way].take().map(|l| l.meta)
+    }
+
+    /// Iterates over resident blocks (arbitrary order).
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.lines
+            .iter()
+            .flatten()
+            .map(|l| BlockAddr::from_number(l.block))
+    }
+
+    /// Clears all lines and resets replacement state.
+    pub fn clear(&mut self) {
+        for slot in &mut self.lines {
+            *slot = None;
+        }
+        for p in &mut self.policies {
+            *p = P::new(self.ways);
+        }
+        self.resident = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::replacement::{Fifo, Lru};
+    use super::*;
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_number(n)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c: SetAssocCache<Lru, u32> = SetAssocCache::new(2, 2).unwrap();
+        assert!(c.access(b(5)).is_none());
+        assert!(c.insert(b(5), 7).is_none());
+        assert_eq!(c.access(b(5)), Some(&mut 7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_lru_order() {
+        // 1 set, 2 ways: blocks all conflict.
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(1, 2).unwrap();
+        c.insert(b(1), ());
+        c.insert(b(2), ());
+        // Touch 1 so 2 is LRU.
+        c.access(b(1));
+        let evicted = c.insert(b(3), ()).unwrap();
+        assert_eq!(evicted.0, b(2));
+        assert!(c.contains(b(1)) && c.contains(b(3)) && !c.contains(b(2)));
+    }
+
+    #[test]
+    fn probe_does_not_perturb_replacement() {
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(1, 2).unwrap();
+        c.insert(b(1), ());
+        c.insert(b(2), ());
+        // Probe (unlike access) must not promote block 1.
+        assert!(c.probe(b(1)).is_some());
+        let evicted = c.insert(b(3), ()).unwrap();
+        assert_eq!(evicted.0, b(1), "probe must not refresh LRU state");
+    }
+
+    #[test]
+    fn reinsert_updates_meta_without_eviction() {
+        let mut c: SetAssocCache<Lru, u32> = SetAssocCache::new(1, 2).unwrap();
+        c.insert(b(1), 10);
+        assert!(c.insert(b(1), 20).is_none());
+        assert_eq!(c.probe(b(1)), Some(&20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn blocks_map_to_distinct_sets_by_low_bits() {
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(4, 1).unwrap();
+        // Blocks 0..4 map to sets 0..4: no evictions.
+        for n in 0..4 {
+            assert!(c.insert(b(n), ()).is_none());
+        }
+        assert_eq!(c.len(), 4);
+        // Block 4 conflicts with block 0 (set 0).
+        let evicted = c.insert(b(4), ()).unwrap();
+        assert_eq!(evicted.0, b(0));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c: SetAssocCache<Lru, u32> = SetAssocCache::new(2, 2).unwrap();
+        c.insert(b(1), 5);
+        assert_eq!(c.invalidate(b(1)), Some(5));
+        assert_eq!(c.invalidate(b(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(2, 2).unwrap();
+        for n in 0..4 {
+            c.insert(b(n), ());
+        }
+        c.clear();
+        assert!(c.is_empty());
+        for n in 0..4 {
+            assert!(!c.contains(b(n)));
+        }
+    }
+
+    #[test]
+    fn fifo_policy_composes() {
+        let mut c: SetAssocCache<Fifo, ()> = SetAssocCache::new(1, 2).unwrap();
+        c.insert(b(1), ());
+        c.insert(b(2), ());
+        c.access(b(1)); // FIFO ignores the hit
+        let evicted = c.insert(b(3), ()).unwrap();
+        assert_eq!(evicted.0, b(1), "FIFO evicts in fill order despite hit");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        assert!(SetAssocCache::<Lru, ()>::new(3, 2).is_err());
+        assert!(SetAssocCache::<Lru, ()>::new(0, 2).is_err());
+        assert!(SetAssocCache::<Lru, ()>::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn paper_fragmentation_example() {
+        // Paper Figure 1 (left): 4-block direct-mapped cache, sequences
+        // ABCD then RS (R conflicts with A, S conflicts with C), then ABCD
+        // again misses only on A and C.
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(4, 1).unwrap();
+        let (a, bb, cc, d) = (b(0), b(1), b(2), b(3));
+        let (r, s) = (b(4), b(6)); // set 0 and set 2: conflict with A and C
+        let mut miss_seq = Vec::new();
+        for blk in [a, bb, cc, d, r, s, a, bb, cc, d] {
+            if c.access(blk).is_none() {
+                miss_seq.push(blk);
+                c.insert(blk, ());
+            }
+        }
+        assert_eq!(miss_seq, vec![a, bb, cc, d, r, s, a, cc]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::super::replacement::Lru;
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any block inserted is immediately resident; capacity is bounded.
+        #[test]
+        fn inserted_blocks_resident_and_bounded(
+            ops in proptest::collection::vec(0u64..64, 1..200),
+        ) {
+            let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(4, 2).unwrap();
+            for n in ops {
+                c.insert(BlockAddr::from_number(n), ());
+                prop_assert!(c.contains(BlockAddr::from_number(n)));
+                prop_assert!(c.len() <= c.capacity_blocks());
+            }
+        }
+
+        /// In a fully-associative LRU cache of W ways, the last W *distinct*
+        /// blocks accessed are always resident.
+        #[test]
+        fn lru_keeps_most_recent_distinct_blocks(
+            ops in proptest::collection::vec(0u64..16, 1..300),
+        ) {
+            const WAYS: usize = 4;
+            let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(1, WAYS).unwrap();
+            let mut recent: Vec<u64> = Vec::new();
+            for n in ops {
+                if c.access(BlockAddr::from_number(n)).is_none() {
+                    c.insert(BlockAddr::from_number(n), ());
+                }
+                recent.retain(|&x| x != n);
+                recent.push(n);
+                for &m in recent.iter().rev().take(WAYS) {
+                    prop_assert!(
+                        c.contains(BlockAddr::from_number(m)),
+                        "block {m} within LRU window must be resident"
+                    );
+                }
+            }
+        }
+
+        /// Eviction count is consistent: resident = inserts - evictions - invalidations.
+        #[test]
+        fn resident_count_is_consistent(
+            ops in proptest::collection::vec((0u64..32, proptest::bool::ANY), 1..200),
+        ) {
+            let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(2, 2).unwrap();
+            let mut resident = 0i64;
+            for (n, invalidate) in ops {
+                let blk = BlockAddr::from_number(n);
+                if invalidate {
+                    if c.invalidate(blk).is_some() {
+                        resident -= 1;
+                    }
+                } else if !c.contains(blk) {
+                    if c.insert(blk, ()).is_none() {
+                        resident += 1;
+                    }
+                } else {
+                    c.insert(blk, ());
+                }
+                prop_assert_eq!(c.len() as i64, resident);
+            }
+        }
+    }
+}

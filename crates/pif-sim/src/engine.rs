@@ -1,0 +1,446 @@
+//! The simulation engine: drives a retire-order trace through the front
+//! end, L1-I cache, and an attached prefetcher, charging the timing model.
+
+use pif_types::{FetchAccess, RetiredInstr};
+
+use crate::cache::{AccessOutcome, InstructionCache, L2Model, LineProvenance};
+use crate::config::EngineConfig;
+use crate::frontend::{FrontEnd, FrontendEvent};
+use crate::prefetch::{PrefetchContext, PrefetchQueue, Prefetcher};
+use crate::stats::{FetchStats, FrontendStats, PrefetchStats};
+use crate::timing::{TimingModel, TimingReport};
+
+/// Everything measured during one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the prefetcher that produced this report.
+    pub prefetcher: &'static str,
+    /// Fetch/miss counters.
+    pub fetch: FetchStats,
+    /// Prefetch counters.
+    pub prefetch: PrefetchStats,
+    /// Front-end/branch counters.
+    pub frontend: FrontendStats,
+    /// Cycle breakdown and UIPC.
+    pub timing: TimingReport,
+    /// L2 hits observed (instruction blocks).
+    pub l2_hits: u64,
+    /// L2 misses (served from memory).
+    pub l2_misses: u64,
+}
+
+impl RunReport {
+    /// L1-I miss coverage relative to the no-prefetch baseline
+    /// (Fig. 10 left).
+    pub fn miss_coverage(&self) -> f64 {
+        self.fetch.miss_coverage()
+    }
+
+    /// UIPC speedup over a baseline run of the same trace (Fig. 10 right).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        self.timing.speedup_over(&baseline.timing)
+    }
+}
+
+/// The trace-driven simulation engine.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+/// use pif_types::{Address, RetiredInstr, TrapLevel};
+///
+/// let trace: Vec<_> = (0..1000u64)
+///     .map(|i| RetiredInstr::simple(Address::new((i % 256) * 4), TrapLevel::Tl0))
+///     .collect();
+/// let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+/// assert_eq!(report.frontend.instructions, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`EngineConfig::validate`]); construct and validate the config first
+    /// when handling untrusted input.
+    pub fn new(config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine configuration");
+        Engine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `trace` with `prefetcher` attached and returns the report.
+    pub fn run_instrs<P: Prefetcher>(&self, trace: &[RetiredInstr], prefetcher: P) -> RunReport {
+        self.run_instrs_warmup(trace, prefetcher, 0)
+    }
+
+    /// As [`Engine::run_instrs`], but treats the first `warmup_instrs`
+    /// retirements as warmup: caches, predictor tables, and prefetcher
+    /// state are exercised, while the reported statistics cover only the
+    /// post-warmup region — the paper's steady-state measurement
+    /// methodology (§5: checkpoints with warmed caches and prefetcher
+    /// tables).
+    pub fn run_instrs_warmup<P: Prefetcher>(
+        &self,
+        trace: &[RetiredInstr],
+        prefetcher: P,
+        warmup_instrs: usize,
+    ) -> RunReport {
+        let mut state = EngineState::new(&self.config, prefetcher);
+        let mut frontend = FrontEnd::new(self.config.frontend);
+        let mut events: Vec<FrontendEvent> = Vec::with_capacity(64);
+        let mut warm = warmup_instrs == 0;
+        for (i, &instr) in trace.iter().enumerate() {
+            if !warm && i >= warmup_instrs {
+                state.mark_warm();
+                warm = true;
+            }
+            frontend.step(instr, |e| events.push(e));
+            for e in events.drain(..) {
+                state.process(e);
+            }
+        }
+        frontend.flush(|e| events.push(e));
+        for e in events.drain(..) {
+            state.process(e);
+        }
+        state.finish(*frontend.stats())
+    }
+
+    /// Runs anything that exposes a retired-instruction slice (e.g. the
+    /// workload crate's `Trace`).
+    pub fn run<P: Prefetcher, T: AsRef<[RetiredInstr]>>(&self, trace: &T, prefetcher: P) -> RunReport {
+        self.run_instrs(trace.as_ref(), prefetcher)
+    }
+
+    /// As [`Engine::run`], with a warmup prefix (see
+    /// [`Engine::run_instrs_warmup`]).
+    pub fn run_warmup<P: Prefetcher, T: AsRef<[RetiredInstr]>>(
+        &self,
+        trace: &T,
+        prefetcher: P,
+        warmup_instrs: usize,
+    ) -> RunReport {
+        self.run_instrs_warmup(trace.as_ref(), prefetcher, warmup_instrs)
+    }
+}
+
+/// Mutable per-run state, separated from `Engine` so `run` stays reentrant.
+struct EngineState<P> {
+    prefetcher: P,
+    icache: InstructionCache,
+    l2: L2Model,
+    queue: PrefetchQueue,
+    timing: TimingModel,
+    fetch: FetchStats,
+    prefetch: PrefetchStats,
+    perfect: bool,
+}
+
+impl<P: Prefetcher> EngineState<P> {
+    fn new(config: &EngineConfig, prefetcher: P) -> Self {
+        let perfect = prefetcher.is_perfect();
+        EngineState {
+            prefetcher,
+            icache: InstructionCache::new(config.icache).expect("validated geometry"),
+            l2: L2Model::new(config.l2).expect("validated geometry"),
+            queue: PrefetchQueue::default(),
+            timing: TimingModel::new(config.timing),
+            fetch: FetchStats::default(),
+            prefetch: PrefetchStats::default(),
+            perfect,
+        }
+    }
+
+    fn process(&mut self, event: FrontendEvent) {
+        match event {
+            FrontendEvent::Fetch(access) => self.process_fetch(access),
+            FrontendEvent::Retire(instr, mispredicted) => self.process_retire(instr, mispredicted),
+        }
+    }
+
+    /// Resets measured statistics at the warmup boundary; all simulated
+    /// state (caches, history, queues) carries over.
+    fn mark_warm(&mut self) {
+        self.fetch = FetchStats::default();
+        self.prefetch = PrefetchStats::default();
+        self.timing.mark();
+    }
+
+    fn run_hook(&mut self, f: impl FnOnce(&mut P, &mut PrefetchContext<'_>)) {
+        let mut ctx = PrefetchContext::new(&self.icache, &self.queue.view, &mut self.prefetch);
+        f(&mut self.prefetcher, &mut ctx);
+        let requests = ctx.take_requests();
+        let now = self.timing.now();
+        for block in requests {
+            let latency = self.l2.access(block);
+            self.queue.push(block, now + latency);
+        }
+    }
+
+    fn install_ready_prefetches(&mut self) {
+        let now = self.timing.now();
+        for block in self.queue.drain_ready(now) {
+            self.icache.fill_prefetch(block);
+        }
+    }
+
+    fn process_fetch(&mut self, access: FetchAccess) {
+        self.install_ready_prefetches();
+        let block = access.pc.block();
+
+        self.run_hook(|p, ctx| p.on_fetch(&access, block, ctx));
+
+        let outcome = if self.perfect {
+            // Perfect-latency cache: every fetch returns at hit latency.
+            AccessOutcome::Hit
+        } else {
+            self.icache.demand_access(block)
+        };
+
+        if access.is_correct_path() {
+            self.fetch.demand_accesses += 1;
+            match outcome {
+                AccessOutcome::Hit => {}
+                AccessOutcome::HitFirstUseOfPrefetch => {
+                    self.fetch.covered_by_prefetch += 1;
+                    self.prefetch.useful += 1;
+                }
+                AccessOutcome::Miss => {
+                    let now = self.timing.now();
+                    if let Some(ready_at) = self.queue.ready_time(block) {
+                        // Late prefetch: the demand overtakes it; only the
+                        // remaining latency is exposed.
+                        self.queue.cancel(block);
+                        self.fetch.partial_covered += 1;
+                        self.prefetch.useful += 1;
+                        self.timing.fetch_stall(ready_at.saturating_sub(now));
+                    } else {
+                        self.fetch.demand_misses += 1;
+                        let latency = self.l2.access(block);
+                        self.timing.fetch_stall(latency);
+                    }
+                }
+            }
+        } else {
+            self.fetch.wrong_path_accesses += 1;
+            if outcome == AccessOutcome::Miss {
+                // Wrong-path misses fill the cache (pollution and/or
+                // accidental prefetch, §2.2 footnote 1) but stall nothing.
+                self.fetch.wrong_path_misses += 1;
+                self.l2.access(block);
+            }
+        }
+
+        self.run_hook(|p, ctx| p.on_access_outcome(&access, block, outcome, ctx));
+    }
+
+    fn process_retire(&mut self, instr: RetiredInstr, mispredicted: bool) {
+        self.timing.retire_instruction(mispredicted);
+        let prefetched = matches!(
+            self.icache.provenance(instr.pc.block()),
+            Some(LineProvenance::Prefetched | LineProvenance::PrefetchedUsed)
+        );
+        self.run_hook(|p, ctx| p.on_retire(&instr, prefetched, ctx));
+    }
+
+    fn finish(mut self, frontend: FrontendStats) -> RunReport {
+        // Account prefetched-but-never-used blocks still resident or
+        // evicted: useful + unused = issued - in-flight.
+        let landed = self.prefetch.issued.saturating_sub(self.queue.len() as u64);
+        self.prefetch.unused_evicted = landed.saturating_sub(self.prefetch.useful);
+        RunReport {
+            prefetcher: self.prefetcher.name(),
+            fetch: self.fetch,
+            prefetch: self.prefetch,
+            frontend,
+            timing: self.timing.report(),
+            l2_hits: self.l2.hits(),
+            l2_misses: self.l2.misses(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineState<()> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineState").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::NoPrefetcher;
+    use pif_types::{Address, BlockAddr, TrapLevel};
+
+    fn loop_trace(blocks: u64, iterations: u64) -> Vec<RetiredInstr> {
+        let mut v = Vec::new();
+        for _ in 0..iterations {
+            for b in 0..blocks {
+                // 16 instructions per 64 B block.
+                for i in 0..16 {
+                    v.push(RetiredInstr::simple(
+                        Address::new(b * 64 + i * 4),
+                        TrapLevel::Tl0,
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn small_loop_fits_in_cache() {
+        let trace = loop_trace(8, 50);
+        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        assert_eq!(report.fetch.demand_misses, 8, "only cold misses");
+        assert_eq!(report.frontend.instructions, 8 * 50 * 16);
+        assert!(report.fetch.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        // 64KB cache = 1024 blocks; loop over 2048 blocks with LRU = every
+        // access misses once warm.
+        let trace = loop_trace(2048, 3);
+        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        assert!(
+            report.fetch.demand_misses > 2048 * 2,
+            "LRU thrashing expected, got {} misses",
+            report.fetch.demand_misses
+        );
+        assert!(report.timing.fetch_stall_cycles > 0);
+    }
+
+    #[test]
+    fn perfect_prefetcher_never_stalls() {
+        struct Perfect;
+        impl Prefetcher for Perfect {
+            fn name(&self) -> &'static str {
+                "Perfect"
+            }
+            fn is_perfect(&self) -> bool {
+                true
+            }
+        }
+        let trace = loop_trace(2048, 2);
+        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, Perfect);
+        assert_eq!(report.fetch.demand_misses, 0);
+        assert_eq!(report.timing.fetch_stall_cycles, 0);
+    }
+
+    #[test]
+    fn prefetching_covers_misses_and_speeds_up() {
+        // A toy prefetcher that prefetches the next 4 blocks on every miss.
+        struct NextFour;
+        impl Prefetcher for NextFour {
+            fn name(&self) -> &'static str {
+                "NextFour"
+            }
+            fn on_access_outcome(
+                &mut self,
+                _access: &FetchAccess,
+                block: BlockAddr,
+                outcome: AccessOutcome,
+                ctx: &mut PrefetchContext<'_>,
+            ) {
+                if outcome == AccessOutcome::Miss {
+                    for i in 1..=4 {
+                        ctx.prefetch(block.offset(i));
+                    }
+                }
+            }
+        }
+        let trace = loop_trace(2048, 3);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let base = engine.run_instrs(&trace, NoPrefetcher);
+        let pf = engine.run_instrs(&trace, NextFour);
+        assert!(pf.fetch.miss_coverage() > 0.5, "coverage {}", pf.fetch.miss_coverage());
+        assert!(pf.speedup_over(&base) > 1.05, "speedup {}", pf.speedup_over(&base));
+        assert!(pf.prefetch.issued > 0);
+        assert!(pf.prefetch.accuracy() > 0.5);
+    }
+
+    #[test]
+    fn baseline_equivalent_misses_consistent_across_prefetchers() {
+        struct NextOne;
+        impl Prefetcher for NextOne {
+            fn name(&self) -> &'static str {
+                "NextOne"
+            }
+            fn on_access_outcome(
+                &mut self,
+                _a: &FetchAccess,
+                block: BlockAddr,
+                outcome: AccessOutcome,
+                ctx: &mut PrefetchContext<'_>,
+            ) {
+                if outcome == AccessOutcome::Miss {
+                    ctx.prefetch(block.next());
+                }
+            }
+        }
+        let trace = loop_trace(1500, 2);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let base = engine.run_instrs(&trace, NoPrefetcher);
+        let pf = engine.run_instrs(&trace, NextOne);
+        // The prefetched run's baseline-equivalent miss count should be in
+        // the same ballpark as the true baseline's misses (prefetching can
+        // shift which accesses miss, but not the scale).
+        let b = base.fetch.demand_misses as f64;
+        let e = pf.fetch.baseline_equivalent_misses() as f64;
+        assert!((e / b - 1.0).abs() < 0.35, "baseline {b} vs equivalent {e}");
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses_from_stats() {
+        // A loop that fits in cache: all misses are cold, so a warmed run
+        // reports (almost) none of them.
+        let trace = loop_trace(64, 20);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let cold = engine.run_instrs(&trace, NoPrefetcher);
+        let warm = engine.run_instrs_warmup(&trace, NoPrefetcher, trace.len() / 2);
+        assert_eq!(cold.fetch.demand_misses, 64);
+        assert_eq!(warm.fetch.demand_misses, 0, "cold misses fall in warmup");
+        assert!(warm.timing.instructions < cold.timing.instructions);
+        assert_eq!(warm.timing.fetch_stall_cycles, 0);
+    }
+
+    #[test]
+    fn warmup_preserves_simulated_state() {
+        // Warmup must not reset the cache: the post-warmup region sees a
+        // warm cache, so UIPC is higher than a cold full run.
+        let trace = loop_trace(512, 4);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let cold = engine.run_instrs(&trace, NoPrefetcher);
+        let warm = engine.run_instrs_warmup(&trace, NoPrefetcher, trace.len() / 2);
+        assert!(warm.timing.uipc() >= cold.timing.uipc());
+    }
+
+    #[test]
+    fn zero_warmup_equals_plain_run() {
+        let trace = loop_trace(256, 3);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let a = engine.run_instrs(&trace, NoPrefetcher);
+        let b = engine.run_instrs_warmup(&trace, NoPrefetcher, 0);
+        assert_eq!(a.fetch, b.fetch);
+        assert_eq!(a.timing, b.timing);
+    }
+
+    #[test]
+    fn report_exposes_l2_traffic() {
+        let trace = loop_trace(2048, 2);
+        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        assert!(report.l2_hits + report.l2_misses >= report.fetch.demand_misses);
+    }
+}

@@ -1,0 +1,61 @@
+//! Trace-driven microarchitecture substrate for the Proactive Instruction
+//! Fetch reproduction.
+//!
+//! The paper evaluates PIF on Flexus, a cycle-accurate full-system SPARC
+//! simulator. This crate rebuilds the parts of that substrate that the
+//! paper's phenomena actually depend on:
+//!
+//! * a **set-associative cache model** ([`cache`]) with pluggable
+//!   replacement, used for the 64 KB 2-way L1-I and the L2 slice — the
+//!   component that *filters and fragments* the miss stream (paper §2.1);
+//! * a **branch predictor** ([`bpred`]: 16K gshare + 16K bimodal hybrid,
+//!   BTB, return address stack) driving the **front-end model**
+//!   ([`frontend`]) that injects *wrong-path noise* into the fetch-access
+//!   stream (paper §2.2);
+//! * **prefetcher plumbing** ([`prefetch`]): the [`Prefetcher`] trait every
+//!   prefetcher (PIF and baselines) implements, plus an in-flight prefetch
+//!   queue with latency;
+//! * the **engine** ([`engine`]) that drives a retire-order trace through
+//!   front end → L1-I → prefetcher and collects statistics;
+//! * a **fetch-stall timing model** ([`timing`]) turning miss/stall counts
+//!   into cycles and UIPC, the paper's throughput metric;
+//! * the **temporal-stream predictor evaluation harness**
+//!   ([`predictor_eval`]) used for the paper's trace-based coverage studies
+//!   (Figures 2, 7, 8, 9).
+//!
+//! # Example
+//!
+//! ```
+//! use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+//! use pif_types::{Address, RetiredInstr, TrapLevel};
+//!
+//! // A tiny synthetic trace: a loop over 4 blocks.
+//! let mut trace = Vec::new();
+//! for _ in 0..100 {
+//!     for blk in 0..4u64 {
+//!         trace.push(RetiredInstr::simple(Address::new(blk * 64), TrapLevel::Tl0));
+//!     }
+//! }
+//! let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+//! assert!(report.fetch.demand_misses <= 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bpred;
+pub mod cache;
+mod config;
+pub mod engine;
+pub mod frontend;
+pub mod multicore;
+pub mod predictor_eval;
+pub mod prefetch;
+pub mod stats;
+pub mod streams;
+pub mod timing;
+
+pub use config::{EngineConfig, FrontendConfig, ICacheConfig, L2Config, TimingConfig};
+pub use engine::{Engine, RunReport};
+pub use prefetch::{NoPrefetcher, PrefetchContext, Prefetcher, PrefetcherHarness};
+pub use stats::{FetchStats, FrontendStats, Log2Histogram, PrefetchStats};

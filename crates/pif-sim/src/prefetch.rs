@@ -1,0 +1,360 @@
+//! Prefetcher plumbing: the [`Prefetcher`] trait implemented by PIF and
+//! every baseline, the context through which prefetchers probe the cache
+//! and enqueue requests, and the in-flight prefetch queue with latency.
+
+use std::collections::VecDeque;
+
+use pif_types::{BlockAddr, FetchAccess, RetiredInstr};
+
+use crate::cache::{AccessOutcome, InstructionCache};
+use crate::stats::PrefetchStats;
+
+/// Context handed to prefetcher hooks: lets the prefetcher probe the L1-I
+/// tags (non-perturbing, via the line buffer as in §4.3) and enqueue
+/// prefetch requests.
+#[derive(Debug)]
+pub struct PrefetchContext<'a> {
+    icache: &'a InstructionCache,
+    in_flight: &'a InFlightView,
+    requests: Vec<BlockAddr>,
+    stats: &'a mut PrefetchStats,
+}
+
+/// Read-only view of in-flight prefetches, for dedup.
+#[derive(Debug, Default)]
+pub(crate) struct InFlightView {
+    blocks: std::collections::HashSet<u64>,
+}
+
+impl InFlightView {
+    pub(crate) fn contains(&self, block: BlockAddr) -> bool {
+        self.blocks.contains(&block.number())
+    }
+
+    pub(crate) fn insert(&mut self, block: BlockAddr) {
+        self.blocks.insert(block.number());
+    }
+
+    pub(crate) fn remove(&mut self, block: BlockAddr) {
+        self.blocks.remove(&block.number());
+    }
+}
+
+impl<'a> PrefetchContext<'a> {
+    pub(crate) fn new(
+        icache: &'a InstructionCache,
+        in_flight: &'a InFlightView,
+        stats: &'a mut PrefetchStats,
+    ) -> Self {
+        PrefetchContext {
+            icache,
+            in_flight,
+            requests: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Probes the L1-I for `block` without perturbing replacement state.
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        self.icache.probe(block)
+    }
+
+    /// True if `block` is resident *because a prefetch installed it* — the
+    /// paper's fetch-stage "explicitly prefetched" tag (§4.2). Absent or
+    /// demand-filled blocks report `false`.
+    pub fn was_prefetched(&self, block: BlockAddr) -> bool {
+        matches!(
+            self.icache.provenance(block),
+            Some(crate::cache::LineProvenance::Prefetched | crate::cache::LineProvenance::PrefetchedUsed)
+        )
+    }
+
+    /// Enqueues a prefetch for `block`. The request is dropped (and
+    /// accounted as such) if the block is already resident or in flight —
+    /// matching the paper's probe-before-queue behaviour (§4.3).
+    /// Returns `true` if the request was actually queued.
+    pub fn prefetch(&mut self, block: BlockAddr) -> bool {
+        if self.icache.probe(block)
+            || self.in_flight.contains(block)
+            || self.requests.contains(&block)
+        {
+            self.stats.dropped_resident += 1;
+            return false;
+        }
+        self.stats.issued += 1;
+        self.requests.push(block);
+        true
+    }
+
+    pub(crate) fn take_requests(self) -> Vec<BlockAddr> {
+        self.requests
+    }
+}
+
+/// An instruction prefetcher attached to the simulation engine.
+///
+/// The engine calls the hooks in pipeline order for each event:
+/// `on_fetch` before the L1-I lookup, `on_access_outcome` after it, and
+/// `on_retire` when the instruction drains from the (modeled) ROB. All
+/// hooks default to no-ops so simple prefetchers implement only what they
+/// observe.
+pub trait Prefetcher {
+    /// Short name for reports (e.g. `"PIF"`, `"Next-Line"`).
+    fn name(&self) -> &'static str;
+
+    /// Called for every front-end fetch access before the cache lookup.
+    fn on_fetch(&mut self, access: &FetchAccess, block: BlockAddr, ctx: &mut PrefetchContext<'_>) {
+        let _ = (access, block, ctx);
+    }
+
+    /// Called after the cache lookup with its outcome. Miss-triggered
+    /// prefetchers (next-line on miss, TIFS) live here.
+    fn on_access_outcome(
+        &mut self,
+        access: &FetchAccess,
+        block: BlockAddr,
+        outcome: AccessOutcome,
+        ctx: &mut PrefetchContext<'_>,
+    ) {
+        let _ = (access, block, outcome, ctx);
+    }
+
+    /// Called when an instruction retires. `prefetched` is the paper's
+    /// fetch-stage tag: whether the instruction's block was brought in by
+    /// an explicit prefetch (§4.2 uses the *negation* to gate index-table
+    /// insertion).
+    fn on_retire(&mut self, instr: &RetiredInstr, prefetched: bool, ctx: &mut PrefetchContext<'_>) {
+        let _ = (instr, prefetched, ctx);
+    }
+
+    /// Perfect-latency cache marker: when `true` the engine treats every
+    /// demand access as a hit (Fig. 10's "Perfect" configuration).
+    fn is_perfect(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_fetch(&mut self, access: &FetchAccess, block: BlockAddr, ctx: &mut PrefetchContext<'_>) {
+        (**self).on_fetch(access, block, ctx)
+    }
+
+    fn on_access_outcome(
+        &mut self,
+        access: &FetchAccess,
+        block: BlockAddr,
+        outcome: AccessOutcome,
+        ctx: &mut PrefetchContext<'_>,
+    ) {
+        (**self).on_access_outcome(access, block, outcome, ctx)
+    }
+
+    fn on_retire(&mut self, instr: &RetiredInstr, prefetched: bool, ctx: &mut PrefetchContext<'_>) {
+        (**self).on_retire(instr, prefetched, ctx)
+    }
+
+    fn is_perfect(&self) -> bool {
+        (**self).is_perfect()
+    }
+}
+
+/// The null prefetcher: the paper's no-prefetch baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &'static str {
+        "None"
+    }
+}
+
+/// A standalone harness for driving [`Prefetcher`] hooks outside the
+/// engine — in unit tests and trace studies that need the real
+/// probe/prefetch context without full simulation.
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::{ICacheConfig, PrefetcherHarness};
+/// use pif_types::BlockAddr;
+///
+/// let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
+/// let requests = h.drive(|ctx| {
+///     ctx.prefetch(BlockAddr::from_number(7));
+/// });
+/// assert_eq!(requests, vec![BlockAddr::from_number(7)]);
+/// ```
+#[derive(Debug)]
+pub struct PrefetcherHarness {
+    icache: crate::cache::InstructionCache,
+    view: InFlightView,
+    stats: PrefetchStats,
+}
+
+impl PrefetcherHarness {
+    /// Creates a harness with a fresh instruction cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometry is invalid.
+    pub fn new(config: crate::config::ICacheConfig) -> Self {
+        PrefetcherHarness {
+            icache: crate::cache::InstructionCache::new(config).expect("valid icache config"),
+            view: InFlightView::default(),
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// The harness's instruction cache (mutable, e.g. to pre-fill lines).
+    pub fn icache_mut(&mut self) -> &mut crate::cache::InstructionCache {
+        &mut self.icache
+    }
+
+    /// Runs `f` with a live [`PrefetchContext`] and returns the prefetch
+    /// requests it issued (which are *not* installed into the cache —
+    /// install them via [`PrefetcherHarness::icache_mut`] if desired).
+    pub fn drive(&mut self, f: impl FnOnce(&mut PrefetchContext<'_>)) -> Vec<BlockAddr> {
+        let mut ctx = PrefetchContext::new(&self.icache, &self.view, &mut self.stats);
+        f(&mut ctx);
+        ctx.take_requests()
+    }
+
+    /// Prefetch statistics accumulated so far.
+    pub fn stats(&self) -> &PrefetchStats {
+        &self.stats
+    }
+}
+
+/// An in-flight prefetch request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InFlightPrefetch {
+    pub block: BlockAddr,
+    /// Engine cycle at which the fill completes.
+    pub ready_at: u64,
+}
+
+/// Queue of issued-but-incomplete prefetches, drained by the engine as
+/// simulated time advances.
+#[derive(Debug, Default)]
+pub(crate) struct PrefetchQueue {
+    queue: VecDeque<InFlightPrefetch>,
+    pub view: InFlightView,
+}
+
+impl PrefetchQueue {
+    pub fn push(&mut self, block: BlockAddr, ready_at: u64) {
+        self.view.insert(block);
+        self.queue.push_back(InFlightPrefetch { block, ready_at });
+    }
+
+    /// Pops all requests ready at or before `now`.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.ready_at <= now {
+                let p = self.queue.pop_front().unwrap();
+                self.view.remove(p.block);
+                out.push(p.block);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// If `block` is in flight, returns its completion time.
+    pub fn ready_time(&self, block: BlockAddr) -> Option<u64> {
+        if !self.view.contains(block) {
+            return None;
+        }
+        self.queue
+            .iter()
+            .find(|p| p.block == block)
+            .map(|p| p.ready_at)
+    }
+
+    /// Removes `block` from the queue (demand miss overtook the prefetch).
+    pub fn cancel(&mut self, block: BlockAddr) {
+        self.view.remove(block);
+        self.queue.retain(|p| p.block != block);
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ICacheConfig;
+
+    fn icache() -> InstructionCache {
+        InstructionCache::new(ICacheConfig::paper_default()).unwrap()
+    }
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_number(n)
+    }
+
+    #[test]
+    fn context_dedups_resident_blocks() {
+        let mut ic = icache();
+        ic.demand_access(b(1));
+        let fl = InFlightView::default();
+        let mut stats = PrefetchStats::default();
+        let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats);
+        assert!(!ctx.prefetch(b(1)), "resident block must be dropped");
+        assert!(ctx.prefetch(b(2)));
+        assert!(!ctx.prefetch(b(2)), "duplicate request must be dropped");
+        assert_eq!(ctx.take_requests(), vec![b(2)]);
+        assert_eq!(stats.issued, 1);
+        assert_eq!(stats.dropped_resident, 2);
+    }
+
+    #[test]
+    fn context_dedups_in_flight_blocks() {
+        let ic = icache();
+        let mut fl = InFlightView::default();
+        fl.insert(b(3));
+        let mut stats = PrefetchStats::default();
+        let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats);
+        assert!(!ctx.prefetch(b(3)));
+        assert_eq!(stats.dropped_resident, 1);
+    }
+
+    #[test]
+    fn queue_drains_in_ready_order() {
+        let mut q = PrefetchQueue::default();
+        q.push(b(1), 10);
+        q.push(b(2), 20);
+        assert_eq!(q.drain_ready(5), vec![]);
+        assert_eq!(q.drain_ready(15), vec![b(1)]);
+        assert!(!q.view.contains(b(1)));
+        assert!(q.view.contains(b(2)));
+        assert_eq!(q.drain_ready(25), vec![b(2)]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn queue_reports_ready_time_and_cancels() {
+        let mut q = PrefetchQueue::default();
+        q.push(b(7), 42);
+        assert_eq!(q.ready_time(b(7)), Some(42));
+        assert_eq!(q.ready_time(b(8)), None);
+        q.cancel(b(7));
+        assert_eq!(q.ready_time(b(7)), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn no_prefetcher_is_inert() {
+        let p = NoPrefetcher;
+        assert_eq!(p.name(), "None");
+        assert!(!p.is_perfect());
+    }
+}

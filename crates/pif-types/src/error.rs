@@ -1,0 +1,60 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulator or prefetcher configuration is invalid
+/// (e.g. non-power-of-two cache geometry, oversized spatial region).
+///
+/// # Example
+///
+/// ```
+/// use pif_types::RegionGeometry;
+///
+/// let err = RegionGeometry::new(30, 30).unwrap_err();
+/// assert!(err.to_string().contains("spatial region too large"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable reason the configuration was rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_round_trips() {
+        let e = ConfigError::new("bad geometry");
+        assert_eq!(e.message(), "bad geometry");
+        assert_eq!(e.to_string(), "bad geometry");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! Compact binary trace serialization.
+//!
+//! Traces are deterministic and cheap to regenerate, but saving them lets
+//! experiment pipelines share one trace across many prefetcher runs and
+//! lets users archive the exact inputs behind a result. The format is a
+//! simple little-endian record stream:
+//!
+//! ```text
+//! magic  "PIFT"            4 bytes
+//! version u32              currently 1
+//! name    u32 length + UTF-8 bytes
+//! count   u64              number of records
+//! records ...              13 or 30 bytes each (non-branch / branch)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
+
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 4] = b"PIFT";
+const VERSION: u32 = 1;
+
+/// Errors from decoding a serialized trace.
+#[derive(Debug)]
+pub enum TraceDecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a PIF trace file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid payload (truncated or corrupt).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDecodeError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceDecodeError::BadMagic => f.write_str("not a PIF trace file"),
+            TraceDecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceDecodeError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceDecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceDecodeError {
+    fn from(e: io::Error) -> Self {
+        TraceDecodeError::Io(e)
+    }
+}
+
+fn kind_to_byte(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Direct => 1,
+        BranchKind::Call => 2,
+        BranchKind::IndirectCall => 3,
+        BranchKind::Return => 4,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<BranchKind, TraceDecodeError> {
+    Ok(match b {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Direct,
+        2 => BranchKind::Call,
+        3 => BranchKind::IndirectCall,
+        4 => BranchKind::Return,
+        _ => return Err(TraceDecodeError::Corrupt("unknown branch kind")),
+    })
+}
+
+/// Serializes a trace into an in-memory buffer.
+///
+/// # Example
+///
+/// ```
+/// use pif_workloads::{io::{decode_trace, encode_trace}, WorkloadProfile};
+///
+/// let trace = WorkloadProfile::oltp_db2().scaled(0.05).generate(5_000);
+/// let bytes = encode_trace(&trace);
+/// let back = decode_trace(&bytes).unwrap();
+/// assert_eq!(trace, back);
+/// ```
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.name().len() + trace.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(trace.name().len() as u32);
+    buf.put_slice(trace.name().as_bytes());
+    buf.put_u64_le(trace.len() as u64);
+    for instr in trace.instrs() {
+        buf.put_u64_le(instr.pc.raw());
+        buf.put_u8(instr.trap_level.index() as u8);
+        match instr.branch {
+            None => buf.put_u8(0),
+            Some(info) => {
+                buf.put_u8(1);
+                buf.put_u8(kind_to_byte(info.kind));
+                buf.put_u8(u8::from(info.taken));
+                buf.put_u64_le(info.taken_target.raw());
+                buf.put_u64_le(info.fall_through.raw());
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace previously produced by [`encode_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceDecodeError`] on bad magic, unsupported version, or a
+/// truncated/corrupt payload.
+pub fn decode_trace(mut data: &[u8]) -> Result<Trace, TraceDecodeError> {
+    fn need(data: &[u8], n: usize) -> Result<(), TraceDecodeError> {
+        if data.remaining() < n {
+            return Err(TraceDecodeError::Corrupt("truncated"));
+        }
+        Ok(())
+    }
+    need(data, 8)?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(TraceDecodeError::BadVersion(version));
+    }
+    need(data, 4)?;
+    let name_len = data.get_u32_le() as usize;
+    need(data, name_len)?;
+    let mut name_bytes = vec![0u8; name_len];
+    data.copy_to_slice(&mut name_bytes);
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| TraceDecodeError::Corrupt("name is not UTF-8"))?;
+    need(data, 8)?;
+    let count = data.get_u64_le() as usize;
+    let mut instrs = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        need(data, 10)?;
+        let pc = Address::new(data.get_u64_le());
+        let tl_byte = data.get_u8();
+        if tl_byte as usize >= TrapLevel::COUNT {
+            return Err(TraceDecodeError::Corrupt("invalid trap level"));
+        }
+        let trap_level = TrapLevel::from_index(tl_byte as usize);
+        let has_branch = data.get_u8();
+        let branch = match has_branch {
+            0 => None,
+            1 => {
+                need(data, 18)?;
+                let kind = kind_from_byte(data.get_u8())?;
+                let taken = data.get_u8() != 0;
+                let taken_target = Address::new(data.get_u64_le());
+                let fall_through = Address::new(data.get_u64_le());
+                Some(BranchInfo {
+                    kind,
+                    taken,
+                    taken_target,
+                    fall_through,
+                })
+            }
+            _ => return Err(TraceDecodeError::Corrupt("invalid branch flag")),
+        };
+        instrs.push(RetiredInstr {
+            pc,
+            trap_level,
+            branch,
+        });
+    }
+    Ok(Trace::new(name, instrs))
+}
+
+/// Writes a trace to any [`Write`] sink (e.g. a file). A `&mut` reference
+/// may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> io::Result<()> {
+    writer.write_all(&encode_trace(trace))
+}
+
+/// Reads a trace from any [`Read`] source. A `&mut` reference may be
+/// passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`TraceDecodeError`] on I/O failure or a malformed payload.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceDecodeError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    decode_trace(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadProfile;
+
+    fn sample() -> Trace {
+        WorkloadProfile::web_zeus().scaled(0.05).generate(3_000)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            decode_trace(b"NOPE\x01\x00\x00\x00"),
+            Err(TraceDecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&data),
+            Err(TraceDecodeError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode_trace(&sample());
+        // Chop the payload at several points: every prefix must fail
+        // cleanly, never panic.
+        for cut in [0, 3, 8, 11, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_trap_level() {
+        let t = Trace::new("x", vec![RetiredInstr::simple(Address::new(4), TrapLevel::Tl0)]);
+        let mut bytes = encode_trace(&t).to_vec();
+        // The trap-level byte of the first record sits after the header.
+        let tl_offset = 4 + 4 + 4 + 1 + 8 + 8;
+        bytes[tl_offset] = 9;
+        assert!(decode_trace(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new("empty", vec![]);
+        assert_eq!(decode_trace(&encode_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceDecodeError::BadVersion(7);
+        assert!(e.to_string().contains('7'));
+        let e = TraceDecodeError::Corrupt("truncated");
+        assert!(e.to_string().contains("truncated"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn instr_strategy() -> impl Strategy<Value = RetiredInstr> {
+        (
+            any::<u64>(),
+            0usize..TrapLevel::COUNT,
+            proptest::option::of((0u8..5, any::<bool>(), any::<u64>(), any::<u64>())),
+        )
+            .prop_map(|(pc, tl, branch)| RetiredInstr {
+                pc: Address::new(pc),
+                trap_level: TrapLevel::from_index(tl),
+                branch: branch.map(|(k, taken, target, fall)| BranchInfo {
+                    kind: kind_from_byte(k).unwrap(),
+                    taken,
+                    taken_target: Address::new(target),
+                    fall_through: Address::new(fall),
+                }),
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_traces_round_trip(
+            name in "[a-zA-Z0-9_-]{0,24}",
+            instrs in proptest::collection::vec(instr_strategy(), 0..200),
+        ) {
+            let t = Trace::new(name, instrs);
+            let back = decode_trace(&encode_trace(&t)).unwrap();
+            prop_assert_eq!(t, back);
+        }
+
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_trace(&data);
+        }
+    }
+}

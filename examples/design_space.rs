@@ -1,0 +1,54 @@
+//! PIF design-space exploration: sweep the structures the paper sizes in
+//! §5 (history capacity, SAB count/window, spatial region geometry) and
+//! watch coverage respond — an ablation companion to Figures 8 and 9.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use pif_repro::prelude::*;
+use pif_repro::pif::analysis::PifAnalyzer;
+use pif_repro::types::RegionGeometry;
+
+fn main() {
+    let trace = WorkloadProfile::oltp_oracle().scaled(0.5).generate(2_000_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+    let warmup = 600_000;
+
+    println!("== History buffer capacity (engine, miss coverage) ==");
+    for capacity in [1024usize, 4 * 1024, 16 * 1024, 32 * 1024, 128 * 1024] {
+        let mut cfg = PifConfig::paper_default();
+        cfg.history_capacity = capacity;
+        let r = engine.run_warmup(&trace, Pif::new(cfg), warmup);
+        println!(
+            "  {:>6} regions -> coverage {:>5.1}%  speedup-relevant hit rate {:>5.1}%",
+            capacity,
+            r.miss_coverage() * 100.0,
+            r.fetch.hit_rate() * 100.0
+        );
+    }
+
+    println!("\n== Stream address buffers (count x window) ==");
+    for (count, window) in [(1, 7), (2, 7), (4, 3), (4, 7), (4, 12), (8, 7)] {
+        let mut cfg = PifConfig::paper_default();
+        cfg.sab_count = count;
+        cfg.sab_window = window;
+        let r = engine.run_warmup(&trace, Pif::new(cfg), warmup);
+        println!(
+            "  {count} SABs x {window:>2} regions -> coverage {:>5.1}%",
+            r.miss_coverage() * 100.0
+        );
+    }
+
+    println!("\n== Spatial region geometry (analyzer, predictor coverage) ==");
+    for (prec, succ) in [(0, 0), (0, 3), (2, 1), (2, 5), (4, 11)] {
+        let mut cfg = PifConfig::paper_default();
+        cfg.geometry = RegionGeometry::new(prec, succ).expect("valid geometry");
+        let report = PifAnalyzer::new(cfg, engine.config().icache).analyze(trace.instrs(), warmup);
+        println!(
+            "  {prec} preceding + trigger + {succ:>2} succeeding -> predictor coverage {:>5.1}%",
+            report.overall_predictor_coverage() * 100.0
+        );
+    }
+
+    println!("\nThe paper's chosen point — 32K regions, 4 SABs x 7, (2,5) regions —");
+    println!("sits where each curve saturates (§5.2, §5.4, footnote 2).");
+}

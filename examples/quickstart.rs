@@ -1,0 +1,47 @@
+//! Quickstart: generate a server-like instruction trace, attach the PIF
+//! prefetcher, and compare it against a no-prefetch baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pif_repro::prelude::*;
+
+fn main() {
+    // 1. Synthesize a workload. OLTP-DB2 mirrors the paper's TPC-C on DB2
+    //    profile; `scaled` shrinks the code footprint for a fast demo.
+    let trace = WorkloadProfile::oltp_db2().scaled(0.4).generate(1_000_000);
+    let stats = trace.stats();
+    println!(
+        "trace: {} instructions, {:.2} MB code footprint, {:.1}% branches, {:.1}% interrupt-level",
+        stats.instructions,
+        stats.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        stats.branches as f64 / stats.instructions as f64 * 100.0,
+        stats.tl1_fraction() * 100.0,
+    );
+
+    // 2. Simulate with the paper's Table I system configuration.
+    let engine = Engine::new(EngineConfig::paper_default());
+    let warmup = 300_000;
+
+    let base = engine.run_warmup(&trace, NoPrefetcher, warmup);
+    println!(
+        "\nbaseline:  {:.1}% L1-I hit rate, {:.1}% of cycles stalled on fetch, UIPC {:.3}",
+        base.fetch.hit_rate() * 100.0,
+        base.timing.fetch_stall_fraction() * 100.0,
+        base.timing.uipc(),
+    );
+
+    // 3. Attach Proactive Instruction Fetch.
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), warmup);
+    println!(
+        "with PIF:  {:.1}% L1-I hit rate, {:.1}% of would-be misses covered, UIPC {:.3}",
+        pif.fetch.hit_rate() * 100.0,
+        pif.miss_coverage() * 100.0,
+        pif.timing.uipc(),
+    );
+    println!(
+        "\nPIF speedup over baseline: {:.2}x  (prefetches issued: {}, accuracy: {:.1}%)",
+        pif.speedup_over(&base),
+        pif.prefetch.issued,
+        pif.prefetch.accuracy() * 100.0,
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace anatomy: dissect a synthetic workload the way the paper's §2-§3
+//! characterization does — stream predictability by observation point,
+//! spatial-region density, and where the misses come from.
+//!
+//! Run with: `cargo run --release --example trace_anatomy [workload]`
+
+use pif_repro::prelude::*;
+use pif_repro::pif::analysis::analyze_regions;
+use pif_repro::sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
+use pif_repro::types::RegionGeometry;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "OLTP-Oracle".to_string());
+    let profile = WorkloadProfile::all()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; using OLTP-Oracle");
+            WorkloadProfile::oltp_oracle()
+        });
+
+    let trace = profile.scaled(0.5).generate(2_000_000);
+    let stats = trace.stats();
+    println!("== {} ==", trace.name());
+    println!(
+        "instructions: {}   footprint: {:.2} MB   branches: {:.1}%   TL1: {:.2}%",
+        stats.instructions,
+        stats.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        stats.branches as f64 / stats.instructions as f64 * 100.0,
+        stats.tl1_fraction() * 100.0
+    );
+
+    // Stream predictability at the four observation points (paper Fig. 2).
+    let coverage = evaluate_stream_coverage_warmup(
+        &EngineConfig::paper_default(),
+        TemporalPredictorConfig::default(),
+        trace.instrs(),
+        600_000,
+    );
+    println!("\ntemporal-stream predictability of L1-I misses (Fig. 2):");
+    println!("  miss stream:       {:>5.1}%  <- filtered & fragmented by the cache", coverage.miss * 100.0);
+    println!("  access stream:     {:>5.1}%  <- wrong-path noise included", coverage.access * 100.0);
+    println!("  retire stream:     {:>5.1}%  <- correct path only", coverage.retire * 100.0);
+    println!("  retire, per-trap:  {:>5.1}%  <- PIF's recording point", coverage.retire_sep * 100.0);
+
+    // Spatial regions (paper Fig. 3).
+    let regions = analyze_regions(trace.instrs(), RegionGeometry::new(8, 23).expect("32-block"));
+    println!("\nspatial regions (32-block probe, Fig. 3):");
+    println!(
+        "  regions observed: {}   multi-block: {:.1}%   discontinuous: {:.1}%",
+        regions.total_regions,
+        (1.0 - regions.density_fraction(1, 1)) * 100.0,
+        (1.0 - regions.runs_fraction(1, 1)) * 100.0
+    );
+
+    // Where do the cycles go (baseline vs PIF)?
+    let engine = Engine::new(EngineConfig::paper_default());
+    let base = engine.run_warmup(&trace, NoPrefetcher, 600_000);
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 600_000);
+    println!("\ncycle accounting (per 1K instructions):");
+    for (name, r) in [("baseline", &base), ("PIF", &pif)] {
+        let k = r.timing.instructions as f64 / 1000.0;
+        println!(
+            "  {name:<9} base {:>6.1}  fetch-stall {:>6.1}  mispredict {:>5.1}  (UIPC {:.3})",
+            r.timing.base_cycles as f64 / k,
+            r.timing.fetch_stall_cycles as f64 / k,
+            r.timing.mispredict_cycles as f64 / k,
+            r.timing.uipc()
+        );
+    }
+    println!("\nPIF speedup: {:.2}x", pif.speedup_over(&base));
+}

@@ -1,0 +1,50 @@
+//! # pif-repro — Proactive Instruction Fetch, reproduced
+//!
+//! A production-quality Rust reproduction of **"Proactive Instruction
+//! Fetch"** (Ferdman, Kaynak, Falsafi — MICRO 2011): the PIF instruction
+//! prefetcher, the trace-driven microarchitecture substrate it is evaluated
+//! on, synthetic server workloads standing in for the paper's commercial
+//! traces, the paper's baselines (next-line, TIFS, perfect L1-I), and a
+//! harness regenerating every table and figure of the evaluation.
+//!
+//! This facade crate re-exports the member crates under stable names:
+//!
+//! * [`types`] — addresses, blocks, spatial regions, trace records.
+//! * [`sim`] — caches, branch predictors, the front-end model, the
+//!   simulation engine and timing model.
+//! * [`workloads`] — the six synthetic server workload profiles.
+//! * [`pif`] — the Proactive Instruction Fetch prefetcher itself.
+//! * [`baselines`] — next-line, TIFS, discontinuity, perfect cache.
+//! * [`experiments`] — per-figure experiment runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pif_repro::prelude::*;
+//!
+//! // Generate a small OLTP-like trace, run it through the engine with a
+//! // PIF prefetcher attached, and inspect coverage.
+//! let trace = WorkloadProfile::oltp_db2().scaled(0.02).generate(50_000);
+//! let config = EngineConfig::paper_default();
+//! let pif = Pif::new(PifConfig::default());
+//! let report = Engine::new(config).run(&trace, pif);
+//! assert!(report.fetch.demand_accesses > 0);
+//! ```
+
+pub use pif_baselines as baselines;
+pub use pif_core as pif;
+pub use pif_experiments as experiments;
+pub use pif_sim as sim;
+pub use pif_types as types;
+pub use pif_workloads as workloads;
+
+/// Convenience re-exports for the common entry points.
+pub mod prelude {
+    pub use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
+    pub use pif_core::{Pif, PifConfig};
+    pub use pif_sim::{Engine, EngineConfig, NoPrefetcher, Prefetcher, RunReport};
+    pub use pif_types::{
+        Address, BlockAddr, RegionGeometry, RetiredInstr, SpatialRegionRecord, TrapLevel,
+    };
+    pub use pif_workloads::{Trace, WorkloadProfile};
+}

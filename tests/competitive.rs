@@ -1,0 +1,91 @@
+//! Integration: the Figure 10 competitive ordering holds end-to-end on a
+//! pressured workload — PIF beats TIFS beats next-line, and nothing beats
+//! the perfect cache.
+
+use pif_baselines::{NextLinePrefetcher, PerfectICache, Tifs};
+use pif_core::{Pif, PifConfig};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_workloads::WorkloadProfile;
+
+const INSTRS: usize = 600_000;
+const WARMUP: usize = 250_000;
+
+fn scenario() -> (Engine, pif_workloads::Trace) {
+    let engine = Engine::new(EngineConfig::paper_default());
+    let trace = WorkloadProfile::web_zeus().scaled(0.4).generate(INSTRS);
+    (engine, trace)
+}
+
+#[test]
+fn pif_beats_next_line_and_approaches_perfect() {
+    let (engine, trace) = scenario();
+    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
+    let nl = engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), WARMUP);
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    let perfect = engine.run_warmup(&trace, PerfectICache, WARMUP);
+
+    assert!(
+        base.fetch.demand_misses > 2_000,
+        "baseline needs cache pressure, got {} misses",
+        base.fetch.demand_misses
+    );
+    assert!(
+        pif.miss_coverage() > nl.miss_coverage(),
+        "PIF {} vs next-line {}",
+        pif.miss_coverage(),
+        nl.miss_coverage()
+    );
+    let pif_speedup = pif.speedup_over(&base);
+    let perfect_speedup = perfect.speedup_over(&base);
+    assert!(pif_speedup > 1.02, "PIF speedup {pif_speedup}");
+    assert!(
+        perfect_speedup >= pif_speedup - 0.01,
+        "perfect {perfect_speedup} vs PIF {pif_speedup}"
+    );
+    // The paper's headline: PIF converges to the perfect cache.
+    assert!(
+        pif_speedup / perfect_speedup > 0.85,
+        "PIF ({pif_speedup}) should recover most of perfect ({perfect_speedup})"
+    );
+}
+
+#[test]
+fn pif_matches_or_beats_tifs() {
+    let (engine, trace) = scenario();
+    let tifs = engine.run_warmup(&trace, Tifs::unbounded(), WARMUP);
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    assert!(
+        pif.miss_coverage() >= tifs.miss_coverage() - 0.02,
+        "PIF {} vs TIFS {}",
+        pif.miss_coverage(),
+        tifs.miss_coverage()
+    );
+}
+
+#[test]
+fn demand_access_counts_are_prefetcher_independent() {
+    // The front end is deterministic: every prefetcher sees the same
+    // demand access stream; only hit/miss outcomes differ.
+    let (engine, trace) = scenario();
+    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
+    let nl = engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), WARMUP);
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    assert_eq!(base.fetch.demand_accesses, nl.fetch.demand_accesses);
+    assert_eq!(base.fetch.demand_accesses, pif.fetch.demand_accesses);
+    assert_eq!(base.frontend.mispredicts, pif.frontend.mispredicts);
+}
+
+#[test]
+fn prefetched_runs_report_consistent_miss_accounting() {
+    let (engine, trace) = scenario();
+    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
+    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    // Baseline-equivalent misses (remaining + covered) should be within a
+    // modest factor of the true baseline's misses.
+    let b = base.fetch.demand_misses as f64;
+    let e = pif.fetch.baseline_equivalent_misses() as f64;
+    assert!(
+        (e / b - 1.0).abs() < 0.4,
+        "baseline misses {b} vs PIF baseline-equivalent {e}"
+    );
+}

@@ -1,0 +1,52 @@
+//! Integration: everything is deterministic — trace generation, the
+//! front end, the engine, and the experiment pipeline. Reproducibility is
+//! a first-class requirement for a paper-reproduction artifact.
+
+use pif_core::{Pif, PifConfig};
+use pif_sim::{Engine, EngineConfig};
+use pif_workloads::WorkloadProfile;
+
+#[test]
+fn trace_generation_is_reproducible() {
+    let a = WorkloadProfile::web_apache().scaled(0.2).generate(100_000);
+    let b = WorkloadProfile::web_apache().scaled(0.2).generate(100_000);
+    assert_eq!(a.instrs(), b.instrs());
+}
+
+#[test]
+fn engine_runs_are_reproducible() {
+    let trace = WorkloadProfile::oltp_db2().scaled(0.2).generate(150_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+    let r1 = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 50_000);
+    let r2 = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 50_000);
+    assert_eq!(r1.fetch, r2.fetch);
+    assert_eq!(r1.prefetch, r2.prefetch);
+    assert_eq!(r1.timing, r2.timing);
+}
+
+#[test]
+fn workload_profiles_are_mutually_distinct() {
+    let mut traces = Vec::new();
+    for w in WorkloadProfile::all() {
+        traces.push((w.name().to_string(), w.scaled(0.1).generate(20_000)));
+    }
+    for i in 0..traces.len() {
+        for j in i + 1..traces.len() {
+            assert_ne!(
+                traces[i].1.instrs(),
+                traces[j].1.instrs(),
+                "{} and {} generated identical traces",
+                traces[i].0,
+                traces[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_prefixes_are_stable_under_length() {
+    let w = WorkloadProfile::dss_qry2().scaled(0.2);
+    let short = w.generate(50_000);
+    let long = w.generate(120_000);
+    assert_eq!(short.instrs(), &long.instrs()[..50_000]);
+}

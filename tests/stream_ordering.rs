@@ -1,0 +1,83 @@
+//! Integration: the paper's §2 hierarchy of stream predictability holds
+//! end-to-end — recording closer to retirement (and separating trap
+//! levels) never hurts, and the miss stream is the worst observation
+//! point.
+
+use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
+use pif_sim::EngineConfig;
+use pif_workloads::WorkloadProfile;
+
+fn coverage_for(profile: WorkloadProfile) -> pif_sim::predictor_eval::StreamCoverageReport {
+    let trace = profile.scaled(0.3).generate(400_000);
+    evaluate_stream_coverage_warmup(
+        &EngineConfig::paper_default(),
+        TemporalPredictorConfig::default(),
+        trace.instrs(),
+        150_000,
+    )
+}
+
+#[test]
+fn retire_streams_dominate_miss_streams() {
+    // Aggregate across two workload classes to damp small-trace noise.
+    for profile in [WorkloadProfile::oltp_db2(), WorkloadProfile::web_apache()] {
+        let name = profile.name().to_string();
+        let r = coverage_for(profile);
+        assert!(
+            r.correct_path_misses > 500,
+            "{name}: too few misses ({}) for a meaningful test",
+            r.correct_path_misses
+        );
+        // Retire-order streams must beat the cache-filtered miss stream.
+        assert!(
+            r.retire >= r.miss - 0.01,
+            "{name}: retire {} vs miss {}",
+            r.retire,
+            r.miss
+        );
+        // Separating trap levels never hurts materially.
+        assert!(
+            r.retire_sep >= r.retire - 0.01,
+            "{name}: retire_sep {} vs retire {}",
+            r.retire_sep,
+            r.retire
+        );
+    }
+}
+
+#[test]
+fn all_coverages_are_probabilities() {
+    let r = coverage_for(WorkloadProfile::dss_qry17());
+    for v in [r.miss, r.access, r.retire, r.retire_sep] {
+        assert!((0.0..=1.0).contains(&v), "coverage out of range: {v}");
+    }
+}
+
+#[test]
+fn deeper_replay_windows_never_hurt_retire_coverage() {
+    let trace = WorkloadProfile::oltp_oracle().scaled(0.3).generate(300_000);
+    let engine = EngineConfig::paper_default();
+    let small = evaluate_stream_coverage_warmup(
+        &engine,
+        TemporalPredictorConfig {
+            window: 32,
+            miss_window: 8,
+            pool: 8,
+            history_capacity: None,
+        },
+        trace.instrs(),
+        100_000,
+    );
+    let large = evaluate_stream_coverage_warmup(
+        &engine,
+        TemporalPredictorConfig::default(),
+        trace.instrs(),
+        100_000,
+    );
+    assert!(
+        large.retire >= small.retire - 0.02,
+        "deep window {} vs shallow {}",
+        large.retire,
+        small.retire
+    );
+}
