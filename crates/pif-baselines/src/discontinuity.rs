@@ -100,13 +100,14 @@ mod tests {
         FetchAccess::correct(Address::new(n * 64), TrapLevel::Tl0)
     }
 
-    fn drive(
-        d: &mut DiscontinuityPrefetcher,
-        h: &mut PrefetcherHarness,
-        n: u64,
-    ) -> Vec<BlockAddr> {
+    fn drive(d: &mut DiscontinuityPrefetcher, h: &mut PrefetcherHarness, n: u64) -> Vec<BlockAddr> {
         h.drive(|ctx| {
-            d.on_access_outcome(&access_at(n), BlockAddr::from_number(n), AccessOutcome::Miss, ctx)
+            d.on_access_outcome(
+                &access_at(n),
+                BlockAddr::from_number(n),
+                AccessOutcome::Miss,
+                ctx,
+            )
         })
     }
 

@@ -93,7 +93,7 @@ impl Prefetcher for NextLinePrefetcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pif_sim::{Engine, EngineConfig, NoPrefetcher, ICacheConfig, PrefetcherHarness};
+    use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher, PrefetcherHarness};
     use pif_types::{Address, RetiredInstr, TrapLevel};
 
     #[test]

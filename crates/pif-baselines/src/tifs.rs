@@ -137,7 +137,12 @@ impl Tifs {
         }
     }
 
-    fn refill(history_end: u64, get: impl Fn(u64) -> Option<BlockAddr>, s: &mut TifsStream, window: usize) {
+    fn refill(
+        history_end: u64,
+        get: impl Fn(u64) -> Option<BlockAddr>,
+        s: &mut TifsStream,
+        window: usize,
+    ) {
         while s.lookahead.len() < window && s.next_pos < history_end {
             if let Some(b) = get(s.next_pos) {
                 s.lookahead.push_back(b);
@@ -262,11 +267,7 @@ mod tests {
     use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher, PrefetcherHarness};
     use pif_types::{Address, RetiredInstr, TrapLevel};
 
-    fn miss(
-        tifs: &mut Tifs,
-        h: &mut PrefetcherHarness,
-        n: u64,
-    ) -> Vec<BlockAddr> {
+    fn miss(tifs: &mut Tifs, h: &mut PrefetcherHarness, n: u64) -> Vec<BlockAddr> {
         let access = FetchAccess::correct(Address::new(n * 64), TrapLevel::Tl0);
         h.drive(|ctx| {
             tifs.on_access_outcome(&access, BlockAddr::from_number(n), AccessOutcome::Miss, ctx)
@@ -279,7 +280,10 @@ mod tests {
         let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
         // Record a miss stream 10, 20, 30, 40.
         for n in [10, 20, 30, 40] {
-            assert!(miss(&mut tifs, &mut h, n).is_empty(), "cold: no predictions");
+            assert!(
+                miss(&mut tifs, &mut h, n).is_empty(),
+                "cold: no predictions"
+            );
         }
         assert_eq!(tifs.history_len(), 4);
         // The head recurs: TIFS replays 20, 30, 40.

@@ -93,7 +93,10 @@ fn bench_history_and_sab(c: &mut Criterion) {
     g.bench_function("sab_advance", |b| {
         let mut h = HistoryBuffer::new(32 * 1024);
         for n in 0..1024u64 {
-            h.append(SpatialRegionRecord::new(BlockAddr::from_number(n * 10)), true);
+            h.append(
+                SpatialRegionRecord::new(BlockAddr::from_number(n * 10)),
+                true,
+            );
         }
         let mut pool = SabPool::new(4, 7);
         pool.allocate(0, 0, 0, RegionGeometry::paper_default(), &h);

@@ -25,14 +25,22 @@ fn bench_figures(c: &mut Criterion) {
             black_box(table1::workload_table().to_string())
         })
     });
-    g.bench_function("fig2_stream_coverage", |b| b.iter(|| black_box(fig2::run(&scale))));
+    g.bench_function("fig2_stream_coverage", |b| {
+        b.iter(|| black_box(fig2::run(&scale)))
+    });
     g.bench_function("fig3_regions", |b| b.iter(|| black_box(fig3::run(&scale))));
-    g.bench_function("fig7_jump_distance", |b| b.iter(|| black_box(fig7::run(&scale))));
-    g.bench_function("fig8_offsets", |b| b.iter(|| black_box(fig8::run_offsets(&scale))));
+    g.bench_function("fig7_jump_distance", |b| {
+        b.iter(|| black_box(fig7::run(&scale)))
+    });
+    g.bench_function("fig8_offsets", |b| {
+        b.iter(|| black_box(fig8::run_offsets(&scale)))
+    });
     g.bench_function("fig9_history_sweep", |b| {
         b.iter(|| black_box(fig9::run_history_sweep(&scale)))
     });
-    g.bench_function("fig10_competitive", |b| b.iter(|| black_box(fig10::run(&scale))));
+    g.bench_function("fig10_competitive", |b| {
+        b.iter(|| black_box(fig10::run(&scale)))
+    });
     g.finish();
 }
 

@@ -215,9 +215,14 @@ impl PifAnalyzer {
                 if let Some(entry) = state.history.get(pos) {
                     let jump = state.history.block_position() - entry.block_position;
                     let (_, completed) =
-                        self.sabs.allocate(level, pos, jump, geometry, &state.history);
+                        self.sabs
+                            .allocate(level, pos, jump, geometry, &state.history);
                     if let Some(done) = completed {
-                        self.record_stream(done.jump_distance_blocks, done.regions_advanced, done.predictions);
+                        self.record_stream(
+                            done.jump_distance_blocks,
+                            done.regions_advanced,
+                            done.predictions,
+                        );
                     }
                 }
             }
@@ -228,7 +233,9 @@ impl PifAnalyzer {
         if predictions == 0 || !self.counting {
             return;
         }
-        self.report.jump_distance.record_weighted(jump.max(1), predictions);
+        self.report
+            .jump_distance
+            .record_weighted(jump.max(1), predictions);
         self.report
             .stream_length
             .record_weighted(regions.max(1), predictions);
@@ -406,7 +413,10 @@ mod tests {
         // A non-repeating walk: nothing recurs, so nothing is predictable.
         let mut v = Vec::new();
         for blk in 0..20_000u64 {
-            v.push(RetiredInstr::simple(Address::new(blk * 131 * 64), TrapLevel::Tl0));
+            v.push(RetiredInstr::simple(
+                Address::new(blk * 131 * 64),
+                TrapLevel::Tl0,
+            ));
         }
         let report = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
             .analyze(&v, v.len() / 4);

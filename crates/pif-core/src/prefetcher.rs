@@ -167,9 +167,9 @@ impl Prefetcher for Pif {
             return; // stale pointer: record overwritten
         };
         let jump = state.history.block_position() - entry.block_position;
-        let (records, completed) =
-            self.sabs
-                .allocate(level, pos, jump, geometry, &state.history);
+        let (records, completed) = self
+            .sabs
+            .allocate(level, pos, jump, geometry, &state.history);
         self.streams_opened += 1;
         if let Some(done) = completed {
             self.completed.push(done);
@@ -276,10 +276,7 @@ mod tests {
         for _ in 0..2 {
             for &t in &triggers {
                 for off in 0..3u64 {
-                    let instr = RetiredInstr::simple(
-                        Address::new((t + off) * 64),
-                        TrapLevel::Tl0,
-                    );
+                    let instr = RetiredInstr::simple(Address::new((t + off) * 64), TrapLevel::Tl0);
                     harness.drive(|ctx| pif.on_retire(&instr, false, ctx));
                 }
             }
@@ -288,12 +285,7 @@ mod tests {
         // and prefetch upcoming blocks.
         let access = FetchAccess::correct(Address::new(1_000 * 64), TrapLevel::Tl0);
         let requests = harness.drive(|ctx| {
-            pif.on_access_outcome(
-                &access,
-                access.pc.block(),
-                AccessOutcome::Miss,
-                ctx,
-            );
+            pif.on_access_outcome(&access, access.pc.block(), AccessOutcome::Miss, ctx);
         });
         assert!(pif.streams_opened() >= 1);
         assert!(
@@ -318,7 +310,9 @@ mod tests {
             let _ = rep;
         }
         // Mark the trigger block as prefetched in the cache.
-        harness.icache_mut().fill_prefetch(BlockAddr::from_number(1_000));
+        harness
+            .icache_mut()
+            .fill_prefetch(BlockAddr::from_number(1_000));
         let access = FetchAccess::correct(Address::new(1_000 * 64), TrapLevel::Tl0);
         let before = pif.streams_opened();
         harness.drive(|ctx| {

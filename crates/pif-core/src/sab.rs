@@ -93,7 +93,10 @@ impl SabPool {
     ///
     /// Panics if `count` or `window` is zero.
     pub fn new(count: usize, window: usize) -> Self {
-        assert!(count > 0 && window > 0, "SAB pool and window must be non-zero");
+        assert!(
+            count > 0 && window > 0,
+            "SAB pool and window must be non-zero"
+        );
         SabPool {
             sabs: Vec::with_capacity(count),
             count,
@@ -258,8 +261,9 @@ mod tests {
     fn advance_slides_and_reads_new_records() {
         let h = history_of(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         let mut pool = SabPool::new(4, 3);
-        pool.allocate(0, 0, 0, G, &h); // window: 10,20,30
-        // Fetch of 30's trigger: skip 2 regions, read 2 more.
+        // Allocate window 10,20,30; the fetch of 30's trigger then
+        // skips 2 regions and reads 2 more.
+        pool.allocate(0, 0, 0, G, &h);
         let new = pool.advance(0, b(30), G, &h).unwrap();
         assert_eq!(new.len(), 2);
         assert_eq!(new[0].trigger, b(40));
@@ -276,8 +280,14 @@ mod tests {
         h.append(SpatialRegionRecord::new(b(200)), true);
         let mut pool = SabPool::new(2, 2);
         pool.allocate(0, 0, 0, g, &h);
-        assert!(pool.advance(0, b(102), g, &h).is_some(), "bit-vector member matches");
-        assert!(pool.advance(0, b(104), g, &h).is_none(), "unset bit does not match");
+        assert!(
+            pool.advance(0, b(102), g, &h).is_some(),
+            "bit-vector member matches"
+        );
+        assert!(
+            pool.advance(0, b(104), g, &h).is_none(),
+            "unset bit does not match"
+        );
     }
 
     #[test]
@@ -299,7 +309,10 @@ mod tests {
         assert!(pool.advance(0, b(10), G, &h).is_some());
         let (_, completed) = pool.allocate(0, 2, 3, G, &h);
         let done = completed.expect("pool full: someone was replaced");
-        assert_eq!(done.jump_distance_blocks, 2, "the untouched stream was evicted");
+        assert_eq!(
+            done.jump_distance_blocks, 2,
+            "the untouched stream was evicted"
+        );
     }
 
     #[test]
@@ -313,7 +326,10 @@ mod tests {
         let done = pool.drain_completed();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].predictions, 3);
-        assert_eq!(done[0].regions_advanced, 2, "advanced past regions 10 and 20");
+        assert_eq!(
+            done[0].regions_advanced, 2,
+            "advanced past regions 10 and 20"
+        );
     }
 
     #[test]

@@ -193,7 +193,8 @@ impl Prefetcher for SharedPif {
                 return;
             };
             let jump = shared.history.block_position() - entry.block_position;
-            self.sabs.allocate(level, pos, jump, geometry, &shared.history)
+            self.sabs
+                .allocate(level, pos, jump, geometry, &shared.history)
         };
         let _ = completed;
         self.issue_region_prefetches(&records, ctx);

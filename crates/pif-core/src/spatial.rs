@@ -189,7 +189,10 @@ mod tests {
         let rec = c.observe(b(300), true).unwrap();
         assert!(!rec.trigger_not_prefetched);
         let rec2 = c.flush().unwrap();
-        assert!(rec2.trigger_not_prefetched, "new trigger carried its own tag");
+        assert!(
+            rec2.trigger_not_prefetched,
+            "new trigger carried its own tag"
+        );
     }
 
     #[test]

@@ -136,7 +136,10 @@ mod tests {
         }
         assert_eq!(Variant::Paper.config(), PifConfig::paper_default());
         assert!(!Variant::NoTrapSeparation.config().separate_trap_levels);
-        assert_eq!(Variant::NoSpatialRegions.config().geometry.total_blocks(), 1);
+        assert_eq!(
+            Variant::NoSpatialRegions.config().geometry.total_blocks(),
+            1
+        );
     }
 
     #[test]
@@ -147,7 +150,12 @@ mod tests {
             assert_eq!(r.coverage.len(), Variant::ALL.len());
             let paper = r.coverage[0];
             for (v, &c) in Variant::ALL.iter().zip(&r.coverage) {
-                assert!((0.0..=1.0).contains(&c), "{}: {} = {c}", r.workload, v.label());
+                assert!(
+                    (0.0..=1.0).contains(&c),
+                    "{}: {} = {c}",
+                    r.workload,
+                    v.label()
+                );
             }
             // The full design should roughly dominate the single-block
             // ablation (spatial regions are the big win).

@@ -33,7 +33,10 @@ fn main() {
             report.fetch.demand_misses as f64 / (report.frontend.instructions as f64 / 1000.0);
         t.row(vec![
             name,
-            format!("{:.2} MB", stats.footprint_bytes() as f64 / (1024.0 * 1024.0)),
+            format!(
+                "{:.2} MB",
+                stats.footprint_bytes() as f64 / (1024.0 * 1024.0)
+            ),
             format!("{mpki:.1}"),
             format!("{:.1}%", report.fetch.hit_rate() * 100.0),
             format!(
@@ -51,7 +54,10 @@ fn main() {
             format!("{:.1}%", report.timing.fetch_stall_fraction() * 100.0),
         ]);
     }
-    println!("Workload calibration ({} instructions/workload)\n", scale.instructions);
+    println!(
+        "Workload calibration ({} instructions/workload)\n",
+        scale.instructions
+    );
     print!("{t}");
     println!("\nTargets (server-workload literature): footprint >= 1 MB; I-MPKI 10-40;");
     println!("branches ~10-20% of instructions; mispredicts 2-8%; fetch stalls ~30-45%.");

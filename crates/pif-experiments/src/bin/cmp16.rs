@@ -83,8 +83,9 @@ fn main() {
     row("PIF", &pif);
     row("Perfect", &perfect);
 
+    println!("\nPaper methodology check: UIPC confidence at 95% should be < ±5% (paper §5);");
     println!(
-        "\nPaper methodology check: UIPC confidence at 95% should be < ±5% (paper §5);"
+        "measured relative error: ±{:.2}%",
+        base.uipc().relative_error() * 100.0
     );
-    println!("measured relative error: ±{:.2}%", base.uipc().relative_error() * 100.0);
 }

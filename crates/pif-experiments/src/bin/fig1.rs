@@ -58,8 +58,9 @@ fn right_panel() {
 
     // Train the predictor not-taken, then take the branch: the front end
     // speculates down the fall-through (R, S, ...) before the squash.
-    let branch_pc = Address::new(1 * 64 * 16); // inside block B's range
-    let taken_target = Address::new(5 * 64 * 16); // block C region, skipping R,S,T
+    let block_base = |i: u64| Address::new(i * 64 * 16);
+    let branch_pc = block_base(1); // inside block B's range
+    let taken_target = block_base(5); // block C region, skipping R,S,T
     let mk = |taken: bool| {
         RetiredInstr::branch(
             branch_pc,
@@ -80,7 +81,10 @@ fn right_panel() {
     // The data-dependent flip:
     trace.push(mk(true));
     trace.push(RetiredInstr::simple(taken_target, TrapLevel::Tl0));
-    trace.push(RetiredInstr::simple(taken_target.offset(64), TrapLevel::Tl0));
+    trace.push(RetiredInstr::simple(
+        taken_target.offset(64),
+        TrapLevel::Tl0,
+    ));
 
     let (events, stats) = FrontEnd::run_trace(FrontendConfig::paper_default(), &trace);
     let tail: Vec<String> = events
@@ -89,7 +93,11 @@ fn right_panel() {
             FrontendEvent::Fetch(a) => Some(format!(
                 "{}{}",
                 a.pc.block(),
-                if a.is_correct_path() { "" } else { " (wrong path!)" }
+                if a.is_correct_path() {
+                    ""
+                } else {
+                    " (wrong path!)"
+                }
             )),
             _ => None,
         })

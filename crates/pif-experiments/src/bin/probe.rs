@@ -5,9 +5,11 @@
 //!
 //! Usage: `cargo run --release -p pif-experiments --bin probe [workload]`
 use pif_experiments::Scale;
-use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig, TemporalStreamPredictor};
 use pif_sim::cache::{AccessOutcome, InstructionCache};
 use pif_sim::frontend::{FrontEnd, FrontendEvent};
+use pif_sim::predictor_eval::{
+    evaluate_stream_coverage_warmup, TemporalPredictorConfig, TemporalStreamPredictor,
+};
 use pif_sim::streams::BlockDedup;
 use pif_sim::EngineConfig;
 use pif_types::TrapLevel;
@@ -15,12 +17,22 @@ use pif_types::TrapLevel;
 fn main() {
     let scale = Scale::from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "DSS-Qry2".into());
-    let w = scale.workloads().into_iter().find(|w| w.name() == name).unwrap();
+    let w = scale
+        .workloads()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap();
     let trace = w.generate(scale.instructions);
     let engine = EngineConfig::paper_default();
     for (wnd, pool) in [(64, 8), (512, 16), (4096, 16), (4096, 64)] {
-        let cfg = TemporalPredictorConfig { window: wnd, miss_window: wnd / 12 + 4, pool, history_capacity: None };
-        let r = evaluate_stream_coverage_warmup(&engine, cfg, trace.instrs(), scale.warmup_instrs());
+        let cfg = TemporalPredictorConfig {
+            window: wnd,
+            miss_window: wnd / 12 + 4,
+            pool,
+            history_capacity: None,
+        };
+        let r =
+            evaluate_stream_coverage_warmup(&engine, cfg, trace.instrs(), scale.warmup_instrs());
         println!(
             "window={wnd:5} pool={pool:3}  miss={:.3} access={:.3} retire={:.3} sep={:.3}  (n={})",
             r.miss, r.access, r.retire, r.retire_sep, r.correct_path_misses

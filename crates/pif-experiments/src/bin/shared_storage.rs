@@ -21,7 +21,11 @@ const CORES: usize = 8;
 
 fn main() {
     let scale = Scale::from_env();
-    let profile = scale.workloads().into_iter().next().expect("profiles exist"); // OLTP-DB2
+    let profile = scale
+        .workloads()
+        .into_iter()
+        .next()
+        .expect("profiles exist"); // OLTP-DB2
     let per_core = (scale.instructions / 4).max(200_000);
     let warmup = (per_core as f64 * scale.warmup_fraction) as usize;
     let engine = EngineConfig::paper_default();
@@ -50,7 +54,10 @@ fn main() {
 
     let private_bytes = PifConfig::paper_default().approx_storage_bytes() * CORES;
     let shared_bytes = PifConfig::paper_default().approx_storage_bytes();
-    println!("{:<22} {:>14} {:>14} {:>14}", "config", "coverage", "speedup", "storage");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14}",
+        "config", "coverage", "speedup", "storage"
+    );
     println!(
         "{:<22} {:>13.1}% {:>13.2}x {:>11} KB",
         "private (per core)",

@@ -116,9 +116,17 @@ mod tests {
         assert_eq!(rows.len(), 6);
         for r in &rows {
             let dsum: f64 = r.density.iter().sum();
-            assert!(dsum > 0.95 && dsum < 1.01, "{}: density sums to {dsum}", r.workload);
+            assert!(
+                dsum > 0.95 && dsum < 1.01,
+                "{}: density sums to {dsum}",
+                r.workload
+            );
             let rsum: f64 = r.runs.iter().sum();
-            assert!(rsum > 0.95 && rsum < 1.01, "{}: runs sum to {rsum}", r.workload);
+            assert!(
+                rsum > 0.95 && rsum < 1.01,
+                "{}: runs sum to {rsum}",
+                r.workload
+            );
             assert!(r.regions > 0);
         }
         assert_eq!(density_table(&rows).len(), 6);

@@ -39,8 +39,8 @@ pub fn run(scale: &Scale) -> Vec<Fig7Row> {
     let instructions = scale.instructions;
     crate::parallel_map(scale.workloads(), move |w| {
         let trace = w.generate(instructions);
-        let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
-            .analyze(trace.instrs(), warmup);
+        let report =
+            PifAnalyzer::new(config, ICacheConfig::paper_default()).analyze(trace.instrs(), warmup);
         let mut cdf = report.jump_distance.cdf();
         cdf.resize(BUCKETS, 1.0);
         Fig7Row {
@@ -82,7 +82,11 @@ mod tests {
                 assert!(w[0] <= w[1] + 1e-9, "{}: non-monotone CDF", r.workload);
             }
             let last = *r.cdf.last().unwrap();
-            assert!((last - 1.0).abs() < 1e-6, "{}: CDF ends at {last}", r.workload);
+            assert!(
+                (last - 1.0).abs() < 1e-6,
+                "{}: CDF ends at {last}",
+                r.workload
+            );
         }
         assert_eq!(table(&rows).len(), 6);
     }

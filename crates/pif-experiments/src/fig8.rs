@@ -48,7 +48,10 @@ pub fn run_offsets(scale: &Scale) -> Vec<OffsetRow> {
         let report = analyze_regions(trace.instrs(), geometry);
         OffsetRow {
             workload: w.name().to_string(),
-            frequency: OFFSETS.iter().map(|&o| report.offset_frequency(o)).collect(),
+            frequency: OFFSETS
+                .iter()
+                .map(|&o| report.offset_frequency(o))
+                .collect(),
         }
     })
 }

@@ -13,13 +13,7 @@ pub const LENGTH_BUCKETS: usize = 22;
 
 /// History sizes swept in the right chart, in regions (the paper's x-axis
 /// is log2 of 8-block K-regions: 1, 3, 5, 7, 9 → 2K..512K).
-pub const HISTORY_SIZES: [usize; 5] = [
-    2 * 1024,
-    8 * 1024,
-    32 * 1024,
-    128 * 1024,
-    512 * 1024,
-];
+pub const HISTORY_SIZES: [usize; 5] = [2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024];
 
 /// Left chart: correct predictions by stream length.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,8 +53,8 @@ pub fn run_lengths(scale: &Scale) -> Vec<LengthRow> {
     let instructions = scale.instructions;
     crate::parallel_map(scale.workloads(), move |w| {
         let trace = w.generate(instructions);
-        let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
-            .analyze(trace.instrs(), warmup);
+        let report =
+            PifAnalyzer::new(config, ICacheConfig::paper_default()).analyze(trace.instrs(), warmup);
         let mut cdf = report.stream_length.cdf();
         cdf.resize(LENGTH_BUCKETS, 1.0);
         LengthRow {

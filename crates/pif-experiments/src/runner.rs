@@ -84,14 +84,13 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = items
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|| f(item))).collect();
+        handles
             .into_iter()
-            .map(|item| s.spawn(|_| f(item)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
-    .expect("scope panicked")
 }
 
 #[cfg(test)]

@@ -72,11 +72,18 @@ pub fn pif_table(config: &PifConfig) -> Table {
     ]);
     t.row(vec![
         "Index table".into(),
-        format!("{}K entries, {}-way", config.index_entries / 1024, config.index_ways),
+        format!(
+            "{}K entries, {}-way",
+            config.index_entries / 1024,
+            config.index_ways
+        ),
     ]);
     t.row(vec![
         "Stream address buffers".into(),
-        format!("{} SABs x {}-region window", config.sab_count, config.sab_window),
+        format!(
+            "{} SABs x {}-region window",
+            config.sab_count, config.sab_window
+        ),
     ]);
     t.row(vec![
         "Approx. storage".into(),

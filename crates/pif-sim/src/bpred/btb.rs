@@ -71,8 +71,8 @@ mod tests {
     #[test]
     fn capacity_evicts_old_entries() {
         let mut btb = BranchTargetBuffer::new(4, 1); // 4 sets x 1 way
-        // Fill set 0 (word indices multiple of 4): PCs 0x0, 0x40 alias? word
-        // index = pc>>2; set = idx & 3. 0x0 -> 0, 0x10 -> 0 (idx 4).
+                                                     // Fill set 0 (word indices multiple of 4): PCs 0x0, 0x40 alias? word
+                                                     // index = pc>>2; set = idx & 3. 0x0 -> 0, 0x10 -> 0 (idx 4).
         btb.update(Address::new(0x0), Address::new(0x1));
         btb.update(Address::new(0x10), Address::new(0x2));
         assert_eq!(btb.predict(Address::new(0x0)), None, "conflict evicted");

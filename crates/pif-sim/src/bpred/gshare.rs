@@ -103,7 +103,10 @@ mod tests {
             g.update(pc, taken);
             taken = !taken;
         }
-        assert!(correct >= 95, "gshare should nail alternation, got {correct}/100");
+        assert!(
+            correct >= 95,
+            "gshare should nail alternation, got {correct}/100"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct Lru {
 
 impl ReplacementPolicy for Lru {
     fn new(ways: usize) -> Self {
-        assert!(ways > 0 && ways <= u8::MAX as usize, "unsupported way count");
+        assert!(
+            ways > 0 && ways <= u8::MAX as usize,
+            "unsupported way count"
+        );
         Lru {
             order: (0..ways as u8).collect(),
         }

@@ -47,7 +47,9 @@ impl ICacheConfig {
             return Err(ConfigError::new("cache capacity and ways must be non-zero"));
         }
         if !self.blocks().is_multiple_of(self.ways) {
-            return Err(ConfigError::new("cache blocks must divide evenly into ways"));
+            return Err(ConfigError::new(
+                "cache blocks must divide evenly into ways",
+            ));
         }
         if !self.sets().is_power_of_two() {
             return Err(ConfigError::new(format!(
@@ -253,7 +255,10 @@ mod tests {
 
     #[test]
     fn engine_default_is_paper_default() {
-        assert_eq!(EngineConfig::default().icache, ICacheConfig::paper_default());
+        assert_eq!(
+            EngineConfig::default().icache,
+            ICacheConfig::paper_default()
+        );
         assert!(EngineConfig::paper_default().validate().is_ok());
     }
 

@@ -119,7 +119,11 @@ impl Engine {
 
     /// Runs anything that exposes a retired-instruction slice (e.g. the
     /// workload crate's `Trace`).
-    pub fn run<P: Prefetcher, T: AsRef<[RetiredInstr]>>(&self, trace: &T, prefetcher: P) -> RunReport {
+    pub fn run<P: Prefetcher, T: AsRef<[RetiredInstr]>>(
+        &self,
+        trace: &T,
+        prefetcher: P,
+    ) -> RunReport {
         self.run_instrs(trace.as_ref(), prefetcher)
     }
 
@@ -365,8 +369,16 @@ mod tests {
         let engine = Engine::new(EngineConfig::paper_default());
         let base = engine.run_instrs(&trace, NoPrefetcher);
         let pf = engine.run_instrs(&trace, NextFour);
-        assert!(pf.fetch.miss_coverage() > 0.5, "coverage {}", pf.fetch.miss_coverage());
-        assert!(pf.speedup_over(&base) > 1.05, "speedup {}", pf.speedup_over(&base));
+        assert!(
+            pf.fetch.miss_coverage() > 0.5,
+            "coverage {}",
+            pf.fetch.miss_coverage()
+        );
+        assert!(
+            pf.speedup_over(&base) > 1.05,
+            "speedup {}",
+            pf.speedup_over(&base)
+        );
         assert!(pf.prefetch.issued > 0);
         assert!(pf.prefetch.accuracy() > 0.5);
     }

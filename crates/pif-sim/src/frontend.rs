@@ -16,9 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use pif_types::{Address, BlockAddr, BranchKind, FetchAccess, RetiredInstr, TrapLevel};
 
-use crate::bpred::{
-    BranchTargetBuffer, DirectionPredictor, HybridPredictor, ReturnAddressStack,
-};
+use crate::bpred::{BranchTargetBuffer, DirectionPredictor, HybridPredictor, ReturnAddressStack};
 use crate::config::FrontendConfig;
 use crate::stats::FrontendStats;
 
@@ -205,7 +203,10 @@ impl FrontEnd {
     }
 
     /// Convenience: runs a whole trace, collecting all events.
-    pub fn run_trace(config: FrontendConfig, trace: &[RetiredInstr]) -> (Vec<FrontendEvent>, FrontendStats) {
+    pub fn run_trace(
+        config: FrontendConfig,
+        trace: &[RetiredInstr],
+    ) -> (Vec<FrontendEvent>, FrontendStats) {
         let mut fe = FrontEnd::new(config);
         let mut events = Vec::with_capacity(trace.len() * 2);
         for &instr in trace {
@@ -321,7 +322,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(!wrong.is_empty(), "misprediction must inject wrong-path fetches");
+        assert!(
+            !wrong.is_empty(),
+            "misprediction must inject wrong-path fetches"
+        );
         assert_eq!(
             wrong[0].block(),
             fall.block(),
@@ -396,8 +400,14 @@ mod tests {
     fn trap_level_change_restarts_fetch_block() {
         let mut trace = straight_line(4);
         // Interrupt handler at a far address, same block each time.
-        trace.push(RetiredInstr::simple(Address::new(0x400_0000), TrapLevel::Tl1));
-        trace.push(RetiredInstr::simple(Address::new(0x400_0004), TrapLevel::Tl1));
+        trace.push(RetiredInstr::simple(
+            Address::new(0x400_0000),
+            TrapLevel::Tl1,
+        ));
+        trace.push(RetiredInstr::simple(
+            Address::new(0x400_0004),
+            TrapLevel::Tl1,
+        ));
         // Return to the same application block.
         trace.push(RetiredInstr::simple(Address::new(16), TrapLevel::Tl0));
         let (events, _) = FrontEnd::run_trace(cfg(), &trace);

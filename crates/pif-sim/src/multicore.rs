@@ -274,6 +274,9 @@ mod tests {
             |_| NextOne,
         );
         let s = pf.speedup_over(&base);
-        assert!(s.mean > 1.0, "sequential prefetch must speed up sweeps: {s:?}");
+        assert!(
+            s.mean > 1.0,
+            "sequential prefetch must speed up sweeps: {s:?}"
+        );
     }
 }

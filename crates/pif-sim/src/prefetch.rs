@@ -65,7 +65,10 @@ impl<'a> PrefetchContext<'a> {
     pub fn was_prefetched(&self, block: BlockAddr) -> bool {
         matches!(
             self.icache.provenance(block),
-            Some(crate::cache::LineProvenance::Prefetched | crate::cache::LineProvenance::PrefetchedUsed)
+            Some(
+                crate::cache::LineProvenance::Prefetched
+                    | crate::cache::LineProvenance::PrefetchedUsed
+            )
         )
     }
 

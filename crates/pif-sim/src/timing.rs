@@ -83,8 +83,9 @@ impl TimingModel {
             ),
             None => (0, 0.0, 0.0, 0.0),
         };
-        let cycles =
-            (self.base_cycles - b0) + (self.fetch_stall_cycles - f0) + (self.mispredict_cycles - m0);
+        let cycles = (self.base_cycles - b0)
+            + (self.fetch_stall_cycles - f0)
+            + (self.mispredict_cycles - m0);
         TimingReport {
             instructions: self.instructions - i0,
             cycles: (cycles as u64).max(1),

@@ -74,7 +74,9 @@ impl RegionGeometry {
     /// [`RegionGeometry::MAX_BITS`] + 1.
     pub fn skewed_with_total(total: u8) -> Result<Self, ConfigError> {
         if total == 0 {
-            return Err(ConfigError::new("spatial region must contain the trigger block"));
+            return Err(ConfigError::new(
+                "spatial region must contain the trigger block",
+            ));
         }
         let non_trigger = total - 1;
         // The paper's skew: regions of size >= 4 reserve 2 preceding blocks,
@@ -448,8 +450,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn geometry_strategy() -> impl Strategy<Value = RegionGeometry> {
-        (0u8..=8, 0u8..=16)
-            .prop_map(|(p, s)| RegionGeometry::new(p, s).expect("within MAX_BITS"))
+        (0u8..=8, 0u8..=16).prop_map(|(p, s)| RegionGeometry::new(p, s).expect("within MAX_BITS"))
     }
 
     proptest! {

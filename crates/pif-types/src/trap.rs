@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(TrapLevel::Tl1.is_interrupt());
 /// assert_eq!(TrapLevel::Tl1.index(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum TrapLevel {
     /// Trap level 0: ordinary application and system-call execution.
     #[default]

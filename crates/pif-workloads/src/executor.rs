@@ -371,7 +371,10 @@ mod tests {
         let mut p = params();
         p.interrupt_mean_interval = 500;
         let trace = make_trace(&p, 100_000);
-        let tl1 = trace.iter().filter(|i| i.trap_level == TrapLevel::Tl1).count();
+        let tl1 = trace
+            .iter()
+            .filter(|i| i.trap_level == TrapLevel::Tl1)
+            .count();
         assert!(tl1 > 0, "interrupts must fire");
         // Handler bodies are 24-160 instrs arriving every ~500 app instrs:
         // expect roughly 5-25% TL1.
@@ -423,7 +426,15 @@ mod tests {
             .count();
         let returns = trace
             .iter()
-            .filter(|i| matches!(i.branch, Some(BranchInfo { kind: BranchKind::Return, .. })))
+            .filter(|i| {
+                matches!(
+                    i.branch,
+                    Some(BranchInfo {
+                        kind: BranchKind::Return,
+                        ..
+                    })
+                )
+            })
             .count();
         assert!(calls > 0 && returns > 0);
         // Returns can't exceed calls by more than truncation effects.

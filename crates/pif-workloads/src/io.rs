@@ -270,7 +270,10 @@ mod tests {
 
     #[test]
     fn rejects_corrupt_trap_level() {
-        let t = Trace::new("x", vec![RetiredInstr::simple(Address::new(4), TrapLevel::Tl0)]);
+        let t = Trace::new(
+            "x",
+            vec![RetiredInstr::simple(Address::new(4), TrapLevel::Tl0)],
+        );
         let mut bytes = encode_trace(&t).to_vec();
         // The trap-level byte of the first record sits after the header.
         let tl_offset = 4 + 4 + 4 + 1 + 8 + 8;

@@ -41,8 +41,8 @@
 mod executor;
 pub mod io;
 mod params;
-mod program;
 mod profiles;
+mod program;
 mod trace;
 
 pub use executor::Executor;

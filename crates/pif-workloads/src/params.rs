@@ -140,7 +140,9 @@ impl GeneratorParams {
             ("indirect_alt_prob", self.indirect_alt_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(ConfigError::new(format!("{name} must be in [0,1], got {p}")));
+                return Err(ConfigError::new(format!(
+                    "{name} must be in [0,1], got {p}"
+                )));
             }
         }
         if self.num_transaction_types == 0 || self.transaction_length == 0 {

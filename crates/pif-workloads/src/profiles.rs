@@ -411,7 +411,10 @@ mod tests {
         let trace = WorkloadProfile::web_apache().scaled(0.05).generate(60_000);
         let stats = trace.stats();
         assert!(stats.branches > 0);
-        assert!(stats.tl1_instructions > 0, "web workload must see interrupts");
+        assert!(
+            stats.tl1_instructions > 0,
+            "web workload must see interrupts"
+        );
         assert!(
             trace
                 .instrs()

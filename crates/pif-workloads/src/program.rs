@@ -136,7 +136,9 @@ impl ProgramImage {
             let instrs = rng.gen_range(params.fn_min_instrs..=params.fn_max_instrs);
             let entry = Address::new(cursor);
             cursor += u64::from(instrs) * 4 + u64::from(rng.gen_range(0..8u32)) * 4;
-            let sites = gen_sites(params, instrs, id, &rank_of, &layer_of, layers, &zipf, &mut rng);
+            let sites = gen_sites(
+                params, instrs, id, &rank_of, &layer_of, layers, &zipf, &mut rng,
+            );
             functions.push(FunctionLayout {
                 id,
                 entry,
@@ -263,10 +265,7 @@ impl ProgramImage {
 
     /// Total application code footprint in bytes.
     pub fn footprint_bytes(&self) -> u64 {
-        self.functions
-            .iter()
-            .map(|f| u64::from(f.instrs) * 4)
-            .sum()
+        self.functions.iter().map(|f| u64::from(f.instrs) * 4).sum()
     }
 }
 
@@ -389,7 +388,7 @@ fn gen_sites(
             if !callees.is_empty() {
                 sites.insert(idx, Site::Call { callees, indirect });
             }
-            idx += rng.gen_range(2..8);
+            idx += rng.gen_range(2u32..8);
         } else if r < params.call_density + params.skip_density {
             let max_jump = (instrs - 2 - idx).min(24);
             if max_jump >= 2 {
@@ -585,7 +584,10 @@ mod tests {
         let img = ProgramImage::generate(&small_params()).unwrap();
         let stats = img.call_graph_stats();
         assert!(stats.layers >= 2);
-        assert_eq!(stats.functions_per_layer.iter().sum::<usize>(), stats.functions);
+        assert_eq!(
+            stats.functions_per_layer.iter().sum::<usize>(),
+            stats.functions
+        );
         assert!(stats.indirect_sites <= stats.call_sites);
         // Every call goes to a strictly deeper layer: the DAG property the
         // executor's termination relies on.

@@ -4,12 +4,14 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use pif_repro::prelude::*;
 use pif_repro::pif::analysis::PifAnalyzer;
+use pif_repro::prelude::*;
 use pif_repro::types::RegionGeometry;
 
 fn main() {
-    let trace = WorkloadProfile::oltp_oracle().scaled(0.5).generate(2_000_000);
+    let trace = WorkloadProfile::oltp_oracle()
+        .scaled(0.5)
+        .generate(2_000_000);
     let engine = Engine::new(EngineConfig::paper_default());
     let warmup = 600_000;
 

@@ -4,13 +4,15 @@
 //!
 //! Run with: `cargo run --release --example trace_anatomy [workload]`
 
-use pif_repro::prelude::*;
 use pif_repro::pif::analysis::analyze_regions;
+use pif_repro::prelude::*;
 use pif_repro::sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
 use pif_repro::types::RegionGeometry;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "OLTP-Oracle".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "OLTP-Oracle".to_string());
     let profile = WorkloadProfile::all()
         .into_iter()
         .find(|w| w.name() == name)
@@ -38,13 +40,28 @@ fn main() {
         600_000,
     );
     println!("\ntemporal-stream predictability of L1-I misses (Fig. 2):");
-    println!("  miss stream:       {:>5.1}%  <- filtered & fragmented by the cache", coverage.miss * 100.0);
-    println!("  access stream:     {:>5.1}%  <- wrong-path noise included", coverage.access * 100.0);
-    println!("  retire stream:     {:>5.1}%  <- correct path only", coverage.retire * 100.0);
-    println!("  retire, per-trap:  {:>5.1}%  <- PIF's recording point", coverage.retire_sep * 100.0);
+    println!(
+        "  miss stream:       {:>5.1}%  <- filtered & fragmented by the cache",
+        coverage.miss * 100.0
+    );
+    println!(
+        "  access stream:     {:>5.1}%  <- wrong-path noise included",
+        coverage.access * 100.0
+    );
+    println!(
+        "  retire stream:     {:>5.1}%  <- correct path only",
+        coverage.retire * 100.0
+    );
+    println!(
+        "  retire, per-trap:  {:>5.1}%  <- PIF's recording point",
+        coverage.retire_sep * 100.0
+    );
 
     // Spatial regions (paper Fig. 3).
-    let regions = analyze_regions(trace.instrs(), RegionGeometry::new(8, 23).expect("32-block"));
+    let regions = analyze_regions(
+        trace.instrs(),
+        RegionGeometry::new(8, 23).expect("32-block"),
+    );
     println!("\nspatial regions (32-block probe, Fig. 3):");
     println!(
         "  regions observed: {}   multi-block: {:.1}%   discontinuous: {:.1}%",

@@ -6,7 +6,9 @@
 use pif_repro::prelude::*;
 
 fn main() {
-    let trace = WorkloadProfile::web_apache().scaled(0.5).generate(2_000_000);
+    let trace = WorkloadProfile::web_apache()
+        .scaled(0.5)
+        .generate(2_000_000);
     let engine = Engine::new(EngineConfig::paper_default());
     let warmup = 600_000;
 
@@ -39,8 +41,6 @@ fn main() {
     report(engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), warmup));
     report(engine.run_warmup(&trace, PerfectICache, warmup));
 
-    println!(
-        "\nExpected: Next-Line < Discontinuity < TIFS < PIF, with PIF close to Perfect —"
-    );
+    println!("\nExpected: Next-Line < Discontinuity < TIFS < PIF, with PIF close to Perfect —");
     println!("the paper's Figure 10 ordering, reproduced on the synthetic Apache profile.");
 }

@@ -57,7 +57,10 @@ fn pif_records_both_trap_levels_on_server_traces() {
             pif.on_retire(instr, false, ctx);
         });
     }
-    assert!(pif.history_len(TrapLevel::Tl0) > 100, "TL0 history recorded");
+    assert!(
+        pif.history_len(TrapLevel::Tl0) > 100,
+        "TL0 history recorded"
+    );
     assert!(pif.history_len(TrapLevel::Tl1) > 10, "TL1 history recorded");
 }
 
@@ -112,7 +115,8 @@ fn no_prefetch_baseline_sees_server_class_stalls() {
     // Sanity: the synthetic workloads reproduce the motivating problem —
     // significant fetch-stall time without prefetching.
     let trace = WorkloadProfile::web_apache().scaled(0.4).generate(500_000);
-    let report = Engine::new(EngineConfig::paper_default()).run_warmup(&trace, NoPrefetcher, 200_000);
+    let report =
+        Engine::new(EngineConfig::paper_default()).run_warmup(&trace, NoPrefetcher, 200_000);
     assert!(
         report.timing.fetch_stall_fraction() > 0.15,
         "fetch stalls {:.3} too low to motivate prefetching",

@@ -1,0 +1,59 @@
+//! Workspace smoke test: the `pif_repro::prelude` quickstart path works
+//! end-to-end exactly as the crate-level documentation advertises —
+//! generate a trace, run the engine with PIF attached, and get a report
+//! with real coverage. Guards the facade's re-export wiring (every name
+//! here resolves through `pif_repro::prelude`).
+
+use pif_repro::prelude::*;
+
+#[test]
+fn prelude_quickstart_path_works_end_to_end() {
+    // Mirrors the doc example in src/lib.rs.
+    let trace = WorkloadProfile::oltp_db2().scaled(0.02).generate(50_000);
+    assert_eq!(trace.len(), 50_000);
+
+    let config = EngineConfig::paper_default();
+    let pif = Pif::new(PifConfig::default());
+    let report = Engine::new(config).run(&trace, pif);
+    assert!(report.fetch.demand_accesses > 0, "engine saw no fetches");
+
+    // At the doc example's scale the footprint fits in L1-I (all misses
+    // are cold), so demonstrate nonzero coverage on a pressured trace.
+    let trace = WorkloadProfile::oltp_db2().scaled(0.3).generate(150_000);
+    let pif = Pif::new(PifConfig::default());
+    let report = Engine::new(config).run(&trace, pif);
+    assert!(report.fetch.demand_misses > 0, "trace exerts no pressure");
+    let coverage = report.miss_coverage();
+    assert!(
+        coverage > 0.1 && coverage <= 1.0,
+        "PIF should cover a real fraction of misses, got {coverage}"
+    );
+}
+
+#[test]
+fn prelude_exposes_baselines_and_types() {
+    // Every baseline the paper compares against is constructible from the
+    // prelude, and runs on the same engine/trace pair.
+    let trace = WorkloadProfile::web_apache().scaled(0.02).generate(20_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+
+    let nl = engine.run(&trace, NextLinePrefetcher::aggressive());
+    let tifs = engine.run(&trace, Tifs::unbounded());
+    let disc = engine.run(&trace, DiscontinuityPrefetcher::paper_scale());
+    let perfect = engine.run(&trace, PerfectICache);
+    let base = engine.run(&trace, NoPrefetcher);
+
+    for report in [&nl, &tifs, &disc, &perfect] {
+        assert_eq!(report.fetch.demand_accesses, base.fetch.demand_accesses);
+    }
+    assert_eq!(perfect.fetch.demand_misses, 0);
+
+    // The prelude's type vocabulary is usable directly.
+    let geometry = RegionGeometry::paper_default();
+    let trigger = BlockAddr::from_number(42);
+    let mut record = SpatialRegionRecord::new(trigger);
+    assert!(record.record_block(geometry, trigger.offset(1)));
+    let pc = Address::new(0x4000);
+    let instr = RetiredInstr::simple(pc, TrapLevel::Tl0);
+    assert_eq!(instr.pc.block(), pc.block());
+}

@@ -1,0 +1,226 @@
+//! Minimal stand-in for `bytes` used by this workspace's offline build.
+//!
+//! Implements the surface the trace codec consumes: [`BytesMut`] with
+//! [`BufMut`] little-endian put methods and `freeze()`, [`Bytes`] as an
+//! immutable byte container dereferencing to `[u8]`, and [`Buf`] for
+//! `&[u8]` cursors with little-endian get methods.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable contiguous byte buffer (plain `Vec<u8>` under the hood).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(data.to_vec())
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self(Vec::with_capacity(capacity))
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read cursor over a byte source; advances past consumed bytes.
+///
+/// The `get_*` methods panic if fewer bytes remain than requested,
+/// matching upstream `bytes` semantics.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies exactly `dst.len()` bytes into `dst` and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Appends all of `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"head");
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        let frozen = buf.freeze();
+
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 4 + 1 + 4 + 8);
+        let mut head = [0u8; 4];
+        cursor.copy_to_slice(&mut head);
+        assert_eq!(&head, b"head");
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 1);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn get_past_end_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

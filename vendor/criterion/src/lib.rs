@@ -1,0 +1,256 @@
+//! Minimal stand-in for `criterion` used by this workspace's offline
+//! build. Supports the suite layout the `pif-bench` benches use:
+//! benchmark groups with `throughput`/`sample_size`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Behavior:
+//!
+//! * `cargo bench -- --test` runs every benchmark body exactly once and
+//!   reports nothing — the CI smoke mode.
+//! * `cargo bench` calibrates each benchmark to a short measurement
+//!   window and prints mean wall-clock time per iteration. No statistics
+//!   beyond the mean, no HTML reports.
+//! * A positional CLI argument filters benchmarks by substring match on
+//!   `group/name`, mirroring criterion's filter argument.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark in bench mode.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Throughput annotation for a benchmark group (accepted, echoed in
+/// reports as elements/bytes per second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that the shim accepts and ignores.
+                "--bench" | "--profile-time" | "--noplot" | "--quiet" | "-n" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Self {
+            test_mode,
+            filter,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Registers and runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Prints the closing summary (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            eprintln!("criterion-shim: {} benchmark(s) measured", self.ran);
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            self.ran += 1;
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one batch fills the
+        // measurement window, then report the mean.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= MEASURE_WINDOW || iters >= 1 << 24 {
+                let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n))
+                        if per_iter > 0.0 =>
+                    {
+                        format!("  ({:.2e} /s)", n as f64 * 1e9 / per_iter)
+                    }
+                    _ => String::new(),
+                };
+                eprintln!("{id:<40} {per_iter:>12.1} ns/iter{rate}");
+                break;
+            }
+            iters = iters.saturating_mul(
+                ((MEASURE_WINDOW.as_nanos() as u64)
+                    .checked_div(b.elapsed.as_nanos().max(1) as u64)
+                    .unwrap_or(2))
+                .clamp(2, 1 << 10),
+            );
+        }
+        self.ran += 1;
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handle passed to each benchmark closure; call [`Bencher::iter`] with
+/// the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this batch's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            ran: 0,
+        };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1)).sample_size(10);
+            g.bench_function("a", |b| b.iter(|| calls += 1));
+            g.bench_function("b", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 2, "test mode runs each body exactly once");
+        assert_eq!(c.ran, 2);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            ran: 0,
+        };
+        let mut ran_kept = false;
+        c.bench_function("keep_this", |b| b.iter(|| ran_kept = true));
+        c.bench_function("drop_this", |b| b.iter(|| panic!("filtered out")));
+        assert!(ran_kept);
+        assert_eq!(c.ran, 1);
+    }
+}

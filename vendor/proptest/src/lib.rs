@@ -1,0 +1,455 @@
+//! Minimal stand-in for `proptest` used by this workspace's offline
+//! build.
+//!
+//! Supports the property tests this repository writes: the [`proptest!`]
+//! macro over `pattern in strategy` parameters, integer-range and
+//! inclusive-range strategies, tuples of strategies, `prop_map`,
+//! [`arbitrary::any`], [`collection::vec`], [`option::of`],
+//! [`bool::ANY`], and simple `[class]{m,n}` string-pattern strategies.
+//!
+//! Each property runs a fixed number of deterministic cases (derived
+//! from the test's module path and name, so runs are reproducible;
+//! override the count with `PROPTEST_CASES`). Failures are reported by
+//! ordinary `assert!` panics — there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic random source for test-case generation.
+pub mod test_runner {
+    /// Per-test deterministic generator (xorshift64* seeded by FNV-1a of
+    /// the test's full name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the generator for the named test; the same name always
+        /// produces the same case sequence.
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: hash.max(1) }
+        }
+
+        /// Returns the next random word.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and built-in strategies.
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String-pattern strategy: supports the `[class]{m,n}` subset of
+    /// regex syntax (character classes with `a-z` ranges); any other
+    /// pattern falls back to short alphanumeric strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        const FALLBACK: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+        let (alphabet, min, max) =
+            parse_class_repeat(pattern).unwrap_or_else(|| (FALLBACK.chars().collect(), 0, 16));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+
+    /// Parses `[class]{m,n}` into (alphabet, m, n); `None` if the pattern
+    /// has any other shape.
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = counts.split_once(',')?;
+        let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+        if min > max {
+            return None;
+        }
+
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                if let Some(&end) = lookahead.peek() {
+                    // `a-z` range (a trailing `-` stays literal).
+                    chars = lookahead;
+                    chars.next();
+                    alphabet.extend((c..=end).filter(char::is_ascii));
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        if alphabet.is_empty() {
+            None
+        } else {
+            Some((alphabet, min, max))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn class_repeat_parses() {
+            let (alphabet, min, max) = parse_class_repeat("[a-zA-Z0-9_-]{0,24}").unwrap();
+            assert_eq!((min, max), (0, 24));
+            for c in ['a', 'z', 'A', 'Z', '0', '9', '_', '-'] {
+                assert!(alphabet.contains(&c), "missing {c:?}");
+            }
+            assert!(!alphabet.contains(&'['));
+        }
+
+        #[test]
+        fn string_strategy_respects_pattern() {
+            let mut rng = TestRng::deterministic("string_strategy");
+            for _ in 0..200 {
+                let s = "[a-z]{1,4}".generate(&mut rng);
+                assert!((1..=4).contains(&s.len()), "bad length: {s:?}");
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn ranges_and_maps_generate_in_bounds() {
+            let mut rng = TestRng::deterministic("ranges");
+            let doubled = (0u8..=8).prop_map(|v| u32::from(v) * 2);
+            for _ in 0..200 {
+                assert!((-20i64..20).generate(&mut rng) < 20);
+                assert!(doubled.generate(&mut rng) <= 16);
+                let (a, b) = (0u64..5, 1usize..=3).generate(&mut rng);
+                assert!(a < 5 && (1..=3).contains(&b));
+            }
+        }
+    }
+}
+
+/// `any::<T>()` strategies for types with a natural full-domain
+/// distribution.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types generatable over their full domain by [`any`].
+    pub trait Arbitrary {
+        /// Draws one value uniformly from the type's domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// `bool` strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Fair-coin strategy for `bool`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($($s,)+);
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..$crate::test_runner::cases() {
+                    let ($($p,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Property-test assertion; forwards to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property-test equality assertion; forwards to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Property-test inequality assertion; forwards to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn sums_stay_in_bounds(
+            a in 0u32..100,
+            b in 0u32..=50,
+            flip in crate::bool::ANY,
+            xs in crate::collection::vec(any::<u8>(), 0..8),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!(b <= 50);
+            prop_assert!(xs.len() < 8);
+            let total = u64::from(a) + u64::from(b);
+            prop_assert!(total <= 149);
+            prop_assert_eq!(flip as u8 <= 1, true);
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((x, y) in (0i64..10, crate::option::of(0u8..3))) {
+            prop_assert!(x < 10);
+            if let Some(v) = y {
+                prop_assert!(v < 3);
+            }
+        }
+    }
+}

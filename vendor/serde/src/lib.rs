@@ -1,0 +1,15 @@
+//! Minimal stand-in for `serde` used by this workspace's offline build.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros. The repository never serializes through serde's
+//! data model — types are merely annotated — so marker traits suffice.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

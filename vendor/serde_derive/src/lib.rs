@@ -1,0 +1,21 @@
+//! No-op stand-ins for `serde_derive`'s `Serialize`/`Deserialize`
+//! derive macros.
+//!
+//! The repository only *annotates* types with the serde derives; nothing
+//! actually serializes through serde's data model. These derives accept
+//! the annotation (including `#[serde(...)]` helper attributes) and
+//! expand to nothing, which is sufficient for an offline build.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
