@@ -10,7 +10,7 @@
 use pif_baselines::{NextLinePrefetcher, PerfectICache, Tifs};
 use pif_core::{Pif, PifConfig};
 use pif_experiments::Scale;
-use pif_sim::multicore::{run_cmp, CmpReport};
+use pif_sim::multicore::{run_cmp_sources, CmpReport};
 use pif_sim::{EngineConfig, NoPrefetcher, Prefetcher};
 
 const CORES: usize = 16;
@@ -39,16 +39,17 @@ fn main() {
     );
 
     let run = |mk: &(dyn Fn(usize) -> Box<dyn Prefetcher + Send> + Sync)| -> CmpReport {
-        run_cmp(
+        // Per-core traces are generated lazily on side threads and pulled
+        // by the engines as InstrSources: the 16 traces never exist in
+        // memory, so trace length is bounded by CPU time, not RAM.
+        run_cmp_sources(
             &engine,
             CORES,
             warmup,
             |core| {
                 profile
                     .with_seed_offset(core as u64)
-                    .generate(per_core_instrs)
-                    .instrs()
-                    .to_vec()
+                    .stream(per_core_instrs)
             },
             mk,
         )

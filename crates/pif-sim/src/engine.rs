@@ -1,7 +1,7 @@
 //! The simulation engine: drives a retire-order trace through the front
 //! end, L1-I cache, and an attached prefetcher, charging the timing model.
 
-use pif_types::{FetchAccess, RetiredInstr};
+use pif_types::{FetchAccess, InstrSource, RetiredInstr};
 
 use crate::cache::{AccessOutcome, InstructionCache, L2Model, LineProvenance};
 use crate::config::EngineConfig;
@@ -85,14 +85,52 @@ impl Engine {
     }
 
     /// As [`Engine::run_instrs`], but treats the first `warmup_instrs`
+    /// retirements as warmup (see [`Engine::run_source_warmup`]).
+    pub fn run_instrs_warmup<P: Prefetcher>(
+        &self,
+        trace: &[RetiredInstr],
+        prefetcher: P,
+        warmup_instrs: usize,
+    ) -> RunReport {
+        self.run_source_warmup(trace.iter().copied(), prefetcher, warmup_instrs)
+    }
+
+    /// Runs a streaming [`InstrSource`] with `prefetcher` attached.
+    ///
+    /// This is the engine's core loop; the slice entry points are thin
+    /// wrappers over it. Because instructions are *pulled* one at a time,
+    /// the trace never has to exist in memory: pass a
+    /// `pif_trace::TraceReader`'s instruction iterator to simulate a
+    /// multi-hundred-million-instruction file out of core, or a
+    /// `pif_workloads` stream to simulate while generating. Pass
+    /// `&mut source` to retain ownership (e.g. to check a trace decoder
+    /// for deferred errors after the run).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+    /// use pif_types::{Address, RetiredInstr, TrapLevel};
+    ///
+    /// // A lazily generated source: no Vec<RetiredInstr> anywhere.
+    /// let source = (0..1000u64)
+    ///     .map(|i| RetiredInstr::simple(Address::new((i % 256) * 4), TrapLevel::Tl0));
+    /// let report = Engine::new(EngineConfig::paper_default()).run_source(source, NoPrefetcher);
+    /// assert_eq!(report.frontend.instructions, 1000);
+    /// ```
+    pub fn run_source<P: Prefetcher, S: InstrSource>(&self, source: S, prefetcher: P) -> RunReport {
+        self.run_source_warmup(source, prefetcher, 0)
+    }
+
+    /// As [`Engine::run_source`], but treats the first `warmup_instrs`
     /// retirements as warmup: caches, predictor tables, and prefetcher
     /// state are exercised, while the reported statistics cover only the
     /// post-warmup region — the paper's steady-state measurement
     /// methodology (§5: checkpoints with warmed caches and prefetcher
     /// tables).
-    pub fn run_instrs_warmup<P: Prefetcher>(
+    pub fn run_source_warmup<P: Prefetcher, S: InstrSource>(
         &self,
-        trace: &[RetiredInstr],
+        mut source: S,
         prefetcher: P,
         warmup_instrs: usize,
     ) -> RunReport {
@@ -100,11 +138,13 @@ impl Engine {
         let mut frontend = FrontEnd::new(self.config.frontend);
         let mut events: Vec<FrontendEvent> = Vec::with_capacity(64);
         let mut warm = warmup_instrs == 0;
-        for (i, &instr) in trace.iter().enumerate() {
-            if !warm && i >= warmup_instrs {
+        let mut retired: usize = 0;
+        while let Some(instr) = source.next_instr() {
+            if !warm && retired >= warmup_instrs {
                 state.mark_warm();
                 warm = true;
             }
+            retired += 1;
             frontend.step(instr, |e| events.push(e));
             for e in events.drain(..) {
                 state.process(e);
@@ -447,6 +487,39 @@ mod tests {
         let b = engine.run_instrs_warmup(&trace, NoPrefetcher, 0);
         assert_eq!(a.fetch, b.fetch);
         assert_eq!(a.timing, b.timing);
+    }
+
+    #[test]
+    fn run_source_matches_slice_path() {
+        let trace = loop_trace(512, 4);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let sliced = engine.run_instrs(&trace, NoPrefetcher);
+        // A lazily-evaluated source with no backing slice.
+        let streamed = engine.run_source((0..trace.len()).map(|i| trace[i]), NoPrefetcher);
+        assert_eq!(sliced.fetch, streamed.fetch);
+        assert_eq!(sliced.timing, streamed.timing);
+        assert_eq!(sliced.frontend, streamed.frontend);
+    }
+
+    #[test]
+    fn run_source_warmup_matches_slice_path() {
+        let trace = loop_trace(256, 6);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let warm = trace.len() / 3;
+        let sliced = engine.run_instrs_warmup(&trace, NoPrefetcher, warm);
+        let streamed = engine.run_source_warmup(trace.iter().copied(), NoPrefetcher, warm);
+        assert_eq!(sliced.fetch, streamed.fetch);
+        assert_eq!(sliced.timing, streamed.timing);
+    }
+
+    #[test]
+    fn run_source_accepts_mut_reference() {
+        let trace = loop_trace(64, 2);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let mut source = trace.iter().copied();
+        let report = engine.run_source(&mut source, NoPrefetcher);
+        assert_eq!(report.frontend.instructions, trace.len() as u64);
+        assert_eq!(source.next(), None, "source fully drained");
     }
 
     #[test]

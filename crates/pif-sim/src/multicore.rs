@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 
-use pif_types::RetiredInstr;
+use pif_types::{InstrSource, RetiredInstr};
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, RunReport};
@@ -151,6 +151,59 @@ where
     T: Fn(usize) -> Vec<RetiredInstr> + Sync,
     F: Fn(usize) -> P + Sync,
 {
+    run_cmp_sources(
+        config,
+        cores,
+        warmup_instrs,
+        |core| trace_for(core).into_iter(),
+        prefetcher_for,
+    )
+}
+
+/// As [`run_cmp`], but each core pulls from a streaming [`InstrSource`]
+/// instead of a materialized trace vector, so total memory stays bounded
+/// no matter how long the per-core traces are — e.g. each core decoding
+/// its own compressed trace file, or generating lazily on a side thread.
+///
+/// Pairs naturally with `pif_workloads::WorkloadProfile::stream` (lazy
+/// per-core generation) or `pif_trace::TraceReader::instrs` (per-core
+/// compressed trace files).
+///
+/// # Example
+///
+/// ```
+/// use pif_sim::multicore::run_cmp_sources;
+/// use pif_sim::{EngineConfig, NoPrefetcher};
+/// use pif_types::{Address, RetiredInstr, TrapLevel};
+///
+/// // 4 cores, each pulling from a lazy per-core source; no Vec anywhere.
+/// let report = run_cmp_sources(
+///     &EngineConfig::paper_default(),
+///     4,
+///     0,
+///     |core| {
+///         (0..5_000u64).map(move |i| {
+///             let pc = ((i + core as u64 * 7) % 512) * 64;
+///             RetiredInstr::simple(Address::new(pc), TrapLevel::Tl0)
+///         })
+///     },
+///     |_| NoPrefetcher,
+/// );
+/// assert_eq!(report.per_core.len(), 4);
+/// ```
+pub fn run_cmp_sources<P, S, T, F>(
+    config: &EngineConfig,
+    cores: usize,
+    warmup_instrs: usize,
+    source_for: T,
+    prefetcher_for: F,
+) -> CmpReport
+where
+    P: Prefetcher + Send,
+    S: InstrSource + Send,
+    T: Fn(usize) -> S + Sync,
+    F: Fn(usize) -> P + Sync,
+{
     assert!(cores > 0, "CMP needs at least one core");
     let engine = Engine::new(*config);
     let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; cores]);
@@ -158,11 +211,11 @@ where
         for core in 0..cores {
             let engine = &engine;
             let results = &results;
-            let trace_for = &trace_for;
+            let source_for = &source_for;
             let prefetcher_for = &prefetcher_for;
             s.spawn(move || {
-                let trace = trace_for(core);
-                let report = engine.run_instrs_warmup(&trace, prefetcher_for(core), warmup_instrs);
+                let source = source_for(core);
+                let report = engine.run_source_warmup(source, prefetcher_for(core), warmup_instrs);
                 results.lock()[core] = Some(report);
             });
         }
@@ -236,6 +289,35 @@ mod tests {
             |_| NoPrefetcher,
         );
         assert!(report.uipc().ci95 < 1e-9, "identical traces must agree");
+    }
+
+    #[test]
+    fn sources_match_materialized_traces() {
+        let vecs = run_cmp(
+            &EngineConfig::paper_default(),
+            4,
+            100,
+            |core| core_trace(core, 15_000, 1024),
+            |_| NoPrefetcher,
+        );
+        let sources = run_cmp_sources(
+            &EngineConfig::paper_default(),
+            4,
+            100,
+            |core| {
+                (0..15_000u64).map(move |i| {
+                    RetiredInstr::simple(
+                        Address::new(((i + core as u64 * 13) % 1024) * 64),
+                        TrapLevel::Tl0,
+                    )
+                })
+            },
+            |_| NoPrefetcher,
+        );
+        for (a, b) in vecs.per_core.iter().zip(&sources.per_core) {
+            assert_eq!(a.fetch, b.fetch);
+            assert_eq!(a.timing, b.timing);
+        }
     }
 
     #[test]

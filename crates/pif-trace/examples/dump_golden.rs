@@ -1,0 +1,30 @@
+//! Dev helper: prints the golden-fixture byte layouts used by
+//! `tests/trace_subsystem.rs`. Run: `cargo run -p pif-trace --example dump_golden`
+
+use pif_trace::encode_v2;
+use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
+
+fn main() {
+    let instrs = vec![
+        RetiredInstr::simple(Address::new(0x40_0000), TrapLevel::Tl0),
+        RetiredInstr::branch(
+            Address::new(0x40_0004),
+            TrapLevel::Tl0,
+            BranchInfo {
+                kind: BranchKind::Call,
+                taken: true,
+                taken_target: Address::new(0x40_1000),
+                fall_through: Address::new(0x40_0008),
+            },
+        ),
+        RetiredInstr::simple(Address::new(0x40_1000), TrapLevel::Tl1),
+    ];
+    let v2 = encode_v2("golden", &instrs);
+    for (i, b) in v2.iter().enumerate() {
+        print!("0x{b:02x}, ");
+        if i % 12 == 11 {
+            println!();
+        }
+    }
+    println!();
+}

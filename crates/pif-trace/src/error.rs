@@ -1,0 +1,166 @@
+//! The trace-codec error type, shared by every crate that reads traces.
+
+use std::io;
+
+/// Errors from decoding a serialized trace (either format version).
+///
+/// Non-I/O variants compare structurally with `==`, so tests can assert
+/// on exact errors instead of `matches!` boilerplate. Two [`Io`] errors
+/// never compare equal (underlying `io::Error`s have no meaningful
+/// equality); compare [`kind`] when that distinction is enough.
+///
+/// [`Io`]: TraceDecodeError::Io
+/// [`kind`]: TraceDecodeError::kind
+///
+/// # Example
+///
+/// ```
+/// use pif_trace::{TraceDecodeError, TraceErrorKind};
+///
+/// let err = TraceDecodeError::BadVersion(99);
+/// assert_eq!(err, TraceDecodeError::BadVersion(99));
+/// assert_eq!(err.kind(), TraceErrorKind::BadVersion);
+/// ```
+#[derive(Debug)]
+pub enum TraceDecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a PIF trace file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid payload (truncated or corrupt).
+    Corrupt(&'static str),
+}
+
+/// Discriminant-only view of [`TraceDecodeError`], for tests and callers
+/// that dispatch on the failure class without caring about payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceErrorKind {
+    /// Underlying I/O failure.
+    Io,
+    /// Not a PIF trace file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion,
+    /// Structurally invalid payload.
+    Corrupt,
+}
+
+impl TraceDecodeError {
+    /// The failure class of this error.
+    pub fn kind(&self) -> TraceErrorKind {
+        match self {
+            TraceDecodeError::Io(_) => TraceErrorKind::Io,
+            TraceDecodeError::BadMagic => TraceErrorKind::BadMagic,
+            TraceDecodeError::BadVersion(_) => TraceErrorKind::BadVersion,
+            TraceDecodeError::Corrupt(_) => TraceErrorKind::Corrupt,
+        }
+    }
+}
+
+impl PartialEq for TraceDecodeError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TraceDecodeError::BadMagic, TraceDecodeError::BadMagic) => true,
+            (TraceDecodeError::BadVersion(a), TraceDecodeError::BadVersion(b)) => a == b,
+            (TraceDecodeError::Corrupt(a), TraceDecodeError::Corrupt(b)) => a == b,
+            // io::Error carries no meaningful equality.
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDecodeError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceDecodeError::BadMagic => f.write_str("not a PIF trace file"),
+            TraceDecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceDecodeError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceDecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceDecodeError {
+    fn from(e: io::Error) -> Self {
+        // `read_exact` reports a short read as UnexpectedEof; for a trace
+        // payload that means the file was cut off, which every decode
+        // path in this workspace reports as `Corrupt("truncated")`.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceDecodeError::Corrupt("truncated")
+        } else {
+            TraceDecodeError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_equality_on_non_io_variants() {
+        assert_eq!(TraceDecodeError::BadMagic, TraceDecodeError::BadMagic);
+        assert_eq!(
+            TraceDecodeError::BadVersion(3),
+            TraceDecodeError::BadVersion(3)
+        );
+        assert_ne!(
+            TraceDecodeError::BadVersion(3),
+            TraceDecodeError::BadVersion(4)
+        );
+        assert_eq!(
+            TraceDecodeError::Corrupt("truncated"),
+            TraceDecodeError::Corrupt("truncated")
+        );
+        assert_ne!(
+            TraceDecodeError::Corrupt("truncated"),
+            TraceDecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn io_errors_never_compare_equal() {
+        let a = TraceDecodeError::Io(io::Error::other("x"));
+        let b = TraceDecodeError::Io(io::Error::other("x"));
+        assert_ne!(a, b);
+        assert_eq!(a.kind(), TraceErrorKind::Io);
+    }
+
+    #[test]
+    fn unexpected_eof_becomes_corrupt() {
+        let e: TraceDecodeError = io::Error::new(io::ErrorKind::UnexpectedEof, "short read").into();
+        assert_eq!(e, TraceDecodeError::Corrupt("truncated"));
+    }
+
+    #[test]
+    fn kinds_classify_all_variants() {
+        assert_eq!(TraceDecodeError::BadMagic.kind(), TraceErrorKind::BadMagic);
+        assert_eq!(
+            TraceDecodeError::BadVersion(9).kind(),
+            TraceErrorKind::BadVersion
+        );
+        assert_eq!(
+            TraceDecodeError::Corrupt("x").kind(),
+            TraceErrorKind::Corrupt
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TraceDecodeError::BadVersion(7).to_string().contains('7'));
+        assert!(TraceDecodeError::Corrupt("truncated")
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Streaming trace reader: decodes v1 and v2 files record by record,
+//! holding at most one chunk in memory.
+
+use std::io::{self, Read};
+
+use pif_types::{Address, BranchInfo, RetiredInstr, TrapLevel};
+
+use crate::error::TraceDecodeError;
+use crate::format::{
+    decode_record, kind_from_bits, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN,
+    VERSION_V1, VERSION_V2,
+};
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, TraceDecodeError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceDecodeError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Validates a v2 chunk header, rejecting absurd declarations before any
+/// allocation or read happens. Every record costs at least 2 payload
+/// bytes (flags + one varint byte), so a count the payload cannot hold is
+/// corrupt on its face.
+fn validate_chunk_header(records: u32, payload_len: u32) -> Result<(), TraceDecodeError> {
+    if records > MAX_CHUNK_RECORDS {
+        return Err(TraceDecodeError::Corrupt("chunk record count absurd"));
+    }
+    if payload_len > MAX_CHUNK_BYTES {
+        return Err(TraceDecodeError::Corrupt("chunk payload absurd"));
+    }
+    if (payload_len as u64) < records as u64 * 2 {
+        return Err(TraceDecodeError::Corrupt("record count exceeds payload"));
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+enum State {
+    /// Legacy fixed-width records; `remaining` counts down from the
+    /// header's declared total.
+    V1 { remaining: u64 },
+    /// Chunked stream: the current chunk's payload, a decode cursor into
+    /// it, and the per-chunk delta base.
+    V2 {
+        chunk: Vec<u8>,
+        cursor: usize,
+        chunk_remaining: u32,
+        prev_pc: u64,
+        records_read: u64,
+        done: bool,
+    },
+    /// A decode error was reported; the iterator is fused.
+    Failed,
+}
+
+/// Streaming reader over a serialized trace (either format version).
+///
+/// Iterates `Result<RetiredInstr, TraceDecodeError>`; after the first
+/// error the iterator fuses (yields `None`). Memory use is bounded by one
+/// chunk (v2) or one record (v1) regardless of trace length, which is
+/// what enables out-of-core simulation via
+/// `pif_sim::Engine::run_source`.
+///
+/// # Example
+///
+/// ```
+/// use pif_trace::{TraceReader, TraceWriter};
+/// use pif_types::{Address, RetiredInstr, TrapLevel};
+///
+/// let mut w = TraceWriter::new(Vec::new(), "demo").unwrap();
+/// w.push(&RetiredInstr::simple(Address::new(0x40), TrapLevel::Tl0)).unwrap();
+/// let bytes = w.finish().unwrap();
+///
+/// let mut reader = TraceReader::open(bytes.as_slice()).unwrap();
+/// assert_eq!(reader.name(), "demo");
+/// assert_eq!(reader.version(), 2);
+/// let instrs: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+/// assert_eq!(instrs.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    name: String,
+    version: u32,
+    declared: Option<u64>,
+    state: State,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace stream, reading and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceDecodeError::BadMagic`] if the stream is not a PIF trace,
+    /// [`TraceDecodeError::BadVersion`] for unknown versions, and
+    /// `Corrupt`/`Io` for malformed or unreadable headers.
+    pub fn open(mut source: R) -> Result<Self, TraceDecodeError> {
+        let mut magic = [0u8; 4];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceDecodeError::BadMagic);
+        }
+        let version = read_u32(&mut source)?;
+        if version != VERSION_V1 && version != VERSION_V2 {
+            return Err(TraceDecodeError::BadVersion(version));
+        }
+        let name_len = read_u32(&mut source)?;
+        if name_len > MAX_NAME_LEN {
+            return Err(TraceDecodeError::Corrupt("unreasonable name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
+        source.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceDecodeError::Corrupt("name is not UTF-8"))?;
+        let (state, declared) = if version == VERSION_V1 {
+            let count = read_u64(&mut source)?;
+            (State::V1 { remaining: count }, Some(count))
+        } else {
+            (
+                State::V2 {
+                    chunk: Vec::new(),
+                    cursor: 0,
+                    chunk_remaining: 0,
+                    prev_pc: 0,
+                    records_read: 0,
+                    done: false,
+                },
+                None,
+            )
+        };
+        Ok(TraceReader {
+            source,
+            name,
+            version,
+            declared,
+            state,
+        })
+    }
+
+    /// Workload name from the file header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Total record count, when known: from the header for v1, from the
+    /// terminator (i.e. only after full iteration) for v2.
+    pub fn declared_count(&self) -> Option<u64> {
+        self.declared
+    }
+
+    /// Adapts this reader into an iterator of plain [`RetiredInstr`]s
+    /// that stops at the first decode error and stashes it for later
+    /// inspection — the shape `Engine::run_source` consumes.
+    pub fn instrs(self) -> Instrs<R> {
+        Instrs {
+            reader: self,
+            error: None,
+        }
+    }
+
+    fn next_v1(&mut self) -> Result<Option<RetiredInstr>, TraceDecodeError> {
+        let State::V1 { remaining } = &mut self.state else {
+            unreachable!()
+        };
+        if *remaining == 0 {
+            return Ok(None);
+        }
+        *remaining -= 1;
+        let mut head = [0u8; 10];
+        self.source.read_exact(&mut head)?;
+        let pc = u64::from_le_bytes(head[0..8].try_into().expect("8-byte slice"));
+        let tl_byte = head[8];
+        if tl_byte as usize >= TrapLevel::COUNT {
+            return Err(TraceDecodeError::Corrupt("invalid trap level"));
+        }
+        let trap_level = TrapLevel::from_index(tl_byte as usize);
+        let branch = match head[9] {
+            0 => None,
+            1 => {
+                let mut body = [0u8; 18];
+                self.source.read_exact(&mut body)?;
+                let kind = kind_from_bits(body[0])?;
+                let taken = body[1] != 0;
+                let taken_target = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+                let fall_through = u64::from_le_bytes(body[10..18].try_into().expect("8 bytes"));
+                Some(BranchInfo {
+                    kind,
+                    taken,
+                    taken_target: Address::new(taken_target),
+                    fall_through: Address::new(fall_through),
+                })
+            }
+            _ => return Err(TraceDecodeError::Corrupt("invalid branch flag")),
+        };
+        Ok(Some(RetiredInstr {
+            pc: Address::new(pc),
+            trap_level,
+            branch,
+        }))
+    }
+
+    fn next_v2(&mut self) -> Result<Option<RetiredInstr>, TraceDecodeError> {
+        let State::V2 {
+            chunk,
+            cursor,
+            chunk_remaining,
+            prev_pc,
+            records_read,
+            done,
+        } = &mut self.state
+        else {
+            unreachable!()
+        };
+        if *done {
+            return Ok(None);
+        }
+        if *chunk_remaining == 0 {
+            let records = read_u32(&mut self.source)?;
+            let payload_len = read_u32(&mut self.source)?;
+            if records == 0 {
+                // Terminator: payload is the total record count.
+                if payload_len != 8 {
+                    return Err(TraceDecodeError::Corrupt("malformed terminator"));
+                }
+                let total = read_u64(&mut self.source)?;
+                if total != *records_read {
+                    return Err(TraceDecodeError::Corrupt("record count mismatch"));
+                }
+                *done = true;
+                self.declared = Some(total);
+                return Ok(None);
+            }
+            validate_chunk_header(records, payload_len)?;
+            chunk.resize(payload_len as usize, 0);
+            self.source.read_exact(chunk)?;
+            *cursor = 0;
+            *chunk_remaining = records;
+            *prev_pc = 0;
+        }
+        let mut slice = &chunk[*cursor..];
+        let before = slice.len();
+        let instr = decode_record(&mut slice, prev_pc)?;
+        *cursor += before - slice.len();
+        *chunk_remaining -= 1;
+        *records_read += 1;
+        if *chunk_remaining == 0 && *cursor != chunk.len() {
+            return Err(TraceDecodeError::Corrupt("trailing chunk bytes"));
+        }
+        Ok(Some(instr))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<RetiredInstr, TraceDecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let result = match &self.state {
+            State::V1 { .. } => self.next_v1(),
+            State::V2 { .. } => self.next_v2(),
+            State::Failed => return None,
+        };
+        match result {
+            Ok(Some(instr)) => Some(Ok(instr)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = State::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Iterator of plain [`RetiredInstr`]s over a [`TraceReader`].
+///
+/// Yields until end-of-trace or the first decode error; the error is
+/// stashed rather than yielded, so this type satisfies
+/// `Iterator<Item = RetiredInstr>` (and therefore
+/// `pif_types::InstrSource`). Check [`Instrs::error`] after the run to
+/// distinguish clean completion from a corrupt tail.
+#[derive(Debug)]
+pub struct Instrs<R: Read> {
+    reader: TraceReader<R>,
+    error: Option<TraceDecodeError>,
+}
+
+impl<R: Read> Instrs<R> {
+    /// The decode error that stopped iteration, if any.
+    pub fn error(&self) -> Option<&TraceDecodeError> {
+        self.error.as_ref()
+    }
+
+    /// Takes ownership of the stashed decode error, if any.
+    pub fn take_error(&mut self) -> Option<TraceDecodeError> {
+        self.error.take()
+    }
+
+    /// The underlying reader (e.g. for name/version metadata).
+    pub fn reader(&self) -> &TraceReader<R> {
+        &self.reader
+    }
+}
+
+impl<R: Read> Iterator for Instrs<R> {
+    type Item = RetiredInstr;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.reader.next() {
+            Some(Ok(instr)) => Some(instr),
+            Some(Err(e)) => {
+                self.error = Some(e);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Summary of a trace file, gathered without decoding record payloads
+/// (v2 chunks are skipped via their headers; v1 records are walked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Workload name from the header.
+    pub name: String,
+    /// Format version (1 or 2).
+    pub version: u32,
+    /// Total records.
+    pub records: u64,
+    /// Number of data chunks (0 for v1, which is unchunked).
+    pub chunks: u64,
+    /// Total encoded size in bytes, header included.
+    pub bytes: u64,
+}
+
+impl TraceInfo {
+    /// Average encoded bytes per record.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.records as f64
+    }
+}
+
+/// Scans a trace stream's structure without materializing records.
+///
+/// For v2 this reads only the 8-byte chunk headers and skips payloads —
+/// the "skippable chunks" fast path — then verifies the terminator's
+/// total. For v1 it walks records (they are not skippable) but allocates
+/// nothing.
+///
+/// # Errors
+///
+/// Any header/structure corruption or I/O failure.
+pub fn scan_info<R: Read>(source: R) -> Result<TraceInfo, TraceDecodeError> {
+    let mut reader = TraceReader::open(source)?;
+    let header_bytes = (4 + 4 + 4 + reader.name.len()) as u64;
+    if reader.version == VERSION_V1 {
+        let declared = reader.declared_count().expect("v1 header carries a count");
+        let mut bytes = header_bytes + 8;
+        for result in reader.by_ref() {
+            bytes += if result?.branch.is_some() { 28 } else { 10 };
+        }
+        Ok(TraceInfo {
+            name: reader.name,
+            version: VERSION_V1,
+            records: declared,
+            chunks: 0,
+            bytes,
+        })
+    } else {
+        let mut bytes = header_bytes;
+        let mut records = 0u64;
+        let mut chunks = 0u64;
+        loop {
+            let count = read_u32(&mut reader.source)?;
+            let payload_len = read_u32(&mut reader.source)?;
+            bytes += 8;
+            if count == 0 {
+                if payload_len != 8 {
+                    return Err(TraceDecodeError::Corrupt("malformed terminator"));
+                }
+                let total = read_u64(&mut reader.source)?;
+                bytes += 8;
+                if total != records {
+                    return Err(TraceDecodeError::Corrupt("record count mismatch"));
+                }
+                return Ok(TraceInfo {
+                    name: reader.name,
+                    version: VERSION_V2,
+                    records,
+                    chunks,
+                    bytes,
+                });
+            }
+            validate_chunk_header(count, payload_len)?;
+            let skipped = io::copy(
+                &mut reader.source.by_ref().take(payload_len as u64),
+                &mut io::sink(),
+            )
+            .map_err(TraceDecodeError::from)?;
+            if skipped != payload_len as u64 {
+                return Err(TraceDecodeError::Corrupt("truncated"));
+            }
+            bytes += payload_len as u64;
+            records += count as u64;
+            chunks += 1;
+        }
+    }
+}
+
+/// Encodes a slice of instructions as an in-memory v2 trace.
+pub fn encode_v2(name: &str, instrs: &[RetiredInstr]) -> Vec<u8> {
+    let mut writer = crate::TraceWriter::new(Vec::new(), name).expect("Vec sink cannot fail");
+    for instr in instrs {
+        writer.push(instr).expect("Vec sink cannot fail");
+    }
+    writer.finish().expect("Vec sink cannot fail")
+}
+
+/// Decodes an in-memory trace of either version into `(name, records)`.
+///
+/// # Errors
+///
+/// Any decode error; unlike the streaming path this materializes the
+/// whole trace, so prefer [`TraceReader`] for large files.
+pub fn decode(data: &[u8]) -> Result<(String, Vec<RetiredInstr>), TraceDecodeError> {
+    let mut reader = TraceReader::open(data)?;
+    // A v1 header's count is untrusted; every v1 record costs at least
+    // 10 bytes, so the input length bounds any sane preallocation (the
+    // same fail-fast reasoning as decode_trace's count check).
+    let plausible = (data.len() / 10) as u64;
+    let mut instrs =
+        Vec::with_capacity(reader.declared_count().unwrap_or(0).min(plausible) as usize);
+    for result in reader.by_ref() {
+        instrs.push(result?);
+    }
+    Ok((reader.name, instrs))
+}

@@ -1,0 +1,120 @@
+//! LEB128 varints and zigzag signed mapping — the primitives of the v2
+//! record encoding.
+//!
+//! PC deltas between consecutive retired instructions are tiny (usually
+//! +4 bytes); zigzag folds signed deltas into small unsigned values and
+//! LEB128 stores them in as few bytes as their magnitude needs, so the
+//! common sequential instruction costs one byte of PC instead of eight.
+
+use crate::error::TraceDecodeError;
+
+/// Maximum encoded length of a u64 LEB128 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from the front of `data`, advancing it.
+///
+/// # Errors
+///
+/// `Corrupt` if the buffer ends mid-varint or the encoding overflows 64
+/// bits.
+pub fn read_varint(data: &mut &[u8]) -> Result<u64, TraceDecodeError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        let Some(&byte) = data.get(i) else {
+            return Err(TraceDecodeError::Corrupt("truncated varint"));
+        };
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only carry the final bit of a u64.
+        if shift == 63 && payload > 1 {
+            return Err(TraceDecodeError::Corrupt("varint overflows u64"));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            *data = &data[i + 1..];
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(TraceDecodeError::Corrupt("varint too long"))
+}
+
+/// Zigzag-encodes a signed delta into an unsigned value with small
+/// magnitudes near zero.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut slice = buf.as_slice();
+        assert_eq!(read_varint(&mut slice).unwrap(), v);
+        assert!(slice.is_empty());
+        buf.len()
+    }
+
+    #[test]
+    fn varint_round_trips_and_sizes() {
+        assert_eq!(round_trip(0), 1);
+        assert_eq!(round_trip(127), 1);
+        assert_eq!(round_trip(128), 2);
+        assert_eq!(round_trip(16_383), 2);
+        assert_eq!(round_trip(16_384), 3);
+        assert_eq!(round_trip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut data: &[u8] = &[0x80, 0x80];
+        assert_eq!(
+            read_varint(&mut data),
+            Err(TraceDecodeError::Corrupt("truncated varint"))
+        );
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflow() {
+        let mut data: &[u8] = &[0x80; 11];
+        assert!(read_varint(&mut data).is_err());
+        // 10 bytes whose last byte carries more than the final u64 bit.
+        let mut data: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(
+            read_varint(&mut data),
+            Err(TraceDecodeError::Corrupt("varint overflows u64"))
+        );
+    }
+
+    #[test]
+    fn zigzag_is_small_near_zero_and_invertible() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(4), 8);
+        for v in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Streaming v2 trace writer.
+
+use std::io::{self, Write};
+
+use pif_types::RetiredInstr;
+
+use crate::format::{
+    encode_record, DEFAULT_CHUNK_RECORDS, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN,
+    VERSION_V2,
+};
+
+/// Streams retired instructions into a v2 trace file, holding at most one
+/// encoded chunk in memory.
+///
+/// Records are buffered into a chunk; when the chunk reaches its record
+/// capacity it is written out behind an 8-byte header (record count +
+/// payload length), and the delta base resets so every chunk decodes
+/// independently — that is what makes chunks skippable. [`finish`] seals
+/// the file with a terminator chunk carrying the total record count, so
+/// readers can tell clean end-of-file from truncation.
+///
+/// [`finish`]: TraceWriter::finish
+///
+/// # Example
+///
+/// ```
+/// use pif_trace::{TraceReader, TraceWriter};
+/// use pif_types::{Address, RetiredInstr, TrapLevel};
+///
+/// let mut writer = TraceWriter::new(Vec::new(), "example").unwrap();
+/// for i in 0..100u64 {
+///     writer.push(&RetiredInstr::simple(Address::new(i * 4), TrapLevel::Tl0)).unwrap();
+/// }
+/// let bytes = writer.finish().unwrap();
+/// let reader = TraceReader::open(bytes.as_slice()).unwrap();
+/// assert_eq!(reader.name(), "example");
+/// assert_eq!(reader.instrs().count(), 100);
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    /// Encoded payload of the chunk under construction.
+    buf: Vec<u8>,
+    chunk_records: u32,
+    chunk_capacity: u32,
+    prev_pc: u64,
+    total_records: u64,
+    bytes_written: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a v2 trace stream on `sink`, writing the file header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink. Rejects names longer than
+    /// [`MAX_NAME_LEN`](crate::MAX_NAME_LEN) bytes with
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn new(sink: W, name: &str) -> io::Result<Self> {
+        Self::with_chunk_records(sink, name, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// As [`TraceWriter::new`] with an explicit chunk capacity (records
+    /// per chunk, clamped to `1..=MAX_CHUNK_RECORDS`). Smaller chunks
+    /// seek faster and buffer less; larger chunks shave header overhead.
+    pub fn with_chunk_records(mut sink: W, name: &str, chunk_records: u32) -> io::Result<Self> {
+        if name.len() as u64 > MAX_NAME_LEN as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "trace name too long",
+            ));
+        }
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION_V2.to_le_bytes())?;
+        sink.write_all(&(name.len() as u32).to_le_bytes())?;
+        sink.write_all(name.as_bytes())?;
+        Ok(TraceWriter {
+            sink,
+            buf: Vec::with_capacity(4096),
+            chunk_records: 0,
+            chunk_capacity: chunk_records.clamp(1, MAX_CHUNK_RECORDS),
+            prev_pc: 0,
+            total_records: 0,
+            bytes_written: (4 + 4 + 4 + name.len()) as u64,
+            finished: false,
+        })
+    }
+
+    /// Appends one retired instruction to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing a full chunk.
+    pub fn push(&mut self, instr: &RetiredInstr) -> io::Result<()> {
+        debug_assert!(!self.finished, "push after finish");
+        encode_record(&mut self.buf, instr, &mut self.prev_pc);
+        self.chunk_records += 1;
+        self.total_records += 1;
+        // Flush on record count, and also on payload bytes: a record can
+        // encode to at most 31 bytes (flags + three 10-byte varints), so
+        // flushing within a record's width of MAX_CHUNK_BYTES guarantees
+        // every emitted chunk stays within what the reader accepts even
+        // at the maximum record capacity.
+        if self.chunk_records >= self.chunk_capacity
+            || self.buf.len() + 32 > MAX_CHUNK_BYTES as usize
+        {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every instruction from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing full chunks.
+    pub fn extend<I: IntoIterator<Item = RetiredInstr>>(&mut self, instrs: I) -> io::Result<()> {
+        for instr in instrs {
+            self.push(&instr)?;
+        }
+        Ok(())
+    }
+
+    /// Records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Bytes emitted to the sink so far, plus the buffered partial chunk.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+            + if self.chunk_records > 0 {
+                8 + self.buf.len() as u64
+            } else {
+                0
+            }
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        self.sink.write_all(&self.chunk_records.to_le_bytes())?;
+        self.sink
+            .write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&self.buf)?;
+        self.bytes_written += 8 + self.buf.len() as u64;
+        self.buf.clear();
+        self.chunk_records = 0;
+        // Each chunk restarts the delta base so it decodes independently.
+        self.prev_pc = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk, writes the terminator (record
+    /// count 0, payload = total record count), and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors. Dropping a writer without calling `finish`
+    /// leaves a truncated (reader-detectable) file.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.write_all(&8u32.to_le_bytes())?;
+        self.sink.write_all(&self.total_records.to_le_bytes())?;
+        self.bytes_written += 16;
+        self.finished = true;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_types::{Address, TrapLevel};
+
+    fn instr(pc: u64) -> RetiredInstr {
+        RetiredInstr::simple(Address::new(pc), TrapLevel::Tl0)
+    }
+
+    #[test]
+    fn rejects_oversized_name() {
+        let name = "x".repeat(MAX_NAME_LEN as usize + 1);
+        assert!(TraceWriter::new(Vec::new(), &name).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_header_plus_terminator() {
+        let bytes = TraceWriter::new(Vec::new(), "e").unwrap().finish().unwrap();
+        // magic+version+len+name + terminator header + u64 total.
+        assert_eq!(bytes.len(), 4 + 4 + 4 + 1 + 8 + 8);
+    }
+
+    #[test]
+    fn bytes_written_tracks_sink_and_buffer() {
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "t", 4).unwrap();
+        let header = w.bytes_written();
+        w.push(&instr(0x1000)).unwrap();
+        assert!(w.bytes_written() > header, "buffered chunk counted");
+        for i in 1..8 {
+            w.push(&instr(0x1000 + i * 4)).unwrap();
+        }
+        assert_eq!(w.records_written(), 8);
+        let total = w.bytes_written();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len() as u64, total + 16, "terminator appended");
+    }
+
+    #[test]
+    fn worst_case_records_never_emit_oversized_chunks() {
+        use pif_types::{BranchInfo, BranchKind};
+        // Maximum record capacity + records that encode to the maximum
+        // ~31 bytes each (full-width PC/target/fall-through deltas): the
+        // byte-based flush must cap every chunk at MAX_CHUNK_BYTES so the
+        // reader accepts what the writer produced.
+        let mut w =
+            TraceWriter::with_chunk_records(Vec::new(), "worst", MAX_CHUNK_RECORDS).unwrap();
+        let n = 2_300_000u64; // > MAX_CHUNK_BYTES / 31, forces a byte flush
+        for i in 0..n {
+            let pc = if i % 2 == 0 { u64::MAX / 2 } else { 1 };
+            w.push(&RetiredInstr::branch(
+                Address::new(pc),
+                TrapLevel::Tl0,
+                BranchInfo {
+                    kind: BranchKind::IndirectCall,
+                    taken: true,
+                    taken_target: Address::new(pc.wrapping_add(u64::MAX / 3)),
+                    fall_through: Address::new(pc.wrapping_sub(u64::MAX / 5)),
+                },
+            ))
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let info = crate::scan_info(bytes.as_slice()).unwrap();
+        assert_eq!(info.records, n, "every record decodes back");
+        assert!(info.chunks >= 2, "byte cap must have split the stream");
+    }
+
+    #[test]
+    fn sequential_trace_compresses_to_about_two_bytes_per_instr() {
+        let mut w = TraceWriter::new(Vec::new(), "seq").unwrap();
+        let n = 10_000u64;
+        for i in 0..n {
+            w.push(&instr(0x40_0000 + i * 4)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let per_instr = bytes.len() as f64 / n as f64;
+        assert!(per_instr < 2.2, "{per_instr} bytes/instr");
+    }
+}

@@ -15,6 +15,8 @@
 //!   the wrong path, the stream the I-cache actually observes.
 //! * [`SpatialRegionRecord`] — the compact trigger+bitvector representation
 //!   of a group of spatially-close instruction blocks (paper §3, §4.1).
+//! * [`InstrSource`] — a pull-based stream of retired instructions, the
+//!   abstraction that lets the engine simulate traces larger than RAM.
 //!
 //! # Example
 //!
@@ -34,10 +36,12 @@ mod address;
 mod error;
 mod record;
 mod region;
+mod source;
 mod trap;
 
 pub use address::{Address, BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
 pub use error::ConfigError;
 pub use record::{BranchInfo, BranchKind, FetchAccess, FetchKind, RetiredInstr};
 pub use region::{RegionBits, RegionGeometry, SpatialRegionRecord};
+pub use source::InstrSource;
 pub use trap::TrapLevel;

@@ -1,0 +1,286 @@
+//! `tracectl` — record, inspect, convert, and preview PIF trace files.
+//!
+//! ```text
+//! tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]
+//! tracectl info <file.pift>
+//! tracectl convert <in.pift> <out.pift> [--chunk N]
+//! tracectl head <file.pift> [-n N]
+//! ```
+//!
+//! `record` streams a synthetic workload straight into a compressed v2
+//! trace (bounded memory, any length); `--v1` writes the legacy format
+//! instead (materializes the trace — for fixtures and compatibility
+//! testing). `info` reads only headers and chunk frames. `convert`
+//! upgrades v1 files to v2 (or re-chunks v2 files) as a stream. `head`
+//! prints the first records.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use pif_trace::{scan_info, TraceReader, TraceWriter, DEFAULT_CHUNK_RECORDS};
+use pif_workloads::{io::write_trace, WorkloadProfile};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]\n  \
+         tracectl info <file.pift>\n  \
+         tracectl convert <in.pift> <out.pift> [--chunk N]\n  \
+         tracectl head <file.pift> [-n N]\n\n\
+         workloads: {}",
+        WorkloadProfile::all()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(context: &str, err: impl std::fmt::Display) -> ExitCode {
+    eprintln!("tracectl: {context}: {err}");
+    ExitCode::FAILURE
+}
+
+/// Parses `--flag value` / `-f value` style options out of `args`,
+/// returning the positional remainder.
+struct Opts {
+    positional: Vec<String>,
+    /// `-n` value when given; subcommands apply their own default
+    /// (record: 1M instructions, head: 10 records).
+    instructions: Option<usize>,
+    scale: f64,
+    seed_offset: u64,
+    chunk: u32,
+    v1: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        instructions: None,
+        scale: 1.0,
+        seed_offset: 0,
+        chunk: DEFAULT_CHUNK_RECORDS,
+        v1: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-n" | "--instructions" => {
+                opts.instructions = Some(value(arg)?.parse().map_err(|e| format!("-n: {e}"))?);
+            }
+            "--scale" => opts.scale = value(arg)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed-offset" => {
+                opts.seed_offset = value(arg)?
+                    .parse()
+                    .map_err(|e| format!("--seed-offset: {e}"))?;
+            }
+            "--chunk" => opts.chunk = value(arg)?.parse().map_err(|e| format!("--chunk: {e}"))?,
+            "--v1" => opts.v1 = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn find_workload(name: &str) -> Option<WorkloadProfile> {
+    let canonical = name.to_lowercase().replace('_', "-");
+    WorkloadProfile::all()
+        .into_iter()
+        .find(|w| w.name().to_lowercase() == canonical)
+}
+
+fn record(opts: &Opts) -> ExitCode {
+    let [name, out] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let Some(profile) = find_workload(name) else {
+        return fail("record", format!("unknown workload {name:?}"));
+    };
+    let profile = if (opts.scale - 1.0).abs() > f64::EPSILON {
+        profile.scaled(opts.scale)
+    } else {
+        profile
+    };
+    let file = match File::create(out) {
+        Ok(f) => f,
+        Err(e) => return fail(out, e),
+    };
+    let records;
+    if opts.v1 {
+        // Legacy format: no streaming writer exists, materialize.
+        let trace = profile
+            .generate_with_execution_seed(opts.instructions.unwrap_or(1_000_000), opts.seed_offset);
+        records = trace.len() as u64;
+        if let Err(e) = write_trace(BufWriter::new(file), &trace) {
+            return fail(out, e);
+        }
+    } else {
+        let mut writer =
+            match TraceWriter::with_chunk_records(BufWriter::new(file), profile.name(), opts.chunk)
+            {
+                Ok(w) => w,
+                Err(e) => return fail(out, e),
+            };
+        let mut io_err = None;
+        let n = opts.instructions.unwrap_or(1_000_000);
+        profile.generate_with_execution_seed_into(n, opts.seed_offset, |instr| {
+            if io_err.is_none() {
+                if let Err(e) = writer.push(&instr) {
+                    io_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return fail(out, e);
+        }
+        records = writer.records_written();
+        if let Err(e) = writer.finish() {
+            return fail(out, e);
+        }
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {} v{} · {} records · {} bytes · {:.2} bytes/record → {}",
+        profile.name(),
+        if opts.v1 { 1 } else { 2 },
+        records,
+        bytes,
+        bytes as f64 / records.max(1) as f64,
+        out,
+    );
+    ExitCode::SUCCESS
+}
+
+fn info(opts: &Opts) -> ExitCode {
+    let [path] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(path, e),
+    };
+    match scan_info(BufReader::new(file)) {
+        Ok(info) => {
+            println!("file:          {path}");
+            println!("name:          {}", info.name);
+            println!("version:       {}", info.version);
+            println!("records:       {}", info.records);
+            println!("chunks:        {}", info.chunks);
+            println!("bytes:         {}", info.bytes);
+            println!("bytes/record:  {:.2}", info.bytes_per_record());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(path, e),
+    }
+}
+
+fn convert(opts: &Opts) -> ExitCode {
+    let [input, output] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let in_file = match File::open(input) {
+        Ok(f) => f,
+        Err(e) => return fail(input, e),
+    };
+    let mut reader = match TraceReader::open(BufReader::new(in_file)) {
+        Ok(r) => r,
+        Err(e) => return fail(input, e),
+    };
+    let out_file = match File::create(output) {
+        Ok(f) => f,
+        Err(e) => return fail(output, e),
+    };
+    let name = reader.name().to_string();
+    let mut writer =
+        match TraceWriter::with_chunk_records(BufWriter::new(out_file), &name, opts.chunk) {
+            Ok(w) => w,
+            Err(e) => return fail(output, e),
+        };
+    for result in reader.by_ref() {
+        let instr = match result {
+            Ok(i) => i,
+            Err(e) => return fail(input, e),
+        };
+        if let Err(e) = writer.push(&instr) {
+            return fail(output, e);
+        }
+    }
+    let records = writer.records_written();
+    if let Err(e) = writer.finish() {
+        return fail(output, e);
+    }
+    let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {name} v{} → v2 · {records} records · {in_bytes} → {out_bytes} bytes ({:.2}x smaller)",
+        reader.version(),
+        in_bytes as f64 / out_bytes.max(1) as f64,
+    );
+    ExitCode::SUCCESS
+}
+
+fn head(opts: &Opts) -> ExitCode {
+    let [path] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let n = opts.instructions.unwrap_or(10);
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(path, e),
+    };
+    let mut reader = match TraceReader::open(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => return fail(path, e),
+    };
+    println!("{} (v{})", reader.name(), reader.version());
+    for (idx, result) in reader.by_ref().take(n).enumerate() {
+        match result {
+            Ok(instr) => {
+                let branch = match instr.branch {
+                    None => String::new(),
+                    Some(b) => format!(
+                        "  {:?} {} → {:#x} (fall {:#x})",
+                        b.kind,
+                        if b.taken { "taken" } else { "not-taken" },
+                        b.taken_target.raw(),
+                        b.fall_through.raw(),
+                    ),
+                };
+                println!(
+                    "{idx:>6}  pc={:#010x}  {}{branch}",
+                    instr.pc.raw(),
+                    instr.trap_level,
+                );
+            }
+            Err(e) => return fail(path, e),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => return fail("arguments", e),
+    };
+    match cmd.as_str() {
+        "record" => record(&opts),
+        "info" => info(&opts),
+        "convert" => convert(&opts),
+        "head" => head(&opts),
+        _ => usage(),
+    }
+}

@@ -21,8 +21,6 @@ pub struct Executor<'a> {
     program: &'a ProgramImage,
     params: &'a GeneratorParams,
     rng: SmallRng,
-    out: Vec<RetiredInstr>,
-    target: usize,
     /// Instructions until the next interrupt fires (0 = disabled).
     until_interrupt: u64,
 }
@@ -55,8 +53,6 @@ impl<'a> Executor<'a> {
             program,
             params,
             rng,
-            out: Vec::new(),
-            target: 0,
             until_interrupt,
         }
     }
@@ -65,18 +61,56 @@ impl<'a> Executor<'a> {
     /// indirect-calls each transaction root and loops).
     pub const DISPATCHER_PC: u64 = crate::program::APP_CODE_BASE - 0x1000;
 
-    /// Runs transactions until at least `instructions` records exist, then
-    /// truncates to exactly that many.
+    /// Runs transactions until exactly `instructions` records exist and
+    /// collects them into a vector.
     ///
     /// Transactions are driven by a two-instruction dispatcher loop, so
     /// the emitted trace is fully control-flow coherent: every transfer is
     /// explained by a branch record.
-    pub fn run(mut self, instructions: usize) -> Vec<RetiredInstr> {
-        self.target = instructions;
-        self.out.reserve(instructions + 1024);
-        let d0 = Address::new(Self::DISPATCHER_PC);
+    pub fn run(self, instructions: usize) -> Vec<RetiredInstr> {
+        let mut out = Vec::with_capacity(instructions);
+        self.run_into(instructions, |instr| out.push(instr));
+        out
+    }
+
+    /// As [`Executor::run`], but pushes each record into `sink` as it is
+    /// produced instead of materializing a vector — the streaming path
+    /// behind `WorkloadProfile::generate_into` and `tracectl record`,
+    /// whose memory use stays flat no matter how long the trace is. The
+    /// record sequence is identical to [`Executor::run`]'s for the same
+    /// seed and length.
+    pub fn run_into<F: FnMut(RetiredInstr)>(self, instructions: usize, sink: F) {
+        let mut walk = Walk {
+            program: self.program,
+            params: self.params,
+            rng: self.rng,
+            until_interrupt: self.until_interrupt,
+            target: instructions,
+            emitted: 0,
+            sink,
+        };
+        walk.run();
+    }
+}
+
+/// The executor's walking state, generic over the record sink so the hot
+/// emission path is statically dispatched for both the vector and
+/// streaming front doors.
+struct Walk<'a, F: FnMut(RetiredInstr)> {
+    program: &'a ProgramImage,
+    params: &'a GeneratorParams,
+    rng: SmallRng,
+    sink: F,
+    target: usize,
+    emitted: usize,
+    until_interrupt: u64,
+}
+
+impl<F: FnMut(RetiredInstr)> Walk<'_, F> {
+    fn run(&mut self) {
+        let d0 = Address::new(Executor::DISPATCHER_PC);
         let d1 = d0.offset(4);
-        while self.out.len() < self.target {
+        while !self.done() {
             let tx = self.program.sample_transaction(&mut self.rng);
             // Scripts are deterministic: the same transaction type always
             // calls the same roots in the same order — the repetition PIF
@@ -95,11 +129,11 @@ impl<'a> Executor<'a> {
                         fall_through: d1,
                     },
                 );
-                if self.out.len() >= self.target {
+                if self.done() {
                     break;
                 }
                 self.exec_function(&self.program.functions()[root], TrapLevel::Tl0, 0, Some(d1));
-                if self.out.len() >= self.target {
+                if self.done() {
                     break;
                 }
                 // D1: loop back to D0 for the next root.
@@ -115,21 +149,29 @@ impl<'a> Executor<'a> {
                 );
             }
         }
-        self.out.truncate(instructions);
-        self.out
     }
 
     fn done(&self) -> bool {
-        self.out.len() >= self.target
+        self.emitted >= self.target
+    }
+
+    /// Forwards a record to the sink unless the target is already met
+    /// (the vector path used to truncate the overshoot instead; dropping
+    /// at the source is equivalent and works for streaming sinks).
+    fn push(&mut self, instr: RetiredInstr) {
+        if self.emitted < self.target {
+            (self.sink)(instr);
+            self.emitted += 1;
+        }
     }
 
     fn emit_simple(&mut self, pc: Address, tl: TrapLevel) {
-        self.out.push(RetiredInstr::simple(pc, tl));
+        self.push(RetiredInstr::simple(pc, tl));
         self.after_emit(tl);
     }
 
     fn emit_branch(&mut self, pc: Address, tl: TrapLevel, info: BranchInfo) {
-        self.out.push(RetiredInstr::branch(pc, tl, info));
+        self.push(RetiredInstr::branch(pc, tl, info));
         self.after_emit(tl);
     }
 
@@ -319,6 +361,17 @@ mod tests {
         let p = params();
         assert_eq!(make_trace(&p, 10_000).len(), 10_000);
         assert_eq!(make_trace(&p, 1).len(), 1);
+    }
+
+    #[test]
+    fn run_into_matches_run_exactly() {
+        let p = params();
+        let img = ProgramImage::generate(&p).unwrap();
+        let collected = Executor::new(&img, &p).run(30_000);
+        let mut streamed = Vec::new();
+        Executor::new(&img, &p).run_into(30_000, |i| streamed.push(i));
+        assert_eq!(collected, streamed);
+        assert_eq!(streamed.len(), 30_000);
     }
 
     #[test]

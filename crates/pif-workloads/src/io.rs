@@ -1,21 +1,30 @@
-//! Compact binary trace serialization.
+//! Compact binary trace serialization (legacy v1 format).
 //!
 //! Traces are deterministic and cheap to regenerate, but saving them lets
 //! experiment pipelines share one trace across many prefetcher runs and
-//! lets users archive the exact inputs behind a result. The format is a
-//! simple little-endian record stream:
+//! lets users archive the exact inputs behind a result. This module owns
+//! the legacy **v1** format, a simple little-endian record stream:
 //!
 //! ```text
 //! magic  "PIFT"            4 bytes
 //! version u32              currently 1
 //! name    u32 length + UTF-8 bytes
 //! count   u64              number of records
-//! records ...              13 or 30 bytes each (non-branch / branch)
+//! records ...              10 or 28 bytes each (non-branch / branch)
 //! ```
+//!
+//! The streaming, chunked, compressed **v2** format — and streaming
+//! decode of these v1 files — lives in the `pif-trace` crate, whose
+//! [`TraceDecodeError`] this module shares. Prefer
+//! `pif_trace::TraceWriter`/`TraceReader` for traces that should not be
+//! materialized in memory; the `tracectl convert` subcommand upgrades v1
+//! files in place.
 
 use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+pub use pif_trace::{TraceDecodeError, TraceErrorKind};
 
 use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
 
@@ -24,44 +33,8 @@ use crate::trace::Trace;
 const MAGIC: &[u8; 4] = b"PIFT";
 const VERSION: u32 = 1;
 
-/// Errors from decoding a serialized trace.
-#[derive(Debug)]
-pub enum TraceDecodeError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Not a PIF trace file.
-    BadMagic,
-    /// Unsupported format version.
-    BadVersion(u32),
-    /// Structurally invalid payload (truncated or corrupt).
-    Corrupt(&'static str),
-}
-
-impl std::fmt::Display for TraceDecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TraceDecodeError::Io(e) => write!(f, "i/o error: {e}"),
-            TraceDecodeError::BadMagic => f.write_str("not a PIF trace file"),
-            TraceDecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceDecodeError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for TraceDecodeError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            TraceDecodeError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for TraceDecodeError {
-    fn from(e: io::Error) -> Self {
-        TraceDecodeError::Io(e)
-    }
-}
+/// Minimum encoded size of one v1 record (non-branch).
+const MIN_RECORD_BYTES: usize = 10;
 
 fn kind_to_byte(kind: BranchKind) -> u8 {
     match kind {
@@ -152,6 +125,18 @@ pub fn decode_trace(mut data: &[u8]) -> Result<Trace, TraceDecodeError> {
         .map_err(|_| TraceDecodeError::Corrupt("name is not UTF-8"))?;
     need(data, 8)?;
     let count = data.get_u64_le() as usize;
+    // Every record is at least 10 bytes, so a declared count the
+    // remaining payload cannot possibly hold is corrupt on its face —
+    // fail fast instead of looping toward a truncation error millions of
+    // records later. This also bounds the allocation below by the input
+    // size, making the defensive clamp a backstop rather than the only
+    // line of defense.
+    if count
+        .checked_mul(MIN_RECORD_BYTES)
+        .is_none_or(|needed| needed > data.remaining())
+    {
+        return Err(TraceDecodeError::Corrupt("record count exceeds payload"));
+    }
     let mut instrs = Vec::with_capacity(count.min(1 << 24));
     for _ in 0..count {
         need(data, 10)?;
@@ -238,10 +223,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(
-            decode_trace(b"NOPE\x01\x00\x00\x00"),
-            Err(TraceDecodeError::BadMagic)
-        ));
+        // TraceDecodeError compares structurally (shared with pif-trace),
+        // so no `matches!` boilerplate.
+        assert_eq!(
+            decode_trace(b"NOPE\x01\x00\x00\x00").err(),
+            Some(TraceDecodeError::BadMagic)
+        );
     }
 
     #[test]
@@ -249,10 +236,30 @@ mod tests {
         let mut data = Vec::new();
         data.extend_from_slice(MAGIC);
         data.extend_from_slice(&99u32.to_le_bytes());
-        assert!(matches!(
-            decode_trace(&data),
-            Err(TraceDecodeError::BadVersion(99))
-        ));
+        assert_eq!(
+            decode_trace(&data).err(),
+            Some(TraceDecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn absurd_record_count_fails_fast() {
+        // A header declaring u64::MAX records over an empty payload must
+        // be rejected before any decode loop or allocation.
+        let t = Trace::new("x", vec![]);
+        let mut bytes = encode_trace(&t).to_vec();
+        let count_offset = bytes.len() - 8;
+        bytes[count_offset..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode_trace(&bytes).err(),
+            Some(TraceDecodeError::Corrupt("record count exceeds payload"))
+        );
+        // Off-by-one: one declared record, zero payload bytes.
+        bytes[count_offset..].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(
+            decode_trace(&bytes).err(),
+            Some(TraceDecodeError::Corrupt("record count exceeds payload"))
+        );
     }
 
     #[test]

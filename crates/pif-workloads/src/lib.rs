@@ -43,10 +43,12 @@ pub mod io;
 mod params;
 mod profiles;
 mod program;
+mod stream;
 mod trace;
 
 pub use executor::Executor;
 pub use params::GeneratorParams;
 pub use profiles::{WorkloadClass, WorkloadProfile};
 pub use program::{CallGraphStats, FunctionLayout, ProgramImage, Site};
+pub use stream::TraceStream;
 pub use trace::{Trace, TraceStats};

@@ -344,6 +344,53 @@ impl WorkloadProfile {
         Trace::new(self.name.clone(), instrs)
     }
 
+    /// Streams exactly `instructions` records into `sink` as they are
+    /// generated, never materializing the trace — e.g. directly into a
+    /// `pif_trace::TraceWriter`. Produces the identical record sequence
+    /// to [`WorkloadProfile::generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's parameters are invalid.
+    pub fn generate_into(&self, instructions: usize, sink: impl FnMut(pif_types::RetiredInstr)) {
+        self.generate_with_execution_seed_into(instructions, 0, sink);
+    }
+
+    /// As [`WorkloadProfile::generate_into`] with an execution-seed
+    /// offset (see [`WorkloadProfile::generate_with_execution_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's parameters are invalid.
+    pub fn generate_with_execution_seed_into(
+        &self,
+        instructions: usize,
+        offset: u64,
+        sink: impl FnMut(pif_types::RetiredInstr),
+    ) {
+        let image = ProgramImage::generate(&self.params).expect("profile parameters are valid");
+        Executor::with_execution_seed(&image, &self.params, offset).run_into(instructions, sink);
+    }
+
+    /// Returns a lazily-generating instruction iterator: generation runs
+    /// on a background thread feeding a bounded channel, so memory stays
+    /// flat no matter how long the trace is. Being an
+    /// `Iterator<Item = RetiredInstr>`, the stream is a
+    /// `pif_types::InstrSource` and plugs straight into
+    /// `Engine::run_source` and per-core `run_cmp_sources` closures.
+    pub fn stream(&self, instructions: usize) -> crate::stream::TraceStream {
+        crate::stream::TraceStream::spawn(self.clone(), instructions, 0)
+    }
+
+    /// As [`WorkloadProfile::stream`] with an execution-seed offset.
+    pub fn stream_with_execution_seed(
+        &self,
+        instructions: usize,
+        offset: u64,
+    ) -> crate::stream::TraceStream {
+        crate::stream::TraceStream::spawn(self.clone(), instructions, offset)
+    }
+
     /// Generates the program image alone (for structural studies).
     pub fn image(&self) -> ProgramImage {
         ProgramImage::generate(&self.params).expect("profile parameters are valid")

@@ -10,6 +10,7 @@
 //! This facade crate re-exports the member crates under stable names:
 //!
 //! * [`types`] — addresses, blocks, spatial regions, trace records.
+//! * [`trace`] — streaming, compressed trace files (v2) and v1 compat.
 //! * [`sim`] — caches, branch predictors, the front-end model, the
 //!   simulation engine and timing model.
 //! * [`workloads`] — the six synthetic server workload profiles.
@@ -35,6 +36,7 @@ pub use pif_baselines as baselines;
 pub use pif_core as pif;
 pub use pif_experiments as experiments;
 pub use pif_sim as sim;
+pub use pif_trace as trace;
 pub use pif_types as types;
 pub use pif_workloads as workloads;
 
@@ -43,8 +45,10 @@ pub mod prelude {
     pub use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
     pub use pif_core::{Pif, PifConfig};
     pub use pif_sim::{Engine, EngineConfig, NoPrefetcher, Prefetcher, RunReport};
+    pub use pif_trace::{TraceReader, TraceWriter};
     pub use pif_types::{
-        Address, BlockAddr, RegionGeometry, RetiredInstr, SpatialRegionRecord, TrapLevel,
+        Address, BlockAddr, InstrSource, RegionGeometry, RetiredInstr, SpatialRegionRecord,
+        TrapLevel,
     };
     pub use pif_workloads::{Trace, WorkloadProfile};
 }
