@@ -39,7 +39,8 @@ impl DiscontinuityPrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if the table geometry is invalid or `depth` is zero.
+    /// Panics if the table geometry is invalid (sets not a power of two,
+    /// or more than 16 ways — the packed-LRU limit) or `depth` is zero.
     pub fn new(entries: usize, ways: usize, depth: usize) -> Self {
         assert!(depth > 0, "depth must be non-zero");
         DiscontinuityPrefetcher {
@@ -58,6 +59,10 @@ impl DiscontinuityPrefetcher {
 impl Prefetcher for DiscontinuityPrefetcher {
     fn name(&self) -> &'static str {
         "Discontinuity"
+    }
+
+    fn uses_retire_provenance(&self) -> bool {
+        false // retire hook is a no-op
     }
 
     fn on_access_outcome(
@@ -109,6 +114,7 @@ mod tests {
                 ctx,
             )
         })
+        .to_vec()
     }
 
     #[test]

@@ -69,6 +69,10 @@ impl Prefetcher for NextLinePrefetcher {
         "Next-Line"
     }
 
+    fn uses_retire_provenance(&self) -> bool {
+        false // retire hook is a no-op
+    }
+
     fn on_access_outcome(
         &mut self,
         _access: &FetchAccess,

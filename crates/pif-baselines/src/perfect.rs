@@ -27,6 +27,10 @@ impl Prefetcher for PerfectICache {
     fn is_perfect(&self) -> bool {
         true
     }
+
+    fn uses_retire_provenance(&self) -> bool {
+        false // retire hook is a no-op
+    }
 }
 
 #[cfg(test)]

@@ -230,6 +230,10 @@ impl Prefetcher for Tifs {
         "TIFS"
     }
 
+    fn uses_retire_provenance(&self) -> bool {
+        false // retire hook is a no-op
+    }
+
     fn on_access_outcome(
         &mut self,
         _access: &FetchAccess,
@@ -272,6 +276,7 @@ mod tests {
         h.drive(|ctx| {
             tifs.on_access_outcome(&access, BlockAddr::from_number(n), AccessOutcome::Miss, ctx)
         })
+        .to_vec()
     }
 
     #[test]

@@ -22,6 +22,46 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| black_box(cache.access(black_box(BlockAddr::from_number(42)))).is_some())
     });
 
+    g.bench_function("set_assoc_miss", |b| {
+        // Warm cache, then access blocks that always miss (disjoint tag
+        // space): measures the full-set tag scan without fills.
+        let mut cache: SetAssocCache<Lru, ()> = SetAssocCache::new(512, 2).unwrap();
+        for n in 0..1024u64 {
+            cache.insert(BlockAddr::from_number(n), ());
+        }
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            black_box(cache.access(black_box(BlockAddr::from_number(1 << 20 | n & 511)))).is_none()
+        })
+    });
+
+    g.bench_function("set_assoc_insert_evict", |b| {
+        // Every insert conflicts in a full cache: fill + eviction path.
+        let mut cache: SetAssocCache<Lru, ()> = SetAssocCache::new(512, 2).unwrap();
+        for n in 0..1024u64 {
+            cache.insert(BlockAddr::from_number(n), ());
+        }
+        let mut n = 1024u64;
+        b.iter(|| {
+            n += 1;
+            black_box(cache.insert(BlockAddr::from_number(n), ()))
+        })
+    });
+
+    g.bench_function("set_assoc_probe_16way", |b| {
+        // The L2 geometry: 16-way tag scan, non-perturbing.
+        let mut cache: SetAssocCache<Lru, ()> = SetAssocCache::new(512, 16).unwrap();
+        for n in 0..8192u64 {
+            cache.insert(BlockAddr::from_number(n), ());
+        }
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 1) % 8192;
+            black_box(cache.probe(black_box(BlockAddr::from_number(n)))).is_some()
+        })
+    });
+
     g.bench_function("icache_demand_cycle", |b| {
         let mut ic = InstructionCache::new(ICacheConfig::paper_default()).unwrap();
         let mut n = 0u64;
@@ -99,7 +139,8 @@ fn bench_history_and_sab(c: &mut Criterion) {
             );
         }
         let mut pool = SabPool::new(4, 7);
-        pool.allocate(0, 0, 0, RegionGeometry::paper_default(), &h);
+        let mut records = Vec::new();
+        pool.allocate(0, 0, 0, RegionGeometry::paper_default(), &h, &mut records);
         let mut n = 0u64;
         b.iter(|| {
             n = (n + 1) % 1000;
@@ -108,7 +149,25 @@ fn bench_history_and_sab(c: &mut Criterion) {
                 BlockAddr::from_number(n * 10),
                 RegionGeometry::paper_default(),
                 &h,
+                &mut records,
             ))
+        })
+    });
+
+    g.bench_function("sab_allocate", |b| {
+        let mut h = HistoryBuffer::new(32 * 1024);
+        for n in 0..1024u64 {
+            h.append(
+                SpatialRegionRecord::new(BlockAddr::from_number(n * 10)),
+                true,
+            );
+        }
+        let mut pool = SabPool::new(4, 7);
+        let mut records = Vec::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 1) % 1000;
+            black_box(pool.allocate(0, n, 0, RegionGeometry::paper_default(), &h, &mut records))
         })
     });
     g.finish();

@@ -1,0 +1,444 @@
+//! `perfbench` — end-to-end engine throughput harness.
+//!
+//! Measures retired instructions per second of wall-clock time for the
+//! simulation engine with every prefetcher (None, PIF, Next-Line, TIFS,
+//! Discontinuity, Perfect) on standard workload profiles, and writes the
+//! result as `BENCH_engine.json` — one point of the repository's tracked
+//! performance trajectory.
+//!
+//! ```text
+//! cargo run --release -p pif-bench --bin perfbench            # full run, writes BENCH_engine.json
+//! cargo run --release -p pif-bench --bin perfbench -- --smoke # CI mode: small trace, floor check
+//! cargo run --release -p pif-bench --bin perfbench -- --out /tmp/b.json
+//! ```
+//!
+//! In `--smoke` mode the harness runs a reduced trace, validates that the
+//! emitted JSON parses, and fails (exit 1) if the no-prefetch engine's
+//! throughput drops more than 30% below the committed floor — a coarse
+//! tripwire against hot-loop performance regressions that works even on
+//! noisy CI machines.
+
+use std::time::Instant;
+
+use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
+use pif_core::{Pif, PifConfig};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_types::RetiredInstr;
+use pif_workloads::WorkloadProfile;
+
+/// Committed throughput floor for the `--smoke` regression gate, in
+/// retired instructions per second of the no-prefetch configuration.
+/// Chosen far below the development machine's ~70 Minstr/s so that slow
+/// CI runners pass comfortably while a hot-loop regression (which shows
+/// up as a multiple, not a percentage) still trips it.
+const SMOKE_FLOOR_IPS: f64 = 4.0e6;
+
+/// Pre-refactor throughput on the development machine (PR 2 tree, commit
+/// `7b07f0d`; 2M-instruction OLTP-DB2 trace), quoted in the report so the
+/// speedup of the flat-cache/zero-allocation refactor stays on record.
+const PRIOR_NONE_IPS: f64 = 29.2e6;
+const PRIOR_PIF_IPS: f64 = 15.6e6;
+
+struct RunResult {
+    workload: String,
+    prefetcher: &'static str,
+    instructions: u64,
+    elapsed_s: f64,
+    uipc: f64,
+}
+
+impl RunResult {
+    fn ips(&self) -> f64 {
+        self.instructions as f64 / self.elapsed_s
+    }
+}
+
+fn measure(
+    engine: &Engine,
+    workload: &str,
+    trace: &[RetiredInstr],
+    warmup: usize,
+    reps: usize,
+) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    let mut run = |name: &'static str, f: &mut dyn FnMut() -> pif_sim::RunReport| {
+        // Best-of-N wall clock: robust against scheduler noise.
+        let mut best = f64::MAX;
+        let mut report = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        let report = report.expect("at least one rep");
+        out.push(RunResult {
+            workload: workload.to_string(),
+            prefetcher: name,
+            instructions: report.frontend.instructions,
+            elapsed_s: best,
+            uipc: report.timing.uipc(),
+        });
+    };
+    run("None", &mut || {
+        engine.run_instrs_warmup(trace, NoPrefetcher, warmup)
+    });
+    run("PIF", &mut || {
+        engine.run_instrs_warmup(trace, Pif::new(PifConfig::paper_default()), warmup)
+    });
+    run("Next-Line", &mut || {
+        engine.run_instrs_warmup(trace, NextLinePrefetcher::aggressive(), warmup)
+    });
+    run("TIFS", &mut || {
+        engine.run_instrs_warmup(trace, Tifs::new(Default::default()), warmup)
+    });
+    run("Discontinuity", &mut || {
+        engine.run_instrs_warmup(trace, DiscontinuityPrefetcher::paper_scale(), warmup)
+    });
+    run("Perfect", &mut || {
+        engine.run_instrs_warmup(trace, PerfectICache, warmup)
+    });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(results: &[RunResult], instructions: usize, smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pif-bench-engine/v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"instructions_per_run\": {instructions},\n"));
+    s.push_str(&format!(
+        "  \"smoke_floor_instrs_per_sec\": {SMOKE_FLOOR_IPS:.1},\n"
+    ));
+    s.push_str(
+        "  \"prior\": {\n    \"note\": \"pre-refactor throughput (heap-allocating hot loop, \
+         pointer-chasing cache layout) on the same development machine\",\n",
+    );
+    s.push_str(&format!(
+        "    \"none_instrs_per_sec\": {PRIOR_NONE_IPS:.1},\n    \"pif_instrs_per_sec\": {PRIOR_PIF_IPS:.1}\n  }},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"prefetcher\": \"{}\", \"instructions\": {}, \
+             \"elapsed_s\": {:.6}, \"instrs_per_sec\": {:.1}, \"uipc\": {:.4}}}{}\n",
+            json_escape(&r.workload),
+            json_escape(r.prefetcher),
+            r.instructions,
+            r.elapsed_s,
+            r.ips(),
+            r.uipc,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser: the workspace has no JSON dependency, and the smoke
+// job must prove the report is well-formed, not just non-empty.
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| ())
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    self.pos += 1; // skip the escaped byte
+                }
+                _ => {}
+            }
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// Validates that `s` is one well-formed JSON document.
+fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(s);
+    p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Ok(())
+    } else {
+        Err(p.error("trailing garbage after document"))
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfbench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (instructions, reps, profiles) = if smoke {
+        (300_000, 1, vec![WorkloadProfile::oltp_db2().scaled(0.1)])
+    } else {
+        (
+            2_000_000,
+            3,
+            vec![
+                WorkloadProfile::oltp_db2().scaled(0.2),
+                WorkloadProfile::web_apache().scaled(0.2),
+            ],
+        )
+    };
+    let warmup = instructions / 5;
+
+    let engine = Engine::new(EngineConfig::paper_default());
+    let mut results = Vec::new();
+    for profile in &profiles {
+        eprintln!(
+            "perfbench: {} × {} instrs ({} rep{})",
+            profile.name(),
+            instructions,
+            reps,
+            if reps == 1 { "" } else { "s" }
+        );
+        let trace = profile.generate(instructions);
+        results.extend(measure(
+            &engine,
+            profile.name(),
+            trace.instrs(),
+            warmup,
+            reps,
+        ));
+    }
+
+    for r in &results {
+        println!(
+            "{:<12} {:<14} {:>8.2} Minstr/s  ({:.3}s, uipc {:.3})",
+            r.workload,
+            r.prefetcher,
+            r.ips() / 1e6,
+            r.elapsed_s,
+            r.uipc
+        );
+    }
+    let none_ips = results
+        .iter()
+        .filter(|r| r.prefetcher == "None")
+        .map(RunResult::ips)
+        .fold(f64::MAX, f64::min);
+    // The prior constants were measured on OLTP-DB2; compare like for like.
+    let oltp_none_ips = results
+        .iter()
+        .filter(|r| r.prefetcher == "None" && r.workload == "OLTP-DB2")
+        .map(RunResult::ips)
+        .fold(f64::MAX, f64::min);
+    let oltp_pif_ips = results
+        .iter()
+        .filter(|r| r.prefetcher == "PIF" && r.workload == "OLTP-DB2")
+        .map(RunResult::ips)
+        .fold(f64::MAX, f64::min);
+    if oltp_none_ips < f64::MAX && oltp_pif_ips < f64::MAX {
+        println!(
+            "speedup vs pre-refactor hot loop (OLTP-DB2): None {:.2}x ({:.1}M -> {:.1}M), PIF {:.2}x ({:.1}M -> {:.1}M)",
+            oltp_none_ips / PRIOR_NONE_IPS,
+            PRIOR_NONE_IPS / 1e6,
+            oltp_none_ips / 1e6,
+            oltp_pif_ips / PRIOR_PIF_IPS,
+            PRIOR_PIF_IPS / 1e6,
+            oltp_pif_ips / 1e6,
+        );
+    }
+
+    let json = render_json(&results, instructions, smoke);
+    if let Err(e) = validate_json(&json) {
+        eprintln!("perfbench: emitted invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    let path = out_path.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir()
+                .join("BENCH_engine_smoke.json")
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            "BENCH_engine.json".to_string()
+        }
+    });
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("perfbench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    // Re-read and re-validate: proves the artifact on disk parses.
+    match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+        Ok(disk) => {
+            if let Err(e) = validate_json(&disk) {
+                eprintln!("perfbench: {path} does not parse: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perfbench: cannot re-read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("wrote {path}");
+
+    if smoke {
+        let threshold = SMOKE_FLOOR_IPS * 0.7;
+        if none_ips < threshold {
+            eprintln!(
+                "perfbench: REGRESSION: no-prefetch throughput {:.2} Minstr/s is more than 30% \
+                 below the committed floor of {:.2} Minstr/s",
+                none_ips / 1e6,
+                SMOKE_FLOOR_IPS / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke check passed: {:.2} Minstr/s >= {:.2} Minstr/s (floor {:.2}M - 30%)",
+            none_ips / 1e6,
+            threshold / 1e6,
+            SMOKE_FLOOR_IPS / 1e6
+        );
+    }
+}

@@ -101,6 +101,9 @@ pub struct PifAnalyzer {
     counting: bool,
     last_block: Option<BlockAddr>,
     last_tl: TrapLevel,
+    /// Reusable scratch for SAB advance/allocate records (discarded; the
+    /// analyzer measures prediction, it does not prefetch).
+    records_scratch: Vec<pif_types::SpatialRegionRecord>,
 }
 
 #[derive(Debug)]
@@ -143,6 +146,7 @@ impl PifAnalyzer {
             counting: false,
             last_block: None,
             last_tl: TrapLevel::Tl0,
+            records_scratch: Vec::new(),
             config,
         }
     }
@@ -190,10 +194,13 @@ impl PifAnalyzer {
         let geometry = self.config.geometry;
         let missed = !self.icache.demand_access(block).is_hit();
 
-        let predicted = self
-            .sabs
-            .advance(level, block, geometry, &self.levels[level].history)
-            .is_some();
+        let predicted = self.sabs.advance(
+            level,
+            block,
+            geometry,
+            &self.levels[level].history,
+            &mut self.records_scratch,
+        );
 
         if self.counting {
             self.report.access_total[level] += 1;
@@ -214,9 +221,14 @@ impl PifAnalyzer {
             if let Some(pos) = state.index.lookup(block) {
                 if let Some(entry) = state.history.get(pos) {
                     let jump = state.history.block_position() - entry.block_position;
-                    let (_, completed) =
-                        self.sabs
-                            .allocate(level, pos, jump, geometry, &state.history);
+                    let completed = self.sabs.allocate(
+                        level,
+                        pos,
+                        jump,
+                        geometry,
+                        &state.history,
+                        &mut self.records_scratch,
+                    );
                     if let Some(done) = completed {
                         self.record_stream(
                             done.jump_distance_blocks,

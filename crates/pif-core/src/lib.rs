@@ -17,6 +17,13 @@
 //!   streams that replay history records and issue prefetches, advancing
 //!   as the core's fetches confirm the stream (§4.3).
 //!
+//! `SabPool::advance` and `SabPool::allocate` are *sink-style*: they
+//! write the records entering a stream's window into a caller-owned
+//! scratch `Vec` (cleared on entry) instead of returning a fresh
+//! allocation, so the per-fetch prediction path is allocation-free in
+//! steady state — stream opens even reuse the replaced stream's window
+//! buffer.
+//!
 //! Streams are recorded **separately per trap level** (§2.3), so interrupt
 //! handlers do not fragment application streams.
 //!

@@ -55,6 +55,9 @@ pub struct Pif {
     completed: Vec<CompletedStream>,
     /// Streams opened (index hits that allocated a SAB).
     streams_opened: u64,
+    /// Reusable scratch for records produced by SAB advance/allocate;
+    /// reaches a fixed capacity after warmup (no steady-state allocation).
+    records_scratch: Vec<pif_types::SpatialRegionRecord>,
 }
 
 impl Pif {
@@ -75,6 +78,7 @@ impl Pif {
             sabs: SabPool::new(config.sab_count, config.sab_window),
             completed: Vec::new(),
             streams_opened: 0,
+            records_scratch: Vec::new(),
             config,
         }
     }
@@ -111,19 +115,19 @@ impl Pif {
         out.extend(self.sabs.drain_completed());
         out
     }
+}
 
-    fn issue_region_prefetches(
-        &self,
-        records: &[pif_types::SpatialRegionRecord],
-        ctx: &mut PrefetchContext<'_>,
-    ) {
-        // Traverse each bit vector left to right (§4.3): preceding blocks,
-        // trigger, then succeeding blocks — the order the core will want
-        // them.
-        for rec in records {
-            for block in rec.blocks_in_order(self.config.geometry) {
-                ctx.prefetch(block);
-            }
+/// Issues block-level prefetches for `records`, traversing each bit vector
+/// left to right (§4.3): preceding blocks, trigger, then succeeding blocks
+/// — the order the core will want them.
+fn issue_region_prefetches(
+    geometry: pif_types::RegionGeometry,
+    records: &[pif_types::SpatialRegionRecord],
+    ctx: &mut PrefetchContext<'_>,
+) {
+    for rec in records {
+        for block in rec.blocks_in_order(geometry) {
+            ctx.prefetch(block);
         }
     }
 }
@@ -144,12 +148,16 @@ impl Prefetcher for Pif {
         let geometry = self.config.geometry;
 
         // 1. An active stream that contains this fetch advances and
-        //    prefetches the records that slid into its window.
-        if let Some(new_records) =
-            self.sabs
-                .advance(level, block, geometry, &self.levels[level].history)
-        {
-            self.issue_region_prefetches(&new_records, ctx);
+        //    prefetches the records that slid into its window. Records are
+        //    written into the reusable scratch buffer (no allocation).
+        if self.sabs.advance(
+            level,
+            block,
+            geometry,
+            &self.levels[level].history,
+            &mut self.records_scratch,
+        ) {
+            issue_region_prefetches(geometry, &self.records_scratch, ctx);
             return;
         }
 
@@ -167,14 +175,19 @@ impl Prefetcher for Pif {
             return; // stale pointer: record overwritten
         };
         let jump = state.history.block_position() - entry.block_position;
-        let (records, completed) = self
-            .sabs
-            .allocate(level, pos, jump, geometry, &state.history);
+        let completed = self.sabs.allocate(
+            level,
+            pos,
+            jump,
+            geometry,
+            &state.history,
+            &mut self.records_scratch,
+        );
         self.streams_opened += 1;
         if let Some(done) = completed {
             self.completed.push(done);
         }
-        self.issue_region_prefetches(&records, ctx);
+        issue_region_prefetches(geometry, &self.records_scratch, ctx);
     }
 
     fn on_retire(

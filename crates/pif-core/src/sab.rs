@@ -73,10 +73,11 @@ pub struct CompletedStream {
 ///     h.append(SpatialRegionRecord::new(BlockAddr::from_number(n * 10)), true);
 /// }
 /// let mut pool = SabPool::new(4, 7);
-/// let (prefetch, _) = pool.allocate(0, 0, 0, g, &h);
-/// assert!(!prefetch.is_empty(), "allocation yields prefetch candidates");
+/// let mut records = Vec::new();
+/// pool.allocate(0, 0, 0, g, &h, &mut records);
+/// assert!(!records.is_empty(), "allocation yields prefetch candidates");
 /// // A fetch of the second region's trigger advances the stream.
-/// assert!(pool.advance(0, BlockAddr::from_number(10), g, &h).is_some());
+/// assert!(pool.advance(0, BlockAddr::from_number(10), g, &h, &mut records));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SabPool {
@@ -107,15 +108,19 @@ impl SabPool {
 
     /// Attempts to advance an active stream with a fetch of `block` at
     /// trap level `level`. On a match, the window slides to the matched
-    /// region and refills from `history`; returns the *newly read* records
-    /// (prefetch candidates). Returns `None` if no stream matched.
+    /// region and refills from `history`, appending the *newly read*
+    /// records (prefetch candidates) to `out`; returns `true`. Returns
+    /// `false` if no stream matched. `out` is cleared first either way, so
+    /// a caller-owned scratch buffer can be reused allocation-free.
     pub fn advance(
         &mut self,
         level: usize,
         block: BlockAddr,
         geometry: RegionGeometry,
         history: &HistoryBuffer,
-    ) -> Option<Vec<SpatialRegionRecord>> {
+        out: &mut Vec<SpatialRegionRecord>,
+    ) -> bool {
+        out.clear();
         self.clock += 1;
         for sab in &mut self.sabs {
             if sab.level != level {
@@ -130,27 +135,26 @@ impl SabPool {
                 sab.last_use = self.clock;
                 sab.regions_advanced += i as u64;
                 sab.window.drain(..i);
-                let mut new_records = Vec::new();
                 while sab.window.len() < self.window {
                     match history.get(sab.next_pos) {
                         Some(entry) => {
                             sab.window.push_back((sab.next_pos, entry.record));
-                            new_records.push(entry.record);
+                            out.push(entry.record);
                             sab.next_pos += 1;
                         }
                         None => break,
                     }
                 }
-                return Some(new_records);
+                return true;
             }
         }
-        None
+        false
     }
 
     /// Allocates a new stream replaying history from `pos`, replacing the
-    /// LRU SAB if the pool is full. Returns the initial window's records
-    /// (prefetch candidates) and the lifetime stats of any stream that was
-    /// replaced.
+    /// LRU SAB if the pool is full. Clears `out` and fills it with the
+    /// initial window's records (prefetch candidates); returns the
+    /// lifetime stats of any stream that was replaced.
     pub fn allocate(
         &mut self,
         level: usize,
@@ -158,31 +162,24 @@ impl SabPool {
         jump_distance_blocks: u64,
         _geometry: RegionGeometry,
         history: &HistoryBuffer,
-    ) -> (Vec<SpatialRegionRecord>, Option<CompletedStream>) {
+        out: &mut Vec<SpatialRegionRecord>,
+    ) -> Option<CompletedStream> {
+        out.clear();
         self.clock += 1;
-        let mut sab = Sab {
-            level,
-            next_pos: pos,
-            window: VecDeque::with_capacity(self.window),
-            last_use: self.clock,
-            predictions: 0,
-            regions_advanced: 0,
-            jump_distance_blocks,
-        };
-        let mut records = Vec::with_capacity(self.window);
-        while sab.window.len() < self.window {
-            match history.get(sab.next_pos) {
-                Some(entry) => {
-                    sab.window.push_back((sab.next_pos, entry.record));
-                    records.push(entry.record);
-                    sab.next_pos += 1;
-                }
-                None => break,
-            }
-        }
-        let completed = if self.sabs.len() < self.count {
-            self.sabs.push(sab);
-            None
+        // Claim a slot first: an empty one if the pool has room, otherwise
+        // the LRU stream's — whose window buffer is reused in place, so a
+        // steady-state stream open performs no heap allocation.
+        let (slot, completed) = if self.sabs.len() < self.count {
+            self.sabs.push(Sab {
+                level,
+                next_pos: pos,
+                window: VecDeque::with_capacity(self.window),
+                last_use: self.clock,
+                predictions: 0,
+                regions_advanced: 0,
+                jump_distance_blocks,
+            });
+            (self.sabs.last_mut().expect("just pushed"), None)
         } else {
             let lru = self
                 .sabs
@@ -191,15 +188,33 @@ impl SabPool {
                 .min_by_key(|(_, s)| s.last_use)
                 .map(|(i, _)| i)
                 .expect("pool is non-empty");
-            let old = std::mem::replace(&mut self.sabs[lru], sab);
-            Some(CompletedStream {
+            let old = &mut self.sabs[lru];
+            let completed = CompletedStream {
                 level: old.level,
                 predictions: old.predictions,
                 regions_advanced: old.regions_advanced,
                 jump_distance_blocks: old.jump_distance_blocks,
-            })
+            };
+            old.level = level;
+            old.next_pos = pos;
+            old.window.clear();
+            old.last_use = self.clock;
+            old.predictions = 0;
+            old.regions_advanced = 0;
+            old.jump_distance_blocks = jump_distance_blocks;
+            (old, Some(completed))
         };
-        (records, completed)
+        while slot.window.len() < self.window {
+            match history.get(slot.next_pos) {
+                Some(entry) => {
+                    slot.window.push_back((slot.next_pos, entry.record));
+                    out.push(entry.record);
+                    slot.next_pos += 1;
+                }
+                None => break,
+            }
+        }
+        completed
     }
 
     /// Drains all streams' lifetime stats (end of run).
@@ -239,11 +254,34 @@ mod tests {
         h
     }
 
+    /// Convenience wrappers keeping the assertions below readable.
+    fn alloc(
+        pool: &mut SabPool,
+        level: usize,
+        pos: u64,
+        jump: u64,
+        h: &HistoryBuffer,
+    ) -> (Vec<SpatialRegionRecord>, Option<CompletedStream>) {
+        let mut out = Vec::new();
+        let completed = pool.allocate(level, pos, jump, G, h, &mut out);
+        (out, completed)
+    }
+
+    fn advance(
+        pool: &mut SabPool,
+        level: usize,
+        block: BlockAddr,
+        h: &HistoryBuffer,
+    ) -> Option<Vec<SpatialRegionRecord>> {
+        let mut out = Vec::new();
+        pool.advance(level, block, G, h, &mut out).then_some(out)
+    }
+
     #[test]
     fn allocation_fills_window() {
         let h = history_of(&[10, 20, 30, 40, 50, 60, 70, 80, 90]);
         let mut pool = SabPool::new(4, 7);
-        let (records, completed) = pool.allocate(0, 0, 0, G, &h);
+        let (records, completed) = alloc(&mut pool, 0, 0, 0, &h);
         assert_eq!(records.len(), 7);
         assert!(completed.is_none());
         assert_eq!(pool.active(), 1);
@@ -253,8 +291,18 @@ mod tests {
     fn allocation_near_history_end_truncates() {
         let h = history_of(&[10, 20, 30]);
         let mut pool = SabPool::new(4, 7);
-        let (records, _) = pool.allocate(0, 1, 0, G, &h);
+        let (records, _) = alloc(&mut pool, 0, 1, 0, &h);
         assert_eq!(records.len(), 2, "only positions 1..3 exist");
+    }
+
+    #[test]
+    fn allocation_clears_the_scratch_buffer() {
+        let h = history_of(&[10, 20, 30]);
+        let mut pool = SabPool::new(4, 2);
+        let mut out = vec![SpatialRegionRecord::new(b(999))];
+        pool.allocate(0, 0, 0, G, &h, &mut out);
+        assert_eq!(out.len(), 2, "stale scratch contents must be dropped");
+        assert_eq!(out[0].trigger, b(10));
     }
 
     #[test]
@@ -263,8 +311,8 @@ mod tests {
         let mut pool = SabPool::new(4, 3);
         // Allocate window 10,20,30; the fetch of 30's trigger then
         // skips 2 regions and reads 2 more.
-        pool.allocate(0, 0, 0, G, &h);
-        let new = pool.advance(0, b(30), G, &h).unwrap();
+        alloc(&mut pool, 0, 0, 0, &h);
+        let new = advance(&mut pool, 0, b(30), &h).unwrap();
         assert_eq!(new.len(), 2);
         assert_eq!(new[0].trigger, b(40));
         assert_eq!(new[1].trigger, b(50));
@@ -279,13 +327,13 @@ mod tests {
         h.append(r, true);
         h.append(SpatialRegionRecord::new(b(200)), true);
         let mut pool = SabPool::new(2, 2);
-        pool.allocate(0, 0, 0, g, &h);
+        alloc(&mut pool, 0, 0, 0, &h);
         assert!(
-            pool.advance(0, b(102), g, &h).is_some(),
+            advance(&mut pool, 0, b(102), &h).is_some(),
             "bit-vector member matches"
         );
         assert!(
-            pool.advance(0, b(104), g, &h).is_none(),
+            advance(&mut pool, 0, b(104), &h).is_none(),
             "unset bit does not match"
         );
     }
@@ -294,20 +342,20 @@ mod tests {
     fn advance_respects_trap_level() {
         let h = history_of(&[10, 20, 30]);
         let mut pool = SabPool::new(2, 2);
-        pool.allocate(1, 0, 0, G, &h);
-        assert!(pool.advance(0, b(10), G, &h).is_none());
-        assert!(pool.advance(1, b(10), G, &h).is_some());
+        alloc(&mut pool, 1, 0, 0, &h);
+        assert!(advance(&mut pool, 0, b(10), &h).is_none());
+        assert!(advance(&mut pool, 1, b(10), &h).is_some());
     }
 
     #[test]
     fn lru_replacement_returns_completed_stats() {
         let h = history_of(&[10, 20, 30, 40, 50]);
         let mut pool = SabPool::new(2, 2);
-        pool.allocate(0, 0, 1, G, &h);
-        pool.allocate(0, 1, 2, G, &h);
+        alloc(&mut pool, 0, 0, 1, &h);
+        alloc(&mut pool, 0, 1, 2, &h);
         // Touch the first stream so the second is LRU.
-        assert!(pool.advance(0, b(10), G, &h).is_some());
-        let (_, completed) = pool.allocate(0, 2, 3, G, &h);
+        assert!(advance(&mut pool, 0, b(10), &h).is_some());
+        let (_, completed) = alloc(&mut pool, 0, 2, 3, &h);
         let done = completed.expect("pool full: someone was replaced");
         assert_eq!(
             done.jump_distance_blocks, 2,
@@ -319,10 +367,10 @@ mod tests {
     fn predictions_and_length_accumulate() {
         let h = history_of(&[10, 20, 30, 40, 50, 60]);
         let mut pool = SabPool::new(1, 3);
-        pool.allocate(0, 0, 0, G, &h);
-        pool.advance(0, b(10), G, &h);
-        pool.advance(0, b(20), G, &h);
-        pool.advance(0, b(30), G, &h);
+        alloc(&mut pool, 0, 0, 0, &h);
+        advance(&mut pool, 0, b(10), &h);
+        advance(&mut pool, 0, b(20), &h);
+        advance(&mut pool, 0, b(30), &h);
         let done = pool.drain_completed();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].predictions, 3);
@@ -333,13 +381,13 @@ mod tests {
     }
 
     #[test]
-    fn no_match_returns_none_and_keeps_state() {
+    fn no_match_returns_false_and_keeps_state() {
         let h = history_of(&[10, 20]);
         let mut pool = SabPool::new(1, 2);
-        pool.allocate(0, 0, 0, G, &h);
-        assert!(pool.advance(0, b(999), G, &h).is_none());
+        alloc(&mut pool, 0, 0, 0, &h);
+        assert!(advance(&mut pool, 0, b(999), &h).is_none());
         // Stream intact: trigger still matches.
-        assert!(pool.advance(0, b(10), G, &h).is_some());
+        assert!(advance(&mut pool, 0, b(10), &h).is_some());
     }
 
     #[test]

@@ -113,6 +113,8 @@ pub struct SharedPif {
     storage: Arc<SharedPifStorage>,
     locals: Vec<CoreLevel>,
     sabs: SabPool,
+    /// Reusable scratch for SAB advance/allocate records.
+    records_scratch: Vec<pif_types::SpatialRegionRecord>,
 }
 
 impl SharedPif {
@@ -129,6 +131,7 @@ impl SharedPif {
                 })
                 .collect(),
             sabs: SabPool::new(config.sab_count, config.sab_window),
+            records_scratch: Vec::new(),
         }
     }
 
@@ -140,12 +143,8 @@ impl SharedPif {
         }
     }
 
-    fn issue_region_prefetches(
-        &self,
-        records: &[pif_types::SpatialRegionRecord],
-        ctx: &mut PrefetchContext<'_>,
-    ) {
-        for rec in records {
+    fn issue_region_prefetches(&self, ctx: &mut PrefetchContext<'_>) {
+        for rec in &self.records_scratch {
             for block in rec.blocks_in_order(self.storage.config.geometry) {
                 ctx.prefetch(block);
             }
@@ -171,9 +170,15 @@ impl Prefetcher for SharedPif {
         // Advance active streams under a read lock.
         {
             let shared = self.storage.levels[level].read();
-            if let Some(new_records) = self.sabs.advance(level, block, geometry, &shared.history) {
+            if self.sabs.advance(
+                level,
+                block,
+                geometry,
+                &shared.history,
+                &mut self.records_scratch,
+            ) {
                 drop(shared);
-                self.issue_region_prefetches(&new_records, ctx);
+                self.issue_region_prefetches(ctx);
                 return;
             }
         }
@@ -184,7 +189,7 @@ impl Prefetcher for SharedPif {
 
         // Open a new stream: index lookup mutates LRU state, so take the
         // write lock.
-        let (records, completed) = {
+        {
             let mut shared = self.storage.levels[level].write();
             let Some(pos) = shared.index.lookup(block) else {
                 return;
@@ -193,11 +198,16 @@ impl Prefetcher for SharedPif {
                 return;
             };
             let jump = shared.history.block_position() - entry.block_position;
-            self.sabs
-                .allocate(level, pos, jump, geometry, &shared.history)
-        };
-        let _ = completed;
-        self.issue_region_prefetches(&records, ctx);
+            let _completed = self.sabs.allocate(
+                level,
+                pos,
+                jump,
+                geometry,
+                &shared.history,
+                &mut self.records_scratch,
+            );
+        }
+        self.issue_region_prefetches(ctx);
     }
 
     fn on_retire(

@@ -31,7 +31,8 @@ impl BranchTargetBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is invalid (sets not a power of two).
+    /// Panics if the geometry is invalid: sets not a power of two, or
+    /// more than 16 ways (the packed-LRU replacement limit).
     pub fn new(entries: usize, ways: usize) -> Self {
         let sets = entries / ways;
         BranchTargetBuffer {

@@ -92,6 +92,7 @@ impl InstructionCache {
     /// Distinguishes the first demand use of a prefetched line so the
     /// engine can account prefetch coverage: that access would have been a
     /// miss without the prefetcher.
+    #[inline]
     pub fn demand_access(&mut self, block: BlockAddr) -> AccessOutcome {
         if let Some(meta) = self.cache.access(block) {
             match meta.provenance {
@@ -115,6 +116,7 @@ impl InstructionCache {
     /// Installs `block` as a prefetched line. Returns `false` if the block
     /// was already resident (the paper's prefetch path probes the tags and
     /// drops such requests; calling this anyway is harmless).
+    #[inline]
     pub fn fill_prefetch(&mut self, block: BlockAddr) -> bool {
         if self.cache.contains(block) {
             return false;
@@ -130,11 +132,13 @@ impl InstructionCache {
 
     /// Non-perturbing presence probe (used by prefetchers before queuing
     /// requests, §4.3).
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> bool {
         self.cache.contains(block)
     }
 
     /// Provenance of a resident line, if present (non-perturbing).
+    #[inline]
     pub fn provenance(&self, block: BlockAddr) -> Option<LineProvenance> {
         self.cache.probe(block).map(|m| m.provenance)
     }

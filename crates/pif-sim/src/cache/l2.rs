@@ -59,6 +59,7 @@ impl L2Model {
 
     /// Services an L1 miss (demand or prefetch) for `block`, returning the
     /// fill latency in cycles and installing the block in the L2.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr) -> u64 {
         if self.cache.access(block).is_some() {
             self.hits += 1;

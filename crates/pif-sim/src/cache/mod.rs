@@ -8,5 +8,5 @@ mod set_assoc;
 
 pub use icache::{AccessOutcome, InstructionCache, LineProvenance};
 pub use l2::L2Model;
-pub use replacement::{Fifo, Lru, RandomEvict, ReplacementPolicy};
+pub use replacement::{ArrayLru, Fifo, Lru, RandomEvict, ReplacementPolicy};
 pub use set_assoc::SetAssocCache;

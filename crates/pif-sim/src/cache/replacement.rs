@@ -5,117 +5,195 @@
 //! policy behind a trait lets tests demonstrate the paper's §2.1
 //! observation — that *the replacement policy's block-granularity decisions
 //! fragment temporal streams* — under different policies.
+//!
+//! For cache-layout friendliness the policy itself is a stateless marker
+//! type; the per-set state is an associated [`ReplacementPolicy::SetState`]
+//! value that the cache stores inline in one flat array (no per-set heap
+//! object). [`Lru`] and [`Fifo`] pack their state into a single `u64` word
+//! (4-bit way fields, up to 16 ways); [`ArrayLru`] is the small-array
+//! fallback for wider sets.
 
 use std::fmt::Debug;
 
 /// Per-set replacement policy.
 ///
-/// Implementations hold the state for **one** cache set with `ways` ways.
-/// The cache owns one policy instance per set.
+/// The policy type carries no instance data; all per-set state lives in a
+/// [`ReplacementPolicy::SetState`] value owned by the cache, one per set,
+/// stored inline in a flat `Vec`.
 pub trait ReplacementPolicy: Debug {
-    /// Creates policy state for a set with the given number of ways.
-    fn new(ways: usize) -> Self
-    where
-        Self: Sized;
+    /// Per-set replacement state, stored inline in the cache.
+    type SetState: Copy + Debug;
+
+    /// Widest set this policy's packed state supports. The cache checks
+    /// this in `SetAssocCache::new` and reports a `ConfigError` for wider
+    /// geometries (pick a wider policy such as [`ArrayLru`] instead).
+    const MAX_WAYS: usize;
+
+    /// Creates the state for a set with the given number of ways.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `ways` exceeds [`ReplacementPolicy::MAX_WAYS`]; the
+    /// cache constructor validates first.
+    fn init(ways: usize) -> Self::SetState;
 
     /// Notes that `way` was touched (demand hit or new fill).
-    fn touch(&mut self, way: usize);
+    fn touch(state: &mut Self::SetState, ways: usize, way: usize);
 
-    /// Returns the way to evict next (does not modify state; the subsequent
-    /// fill will [`ReplacementPolicy::touch`] the way).
-    fn victim(&mut self) -> usize;
+    /// Returns the way to evict next (the subsequent fill will
+    /// [`ReplacementPolicy::touch`] the way).
+    fn victim(state: &mut Self::SetState, ways: usize) -> usize;
 }
 
 /// True least-recently-used replacement (the paper's L1-I policy, §2.1).
-#[derive(Debug, Clone)]
-pub struct Lru {
-    /// Way indices ordered most-recently-used first.
-    order: Vec<u8>,
-}
+///
+/// State is a `u64` holding the way order as packed 4-bit fields,
+/// most-recently-used in the low nibble. Supports up to 16 ways; use
+/// [`ArrayLru`] beyond that.
+#[derive(Debug, Clone, Copy)]
+pub struct Lru;
 
 impl ReplacementPolicy for Lru {
-    fn new(ways: usize) -> Self {
+    type SetState = u64;
+    const MAX_WAYS: usize = 16;
+
+    fn init(ways: usize) -> u64 {
         assert!(
-            ways > 0 && ways <= u8::MAX as usize,
-            "unsupported way count"
+            ways > 0 && ways <= 16,
+            "packed LRU supports 1..=16 ways (use ArrayLru beyond)"
         );
-        Lru {
-            order: (0..ways as u8).collect(),
+        // Nibble i holds way i: way 0 is MRU, way ways-1 is LRU.
+        let mut state = 0u64;
+        for way in 0..ways as u64 {
+            state |= way << (4 * way);
         }
+        state
     }
 
-    fn touch(&mut self, way: usize) {
-        let way = way as u8;
-        if let Some(pos) = self.order.iter().position(|&w| w == way) {
-            self.order.remove(pos);
-            self.order.insert(0, way);
+    #[inline]
+    fn touch(state: &mut u64, ways: usize, way: usize) {
+        let w = way as u64;
+        let mut pos = 0;
+        while pos < ways && (*state >> (4 * pos)) & 0xF != w {
+            pos += 1;
         }
+        if pos == ways {
+            return; // way not tracked (cannot happen under cache invariants)
+        }
+        // Remove the nibble at `pos`, slide lower nibbles up, insert at MRU.
+        let below = *state & ((1u64 << (4 * pos)) - 1);
+        let above = if 4 * (pos + 1) >= 64 {
+            0
+        } else {
+            *state & !((1u64 << (4 * (pos + 1))) - 1)
+        };
+        *state = above | (below << 4) | w;
     }
 
-    fn victim(&mut self) -> usize {
-        *self.order.last().expect("non-empty set") as usize
+    #[inline]
+    fn victim(state: &mut u64, ways: usize) -> usize {
+        ((*state >> (4 * (ways - 1))) & 0xF) as usize
     }
 }
 
 /// First-in-first-out replacement: evicts in fill order, ignoring hits.
-#[derive(Debug, Clone)]
-pub struct Fifo {
-    next: usize,
-    ways: usize,
-    /// FIFO ignores touches on hits but must still learn fill order; we
-    /// advance the pointer only when the victim is consumed, which the
-    /// cache signals by touching the way it just filled.
-    last_victim: Option<usize>,
-}
+///
+/// State packs the round-robin fill pointer (low byte) and the last
+/// nominated victim plus one (second byte; 0 = none) into a `u64`. FIFO
+/// ignores touches on hits but must still learn fill order; the pointer
+/// advances only when the way it last nominated is touched, which the
+/// cache signals by touching the way it just filled.
+#[derive(Debug, Clone, Copy)]
+pub struct Fifo;
+
+const FIFO_NEXT_MASK: u64 = 0xFF;
+const FIFO_VICTIM_SHIFT: u32 = 8;
 
 impl ReplacementPolicy for Fifo {
-    fn new(ways: usize) -> Self {
-        assert!(ways > 0, "unsupported way count");
-        Fifo {
-            next: 0,
-            ways,
-            last_victim: None,
+    type SetState = u64;
+    const MAX_WAYS: usize = 255;
+
+    fn init(ways: usize) -> u64 {
+        assert!(ways > 0 && ways <= 255, "unsupported way count");
+        0
+    }
+
+    #[inline]
+    fn touch(state: &mut u64, ways: usize, way: usize) {
+        let nominated = *state >> FIFO_VICTIM_SHIFT;
+        if nominated == way as u64 + 1 {
+            let next = ((*state & FIFO_NEXT_MASK) + 1) % ways as u64;
+            *state = next; // clears the nomination
         }
     }
 
-    fn touch(&mut self, way: usize) {
-        // A touch on the way we last nominated means it was filled: advance.
-        if self.last_victim == Some(way) {
-            self.next = (self.next + 1) % self.ways;
-            self.last_victim = None;
-        }
-    }
-
-    fn victim(&mut self) -> usize {
-        self.last_victim = Some(self.next);
-        self.next
+    #[inline]
+    fn victim(state: &mut u64, _ways: usize) -> usize {
+        let next = *state & FIFO_NEXT_MASK;
+        *state = next | ((next + 1) << FIFO_VICTIM_SHIFT);
+        next as usize
     }
 }
 
 /// Pseudo-random replacement using a per-set xorshift generator.
-#[derive(Debug, Clone)]
-pub struct RandomEvict {
-    state: u64,
-    ways: usize,
-}
+#[derive(Debug, Clone, Copy)]
+pub struct RandomEvict;
 
 impl ReplacementPolicy for RandomEvict {
-    fn new(ways: usize) -> Self {
+    type SetState = u64;
+    const MAX_WAYS: usize = usize::MAX;
+
+    fn init(ways: usize) -> u64 {
         assert!(ways > 0, "unsupported way count");
-        RandomEvict {
-            state: 0x9e37_79b9_7f4a_7c15,
-            ways,
-        }
+        0x9e37_79b9_7f4a_7c15
     }
 
-    fn touch(&mut self, _way: usize) {}
+    #[inline]
+    fn touch(_state: &mut u64, _ways: usize, _way: usize) {}
 
-    fn victim(&mut self) -> usize {
+    #[inline]
+    fn victim(state: &mut u64, ways: usize) -> usize {
         // xorshift64*
-        self.state ^= self.state >> 12;
-        self.state ^= self.state << 25;
-        self.state ^= self.state >> 27;
-        (self.state.wrapping_mul(0x2545_f491_4f6c_dd1d) % self.ways as u64) as usize
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % ways as u64) as usize
+    }
+}
+
+/// Small-array LRU fallback for sets wider than the 16 ways the packed
+/// [`Lru`] word supports (up to 32 ways). Way indices are kept
+/// most-recently-used first in a fixed inline array — still no per-set
+/// heap allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayLru;
+
+impl ReplacementPolicy for ArrayLru {
+    type SetState = [u8; 32];
+    const MAX_WAYS: usize = 32;
+
+    fn init(ways: usize) -> [u8; 32] {
+        assert!(ways > 0 && ways <= 32, "array LRU supports 1..=32 ways");
+        let mut order = [0u8; 32];
+        for (i, slot) in order.iter_mut().enumerate().take(ways) {
+            *slot = i as u8;
+        }
+        order
+    }
+
+    #[inline]
+    fn touch(state: &mut [u8; 32], ways: usize, way: usize) {
+        let w = way as u8;
+        let Some(pos) = state[..ways].iter().position(|&x| x == w) else {
+            return;
+        };
+        state.copy_within(..pos, 1);
+        state[0] = w;
+    }
+
+    #[inline]
+    fn victim(state: &mut [u8; 32], ways: usize) -> usize {
+        state[ways - 1] as usize
     }
 }
 
@@ -125,62 +203,107 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut lru = Lru::new(3);
-        lru.touch(0);
-        lru.touch(1);
-        lru.touch(2);
-        assert_eq!(lru.victim(), 0);
-        lru.touch(0); // 0 becomes MRU
-        assert_eq!(lru.victim(), 1);
+        let mut s = Lru::init(3);
+        Lru::touch(&mut s, 3, 0);
+        Lru::touch(&mut s, 3, 1);
+        Lru::touch(&mut s, 3, 2);
+        assert_eq!(Lru::victim(&mut s, 3), 0);
+        Lru::touch(&mut s, 3, 0); // 0 becomes MRU
+        assert_eq!(Lru::victim(&mut s, 3), 1);
     }
 
     #[test]
     fn lru_initial_order_is_way_order() {
-        let mut lru = Lru::new(4);
         // No touches: way 3 is the initial LRU.
-        assert_eq!(lru.victim(), 3);
+        let mut s = Lru::init(4);
+        assert_eq!(Lru::victim(&mut s, 4), 3);
     }
 
     #[test]
     fn lru_victim_is_idempotent_without_touch() {
-        let mut lru = Lru::new(2);
-        lru.touch(1);
-        assert_eq!(lru.victim(), 0);
-        assert_eq!(lru.victim(), 0);
+        let mut s = Lru::init(2);
+        Lru::touch(&mut s, 2, 1);
+        assert_eq!(Lru::victim(&mut s, 2), 0);
+        assert_eq!(Lru::victim(&mut s, 2), 0);
+    }
+
+    #[test]
+    fn lru_supports_sixteen_ways() {
+        let mut s = Lru::init(16);
+        assert_eq!(Lru::victim(&mut s, 16), 15);
+        // Touch ways 15 down to 0: way 0 ends up MRU, way 15 LRU.
+        for way in (0..16).rev() {
+            Lru::touch(&mut s, 16, way);
+        }
+        assert_eq!(Lru::victim(&mut s, 16), 15);
+        Lru::touch(&mut s, 16, 15);
+        assert_eq!(Lru::victim(&mut s, 16), 14);
     }
 
     #[test]
     fn fifo_cycles_through_ways_on_fills() {
-        let mut fifo = Fifo::new(3);
-        let v0 = fifo.victim();
-        fifo.touch(v0); // fill
-        let v1 = fifo.victim();
-        fifo.touch(v1);
-        let v2 = fifo.victim();
-        fifo.touch(v2);
-        let v3 = fifo.victim();
+        let mut s = Fifo::init(3);
+        let v0 = Fifo::victim(&mut s, 3);
+        Fifo::touch(&mut s, 3, v0); // fill
+        let v1 = Fifo::victim(&mut s, 3);
+        Fifo::touch(&mut s, 3, v1);
+        let v2 = Fifo::victim(&mut s, 3);
+        Fifo::touch(&mut s, 3, v2);
+        let v3 = Fifo::victim(&mut s, 3);
         assert_eq!([v0, v1, v2, v3], [0, 1, 2, 0]);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut fifo = Fifo::new(2);
-        let v0 = fifo.victim();
-        fifo.touch(v0);
-        fifo.touch(0); // hit on way 0: must not perturb fill order
-        fifo.touch(0);
-        assert_eq!(fifo.victim(), 1);
+        let mut s = Fifo::init(2);
+        let v0 = Fifo::victim(&mut s, 2);
+        Fifo::touch(&mut s, 2, v0);
+        Fifo::touch(&mut s, 2, 0); // hit on way 0: must not perturb fill order
+        Fifo::touch(&mut s, 2, 0);
+        assert_eq!(Fifo::victim(&mut s, 2), 1);
     }
 
     #[test]
     fn random_victims_in_range_and_vary() {
-        let mut r = RandomEvict::new(4);
+        let mut s = RandomEvict::init(4);
         let mut seen = [false; 4];
         for _ in 0..64 {
-            let v = r.victim();
+            let v = RandomEvict::victim(&mut s, 4);
             assert!(v < 4);
             seen[v] = true;
         }
         assert!(seen.iter().filter(|&&s| s).count() >= 2, "degenerate RNG");
+    }
+
+    #[test]
+    fn array_lru_matches_packed_lru() {
+        // Drive both LRU implementations with the same touch/victim
+        // sequence; they must agree at every step.
+        for ways in [1usize, 2, 3, 7, 16] {
+            let mut packed = Lru::init(ways);
+            let mut array = ArrayLru::init(ways);
+            let mut x = 0x1234_5678_u64;
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let way = (x % ways as u64) as usize;
+                Lru::touch(&mut packed, ways, way);
+                ArrayLru::touch(&mut array, ways, way);
+                assert_eq!(
+                    Lru::victim(&mut packed, ways),
+                    ArrayLru::victim(&mut array, ways),
+                    "ways={ways} way={way}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_lru_supports_wide_sets() {
+        let mut s = ArrayLru::init(32);
+        assert_eq!(ArrayLru::victim(&mut s, 32), 31);
+        ArrayLru::touch(&mut s, 32, 31);
+        assert_eq!(ArrayLru::victim(&mut s, 32), 30);
     }
 }

@@ -1,16 +1,21 @@
 //! Generic set-associative cache keyed by cache-block address.
+//!
+//! The cache uses a structure-of-arrays layout: a flat `tags` array of
+//! block numbers (with an invalid-slot sentinel), a parallel `meta` array,
+//! and one inline packed replacement-state word per set (see
+//! [`ReplacementPolicy`]). A lookup therefore scans `ways` consecutive
+//! `u64` tags in one or two cache lines and never chases a pointer — this
+//! is the hottest structure in the simulator, probed on every fetch,
+//! retirement, and prefetch request.
 
 use pif_types::{BlockAddr, ConfigError};
 
 use super::replacement::ReplacementPolicy;
 
-#[derive(Debug, Clone)]
-struct Line<T> {
-    /// Full block number; we store the whole number rather than a truncated
-    /// tag so debugging output stays legible.
-    block: u64,
-    meta: T,
-}
+/// Sentinel tag marking an empty way. Block numbers are block *addresses*
+/// shifted right by the block-offset bits, so `u64::MAX` can never name a
+/// real block.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative cache mapping [`BlockAddr`]s to per-line metadata `T`.
 ///
@@ -31,12 +36,18 @@ struct Line<T> {
 /// assert!(cache.access(b).is_some());
 /// ```
 #[derive(Debug, Clone)]
-pub struct SetAssocCache<P, T = ()> {
+pub struct SetAssocCache<P: ReplacementPolicy, T = ()> {
     sets: usize,
     ways: usize,
     set_mask: u64,
-    lines: Vec<Option<Line<T>>>,
-    policies: Vec<P>,
+    /// Flat `sets * ways` array of full block numbers ([`INVALID_TAG`] =
+    /// empty way). We store the whole number rather than a truncated tag so
+    /// debugging output stays legible.
+    tags: Vec<u64>,
+    /// Parallel per-line metadata; `Some` exactly where the tag is valid.
+    meta: Vec<Option<T>>,
+    /// One packed replacement-state word per set, stored inline.
+    repl: Vec<P::SetState>,
     resident: usize,
 }
 
@@ -56,14 +67,21 @@ impl<P: ReplacementPolicy, T> SetAssocCache<P, T> {
                 "set count {sets} is not a power of two"
             )));
         }
-        let mut lines = Vec::with_capacity(sets * ways);
-        lines.resize_with(sets * ways, || None);
+        if ways > P::MAX_WAYS {
+            return Err(ConfigError::new(format!(
+                "{ways} ways exceeds the replacement policy's limit of {} (use a wider policy such as ArrayLru)",
+                P::MAX_WAYS
+            )));
+        }
+        let mut meta = Vec::with_capacity(sets * ways);
+        meta.resize_with(sets * ways, || None);
         Ok(SetAssocCache {
             sets,
             ways,
             set_mask: sets as u64 - 1,
-            lines,
-            policies: (0..sets).map(|_| P::new(ways)).collect(),
+            tags: vec![INVALID_TAG; sets * ways],
+            meta,
+            repl: vec![P::init(ways); sets],
             resident: 0,
         })
     }
@@ -93,45 +111,50 @@ impl<P: ReplacementPolicy, T> SetAssocCache<P, T> {
         self.resident == 0
     }
 
+    #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
         (block.number() & self.set_mask) as usize
     }
 
-    fn way_range(&self, set: usize) -> std::ops::Range<usize> {
-        set * self.ways..(set + 1) * self.ways
-    }
-
-    fn find(&self, block: BlockAddr) -> Option<(usize, usize)> {
-        let set = self.set_index(block);
-        for (way, slot) in self.lines[self.way_range(set)].iter().enumerate() {
-            if let Some(line) = slot {
-                if line.block == block.number() {
-                    return Some((set, way));
-                }
-            }
+    /// Scans one set's tags for `tag`, returning the matching way. The
+    /// sentinel never matches: a lookup for block `u64::MAX` (reachable
+    /// via wrapping block arithmetic) must not hit empty ways.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        if tag == INVALID_TAG {
+            return None;
         }
-        None
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
     }
 
     /// Looks up `block` without perturbing replacement state (a *probe*,
     /// as issued by prefetchers before enqueueing requests, §4.3).
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> Option<&T> {
-        self.find(block)
-            .map(|(set, way)| &self.lines[set * self.ways + way].as_ref().unwrap().meta)
+        let set = self.set_index(block);
+        let way = self.find_way(set, block.number())?;
+        self.meta[set * self.ways + way].as_ref()
     }
 
     /// True if `block` is resident (non-perturbing).
+    #[inline]
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.find(block).is_some()
+        let set = self.set_index(block);
+        self.find_way(set, block.number()).is_some()
     }
 
     /// Demand access: on hit, touches the line for replacement and returns
     /// its metadata; on miss returns `None` (the caller decides whether to
     /// fill via [`SetAssocCache::insert`]).
+    #[inline]
     pub fn access(&mut self, block: BlockAddr) -> Option<&mut T> {
-        let (set, way) = self.find(block)?;
-        self.policies[set].touch(way);
-        Some(&mut self.lines[set * self.ways + way].as_mut().unwrap().meta)
+        let set = self.set_index(block);
+        let way = self.find_way(set, block.number())?;
+        P::touch(&mut self.repl[set], self.ways, way);
+        self.meta[set * self.ways + way].as_mut()
     }
 
     /// Inserts `block`, evicting a victim if the set is full. Returns the
@@ -139,30 +162,40 @@ impl<P: ReplacementPolicy, T> SetAssocCache<P, T> {
     /// resident its metadata is replaced (and the line touched) without an
     /// eviction.
     pub fn insert(&mut self, block: BlockAddr, meta: T) -> Option<(BlockAddr, T)> {
-        if let Some((set, way)) = self.find(block) {
-            self.policies[set].touch(way);
-            let line = self.lines[set * self.ways + way].as_mut().unwrap();
-            line.meta = meta;
+        let tag = block.number();
+        if tag == INVALID_TAG {
+            // Block u64::MAX collides with the empty-way sentinel and is
+            // not representable in this layout; it is reachable only via
+            // wrapping block arithmetic below address 0. Dropping the
+            // insert keeps every invariant (the block simply stays
+            // non-resident, as all lookups already report).
             return None;
         }
         let set = self.set_index(block);
+        let base = set * self.ways;
+        if let Some(way) = self.find_way(set, tag) {
+            P::touch(&mut self.repl[set], self.ways, way);
+            self.meta[base + way] = Some(meta);
+            return None;
+        }
         // Prefer an empty way.
-        let empty = self.lines[self.way_range(set)]
+        let empty = self.tags[base..base + self.ways]
             .iter()
-            .position(|slot| slot.is_none());
+            .position(|&t| t == INVALID_TAG);
         let (way, evicted) = match empty {
             Some(way) => (way, None),
             None => {
-                let way = self.policies[set].victim();
-                let old = self.lines[set * self.ways + way].take().unwrap();
-                (way, Some((BlockAddr::from_number(old.block), old.meta)))
+                let way = P::victim(&mut self.repl[set], self.ways);
+                let old_tag = self.tags[base + way];
+                let old_meta = self.meta[base + way]
+                    .take()
+                    .expect("resident line has meta");
+                (way, Some((BlockAddr::from_number(old_tag), old_meta)))
             }
         };
-        self.lines[set * self.ways + way] = Some(Line {
-            block: block.number(),
-            meta,
-        });
-        self.policies[set].touch(way);
+        self.tags[base + way] = tag;
+        self.meta[base + way] = Some(meta);
+        P::touch(&mut self.repl[set], self.ways, way);
         if evicted.is_none() {
             self.resident += 1;
         }
@@ -171,26 +204,29 @@ impl<P: ReplacementPolicy, T> SetAssocCache<P, T> {
 
     /// Removes `block` from the cache, returning its metadata if resident.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
-        let (set, way) = self.find(block)?;
+        let set = self.set_index(block);
+        let way = self.find_way(set, block.number())?;
         self.resident -= 1;
-        self.lines[set * self.ways + way].take().map(|l| l.meta)
+        self.tags[set * self.ways + way] = INVALID_TAG;
+        self.meta[set * self.ways + way].take()
     }
 
     /// Iterates over resident blocks (arbitrary order).
     pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        self.lines
+        self.tags
             .iter()
-            .flatten()
-            .map(|l| BlockAddr::from_number(l.block))
+            .filter(|&&t| t != INVALID_TAG)
+            .map(|&t| BlockAddr::from_number(t))
     }
 
     /// Clears all lines and resets replacement state.
     pub fn clear(&mut self) {
-        for slot in &mut self.lines {
+        self.tags.fill(INVALID_TAG);
+        for slot in &mut self.meta {
             *slot = None;
         }
-        for p in &mut self.policies {
-            *p = P::new(self.ways);
+        for state in &mut self.repl {
+            *state = P::init(self.ways);
         }
         self.resident = 0;
     }
@@ -270,6 +306,17 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_way_is_refilled_first() {
+        let mut c: SetAssocCache<Lru, u32> = SetAssocCache::new(1, 2).unwrap();
+        c.insert(b(1), 1);
+        c.insert(b(2), 2);
+        c.invalidate(b(1));
+        // The freed way must be reused without evicting block 2.
+        assert!(c.insert(b(3), 3).is_none());
+        assert!(c.contains(b(2)) && c.contains(b(3)));
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(2, 2).unwrap();
         for n in 0..4 {
@@ -297,6 +344,49 @@ mod tests {
         assert!(SetAssocCache::<Lru, ()>::new(3, 2).is_err());
         assert!(SetAssocCache::<Lru, ()>::new(0, 2).is_err());
         assert!(SetAssocCache::<Lru, ()>::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn sentinel_block_never_matches_empty_ways() {
+        // Block u64::MAX is representable (wrapping block arithmetic);
+        // it must not alias the empty-way sentinel on lookups.
+        let mut c: SetAssocCache<Lru, ()> = SetAssocCache::new(2, 2).unwrap();
+        let max = BlockAddr::from_number(u64::MAX);
+        assert!(!c.contains(max));
+        assert!(c.access(max).is_none());
+        assert!(c.invalidate(max).is_none(), "must not underflow resident");
+        assert!(c.insert(max, ()).is_none(), "sentinel insert is dropped");
+        assert_eq!(c.len(), 0, "dropped insert must not count as resident");
+        c.insert(b(1), ());
+        assert!(!c.contains(max));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn rejects_ways_beyond_policy_limit_as_config_error() {
+        use super::super::replacement::ArrayLru;
+        // Packed LRU caps at 16 ways: a wider geometry must surface as a
+        // ConfigError from new(), not a panic.
+        assert!(SetAssocCache::<Lru, ()>::new(4, 17).is_err());
+        assert!(SetAssocCache::<ArrayLru, ()>::new(4, 17).is_ok());
+        assert!(SetAssocCache::<ArrayLru, ()>::new(4, 33).is_err());
+    }
+
+    #[test]
+    fn sixteen_way_set_tracks_full_lru_order() {
+        // The packed-LRU word must track all 16 ways (the L2 geometry).
+        let mut c: SetAssocCache<Lru, u32> = SetAssocCache::new(1, 16).unwrap();
+        for n in 0..16 {
+            assert!(c.insert(b(n), n as u32).is_none());
+        }
+        // Touch everything except block 5; block 5 must be the victim.
+        for n in 0..16 {
+            if n != 5 {
+                c.access(b(n));
+            }
+        }
+        let evicted = c.insert(b(100), 0).unwrap();
+        assert_eq!(evicted.0, b(5));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The simulation engine: drives a retire-order trace through the front
 //! end, L1-I cache, and an attached prefetcher, charging the timing model.
 
-use pif_types::{FetchAccess, InstrSource, RetiredInstr};
+use pif_types::{BlockAddr, FetchAccess, InstrSource, RetiredInstr};
 
 use crate::cache::{AccessOutcome, InstructionCache, L2Model, LineProvenance};
 use crate::config::EngineConfig;
@@ -136,24 +136,20 @@ impl Engine {
     ) -> RunReport {
         let mut state = EngineState::new(&self.config, prefetcher);
         let mut frontend = FrontEnd::new(self.config.frontend);
-        let mut events: Vec<FrontendEvent> = Vec::with_capacity(64);
         let mut warm = warmup_instrs == 0;
         let mut retired: usize = 0;
+        // Events are dispatched straight from the front end into
+        // `state.process` — no intermediate buffer, no per-instruction
+        // allocation.
         while let Some(instr) = source.next_instr() {
             if !warm && retired >= warmup_instrs {
                 state.mark_warm();
                 warm = true;
             }
             retired += 1;
-            frontend.step(instr, |e| events.push(e));
-            for e in events.drain(..) {
-                state.process(e);
-            }
+            frontend.step(instr, |e| state.process(e));
         }
-        frontend.flush(|e| events.push(e));
-        for e in events.drain(..) {
-            state.process(e);
-        }
+        frontend.flush(|e| state.process(e));
         state.finish(*frontend.stats())
     }
 
@@ -189,6 +185,10 @@ struct EngineState<P> {
     fetch: FetchStats,
     prefetch: PrefetchStats,
     perfect: bool,
+    /// Reusable request buffer handed to every prefetcher hook; grows to a
+    /// steady-state capacity during warmup, after which the per-event path
+    /// performs no heap allocation.
+    scratch_requests: Vec<BlockAddr>,
 }
 
 impl<P: Prefetcher> EngineState<P> {
@@ -203,9 +203,11 @@ impl<P: Prefetcher> EngineState<P> {
             fetch: FetchStats::default(),
             prefetch: PrefetchStats::default(),
             perfect,
+            scratch_requests: Vec::with_capacity(64),
         }
     }
 
+    #[inline]
     fn process(&mut self, event: FrontendEvent) {
         match event {
             FrontendEvent::Fetch(access) => self.process_fetch(access),
@@ -222,11 +224,19 @@ impl<P: Prefetcher> EngineState<P> {
     }
 
     fn run_hook(&mut self, f: impl FnOnce(&mut P, &mut PrefetchContext<'_>)) {
-        let mut ctx = PrefetchContext::new(&self.icache, &self.queue.view, &mut self.prefetch);
+        let mut ctx = PrefetchContext::new(
+            &self.icache,
+            &self.queue.view,
+            &mut self.prefetch,
+            &mut self.scratch_requests,
+        );
         f(&mut self.prefetcher, &mut ctx);
-        let requests = ctx.take_requests();
+        if self.scratch_requests.is_empty() {
+            return;
+        }
         let now = self.timing.now();
-        for block in requests {
+        for i in 0..self.scratch_requests.len() {
+            let block = self.scratch_requests[i];
             let latency = self.l2.access(block);
             self.queue.push(block, now + latency);
         }
@@ -234,9 +244,10 @@ impl<P: Prefetcher> EngineState<P> {
 
     fn install_ready_prefetches(&mut self) {
         let now = self.timing.now();
-        for block in self.queue.drain_ready(now) {
-            self.icache.fill_prefetch(block);
-        }
+        let icache = &mut self.icache;
+        self.queue.drain_ready(now, |block| {
+            icache.fill_prefetch(block);
+        });
     }
 
     fn process_fetch(&mut self, access: FetchAccess) {
@@ -291,10 +302,13 @@ impl<P: Prefetcher> EngineState<P> {
 
     fn process_retire(&mut self, instr: RetiredInstr, mispredicted: bool) {
         self.timing.retire_instruction(mispredicted);
-        let prefetched = matches!(
-            self.icache.provenance(instr.pc.block()),
-            Some(LineProvenance::Prefetched | LineProvenance::PrefetchedUsed)
-        );
+        // The provenance probe is a full cache lookup per retirement;
+        // prefetchers that ignore the tag opt out of paying for it.
+        let prefetched = self.prefetcher.uses_retire_provenance()
+            && matches!(
+                self.icache.provenance(instr.pc.block()),
+                Some(LineProvenance::Prefetched | LineProvenance::PrefetchedUsed)
+            );
         self.run_hook(|p, ctx| p.on_retire(&instr, prefetched, ctx));
     }
 

@@ -14,7 +14,12 @@
 //!   stream (paper §2.2);
 //! * **prefetcher plumbing** ([`prefetch`]): the [`Prefetcher`] trait every
 //!   prefetcher (PIF and baselines) implements, plus an in-flight prefetch
-//!   queue with latency;
+//!   queue with latency. The request path is *sink-style*: hooks write
+//!   prefetch requests into an engine-owned reusable buffer via
+//!   [`PrefetchContext::prefetch`], and the queue drains through a
+//!   callback — the steady-state loop performs no per-event heap
+//!   allocation (`PrefetcherHarness::drive` accordingly returns a borrow
+//!   of the reused buffer rather than a fresh `Vec`);
 //! * the **engine** ([`engine`]) that drives a retire-order trace through
 //!   front end → L1-I → prefetcher and collects statistics;
 //! * a **fetch-stall timing model** ([`timing`]) turning miss/stall counts

@@ -1,6 +1,11 @@
 //! Prefetcher plumbing: the [`Prefetcher`] trait implemented by PIF and
 //! every baseline, the context through which prefetchers probe the cache
 //! and enqueue requests, and the in-flight prefetch queue with latency.
+//!
+//! The request path is allocation-free: a [`PrefetchContext`] writes into
+//! a caller-owned reusable buffer (the engine keeps one scratch `Vec` for
+//! the whole run), and [`PrefetchQueue::drain_ready`] hands ready blocks
+//! to a sink closure instead of materializing a `Vec` per step.
 
 use std::collections::VecDeque;
 
@@ -12,21 +17,55 @@ use crate::stats::PrefetchStats;
 /// Context handed to prefetcher hooks: lets the prefetcher probe the L1-I
 /// tags (non-perturbing, via the line buffer as in §4.3) and enqueue
 /// prefetch requests.
+///
+/// Requests accumulate in a caller-owned buffer (cleared when the context
+/// is created), so driving a hook performs no per-event heap allocation
+/// once the buffer has grown to its steady-state capacity.
 #[derive(Debug)]
 pub struct PrefetchContext<'a> {
     icache: &'a InstructionCache,
     in_flight: &'a InFlightView,
-    requests: Vec<BlockAddr>,
+    requests: &'a mut Vec<BlockAddr>,
     stats: &'a mut PrefetchStats,
 }
 
 /// Read-only view of in-flight prefetches, for dedup.
+///
+/// Block numbers are already well-mixed cache keys, so the set uses a
+/// trivial multiplicative hasher instead of the DoS-resistant (but ~10×
+/// slower) SipHash default — `contains` runs on every prefetch request
+/// and every demand miss.
 #[derive(Debug, Default)]
 pub(crate) struct InFlightView {
-    blocks: std::collections::HashSet<u64>,
+    blocks: std::collections::HashSet<u64, BuildBlockHasher>,
 }
 
+/// Multiplicative (Fibonacci) hasher for block numbers.
+#[derive(Debug, Default, Clone, Copy)]
+struct BlockHasher(u64);
+
+impl std::hash::Hasher for BlockHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type BuildBlockHasher = std::hash::BuildHasherDefault<BlockHasher>;
+
 impl InFlightView {
+    #[inline]
     pub(crate) fn contains(&self, block: BlockAddr) -> bool {
         self.blocks.contains(&block.number())
     }
@@ -41,20 +80,26 @@ impl InFlightView {
 }
 
 impl<'a> PrefetchContext<'a> {
+    /// Creates a context writing requests into `requests`, which is
+    /// cleared first (it holds exactly the requests issued through this
+    /// context once the hook returns).
     pub(crate) fn new(
         icache: &'a InstructionCache,
         in_flight: &'a InFlightView,
         stats: &'a mut PrefetchStats,
+        requests: &'a mut Vec<BlockAddr>,
     ) -> Self {
+        requests.clear();
         PrefetchContext {
             icache,
             in_flight,
-            requests: Vec::new(),
+            requests,
             stats,
         }
     }
 
     /// Probes the L1-I for `block` without perturbing replacement state.
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> bool {
         self.icache.probe(block)
     }
@@ -62,6 +107,7 @@ impl<'a> PrefetchContext<'a> {
     /// True if `block` is resident *because a prefetch installed it* — the
     /// paper's fetch-stage "explicitly prefetched" tag (§4.2). Absent or
     /// demand-filled blocks report `false`.
+    #[inline]
     pub fn was_prefetched(&self, block: BlockAddr) -> bool {
         matches!(
             self.icache.provenance(block),
@@ -76,6 +122,7 @@ impl<'a> PrefetchContext<'a> {
     /// accounted as such) if the block is already resident or in flight —
     /// matching the paper's probe-before-queue behaviour (§4.3).
     /// Returns `true` if the request was actually queued.
+    #[inline]
     pub fn prefetch(&mut self, block: BlockAddr) -> bool {
         if self.icache.probe(block)
             || self.in_flight.contains(block)
@@ -87,10 +134,6 @@ impl<'a> PrefetchContext<'a> {
         self.stats.issued += 1;
         self.requests.push(block);
         true
-    }
-
-    pub(crate) fn take_requests(self) -> Vec<BlockAddr> {
-        self.requests
     }
 }
 
@@ -135,6 +178,16 @@ pub trait Prefetcher {
     fn is_perfect(&self) -> bool {
         false
     }
+
+    /// Whether this prefetcher reads the `prefetched` tag passed to
+    /// [`Prefetcher::on_retire`]. Computing the tag costs a cache probe
+    /// per retirement — the hottest lookup in the engine — so prefetchers
+    /// with a no-op retire hook should return `false` to skip it. The tag
+    /// is then passed as `false`; statistics are unaffected either way
+    /// (the probe is non-perturbing).
+    fn uses_retire_provenance(&self) -> bool {
+        true
+    }
 }
 
 impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
@@ -163,6 +216,10 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
     fn is_perfect(&self) -> bool {
         (**self).is_perfect()
     }
+
+    fn uses_retire_provenance(&self) -> bool {
+        (**self).uses_retire_provenance()
+    }
 }
 
 /// The null prefetcher: the paper's no-prefetch baseline.
@@ -173,11 +230,20 @@ impl Prefetcher for NoPrefetcher {
     fn name(&self) -> &'static str {
         "None"
     }
+
+    fn uses_retire_provenance(&self) -> bool {
+        false
+    }
 }
 
 /// A standalone harness for driving [`Prefetcher`] hooks outside the
 /// engine — in unit tests and trace studies that need the real
 /// probe/prefetch context without full simulation.
+///
+/// The harness owns the same reusable request buffer the engine uses, so
+/// tests exercise the production (allocation-free) request path:
+/// [`PrefetcherHarness::drive`] returns a borrow of that buffer, valid
+/// until the next `drive` call.
 ///
 /// # Example
 ///
@@ -189,13 +255,14 @@ impl Prefetcher for NoPrefetcher {
 /// let requests = h.drive(|ctx| {
 ///     ctx.prefetch(BlockAddr::from_number(7));
 /// });
-/// assert_eq!(requests, vec![BlockAddr::from_number(7)]);
+/// assert_eq!(requests, [BlockAddr::from_number(7)]);
 /// ```
 #[derive(Debug)]
 pub struct PrefetcherHarness {
     icache: crate::cache::InstructionCache,
     view: InFlightView,
     stats: PrefetchStats,
+    requests: Vec<BlockAddr>,
 }
 
 impl PrefetcherHarness {
@@ -209,6 +276,7 @@ impl PrefetcherHarness {
             icache: crate::cache::InstructionCache::new(config).expect("valid icache config"),
             view: InFlightView::default(),
             stats: PrefetchStats::default(),
+            requests: Vec::new(),
         }
     }
 
@@ -220,10 +288,17 @@ impl PrefetcherHarness {
     /// Runs `f` with a live [`PrefetchContext`] and returns the prefetch
     /// requests it issued (which are *not* installed into the cache —
     /// install them via [`PrefetcherHarness::icache_mut`] if desired).
-    pub fn drive(&mut self, f: impl FnOnce(&mut PrefetchContext<'_>)) -> Vec<BlockAddr> {
-        let mut ctx = PrefetchContext::new(&self.icache, &self.view, &mut self.stats);
+    /// The returned slice borrows the harness's reusable buffer and is
+    /// overwritten by the next `drive`.
+    pub fn drive(&mut self, f: impl FnOnce(&mut PrefetchContext<'_>)) -> &[BlockAddr] {
+        let mut ctx = PrefetchContext::new(
+            &self.icache,
+            &self.view,
+            &mut self.stats,
+            &mut self.requests,
+        );
         f(&mut ctx);
-        ctx.take_requests()
+        &self.requests
     }
 
     /// Prefetch statistics accumulated so far.
@@ -254,19 +329,18 @@ impl PrefetchQueue {
         self.queue.push_back(InFlightPrefetch { block, ready_at });
     }
 
-    /// Pops all requests ready at or before `now`.
-    pub fn drain_ready(&mut self, now: u64) -> Vec<BlockAddr> {
-        let mut out = Vec::new();
+    /// Pops all requests ready at or before `now`, handing each block to
+    /// `sink` in ready order (allocation-free).
+    #[inline]
+    pub fn drain_ready(&mut self, now: u64, mut sink: impl FnMut(BlockAddr)) {
         while let Some(front) = self.queue.front() {
-            if front.ready_at <= now {
-                let p = self.queue.pop_front().unwrap();
-                self.view.remove(p.block);
-                out.push(p.block);
-            } else {
+            if front.ready_at > now {
                 break;
             }
+            let p = self.queue.pop_front().expect("front exists");
+            self.view.remove(p.block);
+            sink(p.block);
         }
-        out
     }
 
     /// If `block` is in flight, returns its completion time.
@@ -310,13 +384,29 @@ mod tests {
         ic.demand_access(b(1));
         let fl = InFlightView::default();
         let mut stats = PrefetchStats::default();
-        let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats);
-        assert!(!ctx.prefetch(b(1)), "resident block must be dropped");
-        assert!(ctx.prefetch(b(2)));
-        assert!(!ctx.prefetch(b(2)), "duplicate request must be dropped");
-        assert_eq!(ctx.take_requests(), vec![b(2)]);
+        let mut buf = Vec::new();
+        {
+            let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats, &mut buf);
+            assert!(!ctx.prefetch(b(1)), "resident block must be dropped");
+            assert!(ctx.prefetch(b(2)));
+            assert!(!ctx.prefetch(b(2)), "duplicate request must be dropped");
+        }
+        assert_eq!(buf, vec![b(2)]);
         assert_eq!(stats.issued, 1);
         assert_eq!(stats.dropped_resident, 2);
+    }
+
+    #[test]
+    fn context_clears_stale_requests_from_buffer() {
+        let ic = icache();
+        let fl = InFlightView::default();
+        let mut stats = PrefetchStats::default();
+        let mut buf = vec![b(99)]; // stale leftover from a previous hook
+        {
+            let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats, &mut buf);
+            assert!(ctx.prefetch(b(99)), "stale entries must not dedup requests");
+        }
+        assert_eq!(buf, vec![b(99)]);
     }
 
     #[test]
@@ -325,9 +415,16 @@ mod tests {
         let mut fl = InFlightView::default();
         fl.insert(b(3));
         let mut stats = PrefetchStats::default();
-        let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats);
+        let mut buf = Vec::new();
+        let mut ctx = PrefetchContext::new(&ic, &fl, &mut stats, &mut buf);
         assert!(!ctx.prefetch(b(3)));
         assert_eq!(stats.dropped_resident, 1);
+    }
+
+    fn drain_vec(q: &mut PrefetchQueue, now: u64) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        q.drain_ready(now, |b| out.push(b));
+        out
     }
 
     #[test]
@@ -335,11 +432,11 @@ mod tests {
         let mut q = PrefetchQueue::default();
         q.push(b(1), 10);
         q.push(b(2), 20);
-        assert_eq!(q.drain_ready(5), vec![]);
-        assert_eq!(q.drain_ready(15), vec![b(1)]);
+        assert_eq!(drain_vec(&mut q, 5), vec![]);
+        assert_eq!(drain_vec(&mut q, 15), vec![b(1)]);
         assert!(!q.view.contains(b(1)));
         assert!(q.view.contains(b(2)));
-        assert_eq!(q.drain_ready(25), vec![b(2)]);
+        assert_eq!(drain_vec(&mut q, 25), vec![b(2)]);
         assert_eq!(q.len(), 0);
     }
 
@@ -359,5 +456,22 @@ mod tests {
         let p = NoPrefetcher;
         assert_eq!(p.name(), "None");
         assert!(!p.is_perfect());
+    }
+
+    #[test]
+    fn harness_reuses_one_request_buffer() {
+        let mut h = PrefetcherHarness::new(ICacheConfig::paper_default());
+        let first = h.drive(|ctx| {
+            ctx.prefetch(b(1));
+            ctx.prefetch(b(2));
+        });
+        assert_eq!(first, [b(1), b(2)]);
+        let cap = h.requests.capacity();
+        // A second drive reuses the same backing storage.
+        let second = h.drive(|ctx| {
+            ctx.prefetch(b(3));
+        });
+        assert_eq!(second, [b(3)]);
+        assert_eq!(h.requests.capacity(), cap);
     }
 }

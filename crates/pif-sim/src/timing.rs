@@ -52,6 +52,7 @@ impl TimingModel {
 
     /// Charges one retired instruction (and a misprediction penalty if it
     /// was a mispredicted branch).
+    #[inline]
     pub fn retire_instruction(&mut self, mispredicted: bool) {
         self.instructions += 1;
         self.base_cycles += 1.0 / self.config.dispatch_width as f64 + self.config.backend_cpi;
@@ -62,11 +63,13 @@ impl TimingModel {
 
     /// Charges an exposed instruction-fetch stall of `latency` cycles
     /// (scaled by the configured exposure factor).
+    #[inline]
     pub fn fetch_stall(&mut self, latency: u64) {
         self.fetch_stall_cycles += latency as f64 * self.config.fetch_stall_exposure;
     }
 
     /// Current simulated cycle count.
+    #[inline]
     pub fn now(&self) -> u64 {
         (self.base_cycles + self.fetch_stall_cycles + self.mispredict_cycles) as u64
     }

@@ -32,27 +32,32 @@ pub struct Address(u64);
 
 impl Address {
     /// Creates an address from a raw 64-bit value.
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         Address(raw)
     }
 
     /// Returns the raw 64-bit value.
+    #[inline]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
     /// Returns the address advanced by `bytes` bytes (wrapping).
     #[must_use]
+    #[inline]
     pub const fn offset(self, bytes: u64) -> Self {
         Address(self.0.wrapping_add(bytes))
     }
 
     /// Returns the cache block containing this address.
+    #[inline]
     pub const fn block(self) -> BlockAddr {
         BlockAddr(self.0 >> BLOCK_SHIFT)
     }
 
     /// Returns the byte offset of this address within its cache block.
+    #[inline]
     pub const fn block_offset(self) -> usize {
         (self.0 & (BLOCK_SIZE as u64 - 1)) as usize
     }
@@ -106,39 +111,46 @@ pub struct BlockAddr(u64);
 
 impl BlockAddr {
     /// Creates a block address from a raw block *number*.
+    #[inline]
     pub const fn from_number(number: u64) -> Self {
         BlockAddr(number)
     }
 
     /// Returns the block containing the given byte address.
+    #[inline]
     pub const fn containing(addr: Address) -> Self {
         addr.block()
     }
 
     /// Returns the block number (byte address >> [`BLOCK_SHIFT`]).
+    #[inline]
     pub const fn number(self) -> u64 {
         self.0
     }
 
     /// Returns the byte address of the first byte of this block.
+    #[inline]
     pub const fn base(self) -> Address {
         Address(self.0 << BLOCK_SHIFT)
     }
 
     /// Returns the immediately following block.
     #[must_use]
+    #[inline]
     pub const fn next(self) -> Self {
         BlockAddr(self.0.wrapping_add(1))
     }
 
     /// Returns the immediately preceding block.
     #[must_use]
+    #[inline]
     pub const fn prev(self) -> Self {
         BlockAddr(self.0.wrapping_sub(1))
     }
 
     /// Returns the block `delta` blocks away (negative = preceding blocks).
     #[must_use]
+    #[inline]
     pub const fn offset(self, delta: i64) -> Self {
         BlockAddr(self.0.wrapping_add(delta as u64))
     }
@@ -147,6 +159,7 @@ impl BlockAddr {
     ///
     /// Saturates at `i64::MIN`/`i64::MAX` in the (absurd for our traces)
     /// case of distances exceeding the signed range.
+    #[inline]
     pub const fn signed_distance(self, other: BlockAddr) -> i64 {
         other.0.wrapping_sub(self.0) as i64
     }

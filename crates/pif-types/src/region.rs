@@ -91,22 +91,26 @@ impl RegionGeometry {
     }
 
     /// Number of blocks preceding the trigger.
+    #[inline]
     pub const fn preceding(self) -> u8 {
         self.preceding
     }
 
     /// Number of blocks succeeding the trigger.
+    #[inline]
     pub const fn succeeding(self) -> u8 {
         self.succeeding
     }
 
     /// Total number of blocks in the region, including the trigger.
+    #[inline]
     pub const fn total_blocks(self) -> usize {
         self.preceding as usize + self.succeeding as usize + 1
     }
 
     /// True if `offset` (in blocks relative to the trigger; 0 = trigger)
     /// falls inside the region.
+    #[inline]
     pub const fn contains_offset(self, offset: i64) -> bool {
         offset >= -(self.preceding as i64) && offset <= self.succeeding as i64
     }
@@ -117,6 +121,7 @@ impl RegionGeometry {
     /// Bit layout: bits `0..preceding` are the preceding blocks ordered from
     /// nearest (`-1` = bit 0) to farthest; bits `preceding..` are the
     /// succeeding blocks from nearest (`+1`) to farthest.
+    #[inline]
     pub const fn bit_for_offset(self, offset: i64) -> Option<u32> {
         if offset == 0 || !self.contains_offset(offset) {
             None
@@ -128,6 +133,7 @@ impl RegionGeometry {
     }
 
     /// Inverse of [`RegionGeometry::bit_for_offset`].
+    #[inline]
     pub const fn offset_for_bit(self, bit: u32) -> i64 {
         if bit < self.preceding as u32 {
             -(bit as i64) - 1
@@ -137,6 +143,7 @@ impl RegionGeometry {
     }
 
     /// Number of bit-vector bits (non-trigger blocks).
+    #[inline]
     pub const fn bit_count(self) -> u32 {
         self.preceding as u32 + self.succeeding as u32
     }
@@ -158,12 +165,14 @@ pub struct RegionBits(u32);
 
 impl RegionBits {
     /// An empty bit vector (only the trigger block accessed).
+    #[inline]
     pub const fn empty() -> Self {
         RegionBits(0)
     }
 
     /// Creates from a raw bit mask (bit layout per
     /// [`RegionGeometry::bit_for_offset`]).
+    #[inline]
     pub const fn from_raw(raw: u32) -> Self {
         RegionBits(raw)
     }
@@ -175,6 +184,7 @@ impl RegionBits {
 
     /// Sets the bit for the block at `offset` from the trigger. Offsets of 0
     /// (the trigger) or outside the geometry are ignored and return `false`.
+    #[inline]
     pub fn set_offset(&mut self, geometry: RegionGeometry, offset: i64) -> bool {
         match geometry.bit_for_offset(offset) {
             Some(bit) => {
@@ -187,6 +197,7 @@ impl RegionBits {
 
     /// True if the bit for `offset` is set. The trigger offset 0 reports
     /// `true` (the trigger is always accessed).
+    #[inline]
     pub fn contains_offset(self, geometry: RegionGeometry, offset: i64) -> bool {
         if offset == 0 {
             return true;
@@ -198,17 +209,20 @@ impl RegionBits {
     }
 
     /// Number of set bits (accessed non-trigger blocks).
+    #[inline]
     pub const fn count(self) -> u32 {
         self.0.count_ones()
     }
 
     /// True if every bit set in `self` is also set in `other`.
+    #[inline]
     pub const fn is_subset_of(self, other: RegionBits) -> bool {
         self.0 & !other.0 == 0
     }
 
     /// Union of two bit vectors.
     #[must_use]
+    #[inline]
     pub const fn union(self, other: RegionBits) -> RegionBits {
         RegionBits(self.0 | other.0)
     }
@@ -272,12 +286,14 @@ impl SpatialRegionRecord {
 
     /// True if `block` falls within the region spanned by this record's
     /// trigger under `geometry` (whether or not its bit is set).
+    #[inline]
     pub fn spans_block(&self, geometry: RegionGeometry, block: BlockAddr) -> bool {
         geometry.contains_offset(self.trigger.signed_distance(block))
     }
 
     /// Records an access to `block`. Returns `false` (and records nothing)
     /// if the block is outside the region.
+    #[inline]
     pub fn record_block(&mut self, geometry: RegionGeometry, block: BlockAddr) -> bool {
         let offset = self.trigger.signed_distance(block);
         if offset == 0 {
@@ -287,12 +303,14 @@ impl SpatialRegionRecord {
     }
 
     /// True if the record marks `block` as accessed (trigger included).
+    #[inline]
     pub fn contains_block(&self, geometry: RegionGeometry, block: BlockAddr) -> bool {
         self.bits
             .contains_offset(geometry, self.trigger.signed_distance(block))
     }
 
     /// Number of accessed blocks, including the trigger.
+    #[inline]
     pub fn accessed_blocks(&self) -> u32 {
         self.bits.count() + 1
     }
