@@ -12,46 +12,25 @@
 //! cargo run --release -p pif-bench --bin perfbench -- --out /tmp/b.json
 //! ```
 //!
-//! In `--smoke` mode the harness runs a reduced trace, validates that the
-//! emitted JSON parses, and fails (exit 1) if the no-prefetch engine's
-//! throughput drops more than 30% below the committed floor — a coarse
-//! tripwire against hot-loop performance regressions that works even on
-//! noisy CI machines.
+//! In `--smoke` mode the harness runs a reduced trace and fails (exit 1)
+//! if the no-prefetch engine's throughput drops more than 30% below the
+//! committed floor — a coarse tripwire against hot-loop performance
+//! regressions that works even on noisy CI machines. The floor verdict
+//! is computed **before** the JSON artifact is written and embedded in
+//! it as `"smoke_passed"` (see [`pif_bench::report`]), so a failing run
+//! never leaves a passing-looking artifact behind.
 
 use std::time::Instant;
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
+use pif_bench::report::{
+    none_ips, render_json, smoke_passed, smoke_threshold_ips, validate_json, RunResult,
+    PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
+};
 use pif_core::{Pif, PifConfig};
 use pif_sim::{Engine, EngineConfig, NoPrefetcher};
 use pif_types::RetiredInstr;
 use pif_workloads::WorkloadProfile;
-
-/// Committed throughput floor for the `--smoke` regression gate, in
-/// retired instructions per second of the no-prefetch configuration.
-/// Chosen far below the development machine's ~70 Minstr/s so that slow
-/// CI runners pass comfortably while a hot-loop regression (which shows
-/// up as a multiple, not a percentage) still trips it.
-const SMOKE_FLOOR_IPS: f64 = 4.0e6;
-
-/// Pre-refactor throughput on the development machine (PR 2 tree, commit
-/// `7b07f0d`; 2M-instruction OLTP-DB2 trace), quoted in the report so the
-/// speedup of the flat-cache/zero-allocation refactor stays on record.
-const PRIOR_NONE_IPS: f64 = 29.2e6;
-const PRIOR_PIF_IPS: f64 = 15.6e6;
-
-struct RunResult {
-    workload: String,
-    prefetcher: &'static str,
-    instructions: u64,
-    elapsed_s: f64,
-    uipc: f64,
-}
-
-impl RunResult {
-    fn ips(&self) -> f64 {
-        self.instructions as f64 / self.elapsed_s
-    }
-}
 
 fn measure(
     engine: &Engine,
@@ -99,201 +78,6 @@ fn measure(
         engine.run_instrs_warmup(trace, PerfectICache, warmup)
     });
     out
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn render_json(results: &[RunResult], instructions: usize, smoke: bool) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"schema\": \"pif-bench-engine/v1\",\n");
-    s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!("  \"instructions_per_run\": {instructions},\n"));
-    s.push_str(&format!(
-        "  \"smoke_floor_instrs_per_sec\": {SMOKE_FLOOR_IPS:.1},\n"
-    ));
-    s.push_str(
-        "  \"prior\": {\n    \"note\": \"pre-refactor throughput (heap-allocating hot loop, \
-         pointer-chasing cache layout) on the same development machine\",\n",
-    );
-    s.push_str(&format!(
-        "    \"none_instrs_per_sec\": {PRIOR_NONE_IPS:.1},\n    \"pif_instrs_per_sec\": {PRIOR_PIF_IPS:.1}\n  }},\n"
-    ));
-    s.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"prefetcher\": \"{}\", \"instructions\": {}, \
-             \"elapsed_s\": {:.6}, \"instrs_per_sec\": {:.1}, \"uipc\": {:.4}}}{}\n",
-            json_escape(&r.workload),
-            json_escape(r.prefetcher),
-            r.instructions,
-            r.elapsed_s,
-            r.ips(),
-            r.uipc,
-            if i + 1 == results.len() { "" } else { "," },
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser: the workspace has no JSON dependency, and the smoke
-// job must prove the report is well-formed, not just non-empty.
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(s: &'a str) -> Self {
-        JsonParser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn error(&self, msg: &str) -> String {
-        format!("JSON parse error at byte {}: {msg}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.error("expected a value")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(|_| ())
-            .ok_or_else(|| self.error("malformed number"))
-    }
-
-    fn string(&mut self) -> Result<(), String> {
-        self.expect(b'"')?;
-        while let Some(b) = self.peek() {
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(()),
-                b'\\' => {
-                    self.pos += 1; // skip the escaped byte
-                }
-                _ => {}
-            }
-        }
-        Err(self.error("unterminated string"))
-    }
-
-    fn object(&mut self) -> Result<(), String> {
-        self.expect(b'{')?;
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.skip_ws();
-            self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.value()?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<(), String> {
-        self.expect(b'[')?;
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.value()?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-}
-
-/// Validates that `s` is one well-formed JSON document.
-fn validate_json(s: &str) -> Result<(), String> {
-    let mut p = JsonParser::new(s);
-    p.value()?;
-    p.skip_ws();
-    if p.pos == p.bytes.len() {
-        Ok(())
-    } else {
-        Err(p.error("trailing garbage after document"))
-    }
 }
 
 fn main() {
@@ -361,11 +145,7 @@ fn main() {
             r.uipc
         );
     }
-    let none_ips = results
-        .iter()
-        .filter(|r| r.prefetcher == "None")
-        .map(RunResult::ips)
-        .fold(f64::MAX, f64::min);
+    let gated_ips = none_ips(&results);
     // The prior constants were measured on OLTP-DB2; compare like for like.
     let oltp_none_ips = results
         .iter()
@@ -389,7 +169,11 @@ fn main() {
         );
     }
 
-    let json = render_json(&results, instructions, smoke);
+    // Compute the floor verdict BEFORE writing anything: the artifact
+    // must carry the verdict, and a failing run must never leave a
+    // passing-looking report on disk.
+    let verdict = smoke.then(|| smoke_passed(gated_ips));
+    let json = render_json(&results, instructions, smoke, verdict);
     if let Err(e) = validate_json(&json) {
         eprintln!("perfbench: emitted invalid JSON: {e}");
         std::process::exit(1);
@@ -423,22 +207,24 @@ fn main() {
     }
     println!("wrote {path}");
 
-    if smoke {
-        let threshold = SMOKE_FLOOR_IPS * 0.7;
-        if none_ips < threshold {
+    match verdict {
+        Some(false) => {
             eprintln!(
                 "perfbench: REGRESSION: no-prefetch throughput {:.2} Minstr/s is more than 30% \
-                 below the committed floor of {:.2} Minstr/s",
-                none_ips / 1e6,
+                 below the committed floor of {:.2} Minstr/s (smoke_passed: false recorded in {path})",
+                gated_ips / 1e6,
                 SMOKE_FLOOR_IPS / 1e6
             );
             std::process::exit(1);
         }
-        println!(
-            "smoke check passed: {:.2} Minstr/s >= {:.2} Minstr/s (floor {:.2}M - 30%)",
-            none_ips / 1e6,
-            threshold / 1e6,
-            SMOKE_FLOOR_IPS / 1e6
-        );
+        Some(true) => {
+            println!(
+                "smoke check passed: {:.2} Minstr/s >= {:.2} Minstr/s (floor {:.2}M - 30%)",
+                gated_ips / 1e6,
+                smoke_threshold_ips() / 1e6,
+                SMOKE_FLOOR_IPS / 1e6
+            );
+        }
+        None => {}
     }
 }

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use pif_types::RetiredInstr;
 use pif_workloads::WorkloadProfile;
 

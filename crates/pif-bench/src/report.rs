@@ -1,0 +1,199 @@
+//! The `pif-bench-engine/v1` throughput report: rendering, validation,
+//! and the `--smoke` floor verdict.
+//!
+//! Extracted from the `perfbench` binary so the verdict logic is unit
+//! tested. The crucial ordering contract: **the floor verdict is
+//! computed before any artifact is written**, and the verdict itself is
+//! embedded in the JSON (`"smoke_passed"`), so a failing smoke run can
+//! never leave a passing-looking report on disk.
+
+/// Committed throughput floor for the `--smoke` regression gate, in
+/// retired instructions per second of the no-prefetch configuration.
+/// Chosen far below the development machine's ~70 Minstr/s so that slow
+/// CI runners pass comfortably while a hot-loop regression (which shows
+/// up as a multiple, not a percentage) still trips it.
+pub const SMOKE_FLOOR_IPS: f64 = 4.0e6;
+
+/// Pre-refactor throughput on the development machine (PR 2 tree, commit
+/// `7b07f0d`; 2M-instruction OLTP-DB2 trace), quoted in the report so the
+/// speedup of the flat-cache/zero-allocation refactor stays on record.
+pub const PRIOR_NONE_IPS: f64 = 29.2e6;
+/// Pre-refactor PIF-configuration throughput (see [`PRIOR_NONE_IPS`]).
+pub const PRIOR_PIF_IPS: f64 = 15.6e6;
+
+/// One measured (workload, prefetcher) throughput point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher label.
+    pub prefetcher: &'static str,
+    /// Retired instructions in the measured run.
+    pub instructions: u64,
+    /// Best-of-N wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Useful IPC of the run.
+    pub uipc: f64,
+}
+
+impl RunResult {
+    /// Retired instructions per wall-clock second.
+    pub fn ips(&self) -> f64 {
+        self.instructions as f64 / self.elapsed_s
+    }
+}
+
+/// The effective smoke gate: 30% below the committed floor, absorbing
+/// CI-runner noise.
+pub fn smoke_threshold_ips() -> f64 {
+    SMOKE_FLOOR_IPS * 0.7
+}
+
+/// The smoke verdict for a measured no-prefetch throughput.
+pub fn smoke_passed(none_ips: f64) -> bool {
+    none_ips >= smoke_threshold_ips()
+}
+
+/// The minimum no-prefetch throughput across results (the gated value).
+pub fn none_ips(results: &[RunResult]) -> f64 {
+    results
+        .iter()
+        .filter(|r| r.prefetcher == "None")
+        .map(RunResult::ips)
+        .fold(f64::MAX, f64::min)
+}
+
+use pif_lab::json::escape as json_escape;
+
+/// Renders the `pif-bench-engine/v1` JSON document.
+///
+/// `smoke_passed` is the floor verdict for smoke runs (`None` renders as
+/// JSON `null` for full runs, where no gate applies). Callers must
+/// compute the verdict **before** rendering/writing so the artifact is
+/// honest about failure.
+pub fn render_json(
+    results: &[RunResult],
+    instructions: usize,
+    smoke: bool,
+    smoke_passed: Option<bool>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pif-bench-engine/v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!(
+        "  \"smoke_passed\": {},\n",
+        match smoke_passed {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    s.push_str(&format!("  \"instructions_per_run\": {instructions},\n"));
+    s.push_str(&format!(
+        "  \"smoke_floor_instrs_per_sec\": {SMOKE_FLOOR_IPS:.1},\n"
+    ));
+    s.push_str(
+        "  \"prior\": {\n    \"note\": \"pre-refactor throughput (heap-allocating hot loop, \
+         pointer-chasing cache layout) on the same development machine\",\n",
+    );
+    s.push_str(&format!(
+        "    \"none_instrs_per_sec\": {PRIOR_NONE_IPS:.1},\n    \"pif_instrs_per_sec\": {PRIOR_PIF_IPS:.1}\n  }},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"prefetcher\": \"{}\", \"instructions\": {}, \
+             \"elapsed_s\": {:.6}, \"instrs_per_sec\": {:.1}, \"uipc\": {:.4}}}{}\n",
+            json_escape(&r.workload),
+            json_escape(r.prefetcher),
+            r.instructions,
+            r.elapsed_s,
+            r.ips(),
+            r.uipc,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Validates that `s` is one well-formed JSON document (via the pif-lab
+/// parser, which rejects anything malformed with a byte offset).
+///
+/// # Errors
+///
+/// Returns the parser's message on malformed input.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    pif_lab::json::Json::parse(s).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_lab::json::Json;
+
+    fn sample(elapsed_s: f64) -> Vec<RunResult> {
+        vec![
+            RunResult {
+                workload: "OLTP-DB2".into(),
+                prefetcher: "None",
+                instructions: 300_000,
+                elapsed_s,
+                uipc: 1.5,
+            },
+            RunResult {
+                workload: "OLTP-DB2".into(),
+                prefetcher: "PIF",
+                instructions: 300_000,
+                elapsed_s: elapsed_s * 2.0,
+                uipc: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn verdict_trips_only_below_the_noisy_floor() {
+        assert!(smoke_passed(SMOKE_FLOOR_IPS));
+        assert!(smoke_passed(smoke_threshold_ips()));
+        assert!(!smoke_passed(smoke_threshold_ips() * 0.99));
+    }
+
+    #[test]
+    fn none_ips_picks_the_gated_configuration() {
+        let results = sample(0.01); // None: 30 Minstr/s
+        assert!((none_ips(&results) - 30.0e6).abs() < 1.0);
+        assert!(smoke_passed(none_ips(&results)));
+        let slow = sample(1.0); // None: 0.3 Minstr/s — regression
+        assert!(!smoke_passed(none_ips(&slow)));
+    }
+
+    #[test]
+    fn failing_smoke_run_renders_an_honest_artifact() {
+        let slow = sample(1.0);
+        let verdict = smoke_passed(none_ips(&slow));
+        assert!(!verdict);
+        let json = render_json(&slow, 300_000, true, Some(verdict));
+        validate_json(&json).expect("artifact parses");
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("smoke_passed").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn full_run_has_null_verdict() {
+        let json = render_json(&sample(0.01), 2_000_000, false, None);
+        validate_json(&json).expect("artifact parses");
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("smoke_passed"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("results").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{} trailing").is_err());
+    }
+}

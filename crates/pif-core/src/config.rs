@@ -48,6 +48,44 @@ impl PifConfig {
         }
     }
 
+    /// Returns the configuration with a new history-buffer capacity (in
+    /// region records per trap level) — a config-sweep setter for the
+    /// Fig. 9 history axis.
+    #[must_use]
+    pub const fn with_history_capacity(mut self, history_capacity: usize) -> Self {
+        self.history_capacity = history_capacity;
+        self
+    }
+
+    /// Returns the configuration with a new index-table entry count.
+    #[must_use]
+    pub const fn with_index_entries(mut self, index_entries: usize) -> Self {
+        self.index_entries = index_entries;
+        self
+    }
+
+    /// Returns the configuration with a new SAB-pool size (stream depth).
+    #[must_use]
+    pub const fn with_sab_count(mut self, sab_count: usize) -> Self {
+        self.sab_count = sab_count;
+        self
+    }
+
+    /// Returns the configuration with a new SAB stream-window length
+    /// (consecutive regions tracked per stream).
+    #[must_use]
+    pub const fn with_sab_window(mut self, sab_window: usize) -> Self {
+        self.sab_window = sab_window;
+        self
+    }
+
+    /// Returns the configuration with a new spatial-region geometry.
+    #[must_use]
+    pub const fn with_geometry(mut self, geometry: RegionGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -10,76 +10,11 @@
 //! * **multiple SABs** (§4.3) — a single prediction stream;
 //! * **preceding blocks** (§5.2) — regions skewed strictly forward.
 
-use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig};
-use pif_types::RegionGeometry;
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
 
-/// One ablated design variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Variant {
-    /// The paper's full design point.
-    Paper,
-    /// Regions of a single block (no spatial compaction).
-    NoSpatialRegions,
-    /// Temporal compactor reduced to one entry (loop records repeat).
-    NoTemporalCompactor,
-    /// All trap levels recorded in one unified stream.
-    NoTrapSeparation,
-    /// History shrunk to 1K regions.
-    TinyHistory,
-    /// A single stream address buffer.
-    OneSab,
-    /// No preceding blocks in the region (0 preceding + 7 succeeding).
-    NoPrecedingBlocks,
-}
-
-impl Variant {
-    /// All variants in presentation order.
-    pub const ALL: [Variant; 7] = [
-        Variant::Paper,
-        Variant::NoSpatialRegions,
-        Variant::NoTemporalCompactor,
-        Variant::NoTrapSeparation,
-        Variant::TinyHistory,
-        Variant::OneSab,
-        Variant::NoPrecedingBlocks,
-    ];
-
-    /// Human-readable label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Variant::Paper => "paper design",
-            Variant::NoSpatialRegions => "- spatial regions",
-            Variant::NoTemporalCompactor => "- temporal compactor",
-            Variant::NoTrapSeparation => "- trap separation",
-            Variant::TinyHistory => "- deep history (1K)",
-            Variant::OneSab => "- SAB pool (1 SAB)",
-            Variant::NoPrecedingBlocks => "- preceding blocks",
-        }
-    }
-
-    /// The PIF configuration implementing this variant.
-    pub fn config(self) -> PifConfig {
-        let mut cfg = PifConfig::paper_default();
-        match self {
-            Variant::Paper => {}
-            Variant::NoSpatialRegions => {
-                cfg.geometry = RegionGeometry::new(0, 0).expect("single block");
-            }
-            Variant::NoTemporalCompactor => cfg.temporal_entries = 1,
-            Variant::NoTrapSeparation => cfg.separate_trap_levels = false,
-            Variant::TinyHistory => cfg.history_capacity = 1024,
-            Variant::OneSab => cfg.sab_count = 1,
-            Variant::NoPrecedingBlocks => {
-                cfg.geometry = RegionGeometry::new(0, 7).expect("forward-only region");
-            }
-        }
-        cfg
-    }
-}
+pub use pif_lab::registry::AblationVariant as Variant;
 
 /// Coverage of each variant on each workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,26 +25,30 @@ pub struct AblationRow {
     pub coverage: Vec<f64>,
 }
 
-/// Runs the ablation grid.
+/// Runs the ablation grid through the `ablation` pif-lab sweep.
 pub fn run(scale: &Scale) -> Vec<AblationRow> {
-    let engine = Engine::new(EngineConfig::paper_default());
-    let instructions = scale.instructions;
-    let warmup = scale.warmup_instrs();
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let coverage = Variant::ALL
-            .iter()
-            .map(|v| {
-                engine
-                    .run_warmup(&trace, Pif::new(v.config()), warmup)
-                    .miss_coverage()
-            })
-            .collect();
-        AblationRow {
-            workload: w.name().to_string(),
-            coverage,
-        }
-    })
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::ablation(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .workloads
+        .iter()
+        .map(|w| AblationRow {
+            workload: w.clone(),
+            coverage: Variant::ALL
+                .iter()
+                .map(|v| {
+                    report
+                        .cell(w, Some("PIF"), v.label())
+                        .unwrap_or_else(|| panic!("ablation grid missing {w}/{}", v.label()))
+                        .expect_metric("miss_coverage")
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders the ablation grid.
@@ -128,6 +67,7 @@ pub fn table(rows: &[AblationRow]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pif_core::PifConfig;
 
     #[test]
     fn variants_produce_valid_configs() {

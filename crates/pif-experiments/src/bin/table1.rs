@@ -1,10 +1,11 @@
 //! Prints Table I: the simulated system, PIF design point, and workload
-//! suite — from the live configuration objects.
+//! suite — system/PIF halves from the live configuration objects, the
+//! application half from the `table1` pif-lab sweep.
 //!
 //! Usage: `cargo run -p pif-experiments --bin table1`
 
 use pif_core::PifConfig;
-use pif_experiments::table1;
+use pif_experiments::{table1, Scale};
 use pif_sim::EngineConfig;
 
 fn main() {
@@ -13,5 +14,8 @@ fn main() {
     println!("\nPIF design point\n");
     print!("{}", table1::pif_table(&PifConfig::paper_default()));
     println!("\nApplication parameters (synthetic stand-ins)\n");
-    print!("{}", table1::workload_table());
+    print!(
+        "{}",
+        table1::workload_table_from(&table1::run(&Scale::tiny()))
+    );
 }

@@ -2,9 +2,6 @@
 //! speedup over the no-prefetch baseline (right) for Next-Line, TIFS, PIF
 //! and a perfect L1-I.
 
-use pif_baselines::{NextLinePrefetcher, PerfectICache, Tifs};
-use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, speedup, Scale, Table};
@@ -34,37 +31,48 @@ pub struct Fig10Row {
     pub pif_hit_rate: f64,
 }
 
-/// Runs the Figure 10 comparison. As in §5.5, TIFS and PIF run without
-/// history storage limitations to expose the fundamental predictor gap,
-/// and measurements cover the post-warmup steady state (§5's warmed
-/// checkpoints).
+/// Runs the Figure 10 comparison through the `fig10` pif-lab sweep. As
+/// in §5.5, TIFS and PIF run without history storage limitations to
+/// expose the fundamental predictor gap, and measurements cover the
+/// post-warmup steady state (§5's warmed checkpoints).
 pub fn run(scale: &Scale) -> Vec<Fig10Row> {
-    let engine = Engine::new(EngineConfig::paper_default());
-    let instructions = scale.instructions;
-    let warmup = scale.warmup_instrs();
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let base = engine.run_warmup(&trace, NoPrefetcher, warmup);
-        let nl = engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), warmup);
-        let tifs = engine.run_warmup(&trace, Tifs::unbounded(), warmup);
-        let mut pif_cfg = PifConfig::paper_default();
-        pif_cfg.history_capacity = 8 * 1024 * 1024;
-        pif_cfg.index_entries = 64 * 1024;
-        let pif = engine.run_warmup(&trace, Pif::new(pif_cfg), warmup);
-        let perfect = engine.run_warmup(&trace, PerfectICache, warmup);
-        Fig10Row {
-            workload: w.name().to_string(),
-            next_line_coverage: nl.miss_coverage(),
-            tifs_coverage: tifs.miss_coverage(),
-            pif_coverage: pif.miss_coverage(),
-            next_line_speedup: nl.speedup_over(&base),
-            tifs_speedup: tifs.speedup_over(&base),
-            pif_speedup: pif.speedup_over(&base),
-            perfect_speedup: perfect.speedup_over(&base),
-            baseline_hit_rate: base.fetch.hit_rate(),
-            pif_hit_rate: pif.fetch.hit_rate(),
-        }
-    })
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig10(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .workloads
+        .iter()
+        .map(|w| {
+            let cell = |p: &str| {
+                report
+                    .cell(w, Some(p), "-")
+                    .unwrap_or_else(|| panic!("fig10 grid missing {w}/{p}"))
+            };
+            let (base, nl, tifs, pif, perfect) = (
+                cell("None"),
+                cell("Next-Line"),
+                cell("TIFS-unbounded"),
+                cell("PIF"),
+                cell("Perfect"),
+            );
+            let speedup = |c: &pif_lab::Cell| c.expect_metric("uipc_speedup_vs_none");
+            Fig10Row {
+                workload: w.clone(),
+                next_line_coverage: nl.expect_metric("miss_coverage"),
+                tifs_coverage: tifs.expect_metric("miss_coverage"),
+                pif_coverage: pif.expect_metric("miss_coverage"),
+                next_line_speedup: speedup(nl),
+                tifs_speedup: speedup(tifs),
+                pif_speedup: speedup(pif),
+                perfect_speedup: speedup(perfect),
+                baseline_hit_rate: base.expect_metric("hit_rate"),
+                pif_hit_rate: pif.expect_metric("hit_rate"),
+            }
+        })
+        .collect()
 }
 
 /// Left chart: coverage comparison.

@@ -2,8 +2,6 @@
 //! when recording temporal streams at each observation point (Miss,
 //! Access, Retire, RetireSep).
 
-use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
-use pif_sim::EngineConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
@@ -25,24 +23,27 @@ pub struct Fig2Row {
     pub misses: u64,
 }
 
-/// Runs the Figure 2 study for all six workloads.
+/// Runs the Figure 2 study for all six workloads (through the `fig2`
+/// pif-lab sweep).
 pub fn run(scale: &Scale) -> Vec<Fig2Row> {
-    let engine = EngineConfig::paper_default();
-    let pred = TemporalPredictorConfig::default();
-    let warmup = scale.warmup_instrs();
-    let instructions = scale.instructions;
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let report = evaluate_stream_coverage_warmup(&engine, pred, trace.instrs(), warmup);
-        Fig2Row {
-            workload: w.name().to_string(),
-            miss: report.miss,
-            access: report.access,
-            retire: report.retire,
-            retire_sep: report.retire_sep,
-            misses: report.correct_path_misses,
-        }
-    })
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig2(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| Fig2Row {
+            workload: c.workload.clone(),
+            miss: c.expect_metric("miss"),
+            access: c.expect_metric("access"),
+            retire: c.expect_metric("retire"),
+            retire_sep: c.expect_metric("retire_sep"),
+            misses: c.expect_metric_u64("correct_path_misses"),
+        })
+        .collect()
 }
 
 /// Renders the rows as the paper's Figure 2 bar values.

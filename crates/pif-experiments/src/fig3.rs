@@ -4,17 +4,11 @@
 //! The characterization uses wide regions (up to 32 blocks, per the
 //! figure's 17-32 bucket) over the application (TL0) retire stream.
 
-use pif_core::analysis::analyze_regions;
-use pif_types::RegionGeometry;
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
 
-/// Density buckets the paper plots (left chart).
-pub const DENSITY_BUCKETS: [(u32, u32); 6] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (17, 32)];
-
-/// Discontinuous-run buckets the paper plots (right chart).
-pub const RUN_BUCKETS: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16)];
+pub use pif_lab::registry::{DENSITY_BUCKETS, RUN_BUCKETS};
 
 /// One workload's spatial-region characterization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,26 +40,31 @@ impl Fig3Row {
 }
 
 /// Runs the Figure 3 characterization (32-block regions, trigger-anchored
-/// with the paper's 8-preceding skew scaled up).
+/// with the paper's 8-preceding skew scaled up) through the `fig3`
+/// pif-lab sweep.
 pub fn run(scale: &Scale) -> Vec<Fig3Row> {
-    let geometry = RegionGeometry::new(8, 23).expect("32-block region");
-    let instructions = scale.instructions;
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let report = analyze_regions(trace.instrs(), geometry);
-        Fig3Row {
-            workload: w.name().to_string(),
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig3(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| Fig3Row {
+            workload: c.workload.clone(),
             density: DENSITY_BUCKETS
                 .iter()
-                .map(|&(lo, hi)| report.density_fraction(lo, hi))
+                .map(|&(lo, hi)| c.expect_metric(&pif_lab::density_metric(lo, hi)))
                 .collect(),
             runs: RUN_BUCKETS
                 .iter()
-                .map(|&(lo, hi)| report.runs_fraction(lo, hi))
+                .map(|&(lo, hi)| c.expect_metric(&pif_lab::runs_metric(lo, hi)))
                 .collect(),
-            regions: report.total_regions,
-        }
-    })
+            regions: c.expect_metric_u64("total_regions"),
+        })
+        .collect()
 }
 
 /// Left chart: density distribution.

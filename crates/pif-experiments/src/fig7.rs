@@ -2,15 +2,11 @@
 //! number of correct predictions made by the corresponding stream —
 //! demonstrating the need for deep history storage (§5.1).
 
-use pif_core::analysis::PifAnalyzer;
-use pif_core::PifConfig;
-use pif_sim::ICacheConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
 
-/// Number of log2 buckets plotted (the paper's x-axis runs to 25).
-pub const BUCKETS: usize = 26;
+pub use pif_lab::registry::JUMP_CDF_BUCKETS as BUCKETS;
 
 /// One workload's weighted jump-distance CDF.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,25 +25,25 @@ impl Fig7Row {
     }
 }
 
-/// Runs the Figure 7 study: unbounded history so jump distances are not
-/// truncated by capacity.
+/// Runs the Figure 7 study through the `fig7` pif-lab sweep (unbounded
+/// history so jump distances are not truncated by capacity).
 pub fn run(scale: &Scale) -> Vec<Fig7Row> {
-    let mut config = PifConfig::paper_default();
-    config.history_capacity = 8 * 1024 * 1024; // effectively unbounded
-    config.index_entries = 64 * 1024;
-    let warmup = scale.warmup_instrs();
-    let instructions = scale.instructions;
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let report =
-            PifAnalyzer::new(config, ICacheConfig::paper_default()).analyze(trace.instrs(), warmup);
-        let mut cdf = report.jump_distance.cdf();
-        cdf.resize(BUCKETS, 1.0);
-        Fig7Row {
-            workload: w.name().to_string(),
-            cdf,
-        }
-    })
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig7(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| Fig7Row {
+            workload: c.workload.clone(),
+            cdf: (0..BUCKETS)
+                .map(|i| c.expect_metric(&pif_lab::jump_cdf_metric(i)))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders selected CDF points (log2 distances 5, 10, 15, 20, 25).

@@ -1,20 +1,12 @@
 //! Figure 8: distribution of accesses around the trigger block (left) and
 //! spatial region size sensitivity at trap levels 0 and 1 (right).
 
-use pif_core::analysis::{analyze_regions, PifAnalyzer};
-use pif_core::PifConfig;
-use pif_sim::ICacheConfig;
-use pif_types::{RegionGeometry, TrapLevel};
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
 
-/// Offsets plotted in the left chart (the paper plots -4..12, no 0: the
-/// trigger itself is implicit).
-pub const OFFSETS: [i64; 16] = [-4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
-
-/// Region sizes swept in the right chart.
-pub const REGION_SIZES: [u8; 5] = [1, 2, 4, 6, 8];
+pub use pif_lab::registry::FIG8_REGION_SIZES as REGION_SIZES;
+pub use pif_lab::registry::REGION_OFFSETS as OFFSETS;
 
 /// Left chart: one workload class's access-frequency-by-offset profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,47 +30,47 @@ pub struct SizeRow {
     pub tl1: f64,
 }
 
-/// Runs the left chart: trigger-offset distribution with a (4, 12) probe
-/// geometry.
+/// Runs the left chart (trigger-offset distribution, (4, 12) probe
+/// geometry) through the `fig8-offsets` pif-lab sweep.
 pub fn run_offsets(scale: &Scale) -> Vec<OffsetRow> {
-    let geometry = RegionGeometry::new(4, 12).expect("17-block probe region");
-    let instructions = scale.instructions;
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let report = analyze_regions(trace.instrs(), geometry);
-        OffsetRow {
-            workload: w.name().to_string(),
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig8_offsets(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| OffsetRow {
+            workload: c.workload.clone(),
             frequency: OFFSETS
                 .iter()
-                .map(|&o| report.offset_frequency(o))
+                .map(|&o| c.expect_metric(&pif_lab::offset_metric(o)))
                 .collect(),
-        }
-    })
+        })
+        .collect()
 }
 
-/// Runs the right chart: TL0/TL1 coverage as region size sweeps
-/// [`REGION_SIZES`].
+/// Runs the right chart (TL0/TL1 coverage as region size sweeps
+/// [`REGION_SIZES`]) through the `fig8-sizes` pif-lab sweep.
 pub fn run_sizes(scale: &Scale) -> Vec<SizeRow> {
-    let warmup = scale.warmup_instrs();
-    let instructions = scale.instructions;
-    let per_workload = crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let mut rows = Vec::new();
-        for &size in &REGION_SIZES {
-            let mut config = PifConfig::paper_default();
-            config.geometry = RegionGeometry::skewed_with_total(size).expect("valid size");
-            let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
-                .analyze(trace.instrs(), warmup);
-            rows.push(SizeRow {
-                workload: w.name().to_string(),
-                size,
-                tl0: report.miss_coverage(TrapLevel::Tl0),
-                tl1: report.miss_coverage(TrapLevel::Tl1),
-            });
-        }
-        rows
-    });
-    per_workload.into_iter().flatten().collect()
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig8_sizes(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| SizeRow {
+            workload: c.workload.clone(),
+            size: c.point.parse().expect("region-size point label"),
+            tl0: c.expect_metric("miss_coverage_tl0"),
+            tl1: c.expect_metric("miss_coverage_tl1"),
+        })
+        .collect()
 }
 
 /// Renders the offset distribution.

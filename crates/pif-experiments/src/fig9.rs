@@ -1,19 +1,12 @@
 //! Figure 9: temporal stream length contribution to prediction (left) and
 //! history size sensitivity (right).
 
-use pif_core::analysis::PifAnalyzer;
-use pif_core::PifConfig;
-use pif_sim::ICacheConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::{pct, Scale, Table};
 
-/// Log2 stream-length buckets plotted (the paper's x-axis runs to 21).
-pub const LENGTH_BUCKETS: usize = 22;
-
-/// History sizes swept in the right chart, in regions (the paper's x-axis
-/// is log2 of 8-block K-regions: 1, 3, 5, 7, 9 → 2K..512K).
-pub const HISTORY_SIZES: [usize; 5] = [2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024];
+pub use pif_lab::registry::FIG9_HISTORY_SIZES as HISTORY_SIZES;
+pub use pif_lab::registry::LENGTH_CDF_BUCKETS as LENGTH_BUCKETS;
 
 /// Left chart: correct predictions by stream length.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,48 +37,44 @@ pub struct HistoryRow {
 }
 
 /// Runs the left chart (unbounded history, as stream lengths are a
-/// property of the workload).
+/// property of the workload) through the `fig9-lengths` pif-lab sweep.
 pub fn run_lengths(scale: &Scale) -> Vec<LengthRow> {
-    let mut config = PifConfig::paper_default();
-    config.history_capacity = 8 * 1024 * 1024;
-    config.index_entries = 64 * 1024;
-    let warmup = scale.warmup_instrs();
-    let instructions = scale.instructions;
-    crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let report =
-            PifAnalyzer::new(config, ICacheConfig::paper_default()).analyze(trace.instrs(), warmup);
-        let mut cdf = report.stream_length.cdf();
-        cdf.resize(LENGTH_BUCKETS, 1.0);
-        LengthRow {
-            workload: w.name().to_string(),
-            cdf,
-        }
-    })
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig9_lengths(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| LengthRow {
+            workload: c.workload.clone(),
+            cdf: (0..LENGTH_BUCKETS)
+                .map(|i| c.expect_metric(&pif_lab::len_cdf_metric(i)))
+                .collect(),
+        })
+        .collect()
 }
 
-/// Runs the right chart: coverage as history capacity sweeps
-/// [`HISTORY_SIZES`].
+/// Runs the right chart (coverage as history capacity sweeps
+/// [`HISTORY_SIZES`]) through the `fig9-history` pif-lab sweep.
 pub fn run_history_sweep(scale: &Scale) -> Vec<HistoryRow> {
-    let warmup = scale.warmup_instrs();
-    let instructions = scale.instructions;
-    let per_workload = crate::parallel_map(scale.workloads(), move |w| {
-        let trace = w.generate(instructions);
-        let mut rows = Vec::new();
-        for &capacity in &HISTORY_SIZES {
-            let mut config = PifConfig::paper_default();
-            config.history_capacity = capacity;
-            let report = PifAnalyzer::new(config, ICacheConfig::paper_default())
-                .analyze(trace.instrs(), warmup);
-            rows.push(HistoryRow {
-                workload: w.name().to_string(),
-                history_regions: capacity,
-                coverage: report.overall_predictor_coverage(),
-            });
-        }
-        rows
-    });
-    per_workload.into_iter().flatten().collect()
+    let report = pif_lab::run_spec(
+        &pif_lab::registry::fig9_history(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    );
+    report
+        .cells
+        .iter()
+        .map(|c| HistoryRow {
+            workload: c.workload.clone(),
+            history_regions: c.point.parse().expect("history-capacity point label"),
+            coverage: c.expect_metric("predictor_coverage"),
+        })
+        .collect()
 }
 
 /// Renders selected stream-length CDF points.

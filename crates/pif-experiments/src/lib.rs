@@ -20,6 +20,13 @@
 //! the suite runs in seconds (`Scale::quick()`) or at paper-like fidelity
 //! (`Scale::paper()`, the default for binaries).
 //!
+//! Execution is delegated to the `pif-lab` sweep engine: each `run`
+//! invokes the figure's committed [`pif_lab::SweepSpec`] (see
+//! `pif_lab::registry`) on the parallel job pool and rebuilds its typed
+//! rows from the resulting [`pif_lab::SweepReport`] cells, so the
+//! binaries, the `piflab` CLI, and the CI golden-report gate all measure
+//! exactly the same grid.
+//!
 //! # Example
 //!
 //! ```
@@ -42,11 +49,10 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-mod runner;
 pub mod table1;
 mod tablefmt;
 
-pub use runner::{parallel_map, Scale};
+pub use pif_lab::{parallel_map, Scale};
 pub use tablefmt::Table;
 
 /// Formats a fraction as a percentage with one decimal.

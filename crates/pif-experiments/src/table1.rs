@@ -3,10 +3,11 @@
 //! experiments actually simulate.
 
 use pif_core::PifConfig;
+use pif_lab::SweepReport;
 use pif_sim::EngineConfig;
 use pif_workloads::WorkloadProfile;
 
-use crate::Table;
+use crate::{Scale, Table};
 
 /// Renders the system-parameters half of Table I from an engine config.
 pub fn system_table(config: &EngineConfig) -> Table {
@@ -92,22 +93,41 @@ pub fn pif_table(config: &PifConfig) -> Table {
     t
 }
 
-/// Renders the application-parameters half of Table I from the workload
-/// profiles.
-pub fn workload_table() -> Table {
+/// Runs the Table I application-parameters grid through the `table1`
+/// pif-lab sweep (a static measure: scale-independent).
+pub fn run(scale: &Scale) -> SweepReport {
+    pif_lab::run_spec(
+        &pif_lab::registry::table1(),
+        scale,
+        pif_lab::default_threads(),
+        false,
+    )
+}
+
+/// Renders the application-parameters half of Table I from a `table1`
+/// sweep report.
+pub fn workload_table_from(report: &SweepReport) -> Table {
+    let profiles = WorkloadProfile::all();
     let mut t = Table::new(vec!["Workload", "Class", "Approx. footprint", "Tx types"]);
-    for w in WorkloadProfile::all() {
+    for cell in &report.cells {
+        let class = profiles
+            .iter()
+            .find(|w| w.name() == cell.workload)
+            .map(|w| w.class().to_string())
+            .unwrap_or_default();
         t.row(vec![
-            w.name().to_string(),
-            w.class().to_string(),
-            format!(
-                "{:.1} MB",
-                w.params().approx_footprint_bytes() as f64 / (1024.0 * 1024.0)
-            ),
-            w.params().num_transaction_types.to_string(),
+            cell.workload.clone(),
+            class,
+            format!("{:.1} MB", cell.expect_metric("footprint_mb")),
+            cell.expect_metric_u64("num_transaction_types").to_string(),
         ]);
     }
     t
+}
+
+/// Renders the application-parameters half of Table I.
+pub fn workload_table() -> Table {
+    workload_table_from(&run(&Scale::tiny()))
 }
 
 #[cfg(test)]

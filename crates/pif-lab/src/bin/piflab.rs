@@ -1,0 +1,289 @@
+//! `piflab` — the sweep-orchestration CLI.
+//!
+//! ```text
+//! piflab list
+//! piflab run <spec>... [--all] [--smoke] [--scale tiny|quick|paper]
+//!            [--threads N] [--out PATH] [--out-dir DIR] [--quiet]
+//! piflab check <report.json> <baseline.json> [--tol X]
+//! piflab diff <a.json> <b.json>
+//! ```
+//!
+//! `run` executes committed figure specs (see `piflab list`) and writes
+//! one `pif-lab-sweep/v1` JSON report per spec. `check` compares a fresh
+//! report against a committed golden baseline with per-metric tolerances
+//! and exits non-zero on any violation — this is the CI gate that turns
+//! every figure into a regression test. `--smoke` is the CI profile:
+//! tiny scale, deterministic, seconds per spec.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pif_lab::json::Json;
+use pif_lab::{registry, report, run_spec, Scale, SweepReport};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  piflab list\n  piflab run <spec>... [--all] [--smoke] \
+         [--scale tiny|quick|paper] [--threads N] [--out PATH] [--out-dir DIR] [--quiet]\n  \
+         piflab check <report.json> <baseline.json> [--tol X]\n  piflab diff <a.json> <b.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<14} {:>5} {:<22} TITLE", "SPEC", "CELLS", "AXIS");
+    for spec in registry::all_specs() {
+        println!(
+            "{:<14} {:>5} {:<22} {}",
+            spec.name,
+            spec.grid_len(),
+            format!("{} x{}", spec.axis.name(), spec.axis.len()),
+            spec.title
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+struct RunOpts {
+    specs: Vec<String>,
+    all: bool,
+    smoke: bool,
+    scale: Option<Scale>,
+    threads: usize,
+    out: Option<PathBuf>,
+    out_dir: PathBuf,
+    quiet: bool,
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut opts = RunOpts {
+        specs: Vec::new(),
+        all: false,
+        smoke: false,
+        scale: None,
+        threads: pif_lab::default_threads(),
+        out: None,
+        out_dir: PathBuf::from("target/piflab"),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--smoke" => opts.smoke = true,
+            "--quiet" => opts.quiet = true,
+            "--scale" => match it.next().map(String::as_str) {
+                Some("tiny") => opts.scale = Some(Scale::tiny()),
+                Some("quick") => opts.scale = Some(Scale::quick()),
+                Some("paper") => opts.scale = Some(Scale::paper()),
+                other => {
+                    eprintln!("--scale needs tiny|quick|paper, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--out-dir" => match it.next() {
+                Some(p) => opts.out_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            name if !name.starts_with('-') => opts.specs.push(name.to_string()),
+            _ => return usage(),
+        }
+    }
+    if opts.all {
+        opts.specs = registry::all_specs()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+    }
+    if opts.specs.is_empty() {
+        eprintln!("piflab run: name at least one spec, or pass --all (see `piflab list`)");
+        return ExitCode::from(2);
+    }
+    if opts.out.is_some() && opts.specs.len() != 1 {
+        eprintln!("--out only applies to a single spec; use --out-dir for several");
+        return ExitCode::from(2);
+    }
+    let scale = opts.scale.unwrap_or_else(|| {
+        if opts.smoke {
+            Scale::tiny()
+        } else {
+            Scale::from_env()
+        }
+    });
+
+    for name in &opts.specs {
+        let Some(spec) = registry::spec(name) else {
+            eprintln!("piflab run: unknown spec {name:?} (see `piflab list`)");
+            return ExitCode::FAILURE;
+        };
+        if !opts.quiet {
+            eprintln!(
+                "piflab: {} — {} cells x {} instrs on {} threads",
+                spec.name,
+                spec.grid_len(),
+                scale.instructions,
+                opts.threads
+            );
+        }
+        let report = run_spec(&spec, &scale, opts.threads, opts.smoke);
+        let json = report.to_json();
+        // Every emitted artifact must parse and validate before it lands
+        // on disk — an invalid report never reaches CI artifacts.
+        let reparsed = match Json::parse(&json) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("piflab: emitted invalid JSON for {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = report::validate_report(&reparsed) {
+            eprintln!("piflab: emitted schema-invalid report for {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| opts.out_dir.join(format!("{name}.json")));
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("piflab: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("piflab: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            print_summary(&report);
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// A compact per-cell stdout summary (the pretty per-figure tables live
+/// in the `pif-experiments` binaries; this is the orchestrator's view).
+fn print_summary(report: &SweepReport) {
+    const HEADLINE: [&str; 6] = [
+        "miss_coverage",
+        "predictor_coverage",
+        "uipc",
+        "uipc_speedup_vs_none",
+        "retire_sep",
+        "footprint_mb",
+    ];
+    for cell in &report.cells {
+        let mut line = format!(
+            "  [{:>3}] {:<12} {:<14} {:<20}",
+            cell.index,
+            cell.workload,
+            cell.prefetcher.unwrap_or("-"),
+            cell.point
+        );
+        let mut shown = 0;
+        for name in HEADLINE {
+            if let Some(v) = cell.metric(name) {
+                line.push_str(&format!(" {name}={v:.4}"));
+                shown += 1;
+            }
+        }
+        if shown == 0 {
+            line.push_str(&format!(" metrics={}", cell.metrics.len()));
+        }
+        println!("{line}");
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tol = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tol = Some(t),
+                _ => {
+                    eprintln!("--tol needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => return usage(),
+        }
+    }
+    let [new_path, base_path] = paths.as_slice() else {
+        return usage();
+    };
+    let (new, base) = match (load(new_path), load(base_path)) {
+        (Ok(n), Ok(b)) => (n, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("piflab check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match report::check_reports(&new, &base, tol) {
+        Ok(summary) => {
+            println!(
+                "check passed: {} cells, {} metrics within tolerance (max rel delta {:.3e})",
+                summary.cells, summary.metrics, summary.max_rel_delta
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            eprintln!(
+                "piflab check: {} violation(s) against {base_path}:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [a_path, b_path] = args else {
+        return usage();
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("piflab diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report::diff_reports(&a, &b));
+    ExitCode::SUCCESS
+}

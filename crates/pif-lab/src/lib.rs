@@ -1,0 +1,249 @@
+//! # pif-lab — declarative sweep orchestration
+//!
+//! The paper's evaluation is a grid: every figure is
+//! {workload × prefetcher × one swept parameter}. This crate turns each
+//! figure into data instead of a hand-rolled binary: a [`SweepSpec`]
+//! names the axes, [`run_spec`] expands the grid and runs it on a
+//! work-stealing thread pool with per-job seeded workload streams, and
+//! the result is a [`SweepReport`] — a machine-checkable JSON artifact
+//! per figure.
+//!
+//! Determinism is the core contract: job results merge by job index and
+//! reports carry no wall-clock data, so **a report is byte-identical
+//! regardless of `--threads`** (proven by `tests/determinism.rs`). A
+//! committed report is therefore a regression baseline: `piflab check`
+//! re-runs a spec and compares every metric against the golden copy with
+//! per-metric tolerances.
+//!
+//! # The `pif-lab-sweep/v1` schema
+//!
+//! A report is one JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "pif-lab-sweep/v1",
+//!   "spec": "fig9-history",
+//!   "title": "Fig. 9 right: history size sensitivity",
+//!   "smoke": true,
+//!   "scale": {"instructions": 40000, "footprint": 0.03, "warmup_fraction": 0.3},
+//!   "tolerance": 1e-9,
+//!   "grid": {
+//!     "workloads": ["OLTP-DB2", "..."],
+//!     "prefetchers": [],
+//!     "axis": "history_capacity",
+//!     "points": ["2048", "8192", "..."]
+//!   },
+//!   "config": {"icache_capacity_bytes": 65536, "...": 0},
+//!   "cells": [
+//!     {"index": 0, "workload": "OLTP-DB2", "prefetcher": null,
+//!      "point": "2048", "metrics": {"miss_coverage": 0.42, "...": 0}}
+//!   ]
+//! }
+//! ```
+//!
+//! * `grid` spans the cell array: cells appear workload-major, then by
+//!   prefetcher, then by axis point, and `cells[i].index == i`.
+//! * `metrics` values are JSON numbers (counters are exact integers,
+//!   ratios shortest-round-trip floats) or `null` for non-finite values.
+//! * `config` is a flat summary of the spec's base simulator/PIF
+//!   configuration, so `piflab check` catches silent config drift.
+//! * Engine grids with a `None` prefetcher cell gain a derived
+//!   `uipc_speedup_vs_none` metric on every non-`None` cell of the same
+//!   (workload, point).
+//!
+//! # Example
+//!
+//! ```
+//! use pif_lab::{registry, run_spec, Scale};
+//!
+//! let spec = registry::table1();
+//! let report = run_spec(&spec, &Scale::tiny(), 2, true);
+//! assert_eq!(report.cells.len(), 6);
+//! let json = report.to_json();
+//! let parsed = pif_lab::json::Json::parse(&json).unwrap();
+//! pif_lab::report::validate_report(&parsed).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+mod measure;
+pub mod pool;
+pub mod registry;
+pub mod report;
+mod scale;
+pub mod spec;
+
+pub use measure::{density_metric, jump_cdf_metric, len_cdf_metric, offset_metric, runs_metric};
+pub use pool::{default_threads, parallel_map};
+pub use report::{Cell, CheckSummary, Metric, SweepReport};
+pub use scale::Scale;
+pub use spec::{CdfKind, Measure, ParamAxis, PrefetcherKind, SweepSpec};
+
+use pif_workloads::WorkloadProfile;
+
+/// Expands `spec` into its job grid, runs it on `threads` workers, and
+/// merges the cells by job index into a [`SweepReport`].
+///
+/// The report depends only on `(spec, scale)` — not on `threads`, the
+/// schedule, or the clock — so serialized reports are byte-identical
+/// across thread counts.
+///
+/// # Panics
+///
+/// Panics if the spec names a workload that does not exist.
+pub fn run_spec(spec: &SweepSpec, scale: &Scale, threads: usize, smoke: bool) -> SweepReport {
+    let names = spec.workload_names();
+    let available = scale.workloads();
+    let profiles: Vec<WorkloadProfile> = names
+        .iter()
+        .map(|n| {
+            available
+                .iter()
+                .find(|w| w.name() == *n)
+                .unwrap_or_else(|| panic!("spec {}: unknown workload {n:?}", spec.name))
+                .clone()
+        })
+        .collect();
+
+    let coords = spec.jobs();
+    // Per-workload trace memo for analysis measures (see `measure`):
+    // generated at most once per workload, shared across axis points.
+    let traces: Vec<std::sync::OnceLock<pif_workloads::Trace>> =
+        (0..profiles.len()).map(|_| Default::default()).collect();
+    let mut cells = pool::run_indexed(coords.len(), threads, |i| {
+        measure::run_job(spec, scale, &profiles, &traces, coords[i])
+    });
+    derive_speedups(spec, &mut cells);
+
+    SweepReport {
+        spec: spec.name.to_string(),
+        title: spec.title.to_string(),
+        smoke,
+        scale: *scale,
+        tolerance: spec.tolerance,
+        workloads: names,
+        prefetchers: spec.prefetcher_labels(),
+        axis: spec.axis.name().to_string(),
+        points: (0..spec.axis.len()).map(|i| spec.axis.label(i)).collect(),
+        config: config_summary(spec),
+        cells,
+    }
+}
+
+/// Post-merge derived metrics: UIPC speedup of every engine cell over the
+/// `None` cell of the same (workload, point), when one exists.
+fn derive_speedups(spec: &SweepSpec, cells: &mut [Cell]) {
+    if spec.measure != Measure::Engine {
+        return;
+    }
+    let none_label = PrefetcherKind::None.label();
+    let baselines: Vec<(String, String, f64)> = cells
+        .iter()
+        .filter(|c| c.prefetcher == Some(none_label))
+        .filter_map(|c| {
+            c.metric("uipc")
+                .map(|u| (c.workload.clone(), c.point.clone(), u))
+        })
+        .collect();
+    for cell in cells.iter_mut() {
+        if cell.prefetcher == Some(none_label) {
+            continue;
+        }
+        let Some(base) = baselines
+            .iter()
+            .find(|(w, p, _)| *w == cell.workload && *p == cell.point)
+        else {
+            continue;
+        };
+        if let Some(uipc) = cell.metric("uipc") {
+            cell.push("uipc_speedup_vs_none", Metric::F64(uipc / base.2));
+        }
+    }
+}
+
+/// Flat summary of the spec's base configuration, embedded in every
+/// report for drift detection.
+fn config_summary(spec: &SweepSpec) -> Vec<(String, Metric)> {
+    let e = &spec.engine_base;
+    let p = &spec.pif_base;
+    let u = |v: usize| Metric::U64(v as u64);
+    vec![
+        ("icache_capacity_bytes".into(), u(e.icache.capacity_bytes)),
+        ("icache_ways".into(), u(e.icache.ways)),
+        (
+            "icache_latency_cycles".into(),
+            Metric::U64(e.icache.latency_cycles),
+        ),
+        ("l2_capacity_bytes".into(), u(e.l2.capacity_bytes)),
+        ("l2_ways".into(), u(e.l2.ways)),
+        (
+            "l2_hit_latency_cycles".into(),
+            Metric::U64(e.l2.hit_latency_cycles),
+        ),
+        (
+            "l2_memory_latency_cycles".into(),
+            Metric::U64(e.l2.memory_latency_cycles),
+        ),
+        (
+            "dispatch_width".into(),
+            Metric::U64(e.timing.dispatch_width),
+        ),
+        (
+            "prefetch_latency_events".into(),
+            Metric::U64(e.prefetch_latency_events),
+        ),
+        (
+            "pif_region_preceding".into(),
+            u(p.geometry.preceding() as usize),
+        ),
+        (
+            "pif_region_succeeding".into(),
+            u(p.geometry.succeeding() as usize),
+        ),
+        ("pif_temporal_entries".into(), u(p.temporal_entries)),
+        ("pif_history_capacity".into(), u(p.history_capacity)),
+        ("pif_index_entries".into(), u(p.index_entries)),
+        ("pif_index_ways".into(), u(p.index_ways)),
+        ("pif_sab_count".into(), u(p.sab_count)),
+        ("pif_sab_window".into(), u(p.sab_window)),
+        ("pif_storage_bytes".into(), u(p.approx_storage_bytes())),
+        ("seed_offset".into(), Metric::U64(spec.seed_offset)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_spec_runs_and_reports() {
+        let report = run_spec(&registry::table1(), &Scale::tiny(), 3, true);
+        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.spec, "table1");
+        assert!(report.smoke);
+        let oltp = report.cell("OLTP-DB2", None, "-").expect("OLTP cell");
+        // Static metrics ignore the run scale: full-size footprint.
+        assert!(oltp.metric("footprint_mb").unwrap() > 1.0);
+        let parsed = json::Json::parse(&report.to_json()).unwrap();
+        report::validate_report(&parsed).unwrap();
+    }
+
+    #[test]
+    fn engine_spec_derives_speedup_vs_none() {
+        let spec = SweepSpec::new("mini", "mini engine grid", Measure::Engine)
+            .with_workloads(vec!["OLTP-DB2"])
+            .with_prefetchers(vec![PrefetcherKind::None, PrefetcherKind::Perfect]);
+        let report = run_spec(&spec, &Scale::tiny(), 2, false);
+        assert_eq!(report.cells.len(), 2);
+        let none = report.cell("OLTP-DB2", Some("None"), "-").unwrap();
+        assert!(none.metric("uipc_speedup_vs_none").is_none());
+        let perfect = report.cell("OLTP-DB2", Some("Perfect"), "-").unwrap();
+        let speedup = perfect.metric("uipc_speedup_vs_none").unwrap();
+        assert!(
+            speedup >= 1.0,
+            "perfect cache should not slow down: {speedup}"
+        );
+    }
+}

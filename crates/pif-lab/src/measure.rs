@@ -1,0 +1,234 @@
+//! Per-cell measurement drivers: run one job of a sweep grid and emit its
+//! metrics.
+//!
+//! Every driver derives its trace from the job's workload via
+//! [`WorkloadProfile::stream_with_execution_seed`] /
+//! `generate_with_execution_seed`, so a cell's result depends only on
+//! (spec, scale, seed) — never on which worker thread ran it or when.
+//! Engine cells stream (no trace materialization); analysis cells need a
+//! slice, so the generated trace is memoized per workload and shared
+//! across the parameter axis instead of regenerated per cell.
+
+use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
+use pif_core::analysis::{analyze_regions, PifAnalyzer};
+use pif_core::Pif;
+use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
+use pif_sim::{Engine, NoPrefetcher, RunReport};
+use pif_types::{RegionGeometry, TrapLevel};
+use pif_workloads::{Trace, WorkloadProfile};
+
+use std::sync::OnceLock;
+
+use crate::registry::{
+    DENSITY_BUCKETS, JUMP_CDF_BUCKETS, LENGTH_CDF_BUCKETS, REGION_OFFSETS, RUN_BUCKETS,
+};
+use crate::report::{Cell, Metric};
+use crate::scale::Scale;
+use crate::spec::{CdfKind, JobCoord, Measure, PrefetcherKind, SweepSpec};
+
+/// Metric name for a jump-distance CDF point (`jump_cdf_le_2p07` = the
+/// cumulative fraction of prediction-weighted jumps of length <= 2^7).
+pub fn jump_cdf_metric(log2: usize) -> String {
+    format!("jump_cdf_le_2p{log2:02}")
+}
+
+/// Metric name for a stream-length CDF point.
+pub fn len_cdf_metric(log2: usize) -> String {
+    format!("len_cdf_le_2p{log2:02}")
+}
+
+/// Metric name for a trigger-relative offset frequency (`offset_m2`,
+/// `offset_p1`, …).
+pub fn offset_metric(offset: i64) -> String {
+    if offset < 0 {
+        format!("offset_m{}", -offset)
+    } else {
+        format!("offset_p{offset}")
+    }
+}
+
+/// Metric name for a region-density bucket.
+pub fn density_metric(lo: u32, hi: u32) -> String {
+    format!("density_{lo}_{hi}")
+}
+
+/// Metric name for a discontinuous-runs bucket.
+pub fn runs_metric(lo: u32, hi: u32) -> String {
+    format!("runs_{lo}_{hi}")
+}
+
+/// Runs one grid cell and returns it (without cross-cell derived
+/// metrics — see [`crate::run_spec`] for the merge pass).
+pub(crate) fn run_job(
+    spec: &SweepSpec,
+    scale: &Scale,
+    profiles: &[WorkloadProfile],
+    traces: &[OnceLock<Trace>],
+    coord: JobCoord,
+) -> Cell {
+    let profile = &profiles[coord.workload];
+    // Memoized per-workload trace for the slice-consuming analysis
+    // measures: generated once per (workload, seed), shared across axis
+    // points. `get_or_init` blocks concurrent initializers, so exactly
+    // one job pays the generation cost.
+    let trace = || {
+        traces[coord.workload].get_or_init(|| {
+            profile.generate_with_execution_seed(scale.instructions, spec.seed_offset)
+        })
+    };
+    let mut pif = spec.pif_base;
+    let mut engine_cfg = spec.engine_base;
+    spec.axis.apply(coord.point, &mut pif, &mut engine_cfg);
+    let warmup = scale.warmup_instrs();
+
+    let mut cell = Cell {
+        index: coord.index,
+        workload: profile.name().to_string(),
+        prefetcher: coord.prefetcher.map(PrefetcherKind::label),
+        point: spec.axis.label(coord.point),
+        metrics: Vec::new(),
+    };
+
+    match spec.measure {
+        Measure::Engine => {
+            let engine = Engine::new(engine_cfg);
+            let source = profile.stream_with_execution_seed(scale.instructions, spec.seed_offset);
+            let kind = coord.prefetcher.unwrap_or(PrefetcherKind::None);
+            let report = match kind {
+                PrefetcherKind::None => engine.run_source_warmup(source, NoPrefetcher, warmup),
+                PrefetcherKind::NextLine => {
+                    engine.run_source_warmup(source, NextLinePrefetcher::aggressive(), warmup)
+                }
+                PrefetcherKind::Tifs => {
+                    engine.run_source_warmup(source, Tifs::new(Default::default()), warmup)
+                }
+                PrefetcherKind::TifsUnbounded => {
+                    engine.run_source_warmup(source, Tifs::unbounded(), warmup)
+                }
+                PrefetcherKind::Discontinuity => {
+                    engine.run_source_warmup(source, DiscontinuityPrefetcher::paper_scale(), warmup)
+                }
+                PrefetcherKind::Pif => engine.run_source_warmup(source, Pif::new(pif), warmup),
+                PrefetcherKind::Perfect => engine.run_source_warmup(source, PerfectICache, warmup),
+            };
+            engine_metrics(&mut cell, &report);
+        }
+        Measure::PifAnalysis(cdf) => {
+            let report = PifAnalyzer::new(pif, engine_cfg.icache).analyze(trace().instrs(), warmup);
+            cell.push("miss_coverage", Metric::F64(report.overall_miss_coverage()));
+            cell.push(
+                "predictor_coverage",
+                Metric::F64(report.overall_predictor_coverage()),
+            );
+            cell.push(
+                "miss_coverage_tl0",
+                Metric::F64(report.miss_coverage(TrapLevel::Tl0)),
+            );
+            cell.push(
+                "miss_coverage_tl1",
+                Metric::F64(report.miss_coverage(TrapLevel::Tl1)),
+            );
+            match cdf {
+                CdfKind::None => {}
+                CdfKind::JumpDistance => {
+                    let mut cdf = report.jump_distance.cdf();
+                    cdf.resize(JUMP_CDF_BUCKETS, 1.0);
+                    for (i, v) in cdf.iter().enumerate() {
+                        cell.push(jump_cdf_metric(i), Metric::F64(*v));
+                    }
+                }
+                CdfKind::StreamLength => {
+                    let mut cdf = report.stream_length.cdf();
+                    cdf.resize(LENGTH_CDF_BUCKETS, 1.0);
+                    for (i, v) in cdf.iter().enumerate() {
+                        cell.push(len_cdf_metric(i), Metric::F64(*v));
+                    }
+                }
+            }
+        }
+        Measure::Regions {
+            preceding,
+            succeeding,
+        } => {
+            let geometry =
+                RegionGeometry::new(preceding, succeeding).expect("spec carries valid geometry");
+            let report = analyze_regions(trace().instrs(), geometry);
+            cell.push("total_regions", Metric::U64(report.total_regions));
+            for &(lo, hi) in &DENSITY_BUCKETS {
+                cell.push(
+                    density_metric(lo, hi),
+                    Metric::F64(report.density_fraction(lo, hi)),
+                );
+            }
+            for &(lo, hi) in &RUN_BUCKETS {
+                cell.push(
+                    runs_metric(lo, hi),
+                    Metric::F64(report.runs_fraction(lo, hi)),
+                );
+            }
+            for &o in &REGION_OFFSETS {
+                cell.push(offset_metric(o), Metric::F64(report.offset_frequency(o)));
+            }
+        }
+        Measure::StreamCoverage => {
+            let report = evaluate_stream_coverage_warmup(
+                &engine_cfg,
+                TemporalPredictorConfig::default(),
+                trace().instrs(),
+                warmup,
+            );
+            cell.push(
+                "correct_path_misses",
+                Metric::U64(report.correct_path_misses),
+            );
+            cell.push("miss", Metric::F64(report.miss));
+            cell.push("access", Metric::F64(report.access));
+            cell.push("retire", Metric::F64(report.retire));
+            cell.push("retire_sep", Metric::F64(report.retire_sep));
+        }
+        Measure::Static => {
+            // Table I reports workload identity parameters, which do not
+            // depend on the run scale: use the unscaled profile.
+            let unscaled = WorkloadProfile::all()
+                .into_iter()
+                .find(|w| w.name() == profile.name());
+            let params = unscaled.as_ref().unwrap_or(profile).params().clone();
+            cell.push(
+                "footprint_mb",
+                Metric::F64(params.approx_footprint_bytes() as f64 / (1024.0 * 1024.0)),
+            );
+            cell.push("num_functions", Metric::U64(params.num_functions as u64));
+            cell.push(
+                "num_transaction_types",
+                Metric::U64(params.num_transaction_types as u64),
+            );
+        }
+    }
+    cell
+}
+
+fn engine_metrics(cell: &mut Cell, report: &RunReport) {
+    cell.push("instructions", Metric::U64(report.frontend.instructions));
+    cell.push("cycles", Metric::U64(report.timing.cycles));
+    cell.push("demand_accesses", Metric::U64(report.fetch.demand_accesses));
+    cell.push("demand_misses", Metric::U64(report.fetch.demand_misses));
+    cell.push(
+        "wrong_path_accesses",
+        Metric::U64(report.fetch.wrong_path_accesses),
+    );
+    cell.push(
+        "covered_by_prefetch",
+        Metric::U64(report.fetch.covered_by_prefetch),
+    );
+    cell.push("partial_covered", Metric::U64(report.fetch.partial_covered));
+    cell.push("prefetch_issued", Metric::U64(report.prefetch.issued));
+    cell.push("prefetch_useful", Metric::U64(report.prefetch.useful));
+    cell.push("l2_hits", Metric::U64(report.l2_hits));
+    cell.push("l2_misses", Metric::U64(report.l2_misses));
+    cell.push("hit_rate", Metric::F64(report.fetch.hit_rate()));
+    cell.push("miss_coverage", Metric::F64(report.miss_coverage()));
+    let mpki = report.fetch.demand_misses as f64 / (report.frontend.instructions as f64 / 1000.0);
+    cell.push("mpki", Metric::F64(mpki));
+    cell.push("prefetch_accuracy", Metric::F64(report.prefetch.accuracy()));
+    cell.push("uipc", Metric::F64(report.timing.uipc()));
+}

@@ -1,0 +1,671 @@
+//! Structured sweep results: the `pif-lab-sweep/v1` report, its JSON
+//! emitter/validator, and the tolerance-checked baseline comparison
+//! behind `piflab check`.
+//!
+//! Reports deliberately contain **no wall-clock data** — every value is a
+//! deterministic function of the spec, the scale, and the seeds — so a
+//! report is byte-identical across thread counts and machines, and a
+//! committed report is a regression baseline, not a snapshot.
+
+use crate::json::{escape, fmt_f64, Json};
+use crate::scale::Scale;
+
+/// The schema identifier embedded in every report.
+pub const SCHEMA: &str = "pif-lab-sweep/v1";
+
+/// One measured value. `F64` non-finite values serialize as `null`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// An exact counter.
+    U64(u64),
+    /// A derived ratio/rate.
+    F64(f64),
+}
+
+impl Metric {
+    /// The value as `f64` (`None` for non-finite floats).
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Metric::U64(v) => Some(v as f64),
+            Metric::F64(v) => v.is_finite().then_some(v),
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            Metric::U64(v) => v.to_string(),
+            Metric::F64(v) => fmt_f64(v),
+        }
+    }
+}
+
+/// One grid cell: coordinates plus its measured metrics, in emission
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Flat job index (also the merge position).
+    pub index: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher label for engine grids.
+    pub prefetcher: Option<&'static str>,
+    /// Parameter-axis point label (`"-"` on unit axes).
+    pub point: String,
+    /// Named metrics in deterministic emission order.
+    pub metrics: Vec<(String, Metric)>,
+}
+
+impl Cell {
+    /// Looks up a metric as `f64`.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, m)| m.as_f64())
+    }
+
+    /// Looks up an exact counter metric.
+    pub fn metric_u64(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, m)| {
+                if let Metric::U64(v) = m {
+                    Some(*v)
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// Looks up a metric that the grid guarantees to exist, preserving
+    /// non-finite values as NaN (they serialize as `null` but still
+    /// display like the raw ratio would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is absent — that is emitter/consumer drift,
+    /// which must fail loudly rather than render a plausible zero.
+    pub fn expect_metric(&self, name: &str) -> f64 {
+        match self.metrics.iter().find(|(n, _)| n == name) {
+            Some((_, Metric::U64(v))) => *v as f64,
+            Some((_, Metric::F64(v))) => *v,
+            None => panic!(
+                "cell {}/{}/{}: metric {name:?} missing",
+                self.workload,
+                self.prefetcher.unwrap_or("-"),
+                self.point
+            ),
+        }
+    }
+
+    /// Looks up a counter metric that the grid guarantees to exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is absent or not a counter (see
+    /// [`Cell::expect_metric`]).
+    pub fn expect_metric_u64(&self, name: &str) -> u64 {
+        match self.metrics.iter().find(|(n, _)| n == name) {
+            Some((_, Metric::U64(v))) => *v,
+            Some((_, Metric::F64(_))) => panic!(
+                "cell {}/{}/{}: metric {name:?} is not a counter",
+                self.workload,
+                self.prefetcher.unwrap_or("-"),
+                self.point
+            ),
+            None => panic!(
+                "cell {}/{}/{}: metric {name:?} missing",
+                self.workload,
+                self.prefetcher.unwrap_or("-"),
+                self.point
+            ),
+        }
+    }
+
+    /// Adds a metric (builder-style, used by the measure drivers).
+    pub fn push(&mut self, name: impl Into<String>, metric: Metric) {
+        self.metrics.push((name.into(), metric));
+    }
+}
+
+/// A completed sweep: spec identity, grid, configuration summary, and one
+/// [`Cell`] per job, ordered by job index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Spec name.
+    pub spec: String,
+    /// Spec title.
+    pub title: String,
+    /// Whether this was a `--smoke` run.
+    pub smoke: bool,
+    /// The scale the grid ran at.
+    pub scale: Scale,
+    /// Default check tolerance for this report.
+    pub tolerance: f64,
+    /// Workload axis.
+    pub workloads: Vec<String>,
+    /// Prefetcher axis labels (empty on analysis grids).
+    pub prefetchers: Vec<&'static str>,
+    /// Parameter-axis name.
+    pub axis: String,
+    /// Parameter-axis point labels.
+    pub points: Vec<String>,
+    /// Static configuration summary (drift detection).
+    pub config: Vec<(String, Metric)>,
+    /// One cell per job, index-ordered.
+    pub cells: Vec<Cell>,
+}
+
+impl SweepReport {
+    /// Finds the cell at the given coordinates.
+    pub fn cell(&self, workload: &str, prefetcher: Option<&str>, point: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.prefetcher == prefetcher && c.point == point)
+    }
+
+    /// All cells of one workload, in grid order.
+    pub fn workload_cells<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a Cell> {
+        self.cells.iter().filter(move |c| c.workload == workload)
+    }
+
+    /// Serializes the report as a `pif-lab-sweep/v1` JSON document.
+    ///
+    /// The byte stream is fully deterministic: field order is fixed,
+    /// floats use shortest-round-trip formatting, and nothing
+    /// schedule- or clock-dependent is recorded.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"spec\": \"{}\",\n", escape(&self.spec)));
+        s.push_str(&format!("  \"title\": \"{}\",\n", escape(&self.title)));
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str(&format!(
+            "  \"scale\": {{\"instructions\": {}, \"footprint\": {}, \"warmup_fraction\": {}}},\n",
+            self.scale.instructions,
+            fmt_f64(self.scale.footprint),
+            fmt_f64(self.scale.warmup_fraction)
+        ));
+        s.push_str(&format!("  \"tolerance\": {},\n", fmt_f64(self.tolerance)));
+        s.push_str("  \"grid\": {\n");
+        s.push_str(&format!(
+            "    \"workloads\": [{}],\n",
+            join_strings(self.workloads.iter().map(String::as_str))
+        ));
+        s.push_str(&format!(
+            "    \"prefetchers\": [{}],\n",
+            join_strings(self.prefetchers.iter().copied())
+        ));
+        s.push_str(&format!("    \"axis\": \"{}\",\n", escape(&self.axis)));
+        s.push_str(&format!(
+            "    \"points\": [{}]\n",
+            join_strings(self.points.iter().map(String::as_str))
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"config\": {");
+        for (i, (name, metric)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", escape(name), metric.render()));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"index\": {}, \"workload\": \"{}\", \"prefetcher\": {}, \"point\": \"{}\", \"metrics\": {{",
+                cell.index,
+                escape(&cell.workload),
+                match cell.prefetcher {
+                    Some(p) => format!("\"{}\"", escape(p)),
+                    None => "null".to_string(),
+                },
+                escape(&cell.point),
+            ));
+            for (j, (name, metric)) in cell.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {}", escape(name), metric.render()));
+            }
+            s.push_str("}}");
+            s.push_str(if i + 1 == self.cells.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn join_strings<'a>(items: impl Iterator<Item = &'a str>) -> String {
+    items
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Validates that `j` is a structurally well-formed `pif-lab-sweep/v1`
+/// report.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn validate_report(j: &Json) -> Result<(), String> {
+    let schema = j
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    j.get("spec")
+        .and_then(Json::as_str)
+        .ok_or("missing \"spec\"")?;
+    j.get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("missing \"smoke\"")?;
+    let scale = j.get("scale").ok_or("missing \"scale\"")?;
+    for field in ["instructions", "footprint", "warmup_fraction"] {
+        scale
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("scale missing numeric {field:?}"))?;
+    }
+    j.get("tolerance")
+        .and_then(Json::as_f64)
+        .ok_or("missing \"tolerance\"")?;
+    let grid = j.get("grid").ok_or("missing \"grid\"")?;
+    let workloads = grid
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("grid missing \"workloads\"")?;
+    let prefetchers = grid
+        .get("prefetchers")
+        .and_then(Json::as_arr)
+        .ok_or("grid missing \"prefetchers\"")?;
+    grid.get("axis")
+        .and_then(Json::as_str)
+        .ok_or("grid missing \"axis\"")?;
+    let points = grid
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("grid missing \"points\"")?;
+    j.get("config")
+        .and_then(Json::as_obj)
+        .ok_or("missing \"config\"")?;
+    let cells = j
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"cells\"")?;
+    let expected = workloads.len() * prefetchers.len().max(1) * points.len();
+    if cells.len() != expected {
+        return Err(format!(
+            "grid is {} x {} x {} but report has {} cells",
+            workloads.len(),
+            prefetchers.len().max(1),
+            points.len(),
+            cells.len()
+        ));
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let index = cell
+            .get("index")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cell {i} missing \"index\""))?;
+        if index as usize != i {
+            return Err(format!("cell {i} has out-of-order index {index}"));
+        }
+        cell.get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell {i} missing \"workload\""))?;
+        match cell.get("prefetcher") {
+            Some(Json::Str(_)) | Some(Json::Null) => {}
+            _ => return Err(format!("cell {i} missing \"prefetcher\"")),
+        }
+        cell.get("point")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell {i} missing \"point\""))?;
+        let metrics = cell
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("cell {i} missing \"metrics\""))?;
+        for (name, v) in metrics {
+            if !matches!(v, Json::Num(_) | Json::Null) {
+                return Err(format!("cell {i} metric {name:?} is not a number or null"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Summary of a successful `piflab check` comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckSummary {
+    /// Cells compared.
+    pub cells: usize,
+    /// Metric values compared.
+    pub metrics: usize,
+    /// Largest relative delta observed (still within tolerance).
+    pub max_rel_delta: f64,
+}
+
+/// Relative delta with a floor of 1.0 on the denominator, so tolerances
+/// behave sensibly for both ratios (~1) and large counters.
+fn rel_delta(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Compares a freshly produced report against a committed baseline.
+///
+/// Identity fields (spec, scale, grid, config, cell coordinates, metric
+/// sets) must match exactly; metric values must agree within
+/// `tol_override` (defaulting to the baseline's embedded tolerance).
+///
+/// # Errors
+///
+/// Returns every violation found, one message per line.
+pub fn check_reports(
+    new: &Json,
+    baseline: &Json,
+    tol_override: Option<f64>,
+) -> Result<CheckSummary, Vec<String>> {
+    let mut violations = Vec::new();
+    if let Err(e) = validate_report(new) {
+        violations.push(format!("new report invalid: {e}"));
+    }
+    if let Err(e) = validate_report(baseline) {
+        violations.push(format!("baseline report invalid: {e}"));
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    let tolerance = tol_override
+        .or_else(|| baseline.get("tolerance").and_then(Json::as_f64))
+        .unwrap_or(1e-9);
+
+    for field in ["schema", "spec", "scale", "grid", "config"] {
+        if new.get(field) != baseline.get(field) {
+            violations.push(format!("{field:?} differs from baseline"));
+        }
+    }
+    let new_cells = new.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let base_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    if new_cells.len() != base_cells.len() {
+        violations.push(format!(
+            "cell count differs: {} vs baseline {}",
+            new_cells.len(),
+            base_cells.len()
+        ));
+        return Err(violations);
+    }
+
+    let mut metrics_compared = 0usize;
+    let mut max_rel = 0.0f64;
+    for (i, (nc, bc)) in new_cells.iter().zip(base_cells).enumerate() {
+        let coord = |c: &Json| {
+            format!(
+                "{}/{}/{}",
+                c.get("workload").and_then(Json::as_str).unwrap_or("?"),
+                c.get("prefetcher").and_then(Json::as_str).unwrap_or("-"),
+                c.get("point").and_then(Json::as_str).unwrap_or("?"),
+            )
+        };
+        if coord(nc) != coord(bc) {
+            violations.push(format!(
+                "cell {i}: coordinates differ: {} vs baseline {}",
+                coord(nc),
+                coord(bc)
+            ));
+            continue;
+        }
+        let nm = nc.get("metrics").and_then(Json::as_obj).unwrap_or(&[]);
+        let bm = bc.get("metrics").and_then(Json::as_obj).unwrap_or(&[]);
+        for (name, bv) in bm {
+            let Some(nv) = nm.iter().find(|(n, _)| n == name).map(|(_, v)| v) else {
+                violations.push(format!("cell {i} ({}): metric {name:?} missing", coord(nc)));
+                continue;
+            };
+            metrics_compared += 1;
+            match (nv, bv) {
+                (Json::Null, Json::Null) => {}
+                (Json::Num(a), Json::Num(b)) => {
+                    let delta = rel_delta(*a, *b);
+                    max_rel = max_rel.max(delta);
+                    if delta > tolerance {
+                        violations.push(format!(
+                            "cell {i} ({}): {name} = {a} vs baseline {b} \
+                             (rel delta {delta:.3e} > tolerance {tolerance:.3e})",
+                            coord(nc)
+                        ));
+                    }
+                }
+                _ => violations.push(format!(
+                    "cell {i} ({}): {name} changed between null and a number",
+                    coord(nc)
+                )),
+            }
+        }
+        for (name, _) in nm {
+            if !bm.iter().any(|(n, _)| n == name) {
+                violations.push(format!(
+                    "cell {i} ({}): unexpected new metric {name:?} (regenerate the baseline)",
+                    coord(nc)
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(CheckSummary {
+            cells: new_cells.len(),
+            metrics: metrics_compared,
+            max_rel_delta: max_rel,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+/// Renders a human-readable metric diff between two reports (best-effort;
+/// unlike [`check_reports`] it never fails, it just describes).
+pub fn diff_reports(a: &Json, b: &Json) -> String {
+    let mut out = String::new();
+    for field in ["schema", "spec", "scale", "grid", "config"] {
+        if a.get(field) != b.get(field) {
+            out.push_str(&format!("{field} differs\n"));
+        }
+    }
+    let ac = a.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    let bc = b.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+    if ac.len() != bc.len() {
+        out.push_str(&format!("cell count: {} vs {}\n", ac.len(), bc.len()));
+    }
+    // Aggregate the largest delta per metric name across matched cells.
+    let mut per_metric: Vec<(String, f64, String)> = Vec::new();
+    for (i, (ca, cb)) in ac.iter().zip(bc).enumerate() {
+        let ma = ca.get("metrics").and_then(Json::as_obj).unwrap_or(&[]);
+        let mb = cb.get("metrics").and_then(Json::as_obj).unwrap_or(&[]);
+        for (name, va) in ma {
+            let Some(vb) = mb.iter().find(|(n, _)| n == name).map(|(_, v)| v) else {
+                continue;
+            };
+            if let (Json::Num(x), Json::Num(y)) = (va, vb) {
+                let delta = rel_delta(*x, *y);
+                if delta == 0.0 {
+                    continue;
+                }
+                let where_ = format!(
+                    "cell {i} ({}): {x} vs {y}",
+                    ca.get("workload").and_then(Json::as_str).unwrap_or("?")
+                );
+                match per_metric.iter_mut().find(|(n, _, _)| n == name) {
+                    Some(entry) if entry.1 < delta => {
+                        entry.1 = delta;
+                        entry.2 = where_;
+                    }
+                    Some(_) => {}
+                    None => per_metric.push((name.clone(), delta, where_)),
+                }
+            }
+        }
+    }
+    per_metric.sort_by(|x, y| y.1.total_cmp(&x.1));
+    if per_metric.is_empty() && out.is_empty() {
+        out.push_str("reports are metric-identical\n");
+    }
+    for (name, delta, where_) in per_metric {
+        out.push_str(&format!("{name}: max rel delta {delta:.3e} at {where_}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SweepReport {
+        SweepReport {
+            spec: "test".into(),
+            title: "A test grid".into(),
+            smoke: true,
+            scale: Scale::tiny(),
+            tolerance: 1e-9,
+            workloads: vec!["OLTP-DB2".into()],
+            prefetchers: vec!["None", "PIF"],
+            axis: "unit".into(),
+            points: vec!["-".into()],
+            config: vec![("icache_capacity_bytes".into(), Metric::U64(65536))],
+            cells: vec![
+                Cell {
+                    index: 0,
+                    workload: "OLTP-DB2".into(),
+                    prefetcher: Some("None"),
+                    point: "-".into(),
+                    metrics: vec![
+                        ("demand_misses".into(), Metric::U64(1234)),
+                        ("uipc".into(), Metric::F64(1.5)),
+                    ],
+                },
+                Cell {
+                    index: 1,
+                    workload: "OLTP-DB2".into(),
+                    prefetcher: Some("PIF"),
+                    point: "-".into(),
+                    metrics: vec![
+                        ("demand_misses".into(), Metric::U64(34)),
+                        ("uipc".into(), Metric::F64(2.25)),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn serialized_report_parses_and_validates() {
+        let json = sample_report().to_json();
+        let parsed = Json::parse(&json).expect("report parses");
+        validate_report(&parsed).expect("report validates");
+    }
+
+    #[test]
+    fn cell_lookup_and_metric_accessors() {
+        let r = sample_report();
+        let c = r.cell("OLTP-DB2", Some("PIF"), "-").unwrap();
+        assert_eq!(c.metric_u64("demand_misses"), Some(34));
+        assert_eq!(c.metric("uipc"), Some(2.25));
+        assert!(r.cell("OLTP-DB2", Some("TIFS"), "-").is_none());
+        assert_eq!(r.workload_cells("OLTP-DB2").count(), 2);
+    }
+
+    #[test]
+    fn nonfinite_metrics_serialize_as_null() {
+        let mut r = sample_report();
+        r.cells[0].push("bad", Metric::F64(f64::NAN));
+        let parsed = Json::parse(&r.to_json()).unwrap();
+        validate_report(&parsed).expect("null metric is schema-valid");
+        let metrics = parsed.get("cells").unwrap().as_arr().unwrap()[0]
+            .get("metrics")
+            .unwrap()
+            .clone();
+        assert_eq!(metrics.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn check_accepts_identical_reports() {
+        let j = Json::parse(&sample_report().to_json()).unwrap();
+        let summary = check_reports(&j, &j, None).expect("identical reports pass");
+        assert_eq!(summary.cells, 2);
+        assert!(summary.metrics >= 4);
+        assert_eq!(summary.max_rel_delta, 0.0);
+    }
+
+    #[test]
+    fn check_tolerance_passes_inside_and_fails_outside() {
+        let base = sample_report();
+        let mut near = base.clone();
+        // Perturb uipc by a relative 1e-6.
+        near.cells[1].metrics[1] = ("uipc".into(), Metric::F64(2.25 * (1.0 + 1e-6)));
+        let jb = Json::parse(&base.to_json()).unwrap();
+        let jn = Json::parse(&near.to_json()).unwrap();
+        // Inside a loose tolerance: passes.
+        check_reports(&jn, &jb, Some(1e-4)).expect("inside tolerance");
+        // Outside a tight tolerance: fails, naming the metric.
+        let violations = check_reports(&jn, &jb, Some(1e-8)).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("uipc")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn check_flags_missing_and_unexpected_metrics() {
+        let base = sample_report();
+        let mut changed = base.clone();
+        changed.cells[0].metrics.remove(0);
+        changed.cells[1].push("extra", Metric::U64(1));
+        let jb = Json::parse(&base.to_json()).unwrap();
+        let jc = Json::parse(&changed.to_json()).unwrap();
+        let violations = check_reports(&jc, &jb, None).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("missing")));
+        assert!(violations.iter().any(|v| v.contains("unexpected")));
+    }
+
+    #[test]
+    fn check_flags_grid_drift() {
+        let base = sample_report();
+        let mut moved = base.clone();
+        moved.config[0].1 = Metric::U64(131072);
+        let jb = Json::parse(&base.to_json()).unwrap();
+        let jm = Json::parse(&moved.to_json()).unwrap();
+        let violations = check_reports(&jm, &jb, None).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("config")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_wrong_cell_count() {
+        let mut r = sample_report();
+        r.cells.pop();
+        let parsed = Json::parse(&r.to_json()).unwrap();
+        assert!(validate_report(&parsed).is_err());
+    }
+
+    #[test]
+    fn diff_describes_deltas() {
+        let base = sample_report();
+        let mut other = base.clone();
+        other.cells[0].metrics[0] = ("demand_misses".into(), Metric::U64(1250));
+        let ja = Json::parse(&base.to_json()).unwrap();
+        let jo = Json::parse(&other.to_json()).unwrap();
+        let d = diff_reports(&ja, &jo);
+        assert!(d.contains("demand_misses"), "{d}");
+        assert!(diff_reports(&ja, &ja).contains("metric-identical"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Experiment scale control and a tiny parallel mapper.
+//! Experiment scale control (trace length, footprint, warmup).
 
 use pif_workloads::WorkloadProfile;
 
@@ -47,12 +47,21 @@ impl Scale {
     }
 
     /// Reads `PIF_SCALE` from the environment (`tiny`, `quick`, `paper`;
-    /// default `paper`).
+    /// default `paper`). An unrecognized value warns on stderr before
+    /// falling back to `paper`, so a typo cannot silently turn a smoke
+    /// run into a 12M-instruction full-scale sweep.
     pub fn from_env() -> Self {
         match std::env::var("PIF_SCALE").as_deref() {
             Ok("tiny") => Self::tiny(),
             Ok("quick") => Self::quick(),
-            _ => Self::paper(),
+            Ok("paper") | Err(_) => Self::paper(),
+            Ok(other) => {
+                eprintln!(
+                    "warning: unknown PIF_SCALE {other:?} (expected tiny|quick|paper); \
+                     using paper scale"
+                );
+                Self::paper()
+            }
         }
     }
 
@@ -76,23 +85,6 @@ impl Default for Scale {
     }
 }
 
-/// Maps `f` over `items` on one thread per item (the experiment suite's
-/// unit of parallelism is the workload).
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|| f(item))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,12 +101,6 @@ mod tests {
         let ws = s.workloads();
         assert_eq!(ws.len(), 6);
         assert!(ws[0].params().num_functions < WorkloadProfile::oltp_db2().params().num_functions);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(vec![1, 2, 3, 4], |x| x * 10);
-        assert_eq!(out, vec![10, 20, 30, 40]);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The pool's core contract: a sweep report is a function of
+//! (spec, scale) only. Running the same spec at 1, 2, and 8 threads must
+//! produce **byte-identical** serialized reports, because cells merge by
+//! job index and carry no schedule- or clock-dependent data.
+
+use pif_lab::json::Json;
+use pif_lab::{registry, report, run_spec, Scale};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_thread_invariant(spec: &pif_lab::SweepSpec) {
+    let scale = Scale::tiny();
+    let baseline = run_spec(spec, &scale, THREAD_COUNTS[0], true).to_json();
+    for &threads in &THREAD_COUNTS[1..] {
+        let other = run_spec(spec, &scale, threads, true).to_json();
+        assert_eq!(
+            baseline, other,
+            "{}: report at {threads} threads differs from 1 thread",
+            spec.name
+        );
+    }
+    let parsed = Json::parse(&baseline).expect("report parses");
+    report::validate_report(&parsed).expect("report validates");
+    report::check_reports(&parsed, &parsed, None).expect("self-check passes");
+}
+
+#[test]
+fn analysis_sweep_is_thread_invariant() {
+    // fig9-history: workloads x history-capacity axis through PifAnalyzer.
+    assert_thread_invariant(&registry::fig9_history());
+}
+
+#[test]
+fn engine_sweep_is_thread_invariant() {
+    // fig10: workloads x prefetchers through the full engine, including
+    // the derived uipc_speedup_vs_none merge pass.
+    assert_thread_invariant(&registry::fig10());
+}
+
+#[test]
+fn static_sweep_is_thread_invariant() {
+    assert_thread_invariant(&registry::table1());
+}
+
+#[test]
+fn check_rejects_reports_from_different_scales() {
+    let spec = registry::table1();
+    let tiny = Json::parse(&run_spec(&spec, &Scale::tiny(), 2, true).to_json()).unwrap();
+    let quick = Json::parse(&run_spec(&spec, &Scale::quick(), 2, true).to_json()).unwrap();
+    let violations = report::check_reports(&tiny, &quick, None).unwrap_err();
+    assert!(
+        violations.iter().any(|v| v.contains("scale")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn every_committed_spec_serializes_to_a_valid_report() {
+    // One pass over the whole registry at tiny scale: every spec must
+    // produce a parseable, schema-valid, self-consistent report.
+    for spec in registry::all_specs() {
+        let report_ = run_spec(&spec, &Scale::tiny(), 4, true);
+        assert_eq!(report_.cells.len(), spec.grid_len(), "{}", spec.name);
+        let parsed =
+            Json::parse(&report_.to_json()).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        report::validate_report(&parsed).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}

@@ -26,6 +26,21 @@ impl ICacheConfig {
         }
     }
 
+    /// Returns the configuration with a new total capacity — a
+    /// config-sweep setter for cache-geometry axes.
+    #[must_use]
+    pub const fn with_capacity_bytes(mut self, capacity_bytes: usize) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Returns the configuration with a new associativity.
+    #[must_use]
+    pub const fn with_ways(mut self, ways: usize) -> Self {
+        self.ways = ways;
+        self
+    }
+
     /// Number of blocks the cache holds.
     pub const fn blocks(&self) -> usize {
         self.capacity_bytes / pif_types::BLOCK_SIZE
@@ -213,6 +228,14 @@ impl EngineConfig {
             timing: TimingConfig::paper_default(),
             prefetch_latency_events: 8,
         }
+    }
+
+    /// Returns the configuration with a new L1-I geometry — a config-sweep
+    /// setter used by parameter-sweep axes.
+    #[must_use]
+    pub const fn with_icache(mut self, icache: ICacheConfig) -> Self {
+        self.icache = icache;
+        self
     }
 
     /// Validates the composite configuration.

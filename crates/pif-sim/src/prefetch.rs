@@ -4,8 +4,9 @@
 //!
 //! The request path is allocation-free: a [`PrefetchContext`] writes into
 //! a caller-owned reusable buffer (the engine keeps one scratch `Vec` for
-//! the whole run), and [`PrefetchQueue::drain_ready`] hands ready blocks
-//! to a sink closure instead of materializing a `Vec` per step.
+//! the whole run), and the crate-internal `PrefetchQueue::drain_ready`
+//! hands ready blocks to a sink closure instead of materializing a `Vec`
+//! per step.
 
 use std::collections::VecDeque;
 

@@ -17,6 +17,7 @@
 //! * [`pif`] — the Proactive Instruction Fetch prefetcher itself.
 //! * [`baselines`] — next-line, TIFS, discontinuity, perfect cache.
 //! * [`experiments`] — per-figure experiment runners.
+//! * [`lab`] — declarative sweep orchestration and the `piflab` CLI.
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use pif_baselines as baselines;
 pub use pif_core as pif;
 pub use pif_experiments as experiments;
+pub use pif_lab as lab;
 pub use pif_sim as sim;
 pub use pif_trace as trace;
 pub use pif_types as types;
