@@ -10,7 +10,16 @@
 //! cargo run --release -p pif-bench --bin perfbench            # full run, writes BENCH_engine.json
 //! cargo run --release -p pif-bench --bin perfbench -- --smoke # CI mode: small trace, floor check
 //! cargo run --release -p pif-bench --bin perfbench -- --out /tmp/b.json
+//! cargo run --release -p pif-bench --bin perfbench -- --sampled # sampled-vs-exhaustive comparison
 //! ```
+//!
+//! `--sampled` switches to the sampled-simulation comparison: the
+//! workload is recorded to a compressed trace file once, then simulated
+//! both exhaustively (streaming the whole file) and via
+//! `pif_sim::sampling::sample_trace_file` (seeking only the sampled
+//! windows), printing wall-clock speedup and whether the sampled UIPC
+//! estimate lands within its own reported ci95 of the exhaustive value.
+//! Combine with `--smoke` for a small CI-sized trace.
 //!
 //! In `--smoke` mode the harness runs a reduced trace and fails (exit 1)
 //! if the no-prefetch engine's throughput drops more than 30% below the
@@ -80,13 +89,137 @@ fn measure(
     out
 }
 
+/// One prefetcher's sampled-vs-exhaustive comparison (`--sampled` mode):
+/// both runs drive the same on-disk trace; the sampled run decodes only
+/// its windows.
+fn compare_sampled<P: pif_sim::Prefetcher>(
+    engine: &Engine,
+    path: &std::path::Path,
+    plan: &pif_sim::sampling::SamplingPlan,
+    warmup: usize,
+    mut mk: impl FnMut() -> P,
+) -> (f64, f64, pif_sim::multicore::Summary, f64) {
+    let t0 = Instant::now();
+    let file = std::fs::File::open(path).expect("trace file exists");
+    let mut source = pif_trace::TraceReader::open(std::io::BufReader::new(file))
+        .expect("trace opens")
+        .instrs();
+    let exhaustive = engine.run_source_warmup(&mut source, mk(), warmup);
+    assert!(source.error().is_none(), "clean exhaustive decode");
+    let exhaustive_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sampled = pif_sim::sampling::sample_trace_file(engine.config(), plan, path, |_| mk())
+        .expect("sampled run decodes");
+    let sampled_s = t1.elapsed().as_secs_f64();
+    (
+        exhaustive.timing.uipc(),
+        exhaustive_s,
+        sampled.uipc(),
+        sampled_s,
+    )
+}
+
+fn run_sampled_mode(smoke: bool) {
+    let instructions: usize = if smoke { 500_000 } else { 10_000_000 };
+    let profile = if smoke {
+        WorkloadProfile::oltp_db2().scaled(0.1)
+    } else {
+        WorkloadProfile::oltp_db2()
+    };
+    let path = std::env::temp_dir().join(format!("perfbench-sampled-{}.pift", std::process::id()));
+    eprintln!(
+        "perfbench --sampled: recording {} × {instructions} instrs to {}",
+        profile.name(),
+        path.display()
+    );
+    let file = std::fs::File::create(&path).expect("temp trace writable");
+    let mut writer = pif_trace::TraceWriter::new(std::io::BufWriter::new(file), profile.name())
+        .expect("writer opens");
+    let mut io_err = None;
+    profile.generate_into(instructions, |instr| {
+        if io_err.is_none() {
+            io_err = writer.push(&instr).err();
+        }
+    });
+    assert!(io_err.is_none(), "{io_err:?}");
+    writer.finish().expect("trace seals");
+
+    let engine = Engine::new(EngineConfig::paper_default());
+    let warmup = instructions * 3 / 10;
+    let measure = (instructions as u64 / 500).max(1_000);
+    let plan =
+        pif_sim::sampling::SamplingPlan::random(30, 0x9a3f, 3 * measure, measure).with_burn_in(6);
+    println!(
+        "plan: {} samples × ({} warmup + {} measure), burn-in {}, over {instructions} instrs",
+        plan.samples, plan.warmup_instrs, plan.measure_instrs, plan.burn_in
+    );
+    println!(
+        "{:<14} {:>9} {:>8}  {:>9} {:>9} {:>8}  {:>7}  WITHIN_CI95",
+        "PREFETCHER", "EX_UIPC", "EX_S", "S_MEAN", "S_CI95", "S_S", "SPEEDUP"
+    );
+    let run = |name: &str, result: (f64, f64, pif_sim::multicore::Summary, f64)| {
+        let (ex_uipc, ex_s, s, s_s) = result;
+        let within = (s.mean - ex_uipc).abs() <= s.ci95;
+        println!(
+            "{name:<14} {ex_uipc:>9.4} {ex_s:>8.3}  {:>9.4} {:>9.4} {s_s:>8.3}  {:>6.1}x  {within}",
+            s.mean,
+            s.ci95,
+            ex_s / s_s.max(1e-9),
+        );
+    };
+    run(
+        "None",
+        compare_sampled(&engine, &path, &plan, warmup, || NoPrefetcher),
+    );
+    run(
+        "PIF",
+        compare_sampled(&engine, &path, &plan, warmup, || {
+            Pif::new(PifConfig::paper_default())
+        }),
+    );
+    run(
+        "Next-Line",
+        compare_sampled(
+            &engine,
+            &path,
+            &plan,
+            warmup,
+            NextLinePrefetcher::aggressive,
+        ),
+    );
+    run(
+        "TIFS",
+        compare_sampled(&engine, &path, &plan, warmup, || {
+            Tifs::new(Default::default())
+        }),
+    );
+    run(
+        "Discontinuity",
+        compare_sampled(
+            &engine,
+            &path,
+            &plan,
+            warmup,
+            DiscontinuityPrefetcher::paper_scale,
+        ),
+    );
+    run(
+        "Perfect",
+        compare_sampled(&engine, &path, &plan, warmup, || PerfectICache),
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 fn main() {
     let mut smoke = false;
+    let mut sampled = false;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--sampled" => sampled = true,
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
@@ -95,10 +228,14 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfbench [--smoke] [--out PATH]");
+                eprintln!("usage: perfbench [--smoke] [--sampled] [--out PATH]");
                 std::process::exit(2);
             }
         }
+    }
+    if sampled {
+        run_sampled_mode(smoke);
+        return;
     }
 
     let (instructions, reps, profiles) = if smoke {

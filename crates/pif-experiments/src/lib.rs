@@ -13,6 +13,7 @@
 //! | [`fig9`] | Fig. 9 — stream lengths; history size sensitivity |
 //! | [`fig10`] | Fig. 10 — competitive coverage and speedup |
 //! | [`ablation`] | (extension) per-design-element coverage ablations |
+//! | [`sampling`] | (extension) fig-sampling — CI half-width vs sample count |
 //!
 //! Every module exposes a `run(&Scale) -> …` function returning
 //! structured rows plus a [`Table`] rendering, and a binary of the same
@@ -49,6 +50,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sampling;
 pub mod table1;
 mod tablefmt;
 

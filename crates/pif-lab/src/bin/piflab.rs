@@ -148,7 +148,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
         }
         let report = run_spec(&spec, &scale, opts.threads, opts.smoke);
-        let json = report.to_json();
+        let json = match report.to_json() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("piflab: refusing to emit report for {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         // Every emitted artifact must parse and validate before it lands
         // on disk — an invalid report never reaches CI artifacts.
         let reparsed = match Json::parse(&json) {

@@ -44,7 +44,9 @@
 //! * `grid` spans the cell array: cells appear workload-major, then by
 //!   prefetcher, then by axis point, and `cells[i].index == i`.
 //! * `metrics` values are JSON numbers (counters are exact integers,
-//!   ratios shortest-round-trip floats) or `null` for non-finite values.
+//!   ratios shortest-round-trip floats). Non-finite values are rejected
+//!   at emit time ([`SweepReport::to_json`] errors naming the cell);
+//!   the validator still tolerates `null` metrics in old artifacts.
 //! * `config` is a flat summary of the spec's base simulator/PIF
 //!   configuration, so `piflab check` catches silent config drift.
 //! * Engine grids with a `None` prefetcher cell gain a derived
@@ -59,7 +61,7 @@
 //! let spec = registry::table1();
 //! let report = run_spec(&spec, &Scale::tiny(), 2, true);
 //! assert_eq!(report.cells.len(), 6);
-//! let json = report.to_json();
+//! let json = report.to_json().unwrap();
 //! let parsed = pif_lab::json::Json::parse(&json).unwrap();
 //! pif_lab::report::validate_report(&parsed).unwrap();
 //! ```
@@ -132,18 +134,21 @@ pub fn run_spec(spec: &SweepSpec, scale: &Scale, threads: usize, smoke: bool) ->
     }
 }
 
-/// Post-merge derived metrics: UIPC speedup of every engine cell over the
-/// `None` cell of the same (workload, point), when one exists.
+/// Post-merge derived metrics: UIPC speedup of every engine (or sampled,
+/// via the per-sample mean) cell over the `None` cell of the same
+/// (workload, point), when one exists.
 fn derive_speedups(spec: &SweepSpec, cells: &mut [Cell]) {
-    if spec.measure != Measure::Engine {
-        return;
-    }
+    let uipc_metric = match spec.measure {
+        Measure::Engine => "uipc",
+        Measure::Sampled { .. } => "uipc_mean",
+        _ => return,
+    };
     let none_label = PrefetcherKind::None.label();
     let baselines: Vec<(String, String, f64)> = cells
         .iter()
         .filter(|c| c.prefetcher == Some(none_label))
         .filter_map(|c| {
-            c.metric("uipc")
+            c.metric(uipc_metric)
                 .map(|u| (c.workload.clone(), c.point.clone(), u))
         })
         .collect();
@@ -157,7 +162,7 @@ fn derive_speedups(spec: &SweepSpec, cells: &mut [Cell]) {
         else {
             continue;
         };
-        if let Some(uipc) = cell.metric("uipc") {
+        if let Some(uipc) = cell.metric(uipc_metric) {
             cell.push("uipc_speedup_vs_none", Metric::F64(uipc / base.2));
         }
     }
@@ -226,8 +231,34 @@ mod tests {
         let oltp = report.cell("OLTP-DB2", None, "-").expect("OLTP cell");
         // Static metrics ignore the run scale: full-size footprint.
         assert!(oltp.metric("footprint_mb").unwrap() > 1.0);
-        let parsed = json::Json::parse(&report.to_json()).unwrap();
+        let parsed = json::Json::parse(&report.to_json().unwrap()).unwrap();
         report::validate_report(&parsed).unwrap();
+    }
+
+    #[test]
+    fn sampled_spec_reports_summaries_and_speedup() {
+        let report = run_spec(&registry::fig_sampling(), &Scale::tiny(), 3, true);
+        assert_eq!(report.cells.len(), registry::fig_sampling().grid_len());
+        for cell in &report.cells {
+            let n: u32 = cell.point.parse().expect("sample-count point label");
+            assert_eq!(cell.metric_u64("samples"), Some(n as u64));
+            let mean = cell.metric("uipc_mean").unwrap();
+            assert!(mean > 0.0 && mean.is_finite(), "uipc_mean {mean}");
+            let ci = cell.metric("uipc_ci95").unwrap();
+            assert!(ci >= 0.0);
+            assert!(cell.metric("sampled_fraction").unwrap() > 0.0);
+            if cell.prefetcher == Some("PIF") {
+                assert!(cell.metric("uipc_speedup_vs_none").is_some());
+            }
+        }
+        // The ci95 is the normal-approximation half-width of the stderr
+        // in every cell, and per-cell estimates of the same coordinate
+        // agree across sample counts to within their joint error bars.
+        for cell in &report.cells {
+            let stderr = cell.metric("uipc_stderr").unwrap();
+            let ci = cell.metric("uipc_ci95").unwrap();
+            assert!((ci - 1.96 * stderr).abs() < 1e-12);
+        }
     }
 
     #[test]

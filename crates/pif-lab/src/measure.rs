@@ -5,15 +5,18 @@
 //! [`WorkloadProfile::stream_with_execution_seed`] /
 //! `generate_with_execution_seed`, so a cell's result depends only on
 //! (spec, scale, seed) — never on which worker thread ran it or when.
-//! Engine cells stream (no trace materialization); analysis cells need a
-//! slice, so the generated trace is memoized per workload and shared
-//! across the parameter axis instead of regenerated per cell.
+//! Engine cells stream (no trace materialization); analysis and sampled
+//! cells need random access into a slice, so the generated trace is
+//! memoized per workload and shared across the parameter axis instead of
+//! regenerated per cell.
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
 use pif_core::analysis::{analyze_regions, PifAnalyzer};
 use pif_core::Pif;
 use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
-use pif_sim::{Engine, NoPrefetcher, RunReport};
+use pif_sim::prefetch::Prefetcher;
+use pif_sim::sampling::{run_sampled, SampledRunReport, SamplingPlan};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunReport};
 use pif_types::{RegionGeometry, TrapLevel};
 use pif_workloads::{Trace, WorkloadProfile};
 
@@ -24,7 +27,7 @@ use crate::registry::{
 };
 use crate::report::{Cell, Metric};
 use crate::scale::Scale;
-use crate::spec::{CdfKind, JobCoord, Measure, PrefetcherKind, SweepSpec};
+use crate::spec::{CdfKind, JobCoord, Measure, ParamAxis, PrefetcherKind, SweepSpec};
 
 /// Metric name for a jump-distance CDF point (`jump_cdf_le_2p07` = the
 /// cumulative fraction of prediction-weighted jumps of length <= 2^7).
@@ -186,6 +189,42 @@ pub(crate) fn run_job(
             cell.push("retire", Metric::F64(report.retire));
             cell.push("retire_sep", Metric::F64(report.retire_sep));
         }
+        Measure::Sampled { samples } => {
+            let samples = match &spec.axis {
+                ParamAxis::SampleCount(v) => v[coord.point],
+                _ => samples,
+            } as usize;
+            // Window lengths scale with the run so smoke and paper runs
+            // keep the same shape: 0.1% of the trace measured per sample
+            // (SMARTS-style many-small-windows; floored so smoke windows
+            // still exercise steady state), twice that as warmup.
+            let measure_instrs = (scale.instructions as u64 / 1_000).max(1_000);
+            let warmup_instrs = 2 * measure_instrs;
+            // The seed is a pure function of (spec, job index): reports
+            // stay byte-identical across thread counts and runs.
+            let seed = spec.seed_offset.wrapping_add(coord.index as u64);
+            let plan = SamplingPlan::random(samples, seed, warmup_instrs, measure_instrs);
+            let kind = coord.prefetcher.unwrap_or(PrefetcherKind::None);
+            let t = trace();
+            let report = match kind {
+                PrefetcherKind::None => sampled_run(&engine_cfg, &plan, t, || NoPrefetcher),
+                PrefetcherKind::NextLine => {
+                    sampled_run(&engine_cfg, &plan, t, NextLinePrefetcher::aggressive)
+                }
+                PrefetcherKind::Tifs => {
+                    sampled_run(&engine_cfg, &plan, t, || Tifs::new(Default::default()))
+                }
+                PrefetcherKind::TifsUnbounded => {
+                    sampled_run(&engine_cfg, &plan, t, Tifs::unbounded)
+                }
+                PrefetcherKind::Discontinuity => {
+                    sampled_run(&engine_cfg, &plan, t, DiscontinuityPrefetcher::paper_scale)
+                }
+                PrefetcherKind::Pif => sampled_run(&engine_cfg, &plan, t, || Pif::new(pif)),
+                PrefetcherKind::Perfect => sampled_run(&engine_cfg, &plan, t, || PerfectICache),
+            };
+            sampled_metrics(&mut cell, &plan, &report);
+        }
         Measure::Static => {
             // Table I reports workload identity parameters, which do not
             // depend on the run scale: use the unscaled profile.
@@ -205,6 +244,45 @@ pub(crate) fn run_job(
         }
     }
     cell
+}
+
+/// One sampled cell run: windows over the memoized workload trace. With
+/// the plan's default continuous warming, `mk` builds the single
+/// prefetcher whose trained state persists across the cell's windows.
+fn sampled_run<P: Prefetcher>(
+    engine_cfg: &EngineConfig,
+    plan: &SamplingPlan,
+    trace: &Trace,
+    mut mk: impl FnMut() -> P,
+) -> SampledRunReport {
+    run_sampled(
+        engine_cfg,
+        plan,
+        trace.len() as u64,
+        |w| trace.instrs()[w.warmup_start as usize..].iter().copied(),
+        |_| mk(),
+    )
+}
+
+fn sampled_metrics(cell: &mut Cell, plan: &SamplingPlan, report: &SampledRunReport) {
+    cell.push("samples", Metric::U64(report.samples.len() as u64));
+    cell.push("warmup_instrs", Metric::U64(plan.warmup_instrs));
+    cell.push("measure_instrs", Metric::U64(plan.measure_instrs));
+    cell.push(
+        "measured_instructions",
+        Metric::U64(report.measured_instructions()),
+    );
+    cell.push("sampled_fraction", Metric::F64(report.sampled_fraction()));
+    let uipc = report.uipc();
+    cell.push("uipc_mean", Metric::F64(uipc.mean));
+    cell.push("uipc_stderr", Metric::F64(uipc.stderr));
+    cell.push("uipc_ci95", Metric::F64(uipc.ci95));
+    cell.push("uipc_rel_err", Metric::F64(uipc.relative_error()));
+    let mpki = report.mpki();
+    cell.push("mpki_mean", Metric::F64(mpki.mean));
+    cell.push("mpki_ci95", Metric::F64(mpki.ci95));
+    let coverage = report.miss_coverage();
+    cell.push("miss_coverage_mean", Metric::F64(coverage.mean));
 }
 
 fn engine_metrics(cell: &mut Cell, report: &RunReport) {

@@ -14,6 +14,7 @@
 //! | `fig9-history` | Fig. 9 right — history-capacity sweep |
 //! | `fig10` | Fig. 10 — competitive coverage and speedup |
 //! | `ablation` | (extension) design-element ablation grid |
+//! | `fig-sampling` | (extension) §5 methodology — CI half-width vs sample count |
 
 use pif_core::PifConfig;
 use pif_types::RegionGeometry;
@@ -234,6 +235,25 @@ pub fn ablation() -> SweepSpec {
     ))
 }
 
+/// Sample counts swept by `fig-sampling`.
+pub const FIG_SAMPLING_COUNTS: [u32; 5] = [2, 4, 8, 16, 32];
+
+/// The sampled-simulation methodology grid: how the 95% confidence
+/// half-width of sampled UIPC shrinks as the sample count grows (the
+/// paper's "±5% at 95% confidence" SimFlex methodology, §5). Two
+/// workloads × {None, PIF} keep the grid small enough for CI while
+/// exercising both the baseline and the prefetched fast path.
+pub fn fig_sampling() -> SweepSpec {
+    SweepSpec::new(
+        "fig-sampling",
+        "Sampled simulation: CI half-width vs sample count",
+        Measure::Sampled { samples: 8 },
+    )
+    .with_workloads(vec!["OLTP-DB2", "Web-Apache"])
+    .with_prefetchers(vec![PrefetcherKind::None, PrefetcherKind::Pif])
+    .with_axis(ParamAxis::SampleCount(FIG_SAMPLING_COUNTS.to_vec()))
+}
+
 /// Every committed figure spec, in paper order.
 pub fn all_specs() -> Vec<SweepSpec> {
     vec![
@@ -247,6 +267,7 @@ pub fn all_specs() -> Vec<SweepSpec> {
         fig9_history(),
         fig10(),
         ablation(),
+        fig_sampling(),
     ]
 }
 
@@ -262,7 +283,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let specs = all_specs();
-        assert_eq!(specs.len(), 10);
+        assert_eq!(specs.len(), 11);
         for s in &specs {
             assert_eq!(spec(s.name).map(|r| r.name), Some(s.name), "{}", s.name);
             assert!(s.grid_len() > 0);
@@ -301,5 +322,6 @@ mod tests {
         assert_eq!(fig9_history().grid_len(), 6 * FIG9_HISTORY_SIZES.len());
         assert_eq!(fig10().grid_len(), 6 * 5);
         assert_eq!(ablation().grid_len(), 6 * AblationVariant::ALL.len());
+        assert_eq!(fig_sampling().grid_len(), 2 * 2 * FIG_SAMPLING_COUNTS.len());
     }
 }

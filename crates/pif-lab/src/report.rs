@@ -79,8 +79,8 @@ impl Cell {
     }
 
     /// Looks up a metric that the grid guarantees to exist, preserving
-    /// non-finite values as NaN (they serialize as `null` but still
-    /// display like the raw ratio would).
+    /// non-finite values as NaN (the emitter rejects them, but in-memory
+    /// consumers still see the raw ratio).
     ///
     /// # Panics
     ///
@@ -170,12 +170,59 @@ impl SweepReport {
         self.cells.iter().filter(move |c| c.workload == workload)
     }
 
+    /// Checks that every metric value is representable in JSON: NaN and
+    /// infinity are **rejected at emit time** with the offending cell and
+    /// metric named, never silently serialized (a non-finite metric means
+    /// a measurement bug — a 0/0 ratio, a division by an empty baseline —
+    /// and must fail the run, not poison the golden).
+    ///
+    /// # Errors
+    ///
+    /// The first non-finite metric found, by location.
+    pub fn check_finite(&self) -> Result<(), String> {
+        let check = |where_: String, name: &str, m: &Metric| match m {
+            Metric::F64(v) if !v.is_finite() => Err(format!(
+                "{where_}: metric {name:?} is non-finite ({v}); refusing to emit"
+            )),
+            _ => Ok(()),
+        };
+        for (name, m) in &self.config {
+            check("config".to_string(), name, m)?;
+        }
+        for cell in &self.cells {
+            for (name, m) in &cell.metrics {
+                check(
+                    format!(
+                        "cell {} ({}/{}/{})",
+                        cell.index,
+                        cell.workload,
+                        cell.prefetcher.unwrap_or("-"),
+                        cell.point
+                    ),
+                    name,
+                    m,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes the report as a `pif-lab-sweep/v1` JSON document.
     ///
     /// The byte stream is fully deterministic: field order is fixed,
     /// floats use shortest-round-trip formatting, and nothing
     /// schedule- or clock-dependent is recorded.
-    pub fn to_json(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite metric values (see
+    /// [`SweepReport::check_finite`]) instead of serializing them.
+    pub fn to_json(&self) -> Result<String, String> {
+        self.check_finite()?;
+        Ok(self.render_json())
+    }
+
+    fn render_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -567,7 +614,7 @@ mod tests {
 
     #[test]
     fn serialized_report_parses_and_validates() {
-        let json = sample_report().to_json();
+        let json = sample_report().to_json().unwrap();
         let parsed = Json::parse(&json).expect("report parses");
         validate_report(&parsed).expect("report validates");
     }
@@ -583,21 +630,25 @@ mod tests {
     }
 
     #[test]
-    fn nonfinite_metrics_serialize_as_null() {
+    fn nonfinite_metrics_are_rejected_at_emit_time() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut r = sample_report();
+            r.cells[1].push("bad", Metric::F64(bad));
+            let err = r.to_json().expect_err("non-finite must not serialize");
+            assert!(err.contains("bad") && err.contains("non-finite"), "{err}");
+            assert!(err.contains("OLTP-DB2"), "location named: {err}");
+        }
+        // Config values are checked too.
         let mut r = sample_report();
-        r.cells[0].push("bad", Metric::F64(f64::NAN));
-        let parsed = Json::parse(&r.to_json()).unwrap();
-        validate_report(&parsed).expect("null metric is schema-valid");
-        let metrics = parsed.get("cells").unwrap().as_arr().unwrap()[0]
-            .get("metrics")
-            .unwrap()
-            .clone();
-        assert_eq!(metrics.get("bad"), Some(&Json::Null));
+        r.config.push(("drift".into(), Metric::F64(f64::NAN)));
+        assert!(r.to_json().unwrap_err().contains("config"));
+        // But a fully finite report still round-trips.
+        sample_report().to_json().expect("finite report emits");
     }
 
     #[test]
     fn check_accepts_identical_reports() {
-        let j = Json::parse(&sample_report().to_json()).unwrap();
+        let j = Json::parse(&sample_report().to_json().unwrap()).unwrap();
         let summary = check_reports(&j, &j, None).expect("identical reports pass");
         assert_eq!(summary.cells, 2);
         assert!(summary.metrics >= 4);
@@ -610,8 +661,8 @@ mod tests {
         let mut near = base.clone();
         // Perturb uipc by a relative 1e-6.
         near.cells[1].metrics[1] = ("uipc".into(), Metric::F64(2.25 * (1.0 + 1e-6)));
-        let jb = Json::parse(&base.to_json()).unwrap();
-        let jn = Json::parse(&near.to_json()).unwrap();
+        let jb = Json::parse(&base.to_json().unwrap()).unwrap();
+        let jn = Json::parse(&near.to_json().unwrap()).unwrap();
         // Inside a loose tolerance: passes.
         check_reports(&jn, &jb, Some(1e-4)).expect("inside tolerance");
         // Outside a tight tolerance: fails, naming the metric.
@@ -628,8 +679,8 @@ mod tests {
         let mut changed = base.clone();
         changed.cells[0].metrics.remove(0);
         changed.cells[1].push("extra", Metric::U64(1));
-        let jb = Json::parse(&base.to_json()).unwrap();
-        let jc = Json::parse(&changed.to_json()).unwrap();
+        let jb = Json::parse(&base.to_json().unwrap()).unwrap();
+        let jc = Json::parse(&changed.to_json().unwrap()).unwrap();
         let violations = check_reports(&jc, &jb, None).unwrap_err();
         assert!(violations.iter().any(|v| v.contains("missing")));
         assert!(violations.iter().any(|v| v.contains("unexpected")));
@@ -640,8 +691,8 @@ mod tests {
         let base = sample_report();
         let mut moved = base.clone();
         moved.config[0].1 = Metric::U64(131072);
-        let jb = Json::parse(&base.to_json()).unwrap();
-        let jm = Json::parse(&moved.to_json()).unwrap();
+        let jb = Json::parse(&base.to_json().unwrap()).unwrap();
+        let jm = Json::parse(&moved.to_json().unwrap()).unwrap();
         let violations = check_reports(&jm, &jb, None).unwrap_err();
         assert!(
             violations.iter().any(|v| v.contains("config")),
@@ -653,7 +704,7 @@ mod tests {
     fn validator_rejects_wrong_cell_count() {
         let mut r = sample_report();
         r.cells.pop();
-        let parsed = Json::parse(&r.to_json()).unwrap();
+        let parsed = Json::parse(&r.to_json().unwrap()).unwrap();
         assert!(validate_report(&parsed).is_err());
     }
 
@@ -662,8 +713,8 @@ mod tests {
         let base = sample_report();
         let mut other = base.clone();
         other.cells[0].metrics[0] = ("demand_misses".into(), Metric::U64(1250));
-        let ja = Json::parse(&base.to_json()).unwrap();
-        let jo = Json::parse(&other.to_json()).unwrap();
+        let ja = Json::parse(&base.to_json().unwrap()).unwrap();
+        let jo = Json::parse(&other.to_json().unwrap()).unwrap();
         let d = diff_reports(&ja, &jo);
         assert!(d.contains("demand_misses"), "{d}");
         assert!(diff_reports(&ja, &ja).contains("metric-identical"));

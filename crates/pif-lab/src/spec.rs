@@ -67,6 +67,10 @@ pub enum ParamAxis {
     ICacheCapacity(Vec<usize>),
     /// Named full PIF design points (ablation grids).
     PifPoints(Vec<(String, PifConfig)>),
+    /// Sample counts for [`Measure::Sampled`] grids (the `fig-sampling`
+    /// CI-half-width-vs-samples study). Leaves the configs untouched;
+    /// the sampled measure reads its point directly.
+    SampleCount(Vec<u32>),
 }
 
 impl ParamAxis {
@@ -80,6 +84,7 @@ impl ParamAxis {
             ParamAxis::RegionBlocks(_) => "region_blocks",
             ParamAxis::ICacheCapacity(_) => "icache_capacity_bytes",
             ParamAxis::PifPoints(_) => "pif_point",
+            ParamAxis::SampleCount(_) => "sample_count",
         }
     }
 
@@ -94,6 +99,7 @@ impl ParamAxis {
             ParamAxis::RegionBlocks(v) => v.len(),
             ParamAxis::ICacheCapacity(v) => v.len(),
             ParamAxis::PifPoints(v) => v.len(),
+            ParamAxis::SampleCount(v) => v.len(),
         }
     }
 
@@ -112,6 +118,7 @@ impl ParamAxis {
             ParamAxis::RegionBlocks(v) => v[i].to_string(),
             ParamAxis::ICacheCapacity(v) => v[i].to_string(),
             ParamAxis::PifPoints(v) => v[i].0.clone(),
+            ParamAxis::SampleCount(v) => v[i].to_string(),
         }
     }
 
@@ -131,6 +138,9 @@ impl ParamAxis {
                 *engine = engine.with_icache(engine.icache.with_capacity_bytes(v[i]));
             }
             ParamAxis::PifPoints(v) => *pif = v[i].1,
+            // The sample count is not a simulator knob; Measure::Sampled
+            // reads it from the axis point itself.
+            ParamAxis::SampleCount(_) => {}
         }
     }
 }
@@ -170,6 +180,18 @@ pub enum Measure {
     /// Static workload/system parameters (Table I); runs no simulation
     /// and ignores the run scale.
     Static,
+    /// SimFlex-style **sampled** engine simulation
+    /// (`pif_sim::sampling`): seeded-random measurement windows with
+    /// functional warmup, reporting per-sample UIPC/MPKI summaries
+    /// (mean/stderr/ci95) instead of whole-trace counters. Window seeds
+    /// derive from the job index, so reports stay byte-identical across
+    /// thread counts. An [`ParamAxis::SampleCount`] axis overrides
+    /// `samples` per point.
+    Sampled {
+        /// Measurement windows per cell (unless a
+        /// [`ParamAxis::SampleCount`] axis overrides it).
+        samples: u32,
+    },
 }
 
 /// A declarative experiment grid: axes × measurement.

@@ -10,9 +10,11 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn assert_thread_invariant(spec: &pif_lab::SweepSpec) {
     let scale = Scale::tiny();
-    let baseline = run_spec(spec, &scale, THREAD_COUNTS[0], true).to_json();
+    let baseline = run_spec(spec, &scale, THREAD_COUNTS[0], true)
+        .to_json()
+        .unwrap();
     for &threads in &THREAD_COUNTS[1..] {
-        let other = run_spec(spec, &scale, threads, true).to_json();
+        let other = run_spec(spec, &scale, threads, true).to_json().unwrap();
         assert_eq!(
             baseline, other,
             "{}: report at {threads} threads differs from 1 thread",
@@ -43,10 +45,18 @@ fn static_sweep_is_thread_invariant() {
 }
 
 #[test]
+fn sampled_sweep_is_thread_invariant() {
+    // fig-sampling: seeded-random sample windows whose seeds derive from
+    // the job index, so the sampled grid must also be byte-identical
+    // across thread counts (the ISSUE's acceptance criterion).
+    assert_thread_invariant(&registry::fig_sampling());
+}
+
+#[test]
 fn check_rejects_reports_from_different_scales() {
     let spec = registry::table1();
-    let tiny = Json::parse(&run_spec(&spec, &Scale::tiny(), 2, true).to_json()).unwrap();
-    let quick = Json::parse(&run_spec(&spec, &Scale::quick(), 2, true).to_json()).unwrap();
+    let tiny = Json::parse(&run_spec(&spec, &Scale::tiny(), 2, true).to_json().unwrap()).unwrap();
+    let quick = Json::parse(&run_spec(&spec, &Scale::quick(), 2, true).to_json().unwrap()).unwrap();
     let violations = report::check_reports(&tiny, &quick, None).unwrap_err();
     assert!(
         violations.iter().any(|v| v.contains("scale")),
@@ -61,8 +71,8 @@ fn every_committed_spec_serializes_to_a_valid_report() {
     for spec in registry::all_specs() {
         let report_ = run_spec(&spec, &Scale::tiny(), 4, true);
         assert_eq!(report_.cells.len(), spec.grid_len(), "{}", spec.name);
-        let parsed =
-            Json::parse(&report_.to_json()).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let parsed = Json::parse(&report_.to_json().expect("finite metrics"))
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         report::validate_report(&parsed).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     }
 }

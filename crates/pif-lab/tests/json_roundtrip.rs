@@ -1,0 +1,130 @@
+//! Property tests for the `pif-lab-sweep/v1` JSON emitter/parser pair:
+//! whatever the emitter accepts, the parser must recover exactly — for
+//! arbitrary metric names needing escapes and extreme-but-finite floats —
+//! and whatever is not representable (NaN/Inf) must be rejected **at emit
+//! time**, never silently serialized.
+
+use pif_lab::json::Json;
+use pif_lab::report::{validate_report, Cell, Metric, SweepReport};
+use pif_lab::Scale;
+use proptest::prelude::*;
+
+fn report_with_metrics(metrics: Vec<(String, Metric)>) -> SweepReport {
+    SweepReport {
+        spec: "prop".into(),
+        title: "proptest grid".into(),
+        smoke: true,
+        scale: Scale::tiny(),
+        tolerance: 1e-9,
+        workloads: vec!["OLTP-DB2".into()],
+        prefetchers: vec![],
+        axis: "unit".into(),
+        points: vec!["-".into()],
+        config: vec![("icache_capacity_bytes".into(), Metric::U64(65536))],
+        cells: vec![Cell {
+            index: 0,
+            workload: "OLTP-DB2".into(),
+            prefetcher: None,
+            point: "-".into(),
+            metrics,
+        }],
+    }
+}
+
+/// Extreme finite floats the shortest-round-trip formatter must survive:
+/// subnormals, the extremes, negative zero, and fine-grained fractions.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<u64>(), 0u8..8).prop_map(|(bits, pick)| {
+        let raw = f64::from_bits(bits);
+        match pick {
+            0 => f64::MIN_POSITIVE,
+            1 => f64::MAX,
+            2 => f64::MIN,
+            3 => -0.0,
+            4 => f64::MIN_POSITIVE / 8.0, // subnormal
+            5 => (bits as f64) / 7.0,
+            _ => {
+                if raw.is_finite() {
+                    raw
+                } else {
+                    (bits >> 12) as f64 * 1e-30
+                }
+            }
+        }
+    })
+}
+
+/// Metric names that stress the string escaper: quotes, backslashes,
+/// control characters, unicode, and plain identifiers.
+fn metric_name() -> impl Strategy<Value = String> {
+    // The vendored proptest supports `[class]{m,n}` patterns; the class
+    // below includes the JSON-special characters (escaped per Rust string
+    // syntax) plus unicode.
+    "[a-zA-Z0-9_\"\\\n\t\r é☃/.{}-]{1,24}"
+}
+
+proptest! {
+    /// Finite metrics of any name round-trip exactly through
+    /// to_json -> parse, bit for bit.
+    #[test]
+    fn emitter_and_parser_roundtrip_exactly(
+        names in proptest::collection::vec(metric_name(), 0..8),
+        values in proptest::collection::vec(finite_f64(), 0..8),
+        counters in proptest::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let mut metrics: Vec<(String, Metric)> = Vec::new();
+        for (i, (name, v)) in names.iter().zip(&values).enumerate() {
+            // Deduplicate names positionally: JSON objects with repeated
+            // keys are legal to emit but ambiguous to compare.
+            metrics.push((format!("{i}_{name}"), Metric::F64(*v)));
+        }
+        for (i, c) in counters.iter().enumerate() {
+            metrics.push((format!("c{i}"), Metric::U64(*c)));
+        }
+        let report = report_with_metrics(metrics.clone());
+        let json = report.to_json().expect("finite report must emit");
+        let parsed = Json::parse(&json).expect("emitted JSON must parse");
+        validate_report(&parsed).expect("emitted JSON must validate");
+
+        let cell = &parsed.get("cells").unwrap().as_arr().unwrap()[0];
+        let parsed_metrics = cell.get("metrics").unwrap().as_obj().unwrap();
+        prop_assert_eq!(parsed_metrics.len(), metrics.len());
+        for ((name, metric), (pname, pvalue)) in metrics.iter().zip(parsed_metrics) {
+            prop_assert_eq!(name, pname, "names survive escaping");
+            let got = pvalue.as_f64().expect("metric is a number");
+            match metric {
+                // Counters above 2^53 lose precision through f64 — the
+                // parser's number type — so compare through the same cast.
+                Metric::U64(v) => prop_assert_eq!(got, *v as f64),
+                Metric::F64(v) => prop_assert_eq!(
+                    got.to_bits(), v.to_bits(),
+                    "float {} must round-trip exactly", v
+                ),
+            }
+        }
+    }
+
+    /// NaN and infinities anywhere in the metrics abort the emit with the
+    /// metric named — no artifact is produced.
+    #[test]
+    fn nonfinite_metrics_always_rejected(
+        bits in any::<u64>(),
+        name in metric_name(),
+        kind in 0u8..3,
+    ) {
+        let bad = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => unreachable!(),
+        };
+        // Mix a finite metric in so rejection is clearly about the bad one.
+        let fine = f64::from_bits(bits);
+        let mut metrics = vec![("ok".to_string(), Metric::F64(if fine.is_finite() { fine } else { 1.0 }))];
+        metrics.push((name, Metric::F64(bad)));
+        let report = report_with_metrics(metrics);
+        let err = report.to_json().expect_err("non-finite must be rejected at emit time");
+        prop_assert!(err.contains("non-finite"), "error names the cause: {}", err);
+        prop_assert!(report.check_finite().is_err());
+    }
+}

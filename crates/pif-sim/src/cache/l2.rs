@@ -59,10 +59,19 @@ impl L2Model {
 
     /// Services an L1 miss (demand or prefetch) for `block`, returning the
     /// fill latency in cycles and installing the block in the L2.
+    ///
+    /// With [`L2Config::assume_warm`] the first touch of an unseen block
+    /// is served at hit latency (checkpoint-warmed semantics for sampled
+    /// simulation); it still installs, so capacity behaviour is
+    /// unchanged thereafter.
     #[inline]
     pub fn access(&mut self, block: BlockAddr) -> u64 {
         if self.cache.access(block).is_some() {
             self.hits += 1;
+            self.config.hit_latency_cycles
+        } else if self.config.assume_warm {
+            self.hits += 1;
+            self.cache.insert(block, ());
             self.config.hit_latency_cycles
         } else {
             self.misses += 1;
@@ -109,6 +118,7 @@ mod tests {
             ways: 2,
             hit_latency_cycles: 15,
             memory_latency_cycles: 90,
+            assume_warm: false,
         };
         let mut l2 = L2Model::new(cfg).unwrap();
         // Touch 8 distinct blocks twice: second round still misses some
@@ -125,12 +135,23 @@ mod tests {
     }
 
     #[test]
+    fn assume_warm_serves_first_touch_at_hit_latency() {
+        let cfg = L2Config::paper_default().with_assume_warm(true);
+        let mut l2 = L2Model::new(cfg).unwrap();
+        let b = BlockAddr::from_number(9);
+        assert_eq!(l2.access(b), cfg.hit_latency_cycles, "warm first touch");
+        assert_eq!(l2.access(b), cfg.hit_latency_cycles);
+        assert_eq!(l2.misses(), 0, "checkpoint-warmed L2 never misses");
+    }
+
+    #[test]
     fn rejects_bad_geometry() {
         assert!(L2Model::new(L2Config {
             capacity_bytes: 0,
             ways: 16,
             hit_latency_cycles: 15,
             memory_latency_cycles: 90,
+            assume_warm: false,
         })
         .is_err());
     }

@@ -130,12 +130,31 @@ impl Engine {
     /// tables).
     pub fn run_source_warmup<P: Prefetcher, S: InstrSource>(
         &self,
-        mut source: S,
+        source: S,
         prefetcher: P,
         warmup_instrs: usize,
     ) -> RunReport {
-        let mut state = EngineState::new(&self.config, prefetcher);
         let mut frontend = FrontEnd::new(self.config.frontend);
+        self.run_source_with_frontend(source, prefetcher, warmup_instrs, &mut frontend)
+    }
+
+    /// As [`Engine::run_source_warmup`], but driving an existing
+    /// [`FrontEnd`] instead of a fresh one: branch-predictor tables, BTB,
+    /// and RAS state carry in (and accumulate for the caller), while the
+    /// reported front-end statistics cover only this run. This is how
+    /// sampled simulation (`crate::sampling`) keeps predictor tables
+    /// continuously warm across measurement windows — the 16K-entry
+    /// direction tables are far too slow-warming for a per-sample warmup
+    /// window.
+    pub fn run_source_with_frontend<P: Prefetcher, S: InstrSource>(
+        &self,
+        mut source: S,
+        prefetcher: P,
+        warmup_instrs: usize,
+        frontend: &mut FrontEnd,
+    ) -> RunReport {
+        frontend.reset_stats();
+        let mut state = EngineState::new(&self.config, prefetcher);
         let mut warm = warmup_instrs == 0;
         let mut retired: usize = 0;
         // Events are dispatched straight from the front end into

@@ -90,6 +90,14 @@ impl FrontEnd {
         &self.stats
     }
 
+    /// Clears the statistics while keeping all predictor state (tables,
+    /// BTB, RAS, wrong-path RNG). Sampled simulation uses this to reuse
+    /// one continuously warmed front end across measurement windows while
+    /// reporting per-window counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = FrontendStats::default();
+    }
+
     /// Processes one retired instruction, emitting fetch events for it (and
     /// any wrong-path noise following it) plus delayed retire events.
     pub fn step(&mut self, instr: RetiredInstr, mut emit: impl FnMut(FrontendEvent)) {

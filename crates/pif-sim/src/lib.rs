@@ -26,7 +26,12 @@
 //!   into cycles and UIPC, the paper's throughput metric;
 //! * the **temporal-stream predictor evaluation harness**
 //!   ([`predictor_eval`]) used for the paper's trace-based coverage studies
-//!   (Figures 2, 7, 8, 9).
+//!   (Figures 2, 7, 8, 9);
+//! * **sampled simulation** ([`sampling`]): SimFlex/SMARTS-style plans
+//!   (per-sample functional warmup + detailed measurement windows) with
+//!   random access into compressed traces via `pif_trace`'s chunk index,
+//!   reporting per-sample UIPC/MPKI at a 95% confidence level (§5's
+//!   measurement methodology).
 //!
 //! # Example
 //!
@@ -56,6 +61,7 @@ pub mod frontend;
 pub mod multicore;
 pub mod predictor_eval;
 pub mod prefetch;
+pub mod sampling;
 pub mod stats;
 pub mod streams;
 pub mod timing;

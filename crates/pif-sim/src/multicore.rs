@@ -30,9 +30,18 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes the summary of a sample.
+    /// Computes the summary of a sample. An empty sample yields all
+    /// zeros (not a 0/0 NaN), and a singleton or constant sample has zero
+    /// error.
     pub fn of(samples: &[f64]) -> Summary {
-        let n = samples.len().max(1) as f64;
+        if samples.is_empty() {
+            return Summary {
+                mean: 0.0,
+                stderr: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = if samples.len() > 1 {
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
@@ -259,7 +268,28 @@ mod tests {
     fn summary_of_singleton_has_zero_error() {
         let s = Summary::of(&[5.0]);
         assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stderr, 0.0);
         assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_all_zeros() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.mean, 0.0, "no 0/0 NaN on the empty sample");
+        assert_eq!(s.stderr, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.relative_error(), 0.0);
+        assert!(s.mean.is_finite() && s.stderr.is_finite());
+    }
+
+    #[test]
+    fn summary_of_constant_sample_has_zero_variance() {
+        let s = Summary::of(&[2.5; 17]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.stderr, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.relative_error(), 0.0);
     }
 
     #[test]

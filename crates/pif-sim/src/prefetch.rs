@@ -223,6 +223,38 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
     }
 }
 
+impl<P: Prefetcher + ?Sized> Prefetcher for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_fetch(&mut self, access: &FetchAccess, block: BlockAddr, ctx: &mut PrefetchContext<'_>) {
+        (**self).on_fetch(access, block, ctx)
+    }
+
+    fn on_access_outcome(
+        &mut self,
+        access: &FetchAccess,
+        block: BlockAddr,
+        outcome: AccessOutcome,
+        ctx: &mut PrefetchContext<'_>,
+    ) {
+        (**self).on_access_outcome(access, block, outcome, ctx)
+    }
+
+    fn on_retire(&mut self, instr: &RetiredInstr, prefetched: bool, ctx: &mut PrefetchContext<'_>) {
+        (**self).on_retire(instr, prefetched, ctx)
+    }
+
+    fn is_perfect(&self) -> bool {
+        (**self).is_perfect()
+    }
+
+    fn uses_retire_provenance(&self) -> bool {
+        (**self).uses_retire_provenance()
+    }
+}
+
 /// The null prefetcher: the paper's no-prefetch baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoPrefetcher;

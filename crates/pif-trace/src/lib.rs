@@ -70,6 +70,17 @@
 //! of 28. On the synthetic server workloads this is a 4–6× size
 //! reduction.
 //!
+//! # Random access and sampling
+//!
+//! Because every chunk resets its delta base, v2 chunks decode
+//! independently, and the 8-byte headers alone describe the record
+//! layout. [`TraceReader::open_indexed`] scans just those headers into a
+//! [`ChunkIndex`] (payloads are seeked over), after which
+//! [`TraceReader::seek_to_record`] jumps to any record by decoding at
+//! most one chunk prefix — the primitive behind `pif_sim::sampling`'s
+//! SimFlex-style sampled simulation. v1 files, having no chunks, fall
+//! back to a linear skip.
+//!
 //! # Out-of-core simulation
 //!
 //! [`TraceReader::instrs`] yields an `Iterator<Item = RetiredInstr>`,
@@ -113,7 +124,9 @@ pub use format::{
     DEFAULT_CHUNK_RECORDS, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN, VERSION_V1,
     VERSION_V2,
 };
-pub use reader::{decode, encode_v2, scan_info, Instrs, TraceInfo, TraceReader};
+pub use reader::{
+    decode, encode_v2, scan_info, ChunkEntry, ChunkIndex, Instrs, InstrsMut, TraceInfo, TraceReader,
+};
 pub use writer::TraceWriter;
 
 #[cfg(test)]
@@ -121,7 +134,7 @@ mod tests {
     use super::*;
     use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
 
-    fn branchy_trace(n: u64) -> Vec<RetiredInstr> {
+    pub(crate) fn branchy_trace(n: u64) -> Vec<RetiredInstr> {
         (0..n)
             .map(|i| {
                 let pc = Address::new(0x40_0000 + (i % 4096) * 4);
@@ -336,6 +349,177 @@ mod tests {
 }
 
 #[cfg(test)]
+mod seek_tests {
+    use std::io::Cursor;
+
+    use super::*;
+    use crate::tests::branchy_trace;
+    use pif_types::RetiredInstr;
+
+    /// Hand-rolled v1 encoder (the legacy writer lives in
+    /// `pif_workloads::io`, which this crate cannot depend on); layout
+    /// from the crate-level spec.
+    pub(crate) fn encode_v1(name: &str, instrs: &[RetiredInstr]) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION_V1.to_le_bytes());
+        b.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        b.extend_from_slice(name.as_bytes());
+        b.extend_from_slice(&(instrs.len() as u64).to_le_bytes());
+        for i in instrs {
+            b.extend_from_slice(&i.pc.raw().to_le_bytes());
+            b.push(i.trap_level.index() as u8);
+            match i.branch {
+                None => b.push(0),
+                Some(info) => {
+                    b.push(1);
+                    b.push(match info.kind {
+                        pif_types::BranchKind::Conditional => 0,
+                        pif_types::BranchKind::Direct => 1,
+                        pif_types::BranchKind::Call => 2,
+                        pif_types::BranchKind::IndirectCall => 3,
+                        pif_types::BranchKind::Return => 4,
+                    });
+                    b.push(info.taken as u8);
+                    b.extend_from_slice(&info.taken_target.raw().to_le_bytes());
+                    b.extend_from_slice(&info.fall_through.raw().to_le_bytes());
+                }
+            }
+        }
+        b
+    }
+
+    fn collect_rest<R: std::io::Read>(reader: &mut TraceReader<R>) -> Vec<RetiredInstr> {
+        reader
+            .by_ref()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("clean tail")
+    }
+
+    #[test]
+    fn open_indexed_matches_scan_info() {
+        let instrs = branchy_trace(5_000);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "idx", 512).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        let info = scan_info(bytes.as_slice()).unwrap();
+
+        let reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        let index = reader.chunk_index().expect("v2 builds an index");
+        assert_eq!(index.entries().len() as u64, info.chunks);
+        assert_eq!(index.total_records(), info.records);
+        assert_eq!(reader.declared_count(), Some(info.records));
+        // Entries tile the record space contiguously.
+        let mut next = 0u64;
+        for e in index.entries() {
+            assert_eq!(e.first_record, next);
+            next += e.records as u64;
+        }
+        assert_eq!(next, info.records);
+    }
+
+    #[test]
+    fn index_locates_boundary_records() {
+        let instrs = branchy_trace(1_000);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "loc", 100).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        let reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        let index = reader.chunk_index().unwrap();
+        for n in [0u64, 1, 99, 100, 101, 550, 999] {
+            let e = index.locate(n).unwrap();
+            assert!(e.first_record <= n && n < e.first_record + e.records as u64);
+        }
+        assert!(index.locate(1_000).is_none());
+        assert!(index.locate(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn seek_yields_exact_tail_at_chunk_boundaries() {
+        let instrs = branchy_trace(1_000);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "s", 128).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        for n in [0usize, 1, 127, 128, 129, 500, 767, 999, 1_000] {
+            reader.seek_to_record(n as u64).unwrap();
+            assert_eq!(collect_rest(&mut reader), instrs[n..], "seek to {n}");
+        }
+    }
+
+    #[test]
+    fn seek_past_end_is_cleanly_exhausted() {
+        let bytes = encode_v2("end", &branchy_trace(50));
+        let mut reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        reader.seek_to_record(10_000).unwrap();
+        assert_eq!(reader.next(), None);
+        assert_eq!(reader.declared_count(), Some(50));
+    }
+
+    #[test]
+    fn seek_works_backwards_and_repeatedly() {
+        let instrs = branchy_trace(600);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "b", 64).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        for n in [400usize, 20, 590, 0, 300] {
+            reader.seek_to_record(n as u64).unwrap();
+            let got: Vec<_> = reader.instrs_mut().take(5).collect();
+            assert_eq!(got, instrs[n..(n + 5).min(instrs.len())], "window at {n}");
+        }
+    }
+
+    #[test]
+    fn seek_builds_index_lazily_on_plain_open() {
+        let bytes = encode_v2("lazy", &branchy_trace(300));
+        let mut reader = TraceReader::open(Cursor::new(&bytes)).unwrap();
+        assert!(reader.chunk_index().is_none());
+        reader.seek_to_record(100).unwrap();
+        assert!(reader.chunk_index().is_some());
+        assert_eq!(collect_rest(&mut reader).len(), 200);
+    }
+
+    #[test]
+    fn seek_recovers_a_failed_reader() {
+        let instrs = branchy_trace(200);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "r", 32).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Corrupt the very first record's flags byte (branch bits without
+        // the branch flag): iteration fails immediately, but the chunk
+        // structure and terminator stay valid, so seeking past the
+        // corruption recovers the reader.
+        let flags_at = (4 + 4 + 4 + 1) + 8; // header(name "r") + chunk header
+        bytes[flags_at] = 0b0100_0000;
+        let mut bad = TraceReader::open(Cursor::new(&bytes)).unwrap();
+        assert!(matches!(bad.next(), Some(Err(_))), "corruption detected");
+        assert_eq!(bad.next(), None, "iterator fused");
+        // Records 32.. live in later chunks, untouched by the corruption.
+        bad.seek_to_record(150).unwrap();
+        let tail: Vec<_> = bad.instrs_mut().collect();
+        assert_eq!(tail, instrs[150..], "seek rebuilds decode state");
+    }
+
+    #[test]
+    fn v1_seek_falls_back_to_linear_skip() {
+        let instrs = branchy_trace(400);
+        let bytes = encode_v1("v1seek", &instrs);
+        let mut reader = TraceReader::open(Cursor::new(&bytes)).unwrap();
+        assert_eq!(reader.version(), 1);
+        assert!(reader.chunk_index().is_none(), "v1 has no chunks");
+        for n in [0usize, 1, 250, 399, 400, 500] {
+            reader.seek_to_record(n as u64).unwrap();
+            assert_eq!(
+                collect_rest(&mut reader),
+                instrs[n.min(instrs.len())..],
+                "v1 seek to {n}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     use super::*;
     use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
@@ -399,6 +583,41 @@ mod proptests {
         fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = decode(&data);
             let _ = scan_info(data.as_slice());
+        }
+
+        /// The sampling contract: `seek_to_record(n)` then stream-to-end
+        /// must equal the tail of a full decode, for arbitrary record
+        /// counts straddling chunk boundaries.
+        #[test]
+        fn v2_seek_then_stream_equals_tail(
+            instrs in proptest::collection::vec(instr_strategy(), 0..300),
+            chunk in 1u32..48,
+            seek_seed in 0usize..4096,
+        ) {
+            let mut w = TraceWriter::with_chunk_records(Vec::new(), "sp", chunk).unwrap();
+            w.extend(instrs.iter().copied()).unwrap();
+            let bytes = w.finish().unwrap();
+            // Bias targets toward boundaries: straddle n*chunk ± 1.
+            let n = seek_seed % (instrs.len() + 2);
+            let mut reader =
+                TraceReader::open_indexed(std::io::Cursor::new(&bytes)).unwrap();
+            reader.seek_to_record(n as u64).unwrap();
+            let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+            prop_assert_eq!(&tail, &instrs[n.min(instrs.len())..]);
+        }
+
+        /// Same contract over v1, where seeking is a linear re-decode.
+        #[test]
+        fn v1_seek_then_stream_equals_tail(
+            instrs in proptest::collection::vec(instr_strategy(), 0..200),
+            seek_seed in 0usize..4096,
+        ) {
+            let bytes = crate::seek_tests::encode_v1("v1p", &instrs);
+            let n = seek_seed % (instrs.len() + 2);
+            let mut reader = TraceReader::open(std::io::Cursor::new(&bytes)).unwrap();
+            reader.seek_to_record(n as u64).unwrap();
+            let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+            prop_assert_eq!(&tail, &instrs[n.min(instrs.len())..]);
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Streaming trace reader: decodes v1 and v2 files record by record,
-//! holding at most one chunk in memory.
+//! holding at most one chunk in memory — plus random access over v2
+//! chunk headers ([`ChunkIndex`], [`TraceReader::seek_to_record`]) for
+//! sampled simulation.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Seek, SeekFrom};
 
 use pif_types::{Address, BranchInfo, RetiredInstr, TrapLevel};
 
@@ -38,6 +40,57 @@ fn validate_chunk_header(records: u32, payload_len: u32) -> Result<(), TraceDeco
         return Err(TraceDecodeError::Corrupt("record count exceeds payload"));
     }
     Ok(())
+}
+
+/// One chunk's position within a v2 trace file, as recorded in a
+/// [`ChunkIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Index of the first record stored in this chunk.
+    pub first_record: u64,
+    /// Records stored in this chunk.
+    pub records: u32,
+    /// Absolute byte offset of the chunk payload (just past its header).
+    pub payload_offset: u64,
+    /// Encoded payload length in bytes.
+    pub payload_len: u32,
+}
+
+/// Random-access index over a v2 trace's chunks, built from the 8-byte
+/// chunk headers alone (payloads are skipped, never decoded).
+///
+/// Because every chunk resets the PC delta base, any chunk can be decoded
+/// in isolation; the index therefore turns "seek to record `n`" into one
+/// `Seek` plus decoding at most one chunk's worth of prefix records —
+/// the SimFlex-style random access that sampled simulation needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIndex {
+    entries: Vec<ChunkEntry>,
+    total_records: u64,
+}
+
+impl ChunkIndex {
+    /// The per-chunk entries, in file order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Total records across all chunks (verified against the terminator).
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// The chunk containing `record`, or `None` when `record` is at or
+    /// past the end of the trace.
+    pub fn locate(&self, record: u64) -> Option<&ChunkEntry> {
+        if record >= self.total_records {
+            return None;
+        }
+        let i = self
+            .entries
+            .partition_point(|e| e.first_record + e.records as u64 <= record);
+        self.entries.get(i)
+    }
 }
 
 #[derive(Debug)]
@@ -90,6 +143,11 @@ pub struct TraceReader<R: Read> {
     version: u32,
     declared: Option<u64>,
     state: State,
+    /// Byte offset where records (v1) or chunks (v2) begin.
+    data_start: u64,
+    /// Chunk index for random access; built by [`TraceReader::open_indexed`]
+    /// or lazily by [`TraceReader::seek_to_record`] (v2 + `Seek` only).
+    index: Option<ChunkIndex>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -118,9 +176,14 @@ impl<R: Read> TraceReader<R> {
         source.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| TraceDecodeError::Corrupt("name is not UTF-8"))?;
-        let (state, declared) = if version == VERSION_V1 {
+        let header_bytes = (4 + 4 + 4 + name.len()) as u64;
+        let (state, declared, data_start) = if version == VERSION_V1 {
             let count = read_u64(&mut source)?;
-            (State::V1 { remaining: count }, Some(count))
+            (
+                State::V1 { remaining: count },
+                Some(count),
+                header_bytes + 8,
+            )
         } else {
             (
                 State::V2 {
@@ -132,6 +195,7 @@ impl<R: Read> TraceReader<R> {
                     done: false,
                 },
                 None,
+                header_bytes,
             )
         };
         Ok(TraceReader {
@@ -140,6 +204,8 @@ impl<R: Read> TraceReader<R> {
             version,
             declared,
             state,
+            data_start,
+            index: None,
         })
     }
 
@@ -259,6 +325,180 @@ impl<R: Read> TraceReader<R> {
         }
         Ok(Some(instr))
     }
+
+    /// The chunk index, when one has been built — by
+    /// [`TraceReader::open_indexed`] or a previous
+    /// [`TraceReader::seek_to_record`]. Always `None` for v1 files, which
+    /// have no chunks.
+    pub fn chunk_index(&self) -> Option<&ChunkIndex> {
+        self.index.as_ref()
+    }
+
+    /// As [`TraceReader::instrs`] but borrowing, so the reader can be
+    /// reused afterwards — e.g. seeked to another sample window between
+    /// engine runs.
+    pub fn instrs_mut(&mut self) -> InstrsMut<'_, R> {
+        InstrsMut {
+            reader: self,
+            error: None,
+        }
+    }
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Opens a trace and eagerly builds its [`ChunkIndex`] (v2; a v1 file
+    /// opens normally but has no chunks to index), leaving the reader
+    /// positioned at the first record.
+    ///
+    /// Building the index reads only the 8-byte chunk headers and the
+    /// terminator — payload bytes are seeked over, so indexing a
+    /// multi-gigabyte trace costs one header read per chunk. As a side
+    /// effect the total record count becomes available up front via
+    /// [`TraceReader::declared_count`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceReader::open`] reports, plus any structural
+    /// corruption found while walking the chunk headers.
+    pub fn open_indexed(source: R) -> Result<Self, TraceDecodeError> {
+        let mut reader = Self::open(source)?;
+        if reader.version == VERSION_V2 {
+            reader.build_index()?;
+        }
+        Ok(reader)
+    }
+
+    /// Scans the v2 chunk headers into an index, then rewinds to the
+    /// first chunk with fresh decode state.
+    fn build_index(&mut self) -> Result<(), TraceDecodeError> {
+        debug_assert_eq!(self.version, VERSION_V2);
+        self.source.seek(SeekFrom::Start(self.data_start))?;
+        let mut entries = Vec::new();
+        let mut pos = self.data_start;
+        let mut records = 0u64;
+        loop {
+            let count = read_u32(&mut self.source)?;
+            let payload_len = read_u32(&mut self.source)?;
+            pos += 8;
+            if count == 0 {
+                if payload_len != 8 {
+                    return Err(TraceDecodeError::Corrupt("malformed terminator"));
+                }
+                let total = read_u64(&mut self.source)?;
+                if total != records {
+                    return Err(TraceDecodeError::Corrupt("record count mismatch"));
+                }
+                break;
+            }
+            validate_chunk_header(count, payload_len)?;
+            entries.push(ChunkEntry {
+                first_record: records,
+                records: count,
+                payload_offset: pos,
+                payload_len,
+            });
+            pos = self
+                .source
+                .seek(SeekFrom::Current(payload_len as i64))
+                .map_err(TraceDecodeError::from)?;
+            records += count as u64;
+        }
+        self.declared = Some(records);
+        self.index = Some(ChunkIndex {
+            entries,
+            total_records: records,
+        });
+        self.source.seek(SeekFrom::Start(self.data_start))?;
+        self.state = State::V2 {
+            chunk: Vec::new(),
+            cursor: 0,
+            chunk_remaining: 0,
+            prev_pc: 0,
+            records_read: 0,
+            done: false,
+        };
+        Ok(())
+    }
+
+    /// Repositions the reader so the next record yielded is record `n`
+    /// (0-based); seeking to or past the end leaves the reader cleanly
+    /// exhausted. Subsequent iteration streams to the end of the trace
+    /// exactly as if the first `n` records had been read and discarded.
+    ///
+    /// For v2 this is random access: the chunk index (built on first use
+    /// if [`TraceReader::open_indexed`] was not used) locates the chunk
+    /// holding `n`, one `Seek` lands on it, and at most `n`'s intra-chunk
+    /// prefix is decoded — skipped regions of the trace are never
+    /// decompressed. v1 files have no chunk structure, so the fallback
+    /// rewinds and linearly skips `n` records.
+    ///
+    /// Seeking also recovers a reader whose previous iteration failed,
+    /// since all decode state is rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from seeking, and corruption in the chunk holding `n`
+    /// (or, for v1, anywhere in the first `n` records).
+    pub fn seek_to_record(&mut self, n: u64) -> Result<(), TraceDecodeError> {
+        if self.version == VERSION_V1 {
+            return self.seek_v1(n);
+        }
+        if self.index.is_none() {
+            self.build_index()?;
+        }
+        let index = self.index.as_ref().expect("index built above");
+        let total = index.total_records();
+        let Some(entry) = index.locate(n).copied() else {
+            // At or past the end: cleanly exhausted, terminator verified
+            // by the index build.
+            self.declared = Some(total);
+            self.state = State::V2 {
+                chunk: Vec::new(),
+                cursor: 0,
+                chunk_remaining: 0,
+                prev_pc: 0,
+                records_read: total,
+                done: true,
+            };
+            return Ok(());
+        };
+        self.source.seek(SeekFrom::Start(entry.payload_offset))?;
+        let mut chunk = vec![0u8; entry.payload_len as usize];
+        self.source.read_exact(&mut chunk)?;
+        // Decode-and-discard the intra-chunk prefix: deltas chain from
+        // the chunk's base, so records before `n` in this chunk must be
+        // decoded (but only this chunk's — every earlier chunk was
+        // skipped wholesale).
+        let skip = (n - entry.first_record) as u32;
+        let mut slice = chunk.as_slice();
+        let mut prev_pc = 0u64;
+        for _ in 0..skip {
+            decode_record(&mut slice, &mut prev_pc)?;
+        }
+        let cursor = chunk.len() - slice.len();
+        self.state = State::V2 {
+            chunk,
+            cursor,
+            chunk_remaining: entry.records - skip,
+            prev_pc,
+            records_read: n,
+            done: false,
+        };
+        Ok(())
+    }
+
+    /// v1 fallback: rewind to the first record and linearly decode-and-
+    /// discard (fixed-width-ish records cannot be skipped blind because
+    /// branch records are wider).
+    fn seek_v1(&mut self, n: u64) -> Result<(), TraceDecodeError> {
+        let total = self.declared.expect("v1 header carries a count");
+        self.source.seek(SeekFrom::Start(self.data_start))?;
+        self.state = State::V1 { remaining: total };
+        for _ in 0..n.min(total) {
+            self.next_v1()?;
+        }
+        Ok(())
+    }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
@@ -312,6 +552,46 @@ impl<R: Read> Instrs<R> {
 }
 
 impl<R: Read> Iterator for Instrs<R> {
+    type Item = RetiredInstr;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.reader.next() {
+            Some(Ok(instr)) => Some(instr),
+            Some(Err(e)) => {
+                self.error = Some(e);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Borrowing variant of [`Instrs`]: yields plain [`RetiredInstr`]s,
+/// stashing the first decode error, without consuming the reader — so
+/// the same reader can be seeked to another window and reused (the shape
+/// sampled simulation drives).
+#[derive(Debug)]
+pub struct InstrsMut<'a, R: Read> {
+    reader: &'a mut TraceReader<R>,
+    error: Option<TraceDecodeError>,
+}
+
+impl<R: Read> InstrsMut<'_, R> {
+    /// The decode error that stopped iteration, if any.
+    pub fn error(&self) -> Option<&TraceDecodeError> {
+        self.error.as_ref()
+    }
+
+    /// Takes ownership of the stashed decode error, if any.
+    pub fn take_error(&mut self) -> Option<TraceDecodeError> {
+        self.error.take()
+    }
+}
+
+impl<R: Read> Iterator for InstrsMut<'_, R> {
     type Item = RetiredInstr;
 
     fn next(&mut self) -> Option<Self::Item> {

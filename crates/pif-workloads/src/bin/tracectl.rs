@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]
-//! tracectl info <file.pift>
+//! tracectl info <file.pift> [--chunks]
 //! tracectl convert <in.pift> <out.pift> [--chunk N]
 //! tracectl head <file.pift> [-n N]
 //! ```
@@ -10,9 +10,10 @@
 //! `record` streams a synthetic workload straight into a compressed v2
 //! trace (bounded memory, any length); `--v1` writes the legacy format
 //! instead (materializes the trace — for fixtures and compatibility
-//! testing). `info` reads only headers and chunk frames. `convert`
-//! upgrades v1 files to v2 (or re-chunks v2 files) as a stream. `head`
-//! prints the first records.
+//! testing). `info` reads only headers and chunk frames; `--chunks`
+//! additionally prints the per-chunk random-access table (the index
+//! sampled simulation seeks with). `convert` upgrades v1 files to v2 (or
+//! re-chunks v2 files) as a stream. `head` prints the first records.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]\n  \
-         tracectl info <file.pift>\n  \
+         tracectl info <file.pift> [--chunks]\n  \
          tracectl convert <in.pift> <out.pift> [--chunk N]\n  \
          tracectl head <file.pift> [-n N]\n\n\
          workloads: {}",
@@ -54,6 +55,7 @@ struct Opts {
     seed_offset: u64,
     chunk: u32,
     v1: bool,
+    chunks: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -64,6 +66,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed_offset: 0,
         chunk: DEFAULT_CHUNK_RECORDS,
         v1: false,
+        chunks: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -84,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--chunk" => opts.chunk = value(arg)?.parse().map_err(|e| format!("--chunk: {e}"))?,
             "--v1" => opts.v1 = true,
+            "--chunks" => opts.chunks = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => opts.positional.push(other.to_string()),
         }
@@ -168,19 +172,50 @@ fn info(opts: &Opts) -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(path, e),
     };
-    match scan_info(BufReader::new(file)) {
-        Ok(info) => {
-            println!("file:          {path}");
-            println!("name:          {}", info.name);
-            println!("version:       {}", info.version);
-            println!("records:       {}", info.records);
-            println!("chunks:        {}", info.chunks);
-            println!("bytes:         {}", info.bytes);
-            println!("bytes/record:  {:.2}", info.bytes_per_record());
-            ExitCode::SUCCESS
+    let info = match scan_info(BufReader::new(file)) {
+        Ok(info) => info,
+        Err(e) => return fail(path, e),
+    };
+    println!("file:          {path}");
+    println!("name:          {}", info.name);
+    println!("version:       {}", info.version);
+    println!("records:       {}", info.records);
+    println!("chunks:        {}", info.chunks);
+    println!("bytes:         {}", info.bytes);
+    println!("bytes/record:  {:.2}", info.bytes_per_record());
+    if opts.chunks {
+        if info.version == 1 {
+            println!("\nv1 files are unchunked; no random-access table.");
+            return ExitCode::SUCCESS;
         }
-        Err(e) => fail(path, e),
+        // Re-open with the indexing reader: only the 8-byte chunk
+        // headers are read, payloads are seeked over.
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => return fail(path, e),
+        };
+        let reader = match TraceReader::open_indexed(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(e) => return fail(path, e),
+        };
+        let index = reader.chunk_index().expect("v2 index");
+        println!(
+            "\n{:>6}  {:>12}  {:>8}  {:>12}  {:>10}  {:>8}",
+            "CHUNK", "FIRST_REC", "RECORDS", "OFFSET", "PAYLOAD_B", "B/REC"
+        );
+        for (i, e) in index.entries().iter().enumerate() {
+            println!(
+                "{:>6}  {:>12}  {:>8}  {:>12}  {:>10}  {:>8.2}",
+                i,
+                e.first_record,
+                e.records,
+                e.payload_offset,
+                e.payload_len,
+                e.payload_len as f64 / e.records.max(1) as f64,
+            );
+        }
     }
+    ExitCode::SUCCESS
 }
 
 fn convert(opts: &Opts) -> ExitCode {
