@@ -24,13 +24,13 @@
 //!
 //! ```
 //! use pif_baselines::{NextLinePrefetcher, Tifs};
-//! use pif_sim::{Engine, EngineConfig};
+//! use pif_sim::{Engine, EngineConfig, RunOptions};
 //! use pif_workloads::WorkloadProfile;
 //!
 //! let trace = WorkloadProfile::dss_qry2().scaled(0.03).generate(40_000);
 //! let engine = Engine::new(EngineConfig::paper_default());
-//! let nl = engine.run(&trace, NextLinePrefetcher::aggressive());
-//! let tifs = engine.run(&trace, Tifs::unbounded());
+//! let nl = engine.run(trace.instrs().iter().copied(), NextLinePrefetcher::aggressive(), RunOptions::new());
+//! let tifs = engine.run(trace.instrs().iter().copied(), Tifs::unbounded(), RunOptions::new());
 //! assert!(nl.prefetch.issued > 0);
 //! assert_eq!(tifs.fetch.demand_accesses, nl.fetch.demand_accesses);
 //! ```

@@ -97,6 +97,7 @@ impl Prefetcher for NextLinePrefetcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pif_sim::RunOptions;
     use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher, PrefetcherHarness};
     use pif_types::{Address, RetiredInstr, TrapLevel};
 
@@ -161,8 +162,12 @@ mod tests {
             }
         }
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let nl = engine.run_instrs(&trace, NextLinePrefetcher::aggressive());
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let nl = engine.run(
+            trace.iter().copied(),
+            NextLinePrefetcher::aggressive(),
+            RunOptions::new(),
+        );
         assert!(
             nl.miss_coverage() > 0.8,
             "sequential coverage {}",

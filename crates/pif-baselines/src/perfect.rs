@@ -36,7 +36,7 @@ impl Prefetcher for PerfectICache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+    use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
     use pif_types::{Address, RetiredInstr, TrapLevel};
 
     #[test]
@@ -53,8 +53,8 @@ mod tests {
             }
         }
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let perfect = engine.run_instrs(&trace, PerfectICache);
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let perfect = engine.run(trace.iter().copied(), PerfectICache, RunOptions::new());
         assert_eq!(perfect.fetch.demand_misses, 0);
         assert_eq!(perfect.timing.fetch_stall_cycles, 0);
         assert!(perfect.speedup_over(&base) > 1.0);

@@ -268,6 +268,7 @@ impl Prefetcher for Tifs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pif_sim::RunOptions;
     use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher, PrefetcherHarness};
     use pif_types::{Address, RetiredInstr, TrapLevel};
 
@@ -339,8 +340,8 @@ mod tests {
             }
         }
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let tifs = engine.run_instrs(&trace, Tifs::unbounded());
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let tifs = engine.run(trace.iter().copied(), Tifs::unbounded(), RunOptions::new());
         assert!(
             tifs.miss_coverage() > 0.6,
             "TIFS coverage {}",

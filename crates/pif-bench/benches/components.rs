@@ -9,7 +9,7 @@ use pif_core::{HistoryBuffer, Pif, PifConfig, SabPool, SpatialCompactor, Tempora
 use pif_sim::bpred::{DirectionPredictor, HybridPredictor};
 use pif_sim::cache::{InstructionCache, Lru, SetAssocCache};
 use pif_sim::frontend::FrontEnd;
-use pif_sim::{Engine, EngineConfig, FrontendConfig, ICacheConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, FrontendConfig, ICacheConfig, NoPrefetcher, RunOptions};
 use pif_types::{Address, BlockAddr, RegionGeometry, SpatialRegionRecord};
 
 fn bench_cache(c: &mut Criterion) {
@@ -192,12 +192,18 @@ fn bench_pipeline(c: &mut Criterion) {
 
     g.bench_function("engine_noprefetch_100k", |b| {
         let engine = Engine::new(EngineConfig::paper_default());
-        b.iter(|| black_box(engine.run_instrs(&trace, NoPrefetcher)))
+        b.iter(|| black_box(engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new())))
     });
 
     g.bench_function("engine_pif_100k", |b| {
         let engine = Engine::new(EngineConfig::paper_default());
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(PifConfig::paper_default()))))
+        b.iter(|| {
+            black_box(engine.run(
+                trace.iter().copied(),
+                Pif::new(PifConfig::paper_default()),
+                RunOptions::new(),
+            ))
+        })
     });
 
     g.bench_function("workload_generate_100k", |b| {

@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pif_bench::{bench_scale, bench_trace};
 use pif_core::{Pif, PifConfig};
 use pif_experiments::{fig10, fig2, fig3, fig7, fig8, fig9, table1};
-use pif_sim::{Engine, EngineConfig};
+use pif_sim::{Engine, EngineConfig, RunOptions};
 
 fn bench_figures(c: &mut Criterion) {
     let scale = bench_scale();
@@ -53,27 +53,33 @@ fn bench_ablations(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("pif_paper_design", |b| {
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(PifConfig::paper_default()))))
+        b.iter(|| {
+            black_box(engine.run(
+                trace.iter().copied(),
+                Pif::new(PifConfig::paper_default()),
+                RunOptions::new(),
+            ))
+        })
     });
     g.bench_function("pif_no_temporal_compactor", |b| {
         let mut cfg = PifConfig::paper_default();
         cfg.temporal_entries = 1; // effectively disabled
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+        b.iter(|| black_box(engine.run(trace.iter().copied(), Pif::new(cfg), RunOptions::new())))
     });
     g.bench_function("pif_single_block_regions", |b| {
         let mut cfg = PifConfig::paper_default();
         cfg.geometry = pif_types::RegionGeometry::new(0, 0).unwrap();
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+        b.iter(|| black_box(engine.run(trace.iter().copied(), Pif::new(cfg), RunOptions::new())))
     });
     g.bench_function("pif_tiny_history", |b| {
         let mut cfg = PifConfig::paper_default();
         cfg.history_capacity = 1024;
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+        b.iter(|| black_box(engine.run(trace.iter().copied(), Pif::new(cfg), RunOptions::new())))
     });
     g.bench_function("pif_one_sab", |b| {
         let mut cfg = PifConfig::paper_default();
         cfg.sab_count = 1;
-        b.iter(|| black_box(engine.run_instrs(&trace, Pif::new(cfg))))
+        b.iter(|| black_box(engine.run(trace.iter().copied(), Pif::new(cfg), RunOptions::new())))
     });
     g.finish();
 }

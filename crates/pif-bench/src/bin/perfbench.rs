@@ -37,7 +37,7 @@ use pif_bench::report::{
     PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
 };
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 use pif_types::RetiredInstr;
 use pif_workloads::WorkloadProfile;
 
@@ -69,22 +69,46 @@ fn measure(
         });
     };
     run("None", &mut || {
-        engine.run_instrs_warmup(trace, NoPrefetcher, warmup)
+        engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(warmup),
+        )
     });
     run("PIF", &mut || {
-        engine.run_instrs_warmup(trace, Pif::new(PifConfig::paper_default()), warmup)
+        engine.run(
+            trace.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new().warmup(warmup),
+        )
     });
     run("Next-Line", &mut || {
-        engine.run_instrs_warmup(trace, NextLinePrefetcher::aggressive(), warmup)
+        engine.run(
+            trace.iter().copied(),
+            NextLinePrefetcher::aggressive(),
+            RunOptions::new().warmup(warmup),
+        )
     });
     run("TIFS", &mut || {
-        engine.run_instrs_warmup(trace, Tifs::new(Default::default()), warmup)
+        engine.run(
+            trace.iter().copied(),
+            Tifs::new(Default::default()),
+            RunOptions::new().warmup(warmup),
+        )
     });
     run("Discontinuity", &mut || {
-        engine.run_instrs_warmup(trace, DiscontinuityPrefetcher::paper_scale(), warmup)
+        engine.run(
+            trace.iter().copied(),
+            DiscontinuityPrefetcher::paper_scale(),
+            RunOptions::new().warmup(warmup),
+        )
     });
     run("Perfect", &mut || {
-        engine.run_instrs_warmup(trace, PerfectICache, warmup)
+        engine.run(
+            trace.iter().copied(),
+            PerfectICache,
+            RunOptions::new().warmup(warmup),
+        )
     });
     out
 }
@@ -104,7 +128,7 @@ fn compare_sampled<P: pif_sim::Prefetcher>(
     let mut source = pif_trace::TraceReader::open(std::io::BufReader::new(file))
         .expect("trace opens")
         .instrs();
-    let exhaustive = engine.run_source_warmup(&mut source, mk(), warmup);
+    let exhaustive = engine.run(&mut source, mk(), RunOptions::new().warmup(warmup));
     assert!(source.error().is_none(), "clean exhaustive decode");
     let exhaustive_s = t0.elapsed().as_secs_f64();
 

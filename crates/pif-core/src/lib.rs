@@ -35,14 +35,14 @@
 //!
 //! ```
 //! use pif_core::{Pif, PifConfig};
-//! use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+//! use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 //! use pif_workloads::WorkloadProfile;
 //!
 //! // A slice of OLTP-DB2 with enough code to pressure the 64 KB L1-I.
 //! let trace = WorkloadProfile::oltp_db2().scaled(0.3).generate(300_000);
 //! let engine = Engine::new(EngineConfig::paper_default());
-//! let base = engine.run_warmup(&trace, NoPrefetcher, 100_000);
-//! let pif = engine.run_warmup(&trace, Pif::new(PifConfig::default()), 100_000);
+//! let base = engine.run(trace.instrs().iter().copied(), NoPrefetcher, RunOptions::new().warmup(100_000));
+//! let pif = engine.run(trace.instrs().iter().copied(), Pif::new(PifConfig::default()), RunOptions::new().warmup(100_000));
 //! assert!(pif.miss_coverage() > 0.5, "PIF covers most would-be misses");
 //! assert!(pif.speedup_over(&base) > 1.0);
 //! ```

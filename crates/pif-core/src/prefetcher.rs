@@ -218,6 +218,7 @@ impl Prefetcher for Pif {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pif_sim::RunOptions;
     use pif_sim::{Engine, EngineConfig, NoPrefetcher};
     use pif_types::Address;
 
@@ -242,8 +243,12 @@ mod tests {
     fn pif_covers_repetitive_thrashing_workload() {
         let trace = sweep_trace(2048, 4);
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let pif = engine.run_instrs(&trace, Pif::new(PifConfig::paper_default()));
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let pif = engine.run(
+            trace.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new(),
+        );
         assert!(
             base.fetch.demand_misses > 4000,
             "baseline must thrash: {} misses",
@@ -343,8 +348,16 @@ mod tests {
         use pif_workloads::WorkloadProfile;
         let trace = WorkloadProfile::oltp_db2().scaled(0.05).generate(150_000);
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run(&trace, NoPrefetcher);
-        let pif = engine.run(&trace, Pif::new(PifConfig::paper_default()));
+        let base = engine.run(
+            trace.instrs().iter().copied(),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
+        let pif = engine.run(
+            trace.instrs().iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new(),
+        );
         assert!(
             pif.fetch.demand_misses < base.fetch.demand_misses,
             "PIF {} vs baseline {} misses",

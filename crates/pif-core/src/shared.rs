@@ -238,6 +238,7 @@ impl Prefetcher for SharedPif {
 mod tests {
     use super::*;
     use pif_sim::multicore::run_cmp;
+    use pif_sim::RunOptions;
     use pif_sim::{Engine, EngineConfig, NoPrefetcher};
     use pif_types::Address;
 
@@ -260,10 +261,18 @@ mod tests {
     fn shared_pif_prefetches_like_private_pif() {
         let trace = sweep(2048, 4, 0);
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
         let storage = Arc::new(SharedPifStorage::new(PifConfig::paper_default()));
-        let shared = engine.run_instrs(&trace, SharedPif::attach(storage));
-        let private = engine.run_instrs(&trace, crate::Pif::new(PifConfig::paper_default()));
+        let shared = engine.run(
+            trace.iter().copied(),
+            SharedPif::attach(storage),
+            RunOptions::new(),
+        );
+        let private = engine.run(
+            trace.iter().copied(),
+            crate::Pif::new(PifConfig::paper_default()),
+            RunOptions::new(),
+        );
         assert!(shared.miss_coverage() > 0.6, "{}", shared.miss_coverage());
         assert!(
             (shared.miss_coverage() - private.miss_coverage()).abs() < 0.05,

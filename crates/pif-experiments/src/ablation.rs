@@ -29,9 +29,7 @@ pub struct AblationRow {
 pub fn run(scale: &Scale) -> Vec<AblationRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::ablation(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .workloads

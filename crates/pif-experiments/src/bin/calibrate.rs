@@ -6,7 +6,7 @@
 //! Usage: `PIF_SCALE=paper cargo run --release -p pif-experiments --bin calibrate`
 
 use pif_experiments::{Scale, Table};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 
 fn main() {
     let scale = Scale::from_env();
@@ -22,10 +22,14 @@ fn main() {
         "TL1",
         "FetchStall",
     ]);
-    let rows = pif_experiments::parallel_map(scale.workloads(), |w| {
+    let rows = pif_experiments::Pool::default().parallel_map(scale.workloads(), |w| {
         let trace = w.generate(scale.instructions);
         let stats = trace.stats();
-        let report = engine.run(&trace, NoPrefetcher);
+        let report = engine.run(
+            trace.instrs().iter().copied(),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
         (w.name().to_string(), stats, report)
     });
     for (name, stats, report) in rows {

@@ -38,9 +38,7 @@ pub struct Fig10Row {
 pub fn run(scale: &Scale) -> Vec<Fig10Row> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig10(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .workloads

@@ -28,9 +28,7 @@ pub struct Fig2Row {
 pub fn run(scale: &Scale) -> Vec<Fig2Row> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig2(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells

@@ -45,9 +45,7 @@ impl Fig3Row {
 pub fn run(scale: &Scale) -> Vec<Fig3Row> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig3(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells

@@ -30,9 +30,7 @@ impl Fig7Row {
 pub fn run(scale: &Scale) -> Vec<Fig7Row> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig7(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells

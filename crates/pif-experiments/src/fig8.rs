@@ -35,9 +35,7 @@ pub struct SizeRow {
 pub fn run_offsets(scale: &Scale) -> Vec<OffsetRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig8_offsets(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells
@@ -57,9 +55,7 @@ pub fn run_offsets(scale: &Scale) -> Vec<OffsetRow> {
 pub fn run_sizes(scale: &Scale) -> Vec<SizeRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig8_sizes(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells

@@ -41,9 +41,7 @@ pub struct HistoryRow {
 pub fn run_lengths(scale: &Scale) -> Vec<LengthRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig9_lengths(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells
@@ -62,9 +60,7 @@ pub fn run_lengths(scale: &Scale) -> Vec<LengthRow> {
 pub fn run_history_sweep(scale: &Scale) -> Vec<HistoryRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig9_history(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     report
         .cells

@@ -54,7 +54,7 @@ pub mod sampling;
 pub mod table1;
 mod tablefmt;
 
-pub use pif_lab::{parallel_map, Scale};
+pub use pif_lab::{Pool, Scale};
 pub use tablefmt::Table;
 
 /// Formats a fraction as a percentage with one decimal.

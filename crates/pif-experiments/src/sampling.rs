@@ -38,9 +38,7 @@ pub struct SamplingRow {
 pub fn run(scale: &Scale) -> Vec<SamplingRow> {
     let report = pif_lab::run_spec(
         &pif_lab::registry::fig_sampling(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     );
     let mut rows = Vec::new();
     for w in &report.workloads {

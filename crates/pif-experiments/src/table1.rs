@@ -98,9 +98,7 @@ pub fn pif_table(config: &PifConfig) -> Table {
 pub fn run(scale: &Scale) -> SweepReport {
     pif_lab::run_spec(
         &pif_lab::registry::table1(),
-        scale,
-        pif_lab::default_threads(),
-        false,
+        &pif_lab::RunOptions::new().scale(*scale),
     )
 }
 

@@ -4,8 +4,15 @@
 //! piflab list
 //! piflab run <spec>... [--all] [--smoke] [--scale tiny|quick|paper]
 //!            [--threads N] [--out PATH] [--out-dir DIR] [--quiet]
+//!            [--cache] [--cache-dir DIR]
 //! piflab check <report.json> <baseline.json> [--tol X]
 //! piflab diff <a.json> <b.json>
+//! piflab serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
+//!              [--cache-dir DIR] [--no-cache]
+//! piflab submit <spec>... [--addr HOST:PORT] [--smoke]
+//!               [--scale tiny|quick|paper] [--out PATH] [--out-dir DIR]
+//!               [--quiet]
+//! piflab cache stats|clear [--cache-dir DIR]
 //! ```
 //!
 //! `run` executes committed figure specs (see `piflab list`) and writes
@@ -14,34 +21,79 @@
 //! and exits non-zero on any violation — this is the CI gate that turns
 //! every figure into a regression test. `--smoke` is the CI profile:
 //! tiny scale, deterministic, seconds per spec.
+//!
+//! `serve` runs `pifd`, the long-lived sweep daemon: a bounded job queue
+//! over the same `run_spec` path, fronted by the line-delimited JSON
+//! protocol of `pif_lab::protocol`, with a persistent content-addressed
+//! result cache. `submit` is its client: reports come back byte-identical
+//! to a local `run` of the same spec and scale. `cache` inspects or
+//! clears the on-disk store.
+//!
+//! Exit codes are uniform across subcommands: `0` success, `1` runtime
+//! failure (I/O, check violations, daemon errors), `2` usage errors —
+//! including naming a spec the registry does not know.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use pif_lab::json::Json;
-use pif_lab::{registry, report, run_spec, Scale, SweepReport};
+use pif_lab::protocol::{Request, Response};
+use pif_lab::service::{Service, ServiceConfig};
+use pif_lab::{
+    protocol, registry, report, run_spec_stats, ResultCache, RunOptions, Scale, SweepReport,
+};
+
+/// One dispatch-table row: verb, usage line, handler.
+type Command = (&'static str, &'static str, fn(&[String]) -> ExitCode);
+
+/// The dispatch table: one row per subcommand, shared by `main` and
+/// `usage`, so a new verb cannot be added without a usage line.
+const COMMANDS: &[Command] = &[
+    ("list", "list the committed sweep specs", cmd_list),
+    ("run", "run specs locally and write JSON reports", cmd_run),
+    (
+        "check",
+        "compare a report against a golden baseline",
+        cmd_check,
+    ),
+    ("diff", "diff two reports cell by cell", cmd_diff),
+    ("serve", "run the pifd sweep daemon", cmd_serve),
+    ("submit", "submit specs to a running daemon", cmd_submit),
+    ("cache", "inspect or clear the result cache", cmd_cache),
+];
 
 fn usage() -> ExitCode {
+    eprintln!("usage: piflab <command> [args]\n\ncommands:");
+    for (name, help, _) in COMMANDS {
+        eprintln!("  {name:<8} {help}");
+    }
     eprintln!(
-        "usage:\n  piflab list\n  piflab run <spec>... [--all] [--smoke] \
-         [--scale tiny|quick|paper] [--threads N] [--out PATH] [--out-dir DIR] [--quiet]\n  \
-         piflab check <report.json> <baseline.json> [--tol X]\n  piflab diff <a.json> <b.json>"
+        "\nrun/submit: <spec>... [--all] [--smoke] [--scale tiny|quick|paper] \
+         [--out PATH] [--out-dir DIR] [--quiet]\n\
+         run also: [--threads N] [--cache] [--cache-dir DIR]\n\
+         submit also: [--addr HOST:PORT]\n\
+         check: <report.json> <baseline.json> [--tol X]\n\
+         serve: [--addr HOST:PORT] [--threads N] [--queue-depth N] [--cache-dir DIR] [--no-cache]\n\
+         cache: stats|clear [--cache-dir DIR]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("run") => cmd_run(&args[1..]),
-        Some("check") => cmd_check(&args[1..]),
-        Some("diff") => cmd_diff(&args[1..]),
-        _ => usage(),
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match COMMANDS.iter().find(|(name, _, _)| name == cmd) {
+        Some((_, _, run)) => run(&args[1..]),
+        None => usage(),
     }
 }
 
-fn cmd_list() -> ExitCode {
+fn cmd_list(_args: &[String]) -> ExitCode {
     println!("{:<14} {:>5} {:<22} TITLE", "SPEC", "CELLS", "AXIS");
     for spec in registry::all_specs() {
         println!(
@@ -55,88 +107,140 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-struct RunOpts {
+/// Parses `tiny|quick|paper`.
+fn parse_scale_name(name: &str) -> Option<Scale> {
+    match name {
+        "tiny" => Some(Scale::tiny()),
+        "quick" => Some(Scale::quick()),
+        "paper" => Some(Scale::paper()),
+        _ => None,
+    }
+}
+
+/// The scale a run/submit uses when `--scale` is absent: tiny under
+/// `--smoke`, else the `PIF_SCALE` environment default.
+fn effective_scale(explicit: Option<Scale>, smoke: bool) -> Scale {
+    explicit.unwrap_or_else(|| {
+        if smoke {
+            Scale::tiny()
+        } else {
+            Scale::from_env()
+        }
+    })
+}
+
+/// Resolves a spec name, or produces the unknown-spec error message with
+/// the registry's candidate list.
+fn resolve_spec(name: &str) -> Result<pif_lab::SweepSpec, String> {
+    registry::spec(name).ok_or_else(|| {
+        let candidates: Vec<&str> = registry::all_specs().iter().map(|s| s.name).collect();
+        format!(
+            "unknown spec {name:?}; known specs: {}",
+            candidates.join(", ")
+        )
+    })
+}
+
+#[derive(Debug, PartialEq)]
+struct RunArgs {
     specs: Vec<String>,
-    all: bool,
     smoke: bool,
     scale: Option<Scale>,
     threads: usize,
     out: Option<PathBuf>,
     out_dir: PathBuf,
     quiet: bool,
+    cache_dir: Option<PathBuf>,
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let mut opts = RunOpts {
+/// Parses `piflab run` arguments. Errors are usage errors (exit 2).
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut opts = RunArgs {
         specs: Vec::new(),
-        all: false,
         smoke: false,
         scale: None,
         threads: pif_lab::default_threads(),
         out: None,
         out_dir: PathBuf::from("target/piflab"),
         quiet: false,
+        cache_dir: None,
     };
+    let mut all = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" => opts.all = true,
+            "--all" => all = true,
             "--smoke" => opts.smoke = true,
             "--quiet" => opts.quiet = true,
-            "--scale" => match it.next().map(String::as_str) {
-                Some("tiny") => opts.scale = Some(Scale::tiny()),
-                Some("quick") => opts.scale = Some(Scale::quick()),
-                Some("paper") => opts.scale = Some(Scale::paper()),
-                other => {
-                    eprintln!("--scale needs tiny|quick|paper, got {other:?}");
-                    return ExitCode::from(2);
-                }
+            "--cache" => {
+                opts.cache_dir.get_or_insert_with(ResultCache::default_dir);
+            }
+            "--cache-dir" => match it.next() {
+                Some(p) => opts.cache_dir = Some(PathBuf::from(p)),
+                None => return Err("--cache-dir needs a directory".into()),
+            },
+            "--scale" => match it.next().map(String::as_str).and_then(parse_scale_name) {
+                Some(s) => opts.scale = Some(s),
+                None => return Err("--scale needs tiny|quick|paper".into()),
             },
             "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.threads = n,
-                _ => {
-                    eprintln!("--threads needs a positive integer");
-                    return ExitCode::from(2);
-                }
+                _ => return Err("--threads needs a positive integer".into()),
             },
             "--out" => match it.next() {
                 Some(p) => opts.out = Some(PathBuf::from(p)),
-                None => return usage(),
+                None => return Err("--out needs a path".into()),
             },
             "--out-dir" => match it.next() {
                 Some(p) => opts.out_dir = PathBuf::from(p),
-                None => return usage(),
+                None => return Err("--out-dir needs a directory".into()),
             },
             name if !name.starts_with('-') => opts.specs.push(name.to_string()),
-            _ => return usage(),
+            flag => return Err(format!("unknown flag {flag:?}")),
         }
     }
-    if opts.all {
+    if all {
         opts.specs = registry::all_specs()
             .iter()
             .map(|s| s.name.to_string())
             .collect();
     }
     if opts.specs.is_empty() {
-        eprintln!("piflab run: name at least one spec, or pass --all (see `piflab list`)");
-        return ExitCode::from(2);
+        return Err("name at least one spec, or pass --all (see `piflab list`)".into());
     }
     if opts.out.is_some() && opts.specs.len() != 1 {
-        eprintln!("--out only applies to a single spec; use --out-dir for several");
-        return ExitCode::from(2);
+        return Err("--out only applies to a single spec; use --out-dir for several".into());
     }
-    let scale = opts.scale.unwrap_or_else(|| {
-        if opts.smoke {
-            Scale::tiny()
-        } else {
-            Scale::from_env()
+    Ok(opts)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let opts = match parse_run_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("piflab run: {e}");
+            return ExitCode::from(2);
         }
-    });
+    };
+    let scale = effective_scale(opts.scale, opts.smoke);
+    let cache = match &opts.cache_dir {
+        Some(dir) => match ResultCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("piflab run: cannot open cache at {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     for name in &opts.specs {
-        let Some(spec) = registry::spec(name) else {
-            eprintln!("piflab run: unknown spec {name:?} (see `piflab list`)");
-            return ExitCode::FAILURE;
+        let spec = match resolve_spec(name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("piflab run: {e}");
+                return ExitCode::from(2);
+            }
         };
         if !opts.quiet {
             eprintln!(
@@ -147,42 +251,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 opts.threads
             );
         }
-        let report = run_spec(&spec, &scale, opts.threads, opts.smoke);
-        let json = match report.to_json() {
-            Ok(j) => j,
+        let mut run_opts = RunOptions::new()
+            .scale(scale)
+            .threads(opts.threads)
+            .smoke(opts.smoke);
+        if let Some(c) = &cache {
+            run_opts = run_opts.cache(c);
+        }
+        let (report, stats) = run_spec_stats(&spec, &run_opts);
+        if cache.is_some() && !opts.quiet {
+            eprintln!(
+                "piflab: {} — {} cells cached, {} executed",
+                spec.name, stats.cached_cells, stats.executed_cells
+            );
+        }
+        let path = out_path(&opts.out, &opts.out_dir, name);
+        match write_validated_report(&report, &path) {
+            Ok(()) => {}
             Err(e) => {
-                eprintln!("piflab: refusing to emit report for {name}: {e}");
+                eprintln!("piflab: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        // Every emitted artifact must parse and validate before it lands
-        // on disk — an invalid report never reaches CI artifacts.
-        let reparsed = match Json::parse(&json) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("piflab: emitted invalid JSON for {name}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = report::validate_report(&reparsed) {
-            eprintln!("piflab: emitted schema-invalid report for {name}: {e}");
-            return ExitCode::FAILURE;
-        }
-        let path = opts
-            .out
-            .clone()
-            .unwrap_or_else(|| opts.out_dir.join(format!("{name}.json")));
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(dir) {
-                    eprintln!("piflab: cannot create {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("piflab: cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
         }
         if !opts.quiet {
             print_summary(&report);
@@ -190,6 +279,40 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+fn out_path(out: &Option<PathBuf>, out_dir: &Path, spec: &str) -> PathBuf {
+    out.clone()
+        .unwrap_or_else(|| out_dir.join(format!("{spec}.json")))
+}
+
+/// Serializes, re-parses, schema-validates, and only then writes: an
+/// invalid report never lands on disk (shared by `run` and `submit`).
+fn write_validated_report(report: &SweepReport, path: &Path) -> Result<(), String> {
+    let json = report
+        .to_json()
+        .map_err(|e| format!("refusing to emit report for {}: {e}", report.spec))?;
+    validate_report_bytes(&json, &report.spec)?;
+    write_report_bytes(&json, path)
+}
+
+/// The validation half of the write path, on raw bytes (submit receives
+/// bytes from the daemon and must not re-serialize them).
+fn validate_report_bytes(json: &str, spec: &str) -> Result<(), String> {
+    let reparsed =
+        Json::parse(json).map_err(|e| format!("emitted invalid JSON for {spec}: {e}"))?;
+    report::validate_report(&reparsed)
+        .map_err(|e| format!("emitted schema-invalid report for {spec}: {e}"))
+}
+
+fn write_report_bytes(json: &str, path: &Path) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// A compact per-cell stdout summary (the pretty per-figure tables live
@@ -292,4 +415,435 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     };
     print!("{}", report::diff_reports(&a, &b));
     ExitCode::SUCCESS
+}
+
+/// Default daemon address (loopback only: pifd has no authentication).
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+/// Set by SIGTERM/SIGINT (and by a protocol `shutdown` request); the
+/// serve loop polls it and drains gracefully.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled: no signal crate in-tree. An atomic store is
+    // async-signal-safe; the serve loop does the actual teardown.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+#[derive(Debug, PartialEq)]
+struct ServeArgs {
+    addr: String,
+    threads: usize,
+    queue_depth: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+/// Parses `piflab serve` arguments. The daemon caches by default (that
+/// is its reason to exist); `--no-cache` opts out.
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut opts = ServeArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        threads: pif_lab::default_threads(),
+        queue_depth: 16,
+        cache_dir: Some(ResultCache::default_dir()),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => return Err("--addr needs HOST:PORT".into()),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => return Err("--threads needs a positive integer".into()),
+            },
+            "--queue-depth" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.queue_depth = n,
+                _ => return Err("--queue-depth needs a positive integer".into()),
+            },
+            "--cache-dir" => match it.next() {
+                Some(p) => opts.cache_dir = Some(PathBuf::from(p)),
+                None => return Err("--cache-dir needs a directory".into()),
+            },
+            "--no-cache" => opts.cache_dir = None,
+            flag => return Err(format!("unknown flag {flag:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let opts = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("piflab serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("piflab serve: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| opts.addr.clone());
+    let cache_desc = opts
+        .cache_dir
+        .as_ref()
+        .map(|d| d.display().to_string())
+        .unwrap_or_else(|| "disabled".to_string());
+    let service = Service::start(ServiceConfig {
+        queue_depth: opts.queue_depth,
+        threads: opts.threads,
+        cache_dir: opts.cache_dir,
+    });
+    install_signal_handlers();
+    // One parseable line on stdout so scripts (and CI) can wait for
+    // readiness and discover an ephemeral --addr :0 port.
+    println!(
+        "pifd: listening on {addr} (threads {}, queue {}, cache {cache_desc})",
+        opts.threads, opts.queue_depth
+    );
+    let _ = std::io::stdout().flush();
+    if let Err(e) = protocol::serve(listener, &service, &SHUTDOWN) {
+        eprintln!("pifd: serve failed: {e}");
+        service.shutdown();
+        return ExitCode::FAILURE;
+    }
+    let stats = service.shutdown();
+    println!(
+        "pifd: drained, {} submitted / {} completed (max queue {})",
+        stats.submitted, stats.completed, stats.max_queue_depth
+    );
+    ExitCode::SUCCESS
+}
+
+#[derive(Debug, PartialEq)]
+struct SubmitArgs {
+    specs: Vec<String>,
+    addr: String,
+    smoke: bool,
+    scale: Option<Scale>,
+    out: Option<PathBuf>,
+    out_dir: PathBuf,
+    quiet: bool,
+}
+
+/// Parses `piflab submit` arguments.
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut opts = SubmitArgs {
+        specs: Vec::new(),
+        addr: DEFAULT_ADDR.to_string(),
+        smoke: false,
+        scale: None,
+        out: None,
+        out_dir: PathBuf::from("target/piflab"),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--quiet" => opts.quiet = true,
+            "--addr" => match it.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => return Err("--addr needs HOST:PORT".into()),
+            },
+            "--scale" => match it.next().map(String::as_str).and_then(parse_scale_name) {
+                Some(s) => opts.scale = Some(s),
+                None => return Err("--scale needs tiny|quick|paper".into()),
+            },
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(PathBuf::from(p)),
+                None => return Err("--out needs a path".into()),
+            },
+            "--out-dir" => match it.next() {
+                Some(p) => opts.out_dir = PathBuf::from(p),
+                None => return Err("--out-dir needs a directory".into()),
+            },
+            name if !name.starts_with('-') => opts.specs.push(name.to_string()),
+            flag => return Err(format!("unknown flag {flag:?}")),
+        }
+    }
+    if opts.specs.is_empty() {
+        return Err("name at least one spec (see `piflab list`)".into());
+    }
+    if opts.out.is_some() && opts.specs.len() != 1 {
+        return Err("--out only applies to a single spec; use --out-dir for several".into());
+    }
+    Ok(opts)
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let opts = match parse_submit_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("piflab submit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = effective_scale(opts.scale, opts.smoke);
+    let stream = match std::net::TcpStream::connect(&opts.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "piflab submit: cannot connect to {} (is `piflab serve` running?): {e}",
+                opts.addr
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("piflab submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    for name in &opts.specs {
+        let request = Request::Submit {
+            spec: name.clone(),
+            scale,
+            smoke: opts.smoke,
+        };
+        let mut line = String::new();
+        let exchanged = writer
+            .write_all(request.to_line().as_bytes())
+            .and_then(|()| writer.flush())
+            .and_then(|()| reader.read_line(&mut line));
+        match exchanged {
+            Ok(0) => {
+                eprintln!("piflab submit: daemon closed the connection");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("piflab submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let response = match Response::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("piflab submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match response {
+            Response::Report {
+                spec,
+                cached_cells,
+                executed_cells,
+                json,
+            } => {
+                // Same gate as a local run: the daemon's bytes must parse
+                // and validate before they land on disk — and they are
+                // written verbatim, preserving byte identity with `run`.
+                if let Err(e) = validate_report_bytes(&json, &spec) {
+                    eprintln!("piflab submit: daemon sent bad report: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let path = out_path(&opts.out, &opts.out_dir, name);
+                if let Err(e) = write_report_bytes(&json, &path) {
+                    eprintln!("piflab submit: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if !opts.quiet {
+                    eprintln!(
+                        "piflab submit: {spec} — {cached_cells} cells cached, {executed_cells} executed"
+                    );
+                }
+                println!("wrote {}", path.display());
+            }
+            Response::Error {
+                message,
+                candidates,
+            } => {
+                eprintln!("piflab submit: {message}");
+                if !candidates.is_empty() {
+                    eprintln!("  known specs: {}", candidates.join(", "));
+                    return ExitCode::from(2);
+                }
+                return ExitCode::FAILURE;
+            }
+            other => {
+                eprintln!("piflab submit: unexpected response {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let mut verb = None;
+    let mut dir = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(p) => dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("piflab cache: --cache-dir needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            v @ ("stats" | "clear") if verb.is_none() => verb = Some(v.to_string()),
+            other => {
+                eprintln!("piflab cache: expected stats|clear, got {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(verb) = verb else {
+        eprintln!("piflab cache: expected stats|clear");
+        return ExitCode::from(2);
+    };
+    let dir = dir.unwrap_or_else(ResultCache::default_dir);
+    let cache = match ResultCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("piflab cache: cannot open {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match verb.as_str() {
+        "stats" => cache
+            .entries()
+            .map(|n| println!("{n} entries under {}", cache.root().display())),
+        _ => cache
+            .clear()
+            .map(|n| println!("removed {n} entries under {}", cache.root().display())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("piflab cache {verb}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_parse_flags_and_specs() {
+        let opts = parse_run_args(&s(&[
+            "fig10",
+            "--smoke",
+            "--threads",
+            "3",
+            "--out",
+            "r.json",
+            "--cache-dir",
+            "/tmp/c",
+        ]))
+        .unwrap();
+        assert_eq!(opts.specs, vec!["fig10"]);
+        assert!(opts.smoke);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.out, Some(PathBuf::from("r.json")));
+        assert_eq!(opts.cache_dir, Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn run_args_reject_bad_input() {
+        assert!(parse_run_args(&s(&[])).is_err(), "no specs");
+        assert!(parse_run_args(&s(&["fig10", "--threads", "0"])).is_err());
+        assert!(parse_run_args(&s(&["fig10", "--scale", "huge"])).is_err());
+        assert!(parse_run_args(&s(&["fig10", "--wat"])).is_err());
+        assert!(
+            parse_run_args(&s(&["fig2", "fig3", "--out", "one.json"])).is_err(),
+            "--out with several specs"
+        );
+    }
+
+    #[test]
+    fn run_args_all_expands_registry() {
+        let opts = parse_run_args(&s(&["--all", "--smoke"])).unwrap();
+        assert_eq!(opts.specs.len(), registry::all_specs().len());
+    }
+
+    #[test]
+    fn cache_flag_defaults_the_directory() {
+        let opts = parse_run_args(&s(&["fig10", "--cache"])).unwrap();
+        assert_eq!(opts.cache_dir, Some(ResultCache::default_dir()));
+        let no_cache = parse_run_args(&s(&["fig10"])).unwrap();
+        assert_eq!(no_cache.cache_dir, None);
+    }
+
+    #[test]
+    fn serve_args_defaults_and_overrides() {
+        let d = parse_serve_args(&[]).unwrap();
+        assert_eq!(d.addr, DEFAULT_ADDR);
+        assert_eq!(d.queue_depth, 16);
+        assert_eq!(d.cache_dir, Some(ResultCache::default_dir()));
+        let o = parse_serve_args(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--queue-depth",
+            "4",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.queue_depth, 4);
+        assert_eq!(o.cache_dir, None);
+        assert!(parse_serve_args(&s(&["--queue-depth", "0"])).is_err());
+    }
+
+    #[test]
+    fn submit_args_parse() {
+        let o = parse_submit_args(&s(&["fig10", "--addr", "127.0.0.1:9", "--smoke"])).unwrap();
+        assert_eq!(o.specs, vec!["fig10"]);
+        assert_eq!(o.addr, "127.0.0.1:9");
+        assert!(o.smoke);
+        assert!(parse_submit_args(&s(&["--smoke"])).is_err(), "no specs");
+    }
+
+    #[test]
+    fn unknown_spec_error_lists_candidates() {
+        let err = resolve_spec("not-a-spec").unwrap_err();
+        assert!(err.contains("unknown spec"), "{err}");
+        for spec in registry::all_specs() {
+            assert!(err.contains(spec.name), "missing candidate {}", spec.name);
+        }
+        assert!(resolve_spec("fig10").is_ok());
+    }
+
+    #[test]
+    fn scale_names_resolve() {
+        assert_eq!(parse_scale_name("tiny"), Some(Scale::tiny()));
+        assert_eq!(parse_scale_name("paper"), Some(Scale::paper()));
+        assert_eq!(parse_scale_name("big"), None);
+        assert_eq!(effective_scale(None, true), Scale::tiny());
+        assert_eq!(effective_scale(Some(Scale::quick()), true), Scale::quick());
+    }
 }

@@ -56,46 +56,157 @@
 //! # Example
 //!
 //! ```
-//! use pif_lab::{registry, run_spec, Scale};
+//! use pif_lab::{registry, run_spec, RunOptions, Scale};
 //!
 //! let spec = registry::table1();
-//! let report = run_spec(&spec, &Scale::tiny(), 2, true);
+//! let report = run_spec(&spec, &RunOptions::new().scale(Scale::tiny()).threads(2).smoke(true));
 //! assert_eq!(report.cells.len(), 6);
 //! let json = report.to_json().unwrap();
 //! let parsed = pif_lab::json::Json::parse(&json).unwrap();
 //! pif_lab::report::validate_report(&parsed).unwrap();
 //! ```
+//!
+//! # Running as a service
+//!
+//! [`service`] wraps this same sweep path in a bounded job queue
+//! ([`service::Service`]) so sweeps can be submitted by many clients to
+//! one long-running daemon (`piflab serve`), and [`cache`] adds a
+//! persistent content-addressed store so repeated cells replay from disk
+//! instead of re-simulating — with byte-identical reports either way.
+//! [`protocol`] defines the line-delimited JSON the daemon speaks.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod json;
 mod measure;
 pub mod pool;
+pub mod protocol;
 pub mod registry;
 pub mod report;
 mod scale;
+pub mod service;
 pub mod spec;
 
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use measure::{density_metric, jump_cdf_metric, len_cdf_metric, offset_metric, runs_metric};
-pub use pool::{default_threads, parallel_map};
 pub use report::{Cell, CheckSummary, Metric, SweepReport};
 pub use scale::Scale;
+pub use service::{default_threads, Pool};
 pub use spec::{CdfKind, Measure, ParamAxis, PrefetcherKind, SweepSpec};
+
+#[doc(hidden)]
+pub use measure::jobs_executed;
+#[allow(deprecated)]
+pub use pool::parallel_map;
 
 use pif_workloads::WorkloadProfile;
 
-/// Expands `spec` into its job grid, runs it on `threads` workers, and
-/// merges the cells by job index into a [`SweepReport`].
+/// How to execute a sweep: scale, parallelism, smoke flag, and an
+/// optional result cache.
 ///
-/// The report depends only on `(spec, scale)` — not on `threads`, the
-/// schedule, or the clock — so serialized reports are byte-identical
-/// across thread counts.
+/// Replaces the old positional `(scale, threads, smoke)` arguments of
+/// [`run_spec`]; build one with [`RunOptions::new`] and the chainable
+/// setters. The struct is non-exhaustive so future knobs (and there will
+/// be more) extend it without breaking callers.
+///
+/// ```
+/// use pif_lab::{registry, run_spec, RunOptions, Scale};
+/// let report = run_spec(&registry::table1(), &RunOptions::new().scale(Scale::tiny()).smoke(true));
+/// assert!(report.smoke);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunOptions<'a> {
+    /// Run scale (instruction budget, footprint, warmup fraction).
+    pub scale: Scale,
+    /// Worker threads of the job pool.
+    pub threads: usize,
+    /// Mark the report as a smoke (reduced-scale) run.
+    pub smoke: bool,
+    /// Persistent result cache: cells found here replay from disk, fresh
+    /// cells are stored back. `None` always simulates.
+    pub cache: Option<&'a ResultCache>,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions::new()
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Paper scale, one thread per core, non-smoke, no cache.
+    pub fn new() -> Self {
+        RunOptions {
+            scale: Scale::default(),
+            threads: default_threads(),
+            smoke: false,
+            cache: None,
+        }
+    }
+
+    /// Sets the run scale.
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the smoke flag.
+    #[must_use]
+    pub fn smoke(mut self, smoke: bool) -> Self {
+        self.smoke = smoke;
+        self
+    }
+
+    /// Attaches a result cache.
+    #[must_use]
+    pub fn cache(mut self, cache: &'a ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// How much of a sweep came from the cache vs. fresh simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepRunStats {
+    /// Cells answered by [`RunOptions::cache`].
+    pub cached_cells: usize,
+    /// Cells simulated by this run.
+    pub executed_cells: usize,
+}
+
+/// Expands `spec` into its job grid, runs it per `opts`, and merges the
+/// cells by job index into a [`SweepReport`].
+///
+/// The report depends only on `(spec, opts.scale)` — not on
+/// `opts.threads`, the schedule, the clock, or whether cells replayed
+/// from `opts.cache` — so serialized reports are byte-identical across
+/// thread counts and across cold/warm cache runs.
 ///
 /// # Panics
 ///
 /// Panics if the spec names a workload that does not exist.
-pub fn run_spec(spec: &SweepSpec, scale: &Scale, threads: usize, smoke: bool) -> SweepReport {
+pub fn run_spec(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport {
+    run_spec_stats(spec, opts).0
+}
+
+/// [`run_spec`], also reporting the cache split of the run.
+///
+/// # Panics
+///
+/// Panics if the spec names a workload that does not exist.
+pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, SweepRunStats) {
+    let scale = &opts.scale;
     let names = spec.workload_names();
     let available = scale.workloads();
     let profiles: Vec<WorkloadProfile> = names
@@ -114,15 +225,70 @@ pub fn run_spec(spec: &SweepSpec, scale: &Scale, threads: usize, smoke: bool) ->
     // generated at most once per workload, shared across axis points.
     let traces: Vec<std::sync::OnceLock<pif_workloads::Trace>> =
         (0..profiles.len()).map(|_| Default::default()).collect();
-    let mut cells = pool::run_indexed(coords.len(), threads, |i| {
-        measure::run_job(spec, scale, &profiles, &traces, coords[i])
+
+    // Per-workload content-hash memo: the trace half of every cache key.
+    // Hashing streams the workload once per (workload, scale, seed) —
+    // far cheaper than simulating, which is the point of the cache.
+    let trace_hashes: Vec<std::sync::OnceLock<u64>> =
+        (0..profiles.len()).map(|_| Default::default()).collect();
+    let cell_key = |coord: spec::JobCoord| -> CacheKey {
+        let profile = &profiles[coord.workload];
+        let trace_hash = *trace_hashes[coord.workload].get_or_init(|| {
+            pif_trace::content_hash(
+                profile.stream_with_execution_seed(scale.instructions, spec.seed_offset),
+            )
+        });
+        CacheKey {
+            trace_hash,
+            config_fp: cache::cell_fingerprint(spec, scale, profile.name(), coord),
+        }
+    };
+
+    // Partition the grid: cells answered by the cache are reconstructed
+    // from their stored metric tokens, the rest go to the pool.
+    let mut cells: Vec<Option<Cell>> = (0..coords.len()).map(|_| None).collect();
+    let mut missing: Vec<spec::JobCoord> = Vec::new();
+    for &coord in &coords {
+        let cached = opts.cache.and_then(|c| c.lookup(&cell_key(coord)));
+        match cached {
+            Some(metrics) => {
+                cells[coord.index] = Some(Cell {
+                    index: coord.index,
+                    workload: profiles[coord.workload].name().to_string(),
+                    prefetcher: coord.prefetcher.map(PrefetcherKind::label),
+                    point: spec.axis.label(coord.point),
+                    metrics,
+                });
+            }
+            None => missing.push(coord),
+        }
+    }
+    let cached_cells = coords.len() - missing.len();
+
+    let fresh = Pool::new(opts.threads).run_indexed(missing.len(), |i| {
+        measure::run_job(spec, scale, &profiles, &traces, missing[i])
     });
+    let executed_cells = fresh.len();
+    for (coord, cell) in missing.iter().zip(fresh) {
+        // Stored pre-derive: `derive_speedups` is a cross-cell merge pass
+        // and is recomputed on every run, cached or not.
+        if let Some(cache) = opts.cache {
+            if let Err(e) = cache.store(&cell_key(*coord), &cell.metrics) {
+                eprintln!("piflab: cache store failed for {}: {e}", spec.name);
+            }
+        }
+        cells[coord.index] = Some(cell);
+    }
+    let mut cells: Vec<Cell> = cells
+        .into_iter()
+        .map(|c| c.expect("every grid index filled"))
+        .collect();
     derive_speedups(spec, &mut cells);
 
-    SweepReport {
+    let report = SweepReport {
         spec: spec.name.to_string(),
         title: spec.title.to_string(),
-        smoke,
+        smoke: opts.smoke,
         scale: *scale,
         tolerance: spec.tolerance,
         workloads: names,
@@ -131,7 +297,14 @@ pub fn run_spec(spec: &SweepSpec, scale: &Scale, threads: usize, smoke: bool) ->
         points: (0..spec.axis.len()).map(|i| spec.axis.label(i)).collect(),
         config: config_summary(spec),
         cells,
-    }
+    };
+    (
+        report,
+        SweepRunStats {
+            cached_cells,
+            executed_cells,
+        },
+    )
 }
 
 /// Post-merge derived metrics: UIPC speedup of every engine (or sampled,
@@ -171,8 +344,20 @@ fn derive_speedups(spec: &SweepSpec, cells: &mut [Cell]) {
 /// Flat summary of the spec's base configuration, embedded in every
 /// report for drift detection.
 fn config_summary(spec: &SweepSpec) -> Vec<(String, Metric)> {
-    let e = &spec.engine_base;
-    let p = &spec.pif_base;
+    config_entries(&spec.engine_base, &spec.pif_base, spec.seed_offset)
+}
+
+/// The flat config metric block for one concrete `(engine, pif, seed)`
+/// configuration. `config_summary` embeds the spec's base configuration
+/// in reports; `cache::cell_identity` fingerprints the *cell's* applied
+/// configuration (base plus the axis point) with the same entries, so
+/// any knob that reports can detect drifting on also invalidates cache
+/// entries.
+pub(crate) fn config_entries(
+    e: &pif_sim::EngineConfig,
+    p: &pif_core::PifConfig,
+    seed_offset: u64,
+) -> Vec<(String, Metric)> {
     let u = |v: usize| Metric::U64(v as u64);
     vec![
         ("icache_capacity_bytes".into(), u(e.icache.capacity_bytes)),
@@ -214,7 +399,7 @@ fn config_summary(spec: &SweepSpec) -> Vec<(String, Metric)> {
         ("pif_sab_count".into(), u(p.sab_count)),
         ("pif_sab_window".into(), u(p.sab_window)),
         ("pif_storage_bytes".into(), u(p.approx_storage_bytes())),
-        ("seed_offset".into(), Metric::U64(spec.seed_offset)),
+        ("seed_offset".into(), Metric::U64(seed_offset)),
     ]
 }
 
@@ -222,9 +407,16 @@ fn config_summary(spec: &SweepSpec) -> Vec<(String, Metric)> {
 mod tests {
     use super::*;
 
+    fn tiny(threads: usize, smoke: bool) -> RunOptions<'static> {
+        RunOptions::new()
+            .scale(Scale::tiny())
+            .threads(threads)
+            .smoke(smoke)
+    }
+
     #[test]
     fn static_spec_runs_and_reports() {
-        let report = run_spec(&registry::table1(), &Scale::tiny(), 3, true);
+        let report = run_spec(&registry::table1(), &tiny(3, true));
         assert_eq!(report.cells.len(), 6);
         assert_eq!(report.spec, "table1");
         assert!(report.smoke);
@@ -237,7 +429,7 @@ mod tests {
 
     #[test]
     fn sampled_spec_reports_summaries_and_speedup() {
-        let report = run_spec(&registry::fig_sampling(), &Scale::tiny(), 3, true);
+        let report = run_spec(&registry::fig_sampling(), &tiny(3, true));
         assert_eq!(report.cells.len(), registry::fig_sampling().grid_len());
         for cell in &report.cells {
             let n: u32 = cell.point.parse().expect("sample-count point label");
@@ -266,7 +458,7 @@ mod tests {
         let spec = SweepSpec::new("mini", "mini engine grid", Measure::Engine)
             .with_workloads(vec!["OLTP-DB2"])
             .with_prefetchers(vec![PrefetcherKind::None, PrefetcherKind::Perfect]);
-        let report = run_spec(&spec, &Scale::tiny(), 2, false);
+        let report = run_spec(&spec, &tiny(2, false));
         assert_eq!(report.cells.len(), 2);
         let none = report.cell("OLTP-DB2", Some("None"), "-").unwrap();
         assert!(none.metric("uipc_speedup_vs_none").is_none());

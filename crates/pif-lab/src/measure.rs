@@ -16,10 +16,11 @@ use pif_core::Pif;
 use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
 use pif_sim::prefetch::Prefetcher;
 use pif_sim::sampling::{run_sampled, SampledRunReport, SamplingPlan};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunReport};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions, RunReport};
 use pif_types::{RegionGeometry, TrapLevel};
 use pif_workloads::{Trace, WorkloadProfile};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::registry::{
@@ -60,6 +61,17 @@ pub fn runs_metric(lo: u32, hi: u32) -> String {
     format!("runs_{lo}_{hi}")
 }
 
+/// Process-wide count of cells actually simulated (not cache replays).
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of grid cells executed by [`run_job`] since process
+/// start. A cache replay does not increment it, which is what lets
+/// `tests/cache.rs` prove a warm-cache sweep runs zero engine jobs.
+#[doc(hidden)]
+pub fn jobs_executed() -> u64 {
+    JOBS_EXECUTED.load(Ordering::Relaxed)
+}
+
 /// Runs one grid cell and returns it (without cross-cell derived
 /// metrics — see [`crate::run_spec`] for the merge pass).
 pub(crate) fn run_job(
@@ -69,6 +81,7 @@ pub(crate) fn run_job(
     traces: &[OnceLock<Trace>],
     coord: JobCoord,
 ) -> Cell {
+    JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
     let profile = &profiles[coord.workload];
     // Memoized per-workload trace for the slice-consuming analysis
     // measures: generated once per (workload, seed), shared across axis
@@ -98,21 +111,33 @@ pub(crate) fn run_job(
             let source = profile.stream_with_execution_seed(scale.instructions, spec.seed_offset);
             let kind = coord.prefetcher.unwrap_or(PrefetcherKind::None);
             let report = match kind {
-                PrefetcherKind::None => engine.run_source_warmup(source, NoPrefetcher, warmup),
-                PrefetcherKind::NextLine => {
-                    engine.run_source_warmup(source, NextLinePrefetcher::aggressive(), warmup)
+                PrefetcherKind::None => {
+                    engine.run(source, NoPrefetcher, RunOptions::new().warmup(warmup))
                 }
-                PrefetcherKind::Tifs => {
-                    engine.run_source_warmup(source, Tifs::new(Default::default()), warmup)
-                }
+                PrefetcherKind::NextLine => engine.run(
+                    source,
+                    NextLinePrefetcher::aggressive(),
+                    RunOptions::new().warmup(warmup),
+                ),
+                PrefetcherKind::Tifs => engine.run(
+                    source,
+                    Tifs::new(Default::default()),
+                    RunOptions::new().warmup(warmup),
+                ),
                 PrefetcherKind::TifsUnbounded => {
-                    engine.run_source_warmup(source, Tifs::unbounded(), warmup)
+                    engine.run(source, Tifs::unbounded(), RunOptions::new().warmup(warmup))
                 }
-                PrefetcherKind::Discontinuity => {
-                    engine.run_source_warmup(source, DiscontinuityPrefetcher::paper_scale(), warmup)
+                PrefetcherKind::Discontinuity => engine.run(
+                    source,
+                    DiscontinuityPrefetcher::paper_scale(),
+                    RunOptions::new().warmup(warmup),
+                ),
+                PrefetcherKind::Pif => {
+                    engine.run(source, Pif::new(pif), RunOptions::new().warmup(warmup))
                 }
-                PrefetcherKind::Pif => engine.run_source_warmup(source, Pif::new(pif), warmup),
-                PrefetcherKind::Perfect => engine.run_source_warmup(source, PerfectICache, warmup),
+                PrefetcherKind::Perfect => {
+                    engine.run(source, PerfectICache, RunOptions::new().warmup(warmup))
+                }
             };
             engine_metrics(&mut cell, &report);
         }

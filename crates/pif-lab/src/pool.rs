@@ -1,115 +1,60 @@
-//! A scoped, work-stealing job pool with deterministic result merge.
+//! Deprecated free-function façade over [`crate::service::Pool`].
 //!
-//! Workers pull job indices from a shared atomic counter (the idle worker
-//! steals the next unclaimed job, so an expensive job never serializes the
-//! grid behind it) and deposit each result into its index's slot. The
-//! merged output is ordered by job index — **independent of thread count
-//! and schedule** — which is what makes sweep reports byte-identical
-//! across `--threads` settings.
+//! The work-stealing pool implementation moved to [`crate::service`],
+//! where it is a constructed `Pool` value instead of free functions
+//! threading a `threads` argument everywhere. This module keeps the old
+//! names alive as thin delegates for one release; new code should hold a
+//! [`crate::service::Pool`] and call its methods.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+pub use crate::service::default_threads;
 
-/// Number of worker threads to use by default: one per available core.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use crate::service::Pool;
 
 /// Runs `n_jobs` jobs on `threads` scoped workers and returns the results
 /// ordered by job index.
-///
-/// `f` is called with each job index exactly once. The assignment of jobs
-/// to workers is dynamic (first idle worker takes the next job), but the
-/// returned `Vec` is always `[f(0), f(1), …, f(n_jobs - 1)]`.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker.
+#[deprecated(
+    since = "0.6.0",
+    note = "use pif_lab::Pool::new(threads).run_indexed(n_jobs, f)"
+)]
 pub fn run_indexed<R, F>(n_jobs: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = threads.max(1).min(n_jobs.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_jobs {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("job completed")
-        })
-        .collect()
+    Pool::new(threads).run_indexed(n_jobs, f)
 }
 
 /// Maps `f` over `items` in parallel (one logical job per item),
 /// preserving input order in the output.
+#[deprecated(
+    since = "0.6.0",
+    note = "use pif_lab::Pool::default().parallel_map(items, f)"
+)]
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    run_indexed(n, n, |i| {
-        let item = slots[i]
-            .lock()
-            .expect("item slot poisoned")
-            .take()
-            .expect("item taken once");
-        f(item)
-    })
+    Pool::new(items.len()).parallel_map(items, f)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
 
     #[test]
-    fn results_ordered_by_index_for_any_thread_count() {
-        for threads in [1, 2, 3, 8, 64] {
-            let out = run_indexed(17, threads, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
-        }
+    fn deprecated_run_indexed_matches_pool() {
+        let old = run_indexed(9, 3, |i| i + 1);
+        let new = Pool::new(3).run_indexed(9, |i| i + 1);
+        assert_eq!(old, new);
     }
 
     #[test]
-    fn every_job_runs_exactly_once() {
-        let calls = AtomicU64::new(0);
-        let out = run_indexed(100, 8, |i| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            i
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), 100);
-        assert_eq!(out.len(), 100);
-    }
-
-    #[test]
-    fn zero_jobs_is_fine() {
-        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!());
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(vec![1, 2, 3, 4], |x| x * 10);
-        assert_eq!(out, vec![10, 20, 30, 40]);
+    fn deprecated_parallel_map_matches_pool() {
+        let old = parallel_map(vec![1, 2, 3], |x| x * 2);
+        let new = Pool::new(3).parallel_map(vec![1, 2, 3], |x| x * 2);
+        assert_eq!(old, new);
     }
 }

@@ -1,0 +1,570 @@
+//! The `piflab/1` wire protocol: line-delimited JSON over TCP.
+//!
+//! `piflab serve` (the `pifd` daemon) and `piflab submit` speak this
+//! protocol. Framing is one JSON object per line, newline-terminated, in
+//! both directions; a connection may carry any number of request/response
+//! pairs in order. Every object carries `"proto": "piflab/1"` so either
+//! end can reject a version mismatch with a real error instead of a
+//! parse failure.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"proto": "piflab/1", "cmd": "ping"}
+//! {"proto": "piflab/1", "cmd": "stats"}
+//! {"proto": "piflab/1", "cmd": "shutdown"}
+//! {"proto": "piflab/1", "cmd": "submit", "spec": "fig10", "smoke": true,
+//!  "scale": {"instructions": 40000, "footprint": 0.03, "warmup_fraction": 0.3}}
+//! ```
+//!
+//! Responses mirror the request (`pong`, `stats`, `shutting_down`,
+//! `report`) or report an error. A `report` response embeds the full
+//! `pif-lab-sweep/v1` document **as a JSON string**, not as a nested
+//! object: the report's own serialization is a byte-identity contract
+//! (goldens are compared byte-for-byte), and string-embedding lets the
+//! client recover those exact bytes with one unescape while keeping the
+//! one-line framing.
+//!
+//! An `error` response to a `submit` naming an unknown spec carries the
+//! registry's spec names in `"candidates"`, so clients can print the
+//! same hint `piflab run` prints locally.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::json::{escape, fmt_f64, Json};
+use crate::scale::Scale;
+use crate::service::{Service, ServiceStats, SweepJob};
+use crate::{registry, CacheStats};
+
+/// Protocol identifier carried by every frame.
+pub const PROTO: &str = "piflab/1";
+
+/// One client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ask for the daemon's counters.
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+    /// Submit one sweep.
+    Submit {
+        /// Registry name of the spec to run.
+        spec: String,
+        /// Scale to run it at.
+        scale: Scale,
+        /// Mark the report as a smoke run.
+        smoke: bool,
+    },
+}
+
+impl Request {
+    /// Serializes to one newline-terminated frame.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"ping\"}}\n"),
+            Request::Stats => format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"stats\"}}\n"),
+            Request::Shutdown => {
+                format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"shutdown\"}}\n")
+            }
+            Request::Submit { spec, scale, smoke } => format!(
+                "{{\"proto\": \"{PROTO}\", \"cmd\": \"submit\", \"spec\": \"{}\", \
+                 \"smoke\": {smoke}, \"scale\": {}}}\n",
+                escape(spec),
+                scale_json(scale)
+            ),
+        }
+    }
+
+    /// Parses one frame (the line's trailing newline is optional).
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON, a proto mismatch, or an unknown/ill-typed
+    /// command.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        check_proto(&j)?;
+        let cmd = j
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request missing \"cmd\"")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => {
+                let spec = j
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or("submit missing \"spec\"")?
+                    .to_string();
+                let smoke = j.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+                let scale = j
+                    .get("scale")
+                    .map(parse_scale)
+                    .transpose()?
+                    .unwrap_or_default();
+                Ok(Request::Submit { spec, scale, smoke })
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+/// One daemon response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// Counter snapshot.
+    Stats {
+        /// Jobs accepted so far.
+        submitted: u64,
+        /// Jobs completed so far.
+        completed: u64,
+        /// High-water mark of the queue depth.
+        max_queue_depth: u64,
+        /// Result-cache counters, when the daemon has a cache.
+        cache: Option<CacheStats>,
+    },
+    /// Acknowledges a `shutdown` request.
+    ShuttingDown,
+    /// A finished sweep.
+    Report {
+        /// The spec that ran.
+        spec: String,
+        /// Cells replayed from the daemon's result cache.
+        cached_cells: u64,
+        /// Cells simulated fresh.
+        executed_cells: u64,
+        /// The exact `pif-lab-sweep/v1` report bytes.
+        json: String,
+    },
+    /// Request failed.
+    Error {
+        /// Human-readable failure.
+        message: String,
+        /// For unknown-spec errors: the valid spec names.
+        candidates: Vec<String>,
+    },
+}
+
+impl Response {
+    /// Serializes to one newline-terminated frame.
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Pong => format!("{{\"proto\": \"{PROTO}\", \"resp\": \"pong\"}}\n"),
+            Response::Stats {
+                submitted,
+                completed,
+                max_queue_depth,
+                cache,
+            } => {
+                let cache = match cache {
+                    Some(c) => format!("{{\"hits\": {}, \"misses\": {}}}", c.hits, c.misses),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"proto\": \"{PROTO}\", \"resp\": \"stats\", \"submitted\": {submitted}, \
+                     \"completed\": {completed}, \"max_queue_depth\": {max_queue_depth}, \
+                     \"cache\": {cache}}}\n"
+                )
+            }
+            Response::ShuttingDown => {
+                format!("{{\"proto\": \"{PROTO}\", \"resp\": \"shutting_down\"}}\n")
+            }
+            Response::Report {
+                spec,
+                cached_cells,
+                executed_cells,
+                json,
+            } => format!(
+                "{{\"proto\": \"{PROTO}\", \"resp\": \"report\", \"spec\": \"{}\", \
+                 \"cached_cells\": {cached_cells}, \"executed_cells\": {executed_cells}, \
+                 \"report\": \"{}\"}}\n",
+                escape(spec),
+                escape(json)
+            ),
+            Response::Error {
+                message,
+                candidates,
+            } => {
+                let cands: Vec<String> = candidates
+                    .iter()
+                    .map(|c| format!("\"{}\"", escape(c)))
+                    .collect();
+                format!(
+                    "{{\"proto\": \"{PROTO}\", \"resp\": \"error\", \"message\": \"{}\", \
+                     \"candidates\": [{}]}}\n",
+                    escape(message),
+                    cands.join(", ")
+                )
+            }
+        }
+    }
+
+    /// Parses one frame (the line's trailing newline is optional).
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON, a proto mismatch, or an unknown/ill-typed
+    /// response kind.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        check_proto(&j)?;
+        let resp = j
+            .get("resp")
+            .and_then(Json::as_str)
+            .ok_or("response missing \"resp\"")?;
+        let u = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("response missing numeric {key:?}"))
+        };
+        match resp {
+            "pong" => Ok(Response::Pong),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "stats" => Ok(Response::Stats {
+                submitted: u("submitted")?,
+                completed: u("completed")?,
+                max_queue_depth: u("max_queue_depth")?,
+                cache: j.get("cache").and_then(|c| {
+                    Some(CacheStats {
+                        hits: c.get("hits")?.as_f64()? as u64,
+                        misses: c.get("misses")?.as_f64()? as u64,
+                    })
+                }),
+            }),
+            "report" => Ok(Response::Report {
+                spec: j
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or("report missing \"spec\"")?
+                    .to_string(),
+                cached_cells: u("cached_cells")?,
+                executed_cells: u("executed_cells")?,
+                json: j
+                    .get("report")
+                    .and_then(Json::as_str)
+                    .ok_or("report missing \"report\"")?
+                    .to_string(),
+            }),
+            "error" => Ok(Response::Error {
+                message: j
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+                candidates: j
+                    .get("candidates")
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(|c| c.as_str().map(str::to_string))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+fn check_proto(j: &Json) -> Result<(), String> {
+    match j.get("proto").and_then(Json::as_str) {
+        Some(PROTO) => Ok(()),
+        Some(other) => Err(format!("protocol mismatch: {other:?}, want {PROTO:?}")),
+        None => Err(format!("frame missing \"proto\": \"{PROTO}\"")),
+    }
+}
+
+fn scale_json(scale: &Scale) -> String {
+    format!(
+        "{{\"instructions\": {}, \"footprint\": {}, \"warmup_fraction\": {}}}",
+        scale.instructions,
+        fmt_f64(scale.footprint),
+        fmt_f64(scale.warmup_fraction)
+    )
+}
+
+fn parse_scale(j: &Json) -> Result<Scale, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("scale missing numeric {key:?}"))
+    };
+    Ok(Scale {
+        instructions: f("instructions")? as usize,
+        footprint: f("footprint")?,
+        warmup_fraction: f("warmup_fraction")?,
+    })
+}
+
+/// How often blocked accept/read calls re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Serves `piflab/1` on `listener` until `shutdown` becomes true.
+///
+/// Each connection gets its own scoped thread and is served
+/// request-by-request; a `submit` blocks its connection (honoring the
+/// service queue's backpressure) while other connections keep being
+/// accepted. A `shutdown` request sets the shared flag, so either a
+/// signal handler or a client can stop the daemon; in-flight submissions
+/// finish before `serve` returns.
+///
+/// # Errors
+///
+/// Reports listener configuration failures. Per-connection I/O errors
+/// drop that connection only.
+pub fn serve(
+    listener: TcpListener,
+    service: &Service,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|s| {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    s.spawn(move || {
+                        if let Err(e) = serve_connection(stream, service, shutdown) {
+                            eprintln!("pifd: connection error: {e}");
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => {
+                    eprintln!("pifd: accept error: {e}");
+                    std::thread::sleep(POLL);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` keeps partial data in `line` across timeouts, so a
+        // slow client cannot split a frame.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let response = handle_request(&line, service, shutdown);
+                let done = matches!(response, Response::ShuttingDown);
+                writer.write_all(response.to_line().as_bytes())?;
+                writer.flush()?;
+                line.clear();
+                if done {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one parsed request against the service. Exposed so tests can
+/// drive the dispatch without sockets.
+pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> Response {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(message) => {
+            return Response::Error {
+                message,
+                candidates: Vec::new(),
+            }
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => {
+            let ServiceStats {
+                submitted,
+                completed,
+                max_queue_depth,
+                cache,
+            } = service.stats();
+            Response::Stats {
+                submitted,
+                completed,
+                max_queue_depth: max_queue_depth as u64,
+                cache,
+            }
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Submit { spec, scale, smoke } => {
+            let Some(resolved) = registry::spec(&spec) else {
+                return Response::Error {
+                    message: format!("unknown spec {spec:?}"),
+                    candidates: registry::all_specs()
+                        .iter()
+                        .map(|s| s.name.to_string())
+                        .collect(),
+                };
+            };
+            let outcome = service
+                .submit(SweepJob::new(resolved, scale).smoke(smoke))
+                .and_then(|handle| handle.wait());
+            match outcome {
+                Ok(outcome) => match outcome.report.to_json() {
+                    Ok(json) => Response::Report {
+                        spec,
+                        cached_cells: outcome.cached_cells as u64,
+                        executed_cells: outcome.executed_cells as u64,
+                        json,
+                    },
+                    Err(e) => Response::Error {
+                        message: format!("report for {spec} failed to serialize: {e}"),
+                        candidates: Vec::new(),
+                    },
+                },
+                Err(message) => Response::Error {
+                    message,
+                    candidates: Vec::new(),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Submit {
+                spec: "fig10".to_string(),
+                scale: Scale::tiny(),
+                smoke: true,
+            },
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(line.ends_with('\n'), "{line:?}");
+            assert!(
+                !line.trim_end().contains('\n'),
+                "one-line framing: {line:?}"
+            );
+            assert_eq!(Request::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Stats {
+                submitted: 9,
+                completed: 7,
+                max_queue_depth: 4,
+                cache: Some(CacheStats { hits: 3, misses: 2 }),
+            },
+            Response::Stats {
+                submitted: 0,
+                completed: 0,
+                max_queue_depth: 0,
+                cache: None,
+            },
+            Response::Report {
+                spec: "fig10".to_string(),
+                cached_cells: 5,
+                executed_cells: 1,
+                json: "{\"schema\": \"pif-lab-sweep/v1\",\n  \"cells\": []}\n".to_string(),
+            },
+            Response::Error {
+                message: "unknown spec \"nope\"".to_string(),
+                candidates: vec!["fig2".to_string(), "fig10".to_string()],
+            },
+        ];
+        for r in resps {
+            let line = r.to_line();
+            assert!(line.ends_with('\n'), "{line:?}");
+            assert!(
+                !line.trim_end().contains('\n'),
+                "one-line framing: {line:?}"
+            );
+            assert_eq!(Response::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn report_bytes_survive_embedding_exactly() {
+        let json = "{\"a\": 1.5, \"b\": \"x\\\"y\",\n \"c\": [1, 2]}\n";
+        let line = Response::Report {
+            spec: "s".to_string(),
+            cached_cells: 0,
+            executed_cells: 0,
+            json: json.to_string(),
+        }
+        .to_line();
+        match Response::parse(&line).unwrap() {
+            Response::Report { json: back, .. } => assert_eq!(back, json),
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proto_mismatch_is_rejected() {
+        let err = Request::parse("{\"proto\": \"piflab/9\", \"cmd\": \"ping\"}").unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+        let err = Request::parse("{\"cmd\": \"ping\"}").unwrap_err();
+        assert!(err.contains("proto"), "{err}");
+    }
+
+    #[test]
+    fn submit_defaults_and_unknown_cmd() {
+        let r = Request::parse(&format!(
+            "{{\"proto\": \"{PROTO}\", \"cmd\": \"submit\", \"spec\": \"table1\"}}"
+        ))
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                spec: "table1".to_string(),
+                scale: Scale::default(),
+                smoke: false,
+            }
+        );
+        assert!(
+            Request::parse(&format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"dance\"}}")).is_err()
+        );
+    }
+}

@@ -1,0 +1,553 @@
+//! Reusable sweep execution: the work-stealing [`Pool`] and the
+//! long-running [`Service`] job queue behind `piflab serve`.
+//!
+//! [`Pool`] is the thread-count policy extracted from the old free
+//! functions in [`crate::pool`]: construct one with the worker count and
+//! every indexed run or parallel map goes through it, so thread plumbing
+//! lives in one place.
+//!
+//! [`Service`] turns [`crate::run_spec`] into simulation-as-a-service: a
+//! bounded job queue fed by [`Service::submit`] (which **blocks when the
+//! queue is full** — backpressure, not unbounded buffering), drained by a
+//! worker thread that executes each sweep on the service's pool and
+//! result cache, delivering each result through its [`SubmitHandle`].
+//! [`Service::shutdown`] is graceful: already-queued jobs finish, new
+//! submissions are refused, and the worker is joined before it returns.
+//!
+//! ```
+//! use pif_lab::{registry, service::{Service, ServiceConfig, SweepJob}, Scale};
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let handle = service
+//!     .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+//!     .expect("queue open");
+//! let outcome = handle.wait().expect("sweep ran");
+//! assert_eq!(outcome.report.cells.len(), 6);
+//! service.shutdown();
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::report::SweepReport;
+use crate::scale::Scale;
+use crate::spec::SweepSpec;
+use crate::{RunOptions, SweepRunStats};
+
+/// Number of worker threads to use by default: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scoped, work-stealing job pool with deterministic result merge.
+///
+/// Workers pull job indices from a shared atomic counter (the idle
+/// worker steals the next unclaimed job, so an expensive job never
+/// serializes the grid behind it) and deposit each result into its
+/// index's slot. The merged output is ordered by job index —
+/// **independent of thread count and schedule** — which is what makes
+/// sweep reports byte-identical across `--threads` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// A pool with one worker per available core.
+    fn default() -> Self {
+        Pool::new(default_threads())
+    }
+}
+
+impl Pool {
+    /// A pool running jobs on `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `n_jobs` jobs on this pool's workers and returns the results
+    /// ordered by job index.
+    ///
+    /// `f` is called with each job index exactly once. The assignment of
+    /// jobs to workers is dynamic (first idle worker takes the next
+    /// job), but the returned `Vec` is always
+    /// `[f(0), f(1), …, f(n_jobs - 1)]`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn run_indexed<R, F>(&self, n_jobs: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = self.threads.min(n_jobs.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let result = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("job completed")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items` in parallel (one logical job per item),
+    /// preserving input order in the output.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.run_indexed(n, |i| {
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item taken once");
+            f(item)
+        })
+    }
+}
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum queued (not yet running) jobs before
+    /// [`Service::submit`] blocks.
+    pub queue_depth: usize,
+    /// Worker threads of the pool each sweep runs on.
+    pub threads: usize,
+    /// Directory of the persistent result cache, if any.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 16,
+            threads: default_threads(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// One sweep submission: a spec plus its run parameters.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The grid to run.
+    pub spec: SweepSpec,
+    /// The scale to run it at.
+    pub scale: Scale,
+    /// Whether the report is marked as a smoke run.
+    pub smoke: bool,
+}
+
+impl SweepJob {
+    /// A job for `spec` at `scale` (non-smoke).
+    pub fn new(spec: SweepSpec, scale: Scale) -> Self {
+        SweepJob {
+            spec,
+            scale,
+            smoke: false,
+        }
+    }
+
+    /// Sets the smoke flag.
+    #[must_use]
+    pub fn smoke(mut self, smoke: bool) -> Self {
+        self.smoke = smoke;
+        self
+    }
+}
+
+/// A finished sweep: the report plus how much of it came from the cache.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The merged report (byte-identical to a direct [`crate::run_spec`]
+    /// of the same job, whether or not cells came from the cache).
+    pub report: SweepReport,
+    /// Cells answered from the result cache.
+    pub cached_cells: usize,
+    /// Cells simulated fresh.
+    pub executed_cells: usize,
+}
+
+type ResultSlot = Arc<(Mutex<Option<Result<SweepOutcome, String>>>, Condvar)>;
+
+/// The caller's side of one submission: blocks until the service worker
+/// delivers the sweep's outcome.
+#[derive(Debug, Clone)]
+pub struct SubmitHandle {
+    slot: ResultSlot,
+}
+
+impl SubmitHandle {
+    fn new() -> Self {
+        SubmitHandle {
+            slot: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    fn deliver(&self, result: Result<SweepOutcome, String>) {
+        let (lock, cv) = &*self.slot;
+        *lock.lock().expect("result slot poisoned") = Some(result);
+        cv.notify_all();
+    }
+
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's failure message if the sweep panicked or the
+    /// service shut down before running it.
+    pub fn wait(&self) -> Result<SweepOutcome, String> {
+        let (lock, cv) = &*self.slot;
+        let mut guard = lock.lock().expect("result slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = cv.wait(guard).expect("result slot poisoned");
+        }
+    }
+}
+
+/// Point-in-time counters of a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted by [`Service::submit`].
+    pub submitted: u64,
+    /// Jobs completed (delivered, successfully or not).
+    pub completed: u64,
+    /// High-water mark of the queue depth (for backpressure asserts).
+    pub max_queue_depth: usize,
+    /// Result-cache counters, when a cache is attached.
+    pub cache: Option<CacheStats>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<(SweepJob, SubmitHandle)>,
+    closed: bool,
+    submitted: u64,
+    completed: u64,
+    max_depth: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_depth: usize,
+    pool_threads: usize,
+    cache: Option<ResultCache>,
+}
+
+/// A long-running sweep executor with a bounded job queue.
+///
+/// See the module docs for the lifecycle; `piflab serve` wraps one of
+/// these in the line-delimited JSON protocol of [`crate::protocol`].
+#[derive(Debug)]
+pub struct Service {
+    inner: Arc<Inner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the service worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cache_dir` names a directory that cannot be
+    /// created (a daemon that silently ran uncached would defeat the
+    /// point of pointing it at a cache).
+    pub fn start(config: ServiceConfig) -> Self {
+        let cache = config.cache_dir.map(|dir| {
+            ResultCache::open(&dir)
+                .unwrap_or_else(|e| panic!("cannot open cache at {}: {e}", dir.display()))
+        });
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+                submitted: 0,
+                completed: 0,
+                max_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            pool_threads: config.threads.max(1),
+            cache,
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("pifd-worker".into())
+            .spawn(move || worker_loop(&worker_inner))
+            .expect("spawn service worker");
+        Service {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues a job, **blocking while the queue is at capacity**
+    /// (backpressure: a flood of submissions throttles the submitters,
+    /// it does not balloon daemon memory).
+    ///
+    /// # Errors
+    ///
+    /// Refuses the job if the service is shutting down.
+    pub fn submit(&self, job: SweepJob) -> Result<SubmitHandle, String> {
+        let mut state = self.inner.state.lock().expect("service state poisoned");
+        while !state.closed && state.queue.len() >= self.inner.queue_depth {
+            state = self
+                .inner
+                .not_full
+                .wait(state)
+                .expect("service state poisoned");
+        }
+        if state.closed {
+            return Err("service is shut down".to_string());
+        }
+        let handle = SubmitHandle::new();
+        state.queue.push_back((job, handle.clone()));
+        state.submitted += 1;
+        state.max_depth = state.max_depth.max(state.queue.len());
+        self.inner.not_empty.notify_one();
+        Ok(handle)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.inner.state.lock().expect("service state poisoned");
+        ServiceStats {
+            submitted: state.submitted,
+            completed: state.completed,
+            max_queue_depth: state.max_depth,
+            cache: self.inner.cache.as_ref().map(ResultCache::stats),
+        }
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.inner.cache.as_ref()
+    }
+
+    /// Graceful shutdown: refuses new submissions, drains every queued
+    /// job, joins the worker, and returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("service worker panicked");
+        }
+        self.stats()
+    }
+
+    fn close(&self) {
+        let mut state = self.inner.state.lock().expect("service state poisoned");
+        state.closed = true;
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (job, handle) = {
+            let mut state = inner.state.lock().expect("service state poisoned");
+            loop {
+                if let Some(entry) = state.queue.pop_front() {
+                    inner.not_full.notify_one();
+                    break entry;
+                }
+                if state.closed {
+                    return;
+                }
+                state = inner.not_empty.wait(state).expect("service state poisoned");
+            }
+        };
+        let result = run_one(inner, &job);
+        handle.deliver(result);
+        let mut state = inner.state.lock().expect("service state poisoned");
+        state.completed += 1;
+    }
+}
+
+fn run_one(inner: &Inner, job: &SweepJob) -> Result<SweepOutcome, String> {
+    // A panicking sweep (e.g. a spec naming an unknown workload) fails
+    // that submission, not the daemon.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut opts = RunOptions::new()
+            .scale(job.scale)
+            .threads(inner.pool_threads)
+            .smoke(job.smoke);
+        if let Some(cache) = &inner.cache {
+            opts = opts.cache(cache);
+        }
+        crate::run_spec_stats(&job.spec, &opts)
+    }));
+    match run {
+        Ok((
+            report,
+            SweepRunStats {
+                cached_cells,
+                executed_cells,
+            },
+        )) => Ok(SweepOutcome {
+            report,
+            cached_cells,
+            executed_cells,
+        }),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("sweep panicked");
+            Err(format!("sweep {} failed: {msg}", job.spec.name))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn pool_results_ordered_by_index_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = Pool::new(threads).run_indexed(17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_zero_jobs_is_fine() {
+        let out: Vec<u32> = Pool::new(4).run_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_parallel_map_preserves_order() {
+        let out = Pool::new(4).parallel_map(vec![1, 2, 3, 4], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn service_runs_jobs_and_shuts_down() {
+        let service = Service::start(ServiceConfig {
+            queue_depth: 2,
+            threads: 2,
+            cache_dir: None,
+        });
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                service
+                    .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+                    .expect("queue open")
+            })
+            .collect();
+        for h in &handles {
+            let outcome = h.wait().expect("job ran");
+            assert_eq!(outcome.report.cells.len(), 6);
+            assert_eq!(outcome.cached_cells, 0, "no cache attached");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert!(stats.max_queue_depth <= 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = Service::start(ServiceConfig {
+            queue_depth: 8,
+            threads: 1,
+            cache_dir: None,
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                service
+                    .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+                    .expect("queue open")
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 4, "queued jobs drained before join");
+        for h in handles {
+            h.wait().expect("drained job delivered");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let service = Service::start(ServiceConfig::default());
+        service.close();
+        let err = service
+            .submit(SweepJob::new(registry::table1(), Scale::tiny()))
+            .unwrap_err();
+        assert!(err.contains("shut down"), "{err}");
+    }
+
+    #[test]
+    fn failing_job_reports_error_without_killing_worker() {
+        let service = Service::start(ServiceConfig {
+            queue_depth: 4,
+            threads: 1,
+            cache_dir: None,
+        });
+        let bad = crate::SweepSpec::new("bad", "bad", crate::Measure::Static)
+            .with_workloads(vec!["No-Such-Workload"]);
+        let h_bad = service
+            .submit(SweepJob::new(bad, Scale::tiny()).smoke(true))
+            .unwrap();
+        let h_ok = service
+            .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+            .unwrap();
+        assert!(h_bad.wait().is_err());
+        h_ok.wait().expect("worker survived the panic");
+        service.shutdown();
+    }
+}

@@ -4,17 +4,16 @@
 //! job index and carry no schedule- or clock-dependent data.
 
 use pif_lab::json::Json;
-use pif_lab::{registry, report, run_spec, Scale};
+use pif_lab::{registry, report, run_spec, RunOptions, Scale};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn assert_thread_invariant(spec: &pif_lab::SweepSpec) {
     let scale = Scale::tiny();
-    let baseline = run_spec(spec, &scale, THREAD_COUNTS[0], true)
-        .to_json()
-        .unwrap();
+    let opts = |threads| RunOptions::new().scale(scale).threads(threads).smoke(true);
+    let baseline = run_spec(spec, &opts(THREAD_COUNTS[0])).to_json().unwrap();
     for &threads in &THREAD_COUNTS[1..] {
-        let other = run_spec(spec, &scale, threads, true).to_json().unwrap();
+        let other = run_spec(spec, &opts(threads)).to_json().unwrap();
         assert_eq!(
             baseline, other,
             "{}: report at {threads} threads differs from 1 thread",
@@ -55,8 +54,30 @@ fn sampled_sweep_is_thread_invariant() {
 #[test]
 fn check_rejects_reports_from_different_scales() {
     let spec = registry::table1();
-    let tiny = Json::parse(&run_spec(&spec, &Scale::tiny(), 2, true).to_json().unwrap()).unwrap();
-    let quick = Json::parse(&run_spec(&spec, &Scale::quick(), 2, true).to_json().unwrap()).unwrap();
+    let tiny = Json::parse(
+        &run_spec(
+            &spec,
+            &RunOptions::new()
+                .scale(Scale::tiny())
+                .threads(2)
+                .smoke(true),
+        )
+        .to_json()
+        .unwrap(),
+    )
+    .unwrap();
+    let quick = Json::parse(
+        &run_spec(
+            &spec,
+            &RunOptions::new()
+                .scale(Scale::quick())
+                .threads(2)
+                .smoke(true),
+        )
+        .to_json()
+        .unwrap(),
+    )
+    .unwrap();
     let violations = report::check_reports(&tiny, &quick, None).unwrap_err();
     assert!(
         violations.iter().any(|v| v.contains("scale")),
@@ -69,7 +90,13 @@ fn every_committed_spec_serializes_to_a_valid_report() {
     // One pass over the whole registry at tiny scale: every spec must
     // produce a parseable, schema-valid, self-consistent report.
     for spec in registry::all_specs() {
-        let report_ = run_spec(&spec, &Scale::tiny(), 4, true);
+        let report_ = run_spec(
+            &spec,
+            &RunOptions::new()
+                .scale(Scale::tiny())
+                .threads(4)
+                .smoke(true),
+        );
         assert_eq!(report_.cells.len(), spec.grid_len(), "{}", spec.name);
         let parsed = Json::parse(&report_.to_json().expect("finite metrics"))
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));

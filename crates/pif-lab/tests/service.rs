@@ -1,0 +1,159 @@
+//! End-to-end exercise of the `pifd` building blocks in-process: a real
+//! TCP listener speaking `piflab/1`, a bounded-queue [`Service`], and
+//! clients submitting sweeps concurrently. The CI smoke shard and the
+//! soak test drive the same path through the `piflab` binary; this test
+//! keeps the library layer honest without spawning processes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+
+use pif_lab::json::Json;
+use pif_lab::protocol::{serve, Request, Response};
+use pif_lab::report::validate_report;
+use pif_lab::service::{Service, ServiceConfig};
+use pif_lab::{registry, run_spec, RunOptions, Scale};
+
+fn exchange(stream: &TcpStream, request: &Request) -> Response {
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(request.to_line().as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    Response::parse(&line).unwrap()
+}
+
+#[test]
+fn daemon_round_trip_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::start(ServiceConfig {
+        queue_depth: 4,
+        threads: 2,
+        cache_dir: None,
+    });
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(listener, &service, &shutdown).unwrap());
+
+        // Three concurrent clients: ping, then submit, then check bytes.
+        let mut clients = Vec::new();
+        for _ in 0..3 {
+            clients.push(s.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                assert_eq!(exchange(&stream, &Request::Ping), Response::Pong);
+                let response = exchange(
+                    &stream,
+                    &Request::Submit {
+                        spec: "table1".to_string(),
+                        scale: Scale::tiny(),
+                        smoke: true,
+                    },
+                );
+                let Response::Report { spec, json, .. } = response else {
+                    panic!("expected report, got {response:?}");
+                };
+                assert_eq!(spec, "table1");
+                json
+            }));
+        }
+        let reports: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+        // Every client got valid, identical bytes — and they match a
+        // direct local run of the same job.
+        let direct = run_spec(
+            &registry::table1(),
+            &RunOptions::new().scale(Scale::tiny()).smoke(true),
+        )
+        .to_json()
+        .unwrap();
+        for json in &reports {
+            validate_report(&Json::parse(json).unwrap()).unwrap();
+            assert_eq!(json, &direct, "daemon bytes must equal local run");
+        }
+
+        // Unknown specs come back as errors with the candidate list, and
+        // the connection stays usable.
+        let stream = TcpStream::connect(addr).unwrap();
+        let response = exchange(
+            &stream,
+            &Request::Submit {
+                spec: "not-a-spec".to_string(),
+                scale: Scale::tiny(),
+                smoke: true,
+            },
+        );
+        let Response::Error {
+            message,
+            candidates,
+        } = response
+        else {
+            panic!("expected error, got {response:?}");
+        };
+        assert!(message.contains("unknown spec"), "{message}");
+        assert_eq!(candidates.len(), registry::all_specs().len());
+
+        match exchange(&stream, &Request::Stats) {
+            Response::Stats {
+                submitted,
+                completed,
+                ..
+            } => {
+                assert_eq!(submitted, 3);
+                assert_eq!(completed, 3);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // A protocol shutdown stops the serve loop.
+        assert_eq!(
+            exchange(&stream, &Request::Shutdown),
+            Response::ShuttingDown
+        );
+        server.join().unwrap();
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn malformed_frames_get_errors_not_disconnects() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::start(ServiceConfig {
+        queue_depth: 2,
+        threads: 1,
+        cache_dir: None,
+    });
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(listener, &service, &shutdown).unwrap());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        for bad in ["not json at all\n", "{\"cmd\": \"ping\"}\n"] {
+            writer.write_all(bad.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            match Response::parse(&line).unwrap() {
+                Response::Error { .. } => {}
+                other => panic!("expected error for {bad:?}, got {other:?}"),
+            }
+        }
+        // Still alive afterwards.
+        assert_eq!(exchange(&stream, &Request::Ping), Response::Pong);
+        assert_eq!(
+            exchange(&stream, &Request::Shutdown),
+            Response::ShuttingDown
+        );
+        server.join().unwrap();
+    });
+    service.shutdown();
+}

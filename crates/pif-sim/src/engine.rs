@@ -42,18 +42,79 @@ impl RunReport {
     }
 }
 
+/// Options for one [`Engine::run`]: the warmup prefix and, optionally, a
+/// caller-owned front end whose predictor state persists across runs.
+///
+/// The struct is `#[non_exhaustive]`; build it with [`RunOptions::new`]
+/// and the `warmup`/`frontend` builders so future options (per-run
+/// instrumentation, fetch throttling, …) can land without breaking
+/// callers.
+///
+/// ```
+/// use pif_sim::RunOptions;
+///
+/// let opts = RunOptions::new().warmup(10_000);
+/// assert_eq!(opts.warmup_instrs, 10_000);
+/// ```
+#[derive(Debug, Default)]
+#[non_exhaustive]
+pub struct RunOptions<'a> {
+    /// Retirements treated as warmup: simulated state (caches, predictor
+    /// tables, prefetcher history) is exercised, but reported statistics
+    /// cover only the post-warmup region — the paper's steady-state
+    /// measurement methodology (§5: checkpoints with warmed caches and
+    /// prefetcher tables).
+    pub warmup_instrs: usize,
+    /// An existing [`FrontEnd`] to drive instead of a fresh one:
+    /// branch-predictor tables, BTB, and RAS state carry in (and
+    /// accumulate for the caller), while the reported front-end
+    /// statistics cover only this run. Sampled simulation
+    /// (`crate::sampling`) uses this to keep predictor tables
+    /// continuously warm across measurement windows.
+    pub frontend: Option<&'a mut FrontEnd>,
+}
+
+impl RunOptions<'static> {
+    /// Default options: no warmup, a fresh front end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Sets the warmup prefix, in retired instructions.
+    #[must_use]
+    pub fn warmup(mut self, warmup_instrs: usize) -> Self {
+        self.warmup_instrs = warmup_instrs;
+        self
+    }
+
+    /// Drives `frontend` instead of a fresh front end.
+    #[must_use]
+    pub fn frontend(self, frontend: &mut FrontEnd) -> RunOptions<'_> {
+        RunOptions {
+            warmup_instrs: self.warmup_instrs,
+            frontend: Some(frontend),
+        }
+    }
+}
+
 /// The trace-driven simulation engine.
 ///
 /// # Example
 ///
 /// ```
-/// use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+/// use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 /// use pif_types::{Address, RetiredInstr, TrapLevel};
 ///
 /// let trace: Vec<_> = (0..1000u64)
 ///     .map(|i| RetiredInstr::simple(Address::new((i % 256) * 4), TrapLevel::Tl0))
 ///     .collect();
-/// let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+/// let report = Engine::new(EngineConfig::paper_default()).run(
+///     trace.iter().copied(),
+///     NoPrefetcher,
+///     RunOptions::new(),
+/// );
 /// assert_eq!(report.frontend.instructions, 1000);
 /// ```
 #[derive(Debug, Clone)]
@@ -79,74 +140,56 @@ impl Engine {
         &self.config
     }
 
-    /// Runs `trace` with `prefetcher` attached and returns the report.
-    pub fn run_instrs<P: Prefetcher>(&self, trace: &[RetiredInstr], prefetcher: P) -> RunReport {
-        self.run_instrs_warmup(trace, prefetcher, 0)
-    }
-
-    /// As [`Engine::run_instrs`], but treats the first `warmup_instrs`
-    /// retirements as warmup (see [`Engine::run_source_warmup`]).
-    pub fn run_instrs_warmup<P: Prefetcher>(
-        &self,
-        trace: &[RetiredInstr],
-        prefetcher: P,
-        warmup_instrs: usize,
-    ) -> RunReport {
-        self.run_source_warmup(trace.iter().copied(), prefetcher, warmup_instrs)
-    }
-
     /// Runs a streaming [`InstrSource`] with `prefetcher` attached.
     ///
-    /// This is the engine's core loop; the slice entry points are thin
-    /// wrappers over it. Because instructions are *pulled* one at a time,
-    /// the trace never has to exist in memory: pass a
-    /// `pif_trace::TraceReader`'s instruction iterator to simulate a
-    /// multi-hundred-million-instruction file out of core, or a
-    /// `pif_workloads` stream to simulate while generating. Pass
-    /// `&mut source` to retain ownership (e.g. to check a trace decoder
-    /// for deferred errors after the run).
+    /// This is the engine's single entry point; everything else
+    /// (`run_instrs*`, `run_source*`) is a thin deprecated wrapper over
+    /// it. Because instructions are *pulled* one at a time, the trace
+    /// never has to exist in memory: pass a `pif_trace::TraceReader`'s
+    /// instruction iterator to simulate a multi-hundred-million-
+    /// instruction file out of core, a `pif_workloads` stream to simulate
+    /// while generating, or `slice.iter().copied()` for an in-memory
+    /// trace. Pass `&mut source` to retain ownership (e.g. to check a
+    /// trace decoder for deferred errors after the run).
+    ///
+    /// [`RunOptions`] carries the warmup prefix and, for sampled
+    /// simulation, a caller-owned [`FrontEnd`] whose predictor state
+    /// persists across runs.
     ///
     /// # Example
     ///
     /// ```
-    /// use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+    /// use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
     /// use pif_types::{Address, RetiredInstr, TrapLevel};
     ///
     /// // A lazily generated source: no Vec<RetiredInstr> anywhere.
     /// let source = (0..1000u64)
     ///     .map(|i| RetiredInstr::simple(Address::new((i % 256) * 4), TrapLevel::Tl0));
-    /// let report = Engine::new(EngineConfig::paper_default()).run_source(source, NoPrefetcher);
+    /// let report = Engine::new(EngineConfig::paper_default()).run(
+    ///     source,
+    ///     NoPrefetcher,
+    ///     RunOptions::new().warmup(200),
+    /// );
     /// assert_eq!(report.frontend.instructions, 1000);
+    /// // Timed stats only cover the post-warmup suffix.
+    /// assert!(report.timing.instructions < 1000);
     /// ```
-    pub fn run_source<P: Prefetcher, S: InstrSource>(&self, source: S, prefetcher: P) -> RunReport {
-        self.run_source_warmup(source, prefetcher, 0)
-    }
-
-    /// As [`Engine::run_source`], but treats the first `warmup_instrs`
-    /// retirements as warmup: caches, predictor tables, and prefetcher
-    /// state are exercised, while the reported statistics cover only the
-    /// post-warmup region — the paper's steady-state measurement
-    /// methodology (§5: checkpoints with warmed caches and prefetcher
-    /// tables).
-    pub fn run_source_warmup<P: Prefetcher, S: InstrSource>(
+    pub fn run<P: Prefetcher, S: InstrSource>(
         &self,
         source: S,
         prefetcher: P,
-        warmup_instrs: usize,
+        options: RunOptions<'_>,
     ) -> RunReport {
-        let mut frontend = FrontEnd::new(self.config.frontend);
-        self.run_source_with_frontend(source, prefetcher, warmup_instrs, &mut frontend)
+        match options.frontend {
+            Some(frontend) => self.run_core(source, prefetcher, options.warmup_instrs, frontend),
+            None => {
+                let mut frontend = FrontEnd::new(self.config.frontend);
+                self.run_core(source, prefetcher, options.warmup_instrs, &mut frontend)
+            }
+        }
     }
 
-    /// As [`Engine::run_source_warmup`], but driving an existing
-    /// [`FrontEnd`] instead of a fresh one: branch-predictor tables, BTB,
-    /// and RAS state carry in (and accumulate for the caller), while the
-    /// reported front-end statistics cover only this run. This is how
-    /// sampled simulation (`crate::sampling`) keeps predictor tables
-    /// continuously warm across measurement windows — the 16K-entry
-    /// direction tables are far too slow-warming for a per-sample warmup
-    /// window.
-    pub fn run_source_with_frontend<P: Prefetcher, S: InstrSource>(
+    fn run_core<P: Prefetcher, S: InstrSource>(
         &self,
         mut source: S,
         prefetcher: P,
@@ -172,25 +215,97 @@ impl Engine {
         state.finish(*frontend.stats())
     }
 
-    /// Runs anything that exposes a retired-instruction slice (e.g. the
-    /// workload crate's `Trace`).
-    pub fn run<P: Prefetcher, T: AsRef<[RetiredInstr]>>(
-        &self,
-        trace: &T,
-        prefetcher: P,
-    ) -> RunReport {
-        self.run_instrs(trace.as_ref(), prefetcher)
+    /// Runs `trace` with `prefetcher` attached and returns the report.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(source, prefetcher, RunOptions::new())`"
+    )]
+    pub fn run_instrs<P: Prefetcher>(&self, trace: &[RetiredInstr], prefetcher: P) -> RunReport {
+        self.run(trace.iter().copied(), prefetcher, RunOptions::new())
     }
 
-    /// As [`Engine::run`], with a warmup prefix (see
-    /// [`Engine::run_instrs_warmup`]).
+    /// Slice run with a warmup prefix.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(source, prefetcher, RunOptions::new().warmup(n))`"
+    )]
+    pub fn run_instrs_warmup<P: Prefetcher>(
+        &self,
+        trace: &[RetiredInstr],
+        prefetcher: P,
+        warmup_instrs: usize,
+    ) -> RunReport {
+        self.run(
+            trace.iter().copied(),
+            prefetcher,
+            RunOptions::new().warmup(warmup_instrs),
+        )
+    }
+
+    /// Streaming run without warmup.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(source, prefetcher, RunOptions::new())`"
+    )]
+    pub fn run_source<P: Prefetcher, S: InstrSource>(&self, source: S, prefetcher: P) -> RunReport {
+        self.run(source, prefetcher, RunOptions::new())
+    }
+
+    /// Streaming run with a warmup prefix.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(source, prefetcher, RunOptions::new().warmup(n))`"
+    )]
+    pub fn run_source_warmup<P: Prefetcher, S: InstrSource>(
+        &self,
+        source: S,
+        prefetcher: P,
+        warmup_instrs: usize,
+    ) -> RunReport {
+        self.run(source, prefetcher, RunOptions::new().warmup(warmup_instrs))
+    }
+
+    /// Streaming run driving an existing front end.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(source, prefetcher, RunOptions::new().warmup(n).frontend(fe))`"
+    )]
+    pub fn run_source_with_frontend<P: Prefetcher, S: InstrSource>(
+        &self,
+        source: S,
+        prefetcher: P,
+        warmup_instrs: usize,
+        frontend: &mut FrontEnd,
+    ) -> RunReport {
+        self.run(
+            source,
+            prefetcher,
+            RunOptions::new().warmup(warmup_instrs).frontend(frontend),
+        )
+    }
+
+    /// Slice-convenience run with a warmup prefix.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(trace.as_ref().iter().copied(), prefetcher, RunOptions::new().warmup(n))`"
+    )]
     pub fn run_warmup<P: Prefetcher, T: AsRef<[RetiredInstr]>>(
         &self,
         trace: &T,
         prefetcher: P,
         warmup_instrs: usize,
     ) -> RunReport {
-        self.run_instrs_warmup(trace.as_ref(), prefetcher, warmup_instrs)
+        self.run(
+            trace.as_ref().iter().copied(),
+            prefetcher,
+            RunOptions::new().warmup(warmup_instrs),
+        )
     }
 }
 
@@ -379,7 +494,11 @@ mod tests {
     #[test]
     fn small_loop_fits_in_cache() {
         let trace = loop_trace(8, 50);
-        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        let report = Engine::new(EngineConfig::paper_default()).run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
         assert_eq!(report.fetch.demand_misses, 8, "only cold misses");
         assert_eq!(report.frontend.instructions, 8 * 50 * 16);
         assert!(report.fetch.hit_rate() > 0.9);
@@ -390,7 +509,11 @@ mod tests {
         // 64KB cache = 1024 blocks; loop over 2048 blocks with LRU = every
         // access misses once warm.
         let trace = loop_trace(2048, 3);
-        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        let report = Engine::new(EngineConfig::paper_default()).run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
         assert!(
             report.fetch.demand_misses > 2048 * 2,
             "LRU thrashing expected, got {} misses",
@@ -411,7 +534,11 @@ mod tests {
             }
         }
         let trace = loop_trace(2048, 2);
-        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, Perfect);
+        let report = Engine::new(EngineConfig::paper_default()).run(
+            trace.iter().copied(),
+            Perfect,
+            RunOptions::new(),
+        );
         assert_eq!(report.fetch.demand_misses, 0);
         assert_eq!(report.timing.fetch_stall_cycles, 0);
     }
@@ -440,8 +567,8 @@ mod tests {
         }
         let trace = loop_trace(2048, 3);
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let pf = engine.run_instrs(&trace, NextFour);
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let pf = engine.run(trace.iter().copied(), NextFour, RunOptions::new());
         assert!(
             pf.fetch.miss_coverage() > 0.5,
             "coverage {}",
@@ -477,8 +604,8 @@ mod tests {
         }
         let trace = loop_trace(1500, 2);
         let engine = Engine::new(EngineConfig::paper_default());
-        let base = engine.run_instrs(&trace, NoPrefetcher);
-        let pf = engine.run_instrs(&trace, NextOne);
+        let base = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let pf = engine.run(trace.iter().copied(), NextOne, RunOptions::new());
         // The prefetched run's baseline-equivalent miss count should be in
         // the same ballpark as the true baseline's misses (prefetching can
         // shift which accesses miss, but not the scale).
@@ -493,8 +620,12 @@ mod tests {
         // reports (almost) none of them.
         let trace = loop_trace(64, 20);
         let engine = Engine::new(EngineConfig::paper_default());
-        let cold = engine.run_instrs(&trace, NoPrefetcher);
-        let warm = engine.run_instrs_warmup(&trace, NoPrefetcher, trace.len() / 2);
+        let cold = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let warm = engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(trace.len() / 2),
+        );
         assert_eq!(cold.fetch.demand_misses, 64);
         assert_eq!(warm.fetch.demand_misses, 0, "cold misses fall in warmup");
         assert!(warm.timing.instructions < cold.timing.instructions);
@@ -507,8 +638,12 @@ mod tests {
         // warm cache, so UIPC is higher than a cold full run.
         let trace = loop_trace(512, 4);
         let engine = Engine::new(EngineConfig::paper_default());
-        let cold = engine.run_instrs(&trace, NoPrefetcher);
-        let warm = engine.run_instrs_warmup(&trace, NoPrefetcher, trace.len() / 2);
+        let cold = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let warm = engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(trace.len() / 2),
+        );
         assert!(warm.timing.uipc() >= cold.timing.uipc());
     }
 
@@ -516,8 +651,12 @@ mod tests {
     fn zero_warmup_equals_plain_run() {
         let trace = loop_trace(256, 3);
         let engine = Engine::new(EngineConfig::paper_default());
-        let a = engine.run_instrs(&trace, NoPrefetcher);
-        let b = engine.run_instrs_warmup(&trace, NoPrefetcher, 0);
+        let a = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        let b = engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(0),
+        );
         assert_eq!(a.fetch, b.fetch);
         assert_eq!(a.timing, b.timing);
     }
@@ -526,39 +665,84 @@ mod tests {
     fn run_source_matches_slice_path() {
         let trace = loop_trace(512, 4);
         let engine = Engine::new(EngineConfig::paper_default());
-        let sliced = engine.run_instrs(&trace, NoPrefetcher);
+        let sliced = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
         // A lazily-evaluated source with no backing slice.
-        let streamed = engine.run_source((0..trace.len()).map(|i| trace[i]), NoPrefetcher);
+        let streamed = engine.run(
+            (0..trace.len()).map(|i| trace[i]),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
         assert_eq!(sliced.fetch, streamed.fetch);
         assert_eq!(sliced.timing, streamed.timing);
         assert_eq!(sliced.frontend, streamed.frontend);
     }
 
     #[test]
-    fn run_source_warmup_matches_slice_path() {
-        let trace = loop_trace(256, 6);
-        let engine = Engine::new(EngineConfig::paper_default());
-        let warm = trace.len() / 3;
-        let sliced = engine.run_instrs_warmup(&trace, NoPrefetcher, warm);
-        let streamed = engine.run_source_warmup(trace.iter().copied(), NoPrefetcher, warm);
-        assert_eq!(sliced.fetch, streamed.fetch);
-        assert_eq!(sliced.timing, streamed.timing);
-    }
-
-    #[test]
-    fn run_source_accepts_mut_reference() {
+    fn run_accepts_mut_reference() {
         let trace = loop_trace(64, 2);
         let engine = Engine::new(EngineConfig::paper_default());
         let mut source = trace.iter().copied();
-        let report = engine.run_source(&mut source, NoPrefetcher);
+        let report = engine.run(&mut source, NoPrefetcher, RunOptions::new());
         assert_eq!(report.frontend.instructions, trace.len() as u64);
         assert_eq!(source.next(), None, "source fully drained");
+    }
+
+    /// Every deprecated wrapper must stay bit-equivalent to the collapsed
+    /// [`Engine::run`] entry point it forwards to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run() {
+        let trace = loop_trace(256, 6);
+        let engine = Engine::new(EngineConfig::paper_default());
+        let warm = trace.len() / 3;
+        let eq = |a: &RunReport, b: &RunReport| {
+            assert_eq!(a.fetch, b.fetch);
+            assert_eq!(a.timing, b.timing);
+            assert_eq!(a.frontend, b.frontend);
+            assert_eq!((a.l2_hits, a.l2_misses), (b.l2_hits, b.l2_misses));
+        };
+        let plain = engine.run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
+        eq(&plain, &engine.run_instrs(&trace, NoPrefetcher));
+        eq(
+            &plain,
+            &engine.run_source(trace.iter().copied(), NoPrefetcher),
+        );
+        let warmed = engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(warm),
+        );
+        eq(
+            &warmed,
+            &engine.run_instrs_warmup(&trace, NoPrefetcher, warm),
+        );
+        eq(
+            &warmed,
+            &engine.run_source_warmup(trace.iter().copied(), NoPrefetcher, warm),
+        );
+        eq(&warmed, &engine.run_warmup(&trace, NoPrefetcher, warm));
+        let mut fe = FrontEnd::new(engine.config().frontend);
+        let with_fe =
+            engine.run_source_with_frontend(trace.iter().copied(), NoPrefetcher, warm, &mut fe);
+        let mut fe2 = FrontEnd::new(engine.config().frontend);
+        eq(
+            &with_fe,
+            &engine.run(
+                trace.iter().copied(),
+                NoPrefetcher,
+                RunOptions::new().warmup(warm).frontend(&mut fe2),
+            ),
+        );
     }
 
     #[test]
     fn report_exposes_l2_traffic() {
         let trace = loop_trace(2048, 2);
-        let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+        let report = Engine::new(EngineConfig::paper_default()).run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new(),
+        );
         assert!(report.l2_hits + report.l2_misses >= report.fetch.demand_misses);
     }
 }

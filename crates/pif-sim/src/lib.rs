@@ -36,7 +36,7 @@
 //! # Example
 //!
 //! ```
-//! use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+//! use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 //! use pif_types::{Address, RetiredInstr, TrapLevel};
 //!
 //! // A tiny synthetic trace: a loop over 4 blocks.
@@ -46,7 +46,7 @@
 //!         trace.push(RetiredInstr::simple(Address::new(blk * 64), TrapLevel::Tl0));
 //!     }
 //! }
-//! let report = Engine::new(EngineConfig::paper_default()).run_instrs(&trace, NoPrefetcher);
+//! let report = Engine::new(EngineConfig::paper_default()).run(trace.iter().copied(), NoPrefetcher, RunOptions::new());
 //! assert!(report.fetch.demand_misses <= 4);
 //! ```
 
@@ -67,6 +67,6 @@ pub mod streams;
 pub mod timing;
 
 pub use config::{EngineConfig, FrontendConfig, ICacheConfig, L2Config, TimingConfig};
-pub use engine::{Engine, RunReport};
+pub use engine::{Engine, RunOptions, RunReport};
 pub use prefetch::{NoPrefetcher, PrefetchContext, Prefetcher, PrefetcherHarness};
 pub use stats::{FetchStats, FrontendStats, Log2Histogram, PrefetchStats};

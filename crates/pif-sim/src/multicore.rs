@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use pif_types::{InstrSource, RetiredInstr};
 
 use crate::config::EngineConfig;
-use crate::engine::{Engine, RunReport};
+use crate::engine::{Engine, RunOptions, RunReport};
 use crate::prefetch::Prefetcher;
 
 /// Mean, standard error, and 95% confidence half-width of a per-core
@@ -224,7 +224,11 @@ where
             let prefetcher_for = &prefetcher_for;
             s.spawn(move || {
                 let source = source_for(core);
-                let report = engine.run_source_warmup(source, prefetcher_for(core), warmup_instrs);
+                let report = engine.run(
+                    source,
+                    prefetcher_for(core),
+                    RunOptions::new().warmup(warmup_instrs),
+                );
                 results.lock()[core] = Some(report);
             });
         }

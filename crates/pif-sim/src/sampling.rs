@@ -31,7 +31,7 @@ use std::path::Path;
 use pif_types::{InstrSource, RetiredInstr};
 
 use crate::config::EngineConfig;
-use crate::engine::{Engine, RunReport};
+use crate::engine::{Engine, RunOptions, RunReport};
 use crate::frontend::FrontEnd;
 use crate::multicore::Summary;
 use crate::prefetch::Prefetcher;
@@ -465,10 +465,14 @@ impl<P: Prefetcher> SampledDriver<P> {
     ) {
         let warmup = window.warmup_instrs as usize;
         let report = match self.shared.as_mut() {
-            Some((p, fe)) => self
+            Some((p, fe)) => self.engine.run(
+                source,
+                &mut *p,
+                RunOptions::new().warmup(warmup).frontend(fe),
+            ),
+            None => self
                 .engine
-                .run_source_with_frontend(source, &mut *p, warmup, fe),
-            None => self.engine.run_source_warmup(source, mk(), warmup),
+                .run(source, mk(), RunOptions::new().warmup(warmup)),
         };
         self.prefetcher_name = report.prefetcher;
         self.samples.push(SampleResult { window, report });
@@ -585,7 +589,11 @@ mod tests {
         // the sampled estimate must be near-exact with tiny variance.
         let trace = looped_trace(200_000, 2048);
         let engine = Engine::new(EngineConfig::paper_default());
-        let exhaustive = engine.run_instrs_warmup(&trace, NoPrefetcher, 50_000);
+        let exhaustive = engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(50_000),
+        );
         let plan = SamplingPlan::random(10, 7, 5_000, 2_000);
         let sampled = run_sampled(
             &EngineConfig::paper_default(),

@@ -115,6 +115,7 @@
 
 mod error;
 mod format;
+pub mod hash;
 mod reader;
 mod varint;
 mod writer;
@@ -124,6 +125,7 @@ pub use format::{
     DEFAULT_CHUNK_RECORDS, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN, VERSION_V1,
     VERSION_V2,
 };
+pub use hash::{content_hash, TraceHasher};
 pub use reader::{
     decode, encode_v2, scan_info, ChunkEntry, ChunkIndex, Instrs, InstrsMut, TraceInfo, TraceReader,
 };

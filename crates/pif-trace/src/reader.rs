@@ -235,6 +235,29 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
+    /// Hashes the remaining records with [`crate::TraceHasher`],
+    /// consuming the reader.
+    ///
+    /// The digest depends only on record content, never on container
+    /// format: a v1 file and its v2 conversion hash identically, as does
+    /// the generator stream the file was recorded from.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error; records before it are not
+    /// reflected in any output.
+    pub fn content_hash(self) -> Result<u64, TraceDecodeError> {
+        let mut hasher = crate::hash::TraceHasher::new();
+        let mut instrs = self.instrs();
+        for instr in &mut instrs {
+            hasher.update(&instr);
+        }
+        match instrs.take_error() {
+            Some(e) => Err(e),
+            None => Ok(hasher.finish()),
+        }
+    }
+
     fn next_v1(&mut self) -> Result<Option<RetiredInstr>, TraceDecodeError> {
         let State::V1 { remaining } = &mut self.state else {
             unreachable!()

@@ -5,6 +5,7 @@
 //! tracectl info <file.pift> [--chunks]
 //! tracectl convert <in.pift> <out.pift> [--chunk N]
 //! tracectl head <file.pift> [-n N]
+//! tracectl hash <file.pift>
 //! ```
 //!
 //! `record` streams a synthetic workload straight into a compressed v2
@@ -13,7 +14,10 @@
 //! testing). `info` reads only headers and chunk frames; `--chunks`
 //! additionally prints the per-chunk random-access table (the index
 //! sampled simulation seeks with). `convert` upgrades v1 files to v2 (or
-//! re-chunks v2 files) as a stream. `head` prints the first records.
+//! re-chunks v2 files) as a stream. `head` prints the first records. `hash`
+//! prints the container-independent content hash (`pif-trace`'s FNV-1a 64
+//! canonical record digest) — the trace half of `pif-lab`'s result-cache
+//! key; a v1 file and its v2 conversion print the same digest.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -28,7 +32,8 @@ fn usage() -> ExitCode {
          tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]\n  \
          tracectl info <file.pift> [--chunks]\n  \
          tracectl convert <in.pift> <out.pift> [--chunk N]\n  \
-         tracectl head <file.pift> [-n N]\n\n\
+         tracectl head <file.pift> [-n N]\n  \
+         tracectl hash <file.pift>\n\n\
          workloads: {}",
         WorkloadProfile::all()
             .iter()
@@ -302,6 +307,27 @@ fn head(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn hash(opts: &Opts) -> ExitCode {
+    let [path] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(path, e),
+    };
+    let reader = match TraceReader::open(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => return fail(path, e),
+    };
+    match reader.content_hash() {
+        Ok(h) => {
+            println!("{h:016x}  {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(path, e),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -316,6 +342,7 @@ fn main() -> ExitCode {
         "info" => info(&opts),
         "convert" => convert(&opts),
         "head" => head(&opts),
+        "hash" => hash(&opts),
         _ => usage(),
     }
 }

@@ -19,7 +19,11 @@ fn main() {
     for capacity in [1024usize, 4 * 1024, 16 * 1024, 32 * 1024, 128 * 1024] {
         let mut cfg = PifConfig::paper_default();
         cfg.history_capacity = capacity;
-        let r = engine.run_warmup(&trace, Pif::new(cfg), warmup);
+        let r = engine.run(
+            trace.instrs().iter().copied(),
+            Pif::new(cfg),
+            RunOptions::new().warmup(warmup),
+        );
         println!(
             "  {:>6} regions -> coverage {:>5.1}%  speedup-relevant hit rate {:>5.1}%",
             capacity,
@@ -33,7 +37,11 @@ fn main() {
         let mut cfg = PifConfig::paper_default();
         cfg.sab_count = count;
         cfg.sab_window = window;
-        let r = engine.run_warmup(&trace, Pif::new(cfg), warmup);
+        let r = engine.run(
+            trace.instrs().iter().copied(),
+            Pif::new(cfg),
+            RunOptions::new().warmup(warmup),
+        );
         println!(
             "  {count} SABs x {window:>2} regions -> coverage {:>5.1}%",
             r.miss_coverage() * 100.0

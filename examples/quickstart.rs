@@ -22,7 +22,11 @@ fn main() {
     let engine = Engine::new(EngineConfig::paper_default());
     let warmup = 300_000;
 
-    let base = engine.run_warmup(&trace, NoPrefetcher, warmup);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(warmup),
+    );
     println!(
         "\nbaseline:  {:.1}% L1-I hit rate, {:.1}% of cycles stalled on fetch, UIPC {:.3}",
         base.fetch.hit_rate() * 100.0,
@@ -31,7 +35,11 @@ fn main() {
     );
 
     // 3. Attach Proactive Instruction Fetch.
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), warmup);
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(warmup),
+    );
     println!(
         "with PIF:  {:.1}% L1-I hit rate, {:.1}% of would-be misses covered, UIPC {:.3}",
         pif.fetch.hit_rate() * 100.0,

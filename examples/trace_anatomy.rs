@@ -72,8 +72,16 @@ fn main() {
 
     // Where do the cycles go (baseline vs PIF)?
     let engine = Engine::new(EngineConfig::paper_default());
-    let base = engine.run_warmup(&trace, NoPrefetcher, 600_000);
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 600_000);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(600_000),
+    );
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(600_000),
+    );
     println!("\ncycle accounting (per 1K instructions):");
     for (name, r) in [("baseline", &base), ("PIF", &pif)] {
         let k = r.timing.instructions as f64 / 1000.0;

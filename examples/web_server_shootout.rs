@@ -12,7 +12,11 @@ fn main() {
     let engine = Engine::new(EngineConfig::paper_default());
     let warmup = 600_000;
 
-    let base = engine.run_warmup(&trace, NoPrefetcher, warmup);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(warmup),
+    );
     println!(
         "Web-Apache baseline: {:.1}% hit rate, {:.1}% fetch-stall cycles\n",
         base.fetch.hit_rate() * 100.0,
@@ -35,11 +39,31 @@ fn main() {
         );
     };
 
-    report(engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), warmup));
-    report(engine.run_warmup(&trace, DiscontinuityPrefetcher::paper_scale(), warmup));
-    report(engine.run_warmup(&trace, Tifs::unbounded(), warmup));
-    report(engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), warmup));
-    report(engine.run_warmup(&trace, PerfectICache, warmup));
+    report(engine.run(
+        trace.instrs().iter().copied(),
+        NextLinePrefetcher::aggressive(),
+        RunOptions::new().warmup(warmup),
+    ));
+    report(engine.run(
+        trace.instrs().iter().copied(),
+        DiscontinuityPrefetcher::paper_scale(),
+        RunOptions::new().warmup(warmup),
+    ));
+    report(engine.run(
+        trace.instrs().iter().copied(),
+        Tifs::unbounded(),
+        RunOptions::new().warmup(warmup),
+    ));
+    report(engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(warmup),
+    ));
+    report(engine.run(
+        trace.instrs().iter().copied(),
+        PerfectICache,
+        RunOptions::new().warmup(warmup),
+    ));
 
     println!("\nExpected: Next-Line < Discontinuity < TIFS < PIF, with PIF close to Perfect —");
     println!("the paper's Figure 10 ordering, reproduced on the synthetic Apache profile.");

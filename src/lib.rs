@@ -29,7 +29,7 @@
 //! let trace = WorkloadProfile::oltp_db2().scaled(0.02).generate(50_000);
 //! let config = EngineConfig::paper_default();
 //! let pif = Pif::new(PifConfig::default());
-//! let report = Engine::new(config).run(&trace, pif);
+//! let report = Engine::new(config).run(trace.instrs().iter().copied(), pif, RunOptions::new());
 //! assert!(report.fetch.demand_accesses > 0);
 //! ```
 
@@ -46,7 +46,7 @@ pub use pif_workloads as workloads;
 pub mod prelude {
     pub use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
     pub use pif_core::{Pif, PifConfig};
-    pub use pif_sim::{Engine, EngineConfig, NoPrefetcher, Prefetcher, RunReport};
+    pub use pif_sim::{Engine, EngineConfig, NoPrefetcher, Prefetcher, RunOptions, RunReport};
     pub use pif_trace::{TraceReader, TraceWriter};
     pub use pif_types::{
         Address, BlockAddr, InstrSource, RegionGeometry, RetiredInstr, SpatialRegionRecord,

@@ -4,7 +4,7 @@
 
 use pif_baselines::{NextLinePrefetcher, PerfectICache, Tifs};
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 use pif_workloads::WorkloadProfile;
 
 const INSTRS: usize = 600_000;
@@ -19,10 +19,26 @@ fn scenario() -> (Engine, pif_workloads::Trace) {
 #[test]
 fn pif_beats_next_line_and_approaches_perfect() {
     let (engine, trace) = scenario();
-    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
-    let nl = engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), WARMUP);
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
-    let perfect = engine.run_warmup(&trace, PerfectICache, WARMUP);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(WARMUP),
+    );
+    let nl = engine.run(
+        trace.instrs().iter().copied(),
+        NextLinePrefetcher::aggressive(),
+        RunOptions::new().warmup(WARMUP),
+    );
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(WARMUP),
+    );
+    let perfect = engine.run(
+        trace.instrs().iter().copied(),
+        PerfectICache,
+        RunOptions::new().warmup(WARMUP),
+    );
 
     assert!(
         base.fetch.demand_misses > 2_000,
@@ -62,8 +78,16 @@ fn pif_beats_next_line_and_approaches_perfect() {
 #[test]
 fn pif_matches_or_beats_tifs() {
     let (engine, trace) = scenario();
-    let tifs = engine.run_warmup(&trace, Tifs::unbounded(), WARMUP);
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    let tifs = engine.run(
+        trace.instrs().iter().copied(),
+        Tifs::unbounded(),
+        RunOptions::new().warmup(WARMUP),
+    );
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(WARMUP),
+    );
     assert!(
         pif.miss_coverage() >= tifs.miss_coverage() - 0.02,
         "PIF {} vs TIFS {}",
@@ -77,9 +101,21 @@ fn demand_access_counts_are_prefetcher_independent() {
     // The front end is deterministic: every prefetcher sees the same
     // demand access stream; only hit/miss outcomes differ.
     let (engine, trace) = scenario();
-    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
-    let nl = engine.run_warmup(&trace, NextLinePrefetcher::aggressive(), WARMUP);
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(WARMUP),
+    );
+    let nl = engine.run(
+        trace.instrs().iter().copied(),
+        NextLinePrefetcher::aggressive(),
+        RunOptions::new().warmup(WARMUP),
+    );
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(WARMUP),
+    );
     assert_eq!(base.fetch.demand_accesses, nl.fetch.demand_accesses);
     assert_eq!(base.fetch.demand_accesses, pif.fetch.demand_accesses);
     assert_eq!(base.frontend.mispredicts, pif.frontend.mispredicts);
@@ -88,8 +124,16 @@ fn demand_access_counts_are_prefetcher_independent() {
 #[test]
 fn prefetched_runs_report_consistent_miss_accounting() {
     let (engine, trace) = scenario();
-    let base = engine.run_warmup(&trace, NoPrefetcher, WARMUP);
-    let pif = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), WARMUP);
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(WARMUP),
+    );
+    let pif = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(WARMUP),
+    );
     // Baseline-equivalent misses (remaining + covered) should be within a
     // modest factor of the true baseline's misses.
     let b = base.fetch.demand_misses as f64;

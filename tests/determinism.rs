@@ -3,7 +3,7 @@
 //! a first-class requirement for a paper-reproduction artifact.
 
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig};
+use pif_sim::{Engine, EngineConfig, RunOptions};
 use pif_workloads::WorkloadProfile;
 
 #[test]
@@ -17,8 +17,16 @@ fn trace_generation_is_reproducible() {
 fn engine_runs_are_reproducible() {
     let trace = WorkloadProfile::oltp_db2().scaled(0.2).generate(150_000);
     let engine = Engine::new(EngineConfig::paper_default());
-    let r1 = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 50_000);
-    let r2 = engine.run_warmup(&trace, Pif::new(PifConfig::paper_default()), 50_000);
+    let r1 = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(50_000),
+    );
+    let r2 = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(50_000),
+    );
     assert_eq!(r1.fetch, r2.fetch);
     assert_eq!(r1.prefetch, r2.prefetch);
     assert_eq!(r1.timing, r2.timing);

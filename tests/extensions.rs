@@ -7,7 +7,7 @@ use std::sync::Arc;
 use pif_core::shared::{SharedPif, SharedPifStorage};
 use pif_core::{Pif, PifConfig};
 use pif_sim::multicore::run_cmp;
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 use pif_workloads::{io, WorkloadProfile};
 
 #[test]
@@ -16,8 +16,16 @@ fn serialized_traces_drive_identical_simulations() {
     let bytes = io::encode_trace(&trace);
     let restored = io::decode_trace(&bytes).expect("round trip");
     let engine = Engine::new(EngineConfig::paper_default());
-    let a = engine.run(&trace, Pif::new(PifConfig::paper_default()));
-    let b = engine.run(&restored, Pif::new(PifConfig::paper_default()));
+    let a = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+    );
+    let b = engine.run(
+        restored.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+    );
     assert_eq!(a.fetch, b.fetch);
     assert_eq!(a.timing, b.timing);
 }

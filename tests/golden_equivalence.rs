@@ -12,7 +12,7 @@
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunReport};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions, RunReport};
 use pif_types::{Address, RetiredInstr, TrapLevel};
 use pif_workloads::WorkloadProfile;
 
@@ -63,12 +63,36 @@ fn sweep_trace(blocks: u64, reps: u64) -> Vec<RetiredInstr> {
 fn check(trace: &[RetiredInstr], warmup: usize, golden: &[&str]) {
     let engine = Engine::new(EngineConfig::paper_default());
     let runs: Vec<RunReport> = vec![
-        engine.run_instrs_warmup(trace, NoPrefetcher, warmup),
-        engine.run_instrs_warmup(trace, Pif::new(PifConfig::paper_default()), warmup),
-        engine.run_instrs_warmup(trace, NextLinePrefetcher::aggressive(), warmup),
-        engine.run_instrs_warmup(trace, Tifs::new(Default::default()), warmup),
-        engine.run_instrs_warmup(trace, DiscontinuityPrefetcher::paper_scale(), warmup),
-        engine.run_instrs_warmup(trace, PerfectICache, warmup),
+        engine.run(
+            trace.iter().copied(),
+            NoPrefetcher,
+            RunOptions::new().warmup(warmup),
+        ),
+        engine.run(
+            trace.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new().warmup(warmup),
+        ),
+        engine.run(
+            trace.iter().copied(),
+            NextLinePrefetcher::aggressive(),
+            RunOptions::new().warmup(warmup),
+        ),
+        engine.run(
+            trace.iter().copied(),
+            Tifs::new(Default::default()),
+            RunOptions::new().warmup(warmup),
+        ),
+        engine.run(
+            trace.iter().copied(),
+            DiscontinuityPrefetcher::paper_scale(),
+            RunOptions::new().warmup(warmup),
+        ),
+        engine.run(
+            trace.iter().copied(),
+            PerfectICache,
+            RunOptions::new().warmup(warmup),
+        ),
     ];
     assert_eq!(runs.len(), golden.len());
     for (run, expected) in runs.iter().zip(golden) {
@@ -117,12 +141,18 @@ fn golden_counters_sweep_trace() {
     );
 }
 
-/// Streaming (`run_source_warmup`) and slice entry points stay equivalent
-/// after the direct-dispatch refactor of the engine loop.
+/// The deprecated slice/streaming wrappers stay equivalent to the
+/// collapsed [`Engine::run`] entry point on golden workloads.
 #[test]
-fn golden_streaming_matches_slice_path() {
+#[allow(deprecated)]
+fn golden_deprecated_wrappers_match_run() {
     let trace = WorkloadProfile::oltp_db2().scaled(0.05).generate(60_000);
     let engine = Engine::new(EngineConfig::paper_default());
+    let direct = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new().warmup(20_000),
+    );
     let sliced =
         engine.run_instrs_warmup(trace.instrs(), Pif::new(PifConfig::paper_default()), 20_000);
     let streamed = engine.run_source_warmup(
@@ -130,5 +160,6 @@ fn golden_streaming_matches_slice_path() {
         Pif::new(PifConfig::paper_default()),
         20_000,
     );
-    assert_eq!(fingerprint(&sliced), fingerprint(&streamed));
+    assert_eq!(fingerprint(&direct), fingerprint(&sliced));
+    assert_eq!(fingerprint(&direct), fingerprint(&streamed));
 }

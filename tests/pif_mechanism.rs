@@ -4,7 +4,7 @@
 
 use pif_core::analysis::{analyze_regions, PifAnalyzer};
 use pif_core::{Pif, PifConfig, SpatialCompactor, TemporalCompactor};
-use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, ICacheConfig, NoPrefetcher, RunOptions};
 use pif_types::{RegionGeometry, TrapLevel};
 use pif_workloads::WorkloadProfile;
 
@@ -46,7 +46,11 @@ fn pif_records_both_trap_levels_on_server_traces() {
     let engine = Engine::new(EngineConfig::paper_default());
     // Run PIF through the engine; then inspect structure sizes via a
     // fresh analyzer pass (the engine consumes the prefetcher).
-    let report = engine.run(&trace, Pif::new(PifConfig::paper_default()));
+    let report = engine.run(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+    );
     assert!(report.prefetch.issued > 0);
 
     let mut pif = Pif::new(PifConfig::paper_default());
@@ -72,7 +76,11 @@ fn analyzer_coverage_tracks_engine_coverage() {
     let trace = WorkloadProfile::dss_qry17().scaled(0.3).generate(400_000);
     let engine = Engine::new(EngineConfig::paper_default());
     let engine_cov = engine
-        .run_warmup(&trace, Pif::new(PifConfig::paper_default()), 150_000)
+        .run(
+            trace.instrs().iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new().warmup(150_000),
+        )
         .miss_coverage();
     let analyzer_cov = PifAnalyzer::new(PifConfig::paper_default(), ICacheConfig::paper_default())
         .analyze(trace.instrs(), 150_000)
@@ -115,8 +123,11 @@ fn no_prefetch_baseline_sees_server_class_stalls() {
     // Sanity: the synthetic workloads reproduce the motivating problem —
     // significant fetch-stall time without prefetching.
     let trace = WorkloadProfile::web_apache().scaled(0.4).generate(500_000);
-    let report =
-        Engine::new(EngineConfig::paper_default()).run_warmup(&trace, NoPrefetcher, 200_000);
+    let report = Engine::new(EngineConfig::paper_default()).run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new().warmup(200_000),
+    );
     assert!(
         report.timing.fetch_stall_fraction() > 0.15,
         "fetch stalls {:.3} too low to motivate prefetching",

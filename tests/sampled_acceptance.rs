@@ -63,7 +63,11 @@ fn exhaustive(
     let t0 = Instant::now();
     let file = std::fs::File::open(path).unwrap();
     let mut source = TraceReader::open(BufReader::new(file)).unwrap().instrs();
-    let report = engine.run_source_warmup(&mut source, prefetcher, INSTRUCTIONS * 3 / 10);
+    let report = engine.run(
+        &mut source,
+        prefetcher,
+        RunOptions::new().warmup(INSTRUCTIONS * 3 / 10),
+    );
     assert!(source.error().is_none());
     (report, t0.elapsed().as_secs_f64())
 }

@@ -1,0 +1,165 @@
+//! Soak test for the `pifd` service stack (ignored by default; the
+//! weekly acceptance CI job runs it via `cargo test --release -- --ignored`).
+//!
+//! Twelve concurrent clients hammer one daemon over TCP with a rotating
+//! mix of specs against a deliberately tiny job queue, so submissions
+//! constantly hit backpressure, and against a shared result cache that
+//! some specs are pre-warmed into — mixed cached/uncached traffic. The
+//! acceptance criteria from the ISSUE: no deadlocks (every client
+//! finishes), the queue high-water mark never exceeds its bound, and
+//! every returned report validates and is byte-identical to a direct
+//! `run_spec` of the same job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+
+use pif_lab::json::Json;
+use pif_lab::protocol::{serve, Request, Response};
+use pif_lab::report::validate_report;
+use pif_lab::service::{Service, ServiceConfig};
+use pif_lab::{registry, run_spec, ResultCache, RunOptions, Scale, SweepSpec};
+
+const CLIENTS: usize = 12;
+const ROUNDS: usize = 3;
+const QUEUE_DEPTH: usize = 4;
+
+fn specs() -> Vec<SweepSpec> {
+    vec![
+        registry::table1(),
+        registry::fig9_history(),
+        registry::fig10(),
+    ]
+}
+
+fn submit(stream: &TcpStream, spec: &str) -> Response {
+    let mut writer = stream.try_clone().unwrap();
+    let request = Request::Submit {
+        spec: spec.to_string(),
+        scale: Scale::tiny(),
+        smoke: true,
+    };
+    writer.write_all(request.to_line().as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    Response::parse(&line).unwrap()
+}
+
+#[test]
+#[ignore = "soak test: run via the weekly acceptance job (cargo test -- --ignored)"]
+fn daemon_survives_concurrent_mixed_load() {
+    let cache_dir = std::env::temp_dir().join(format!("pifd-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // Reference bytes for every spec in the mix, computed without any
+    // cache or daemon involvement.
+    let reference: Vec<(String, String)> = specs()
+        .iter()
+        .map(|spec| {
+            let report = run_spec(
+                spec,
+                &RunOptions::new()
+                    .scale(Scale::tiny())
+                    .threads(2)
+                    .smoke(true),
+            );
+            (spec.name.to_string(), report.to_json().unwrap())
+        })
+        .collect();
+
+    // Pre-warm ONE spec into the cache so the daemon sees cached traffic
+    // from its very first job, not only after the first round.
+    {
+        let cache = ResultCache::open(&cache_dir).unwrap();
+        run_spec(
+            &registry::table1(),
+            &RunOptions::new()
+                .scale(Scale::tiny())
+                .threads(2)
+                .smoke(true)
+                .cache(&cache),
+        );
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::start(ServiceConfig {
+        queue_depth: QUEUE_DEPTH,
+        threads: 2,
+        cache_dir: Some(cache_dir.clone()),
+    });
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve(listener, &service, &shutdown).unwrap());
+
+        let reference = &reference;
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut cached_seen = 0u64;
+                    for round in 0..ROUNDS {
+                        // Rotate the mix per client so cached and
+                        // uncached jobs interleave in the queue.
+                        let (name, want) = &reference[(client + round) % reference.len()];
+                        match submit(&stream, name) {
+                            Response::Report {
+                                spec,
+                                cached_cells,
+                                json,
+                                ..
+                            } => {
+                                assert_eq!(&spec, name);
+                                validate_report(&Json::parse(&json).unwrap()).unwrap();
+                                assert_eq!(
+                                    &json, want,
+                                    "client {client} round {round}: {name} bytes drifted"
+                                );
+                                cached_seen += cached_cells;
+                            }
+                            other => panic!("client {client}: unexpected {other:?}"),
+                        }
+                    }
+                    cached_seen
+                })
+            })
+            .collect();
+
+        let cached_total: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(
+            cached_total > 0,
+            "mixed load must include cache replays (table1 was pre-warmed)"
+        );
+
+        let stream = TcpStream::connect(addr).unwrap();
+        match submit(&stream, "table1") {
+            Response::Report { .. } => {}
+            other => panic!("post-soak submit failed: {other:?}"),
+        }
+        let mut writer = stream.try_clone().unwrap();
+        writer
+            .write_all(Request::Shutdown.to_line().as_bytes())
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(Response::parse(&line).unwrap(), Response::ShuttingDown);
+        server.join().unwrap();
+    });
+
+    let stats = service.shutdown();
+    let expected = (CLIENTS * ROUNDS + 1) as u64;
+    assert_eq!(stats.submitted, expected, "no submission lost");
+    assert_eq!(stats.completed, expected, "no job stuck in the queue");
+    assert!(
+        stats.max_queue_depth <= QUEUE_DEPTH,
+        "backpressure bound violated: {} > {QUEUE_DEPTH}",
+        stats.max_queue_depth
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

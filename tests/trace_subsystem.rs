@@ -159,13 +159,18 @@ fn record_to_disk_then_simulate_out_of_core() {
     let file = std::fs::File::open(&path).unwrap();
     let mut source = TraceReader::open(BufReader::new(file)).unwrap().instrs();
     let engine = Engine::new(EngineConfig::paper_default());
-    let from_disk = engine.run_source(&mut source, Pif::new(PifConfig::paper_default()));
+    let from_disk = engine.run(
+        &mut source,
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+    );
     assert!(source.error().is_none());
 
     // Reference: the fully materialized path.
     let reference = engine.run(
-        &profile.generate(instructions),
+        profile.generate(instructions).instrs().iter().copied(),
         Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
     );
     assert_eq!(from_disk.fetch, reference.fetch);
     assert_eq!(from_disk.timing, reference.timing);
@@ -203,8 +208,11 @@ fn ten_million_instruction_oltp_trace_out_of_core() {
 
     let file = std::fs::File::open(&path).unwrap();
     let mut source = TraceReader::open(BufReader::new(file)).unwrap().instrs();
-    let report = Engine::new(EngineConfig::paper_default())
-        .run_source(&mut source, Pif::new(PifConfig::paper_default()));
+    let report = Engine::new(EngineConfig::paper_default()).run(
+        &mut source,
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+    );
     assert!(source.error().is_none());
     assert_eq!(report.frontend.instructions, instructions as u64);
     std::fs::remove_file(&path).ok();

@@ -14,14 +14,14 @@ fn prelude_quickstart_path_works_end_to_end() {
 
     let config = EngineConfig::paper_default();
     let pif = Pif::new(PifConfig::default());
-    let report = Engine::new(config).run(&trace, pif);
+    let report = Engine::new(config).run(trace.instrs().iter().copied(), pif, RunOptions::new());
     assert!(report.fetch.demand_accesses > 0, "engine saw no fetches");
 
     // At the doc example's scale the footprint fits in L1-I (all misses
     // are cold), so demonstrate nonzero coverage on a pressured trace.
     let trace = WorkloadProfile::oltp_db2().scaled(0.3).generate(150_000);
     let pif = Pif::new(PifConfig::default());
-    let report = Engine::new(config).run(&trace, pif);
+    let report = Engine::new(config).run(trace.instrs().iter().copied(), pif, RunOptions::new());
     assert!(report.fetch.demand_misses > 0, "trace exerts no pressure");
     let coverage = report.miss_coverage();
     assert!(
@@ -37,11 +37,31 @@ fn prelude_exposes_baselines_and_types() {
     let trace = WorkloadProfile::web_apache().scaled(0.02).generate(20_000);
     let engine = Engine::new(EngineConfig::paper_default());
 
-    let nl = engine.run(&trace, NextLinePrefetcher::aggressive());
-    let tifs = engine.run(&trace, Tifs::unbounded());
-    let disc = engine.run(&trace, DiscontinuityPrefetcher::paper_scale());
-    let perfect = engine.run(&trace, PerfectICache);
-    let base = engine.run(&trace, NoPrefetcher);
+    let nl = engine.run(
+        trace.instrs().iter().copied(),
+        NextLinePrefetcher::aggressive(),
+        RunOptions::new(),
+    );
+    let tifs = engine.run(
+        trace.instrs().iter().copied(),
+        Tifs::unbounded(),
+        RunOptions::new(),
+    );
+    let disc = engine.run(
+        trace.instrs().iter().copied(),
+        DiscontinuityPrefetcher::paper_scale(),
+        RunOptions::new(),
+    );
+    let perfect = engine.run(
+        trace.instrs().iter().copied(),
+        PerfectICache,
+        RunOptions::new(),
+    );
+    let base = engine.run(
+        trace.instrs().iter().copied(),
+        NoPrefetcher,
+        RunOptions::new(),
+    );
 
     for report in [&nl, &tifs, &disc, &perfect] {
         assert_eq!(report.fetch.demand_accesses, base.fetch.demand_accesses);

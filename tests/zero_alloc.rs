@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher};
+use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
 use pif_types::{Address, RetiredInstr, TrapLevel};
 
 struct CountingAlloc;
@@ -73,10 +73,10 @@ fn engine_steady_state_is_allocation_free_without_prefetcher() {
     let short = sweep_trace(4);
     let long = sweep_trace(8);
     let a_short = allocs_during(|| {
-        engine.run_instrs(&short, NoPrefetcher);
+        engine.run(short.iter().copied(), NoPrefetcher, RunOptions::new());
     });
     let a_long = allocs_during(|| {
-        engine.run_instrs(&long, NoPrefetcher);
+        engine.run(long.iter().copied(), NoPrefetcher, RunOptions::new());
     });
     assert_eq!(
         a_short, a_long,
@@ -92,10 +92,18 @@ fn engine_steady_state_is_allocation_free_with_pif() {
     let short = sweep_trace(4);
     let long = sweep_trace(8);
     let a_short = allocs_during(|| {
-        engine.run_instrs(&short, Pif::new(PifConfig::paper_default()));
+        engine.run(
+            short.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new(),
+        );
     });
     let a_long = allocs_during(|| {
-        engine.run_instrs(&long, Pif::new(PifConfig::paper_default()));
+        engine.run(
+            long.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new(),
+        );
     });
     // PIF's end-of-run stream-lifetime log (`completed`) legitimately
     // grows amortized with the number of replaced streams; everything on
