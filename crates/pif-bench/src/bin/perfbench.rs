@@ -37,7 +37,7 @@ use pif_bench::report::{
     PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
 };
 use pif_core::{Pif, PifConfig};
-use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions};
+use pif_sim::{Engine, EngineConfig, EngineProbe, NoPrefetcher, RunOptions};
 use pif_types::RetiredInstr;
 use pif_workloads::WorkloadProfile;
 
@@ -111,6 +111,44 @@ fn measure(
         )
     });
     out
+}
+
+/// Measures the wall-clock cost of running the engine with a live
+/// [`EngineProbe`] relative to the `NoProbe` default, in percent, on the
+/// PIF configuration (the probe's busiest path: stall breakdown, queue
+/// depth, and SAB gauges all fire). The plain and probed runs are
+/// interleaved within each rep so clock drift and scheduler noise hit
+/// both sides equally, then best-of-N is taken per side; small negative
+/// values are residual noise, not a speedup.
+fn measure_probe_overhead(
+    engine: &Engine,
+    trace: &[RetiredInstr],
+    warmup: usize,
+    reps: usize,
+) -> f64 {
+    let reps = reps.max(7);
+    let mut plain_s = f64::MAX;
+    let mut probed_s = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        engine.run(
+            trace.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new().warmup(warmup),
+        );
+        plain_s = plain_s.min(t0.elapsed().as_secs_f64());
+
+        let mut probe = EngineProbe::new();
+        let t1 = Instant::now();
+        engine.run_probed(
+            trace.iter().copied(),
+            Pif::new(PifConfig::paper_default()),
+            RunOptions::new().warmup(warmup),
+            &mut probe,
+        );
+        probed_s = probed_s.min(t1.elapsed().as_secs_f64());
+    }
+    (probed_s - plain_s) / plain_s * 100.0
 }
 
 /// One prefetcher's sampled-vs-exhaustive comparison (`--sampled` mode):
@@ -278,7 +316,8 @@ fn main() {
 
     let engine = Engine::new(EngineConfig::paper_default());
     let mut results = Vec::new();
-    for profile in &profiles {
+    let mut probe_overhead_pct = None;
+    for (i, profile) in profiles.iter().enumerate() {
         eprintln!(
             "perfbench: {} × {} instrs ({} rep{})",
             profile.name(),
@@ -294,6 +333,14 @@ fn main() {
             warmup,
             reps,
         ));
+        if i == 0 {
+            probe_overhead_pct = Some(measure_probe_overhead(
+                &engine,
+                trace.instrs(),
+                warmup,
+                reps,
+            ));
+        }
     }
 
     for r in &results {
@@ -333,8 +380,15 @@ fn main() {
     // Compute the floor verdict BEFORE writing anything: the artifact
     // must carry the verdict, and a failing run must never leave a
     // passing-looking report on disk.
+    if let Some(pct) = probe_overhead_pct {
+        println!(
+            "probe overhead (live EngineProbe vs NoProbe, PIF on {}): {pct:.2}%",
+            profiles[0].name()
+        );
+    }
+
     let verdict = smoke.then(|| smoke_passed(gated_ips));
-    let json = render_json(&results, instructions, smoke, verdict);
+    let json = render_json(&results, instructions, smoke, verdict, probe_overhead_pct);
     if let Err(e) = validate_json(&json) {
         eprintln!("perfbench: emitted invalid JSON: {e}");
         std::process::exit(1);

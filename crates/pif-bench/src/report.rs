@@ -70,12 +70,15 @@ use pif_lab::json::escape as json_escape;
 /// `smoke_passed` is the floor verdict for smoke runs (`None` renders as
 /// JSON `null` for full runs, where no gate applies). Callers must
 /// compute the verdict **before** rendering/writing so the artifact is
-/// honest about failure.
+/// honest about failure. `probe_overhead_pct` is the measured wall-clock
+/// cost of running with a live `EngineProbe` vs the `NoProbe` default
+/// (`None` renders as `null` when the pair was not measured).
 pub fn render_json(
     results: &[RunResult],
     instructions: usize,
     smoke: bool,
     smoke_passed: Option<bool>,
+    probe_overhead_pct: Option<f64>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -85,6 +88,13 @@ pub fn render_json(
         "  \"smoke_passed\": {},\n",
         match smoke_passed {
             Some(v) => v.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    s.push_str(&format!(
+        "  \"probe_overhead_pct\": {},\n",
+        match probe_overhead_pct {
+            Some(v) => format!("{v:.2}"),
             None => "null".to_string(),
         }
     ));
@@ -172,16 +182,17 @@ mod tests {
         let slow = sample(1.0);
         let verdict = smoke_passed(none_ips(&slow));
         assert!(!verdict);
-        let json = render_json(&slow, 300_000, true, Some(verdict));
+        let json = render_json(&slow, 300_000, true, Some(verdict), None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         assert_eq!(doc.get("smoke_passed").and_then(Json::as_bool), Some(false));
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("probe_overhead_pct"), Some(&Json::Null));
     }
 
     #[test]
     fn full_run_has_null_verdict() {
-        let json = render_json(&sample(0.01), 2_000_000, false, None);
+        let json = render_json(&sample(0.01), 2_000_000, false, None, None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         assert_eq!(doc.get("smoke_passed"), Some(&Json::Null));
@@ -189,6 +200,18 @@ mod tests {
             doc.get("results").and_then(Json::as_arr).map(<[_]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn probe_overhead_renders_as_a_number_when_measured() {
+        let json = render_json(&sample(0.01), 2_000_000, false, None, Some(1.234));
+        validate_json(&json).expect("artifact parses");
+        let doc = Json::parse(&json).unwrap();
+        let pct = doc
+            .get("probe_overhead_pct")
+            .and_then(Json::as_f64)
+            .expect("probe_overhead_pct is a number");
+        assert!((pct - 1.23).abs() < 1e-9, "rounded to 2 decimals: {pct}");
     }
 
     #[test]

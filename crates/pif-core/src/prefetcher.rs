@@ -213,6 +213,16 @@ impl Prefetcher for Pif {
             state.index.insert(admitted.record.trigger, pos);
         }
     }
+
+    fn gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        // SAB residency (how many of the paper's four stream buffers are
+        // live) and per-stream window occupancy — read-only snapshots,
+        // sampled by the engine only when a probe is enabled.
+        emit("sab_active_streams", self.sabs.active() as u64);
+        for sab in self.sabs.iter() {
+            emit("sab_window_regions", sab.window_len() as u64);
+        }
+    }
 }
 
 #[cfg(test)]

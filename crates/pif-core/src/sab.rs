@@ -42,6 +42,11 @@ impl Sab {
     pub fn window(&self) -> impl Iterator<Item = &(u64, SpatialRegionRecord)> {
         self.window.iter()
     }
+
+    /// Number of regions currently held in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
 }
 
 /// Lifetime statistics of a retired (replaced) stream, for the paper's
@@ -233,6 +238,12 @@ impl SabPool {
     /// Number of active streams.
     pub fn active(&self) -> usize {
         self.sabs.len()
+    }
+
+    /// Iterates over the active SABs (read-only — e.g. for residency
+    /// gauges and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Sab> {
+        self.sabs.iter()
     }
 }
 

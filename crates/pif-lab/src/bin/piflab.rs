@@ -4,7 +4,7 @@
 //! piflab list
 //! piflab run <spec>... [--all] [--smoke] [--scale tiny|quick|paper]
 //!            [--threads N] [--out PATH] [--out-dir DIR] [--quiet]
-//!            [--cache] [--cache-dir DIR]
+//!            [--cache] [--cache-dir DIR] [--profile]
 //! piflab check <report.json> <baseline.json> [--tol X]
 //! piflab diff <a.json> <b.json>
 //! piflab serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
@@ -12,6 +12,8 @@
 //! piflab submit <spec>... [--addr HOST:PORT] [--smoke]
 //!               [--scale tiny|quick|paper] [--out PATH] [--out-dir DIR]
 //!               [--quiet]
+//! piflab stats [--addr HOST:PORT]
+//! piflab metrics [--addr HOST:PORT] [--format prometheus|json]
 //! piflab cache stats|clear [--cache-dir DIR]
 //! ```
 //!
@@ -26,8 +28,13 @@
 //! over the same `run_spec` path, fronted by the line-delimited JSON
 //! protocol of `pif_lab::protocol`, with a persistent content-addressed
 //! result cache. `submit` is its client: reports come back byte-identical
-//! to a local `run` of the same spec and scale. `cache` inspects or
-//! clears the on-disk store.
+//! to a local `run` of the same spec and scale. `stats` and `metrics`
+//! query a running daemon's counters and its full `pif_obs` exposition.
+//! `cache` inspects or clears the on-disk store.
+//!
+//! `run --profile` writes one `pif-lab-profile/v1` timing sidecar per
+//! report at `<report>.profile.json` — next to the report, never inside
+//! it, so report bytes stay identical with profiling on or off.
 //!
 //! Exit codes are uniform across subcommands: `0` success, `1` runtime
 //! failure (I/O, check violations, daemon errors), `2` usage errors —
@@ -41,9 +48,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use pif_lab::json::Json;
 use pif_lab::protocol::{Request, Response};
-use pif_lab::service::{Service, ServiceConfig};
+use pif_lab::service::{LatencySummary, MetricsFormat, Service, ServiceConfig};
 use pif_lab::{
-    protocol, registry, report, run_spec_stats, ResultCache, RunOptions, Scale, SweepReport,
+    protocol, registry, report, run_spec_profiled, run_spec_stats, ResultCache, RunOptions, Scale,
+    SweepReport,
 };
 
 /// One dispatch-table row: verb, usage line, handler.
@@ -62,6 +70,8 @@ const COMMANDS: &[Command] = &[
     ("diff", "diff two reports cell by cell", cmd_diff),
     ("serve", "run the pifd sweep daemon", cmd_serve),
     ("submit", "submit specs to a running daemon", cmd_submit),
+    ("stats", "print a running daemon's counters", cmd_stats),
+    ("metrics", "scrape a running daemon's metrics", cmd_metrics),
     ("cache", "inspect or clear the result cache", cmd_cache),
 ];
 
@@ -73,10 +83,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "\nrun/submit: <spec>... [--all] [--smoke] [--scale tiny|quick|paper] \
          [--out PATH] [--out-dir DIR] [--quiet]\n\
-         run also: [--threads N] [--cache] [--cache-dir DIR]\n\
+         run also: [--threads N] [--cache] [--cache-dir DIR] [--profile]\n\
          submit also: [--addr HOST:PORT]\n\
          check: <report.json> <baseline.json> [--tol X]\n\
          serve: [--addr HOST:PORT] [--threads N] [--queue-depth N] [--cache-dir DIR] [--no-cache]\n\
+         stats: [--addr HOST:PORT]\n\
+         metrics: [--addr HOST:PORT] [--format prometheus|json]\n\
          cache: stats|clear [--cache-dir DIR]"
     );
     ExitCode::from(2)
@@ -151,6 +163,7 @@ struct RunArgs {
     out_dir: PathBuf,
     quiet: bool,
     cache_dir: Option<PathBuf>,
+    profile: bool,
 }
 
 /// Parses `piflab run` arguments. Errors are usage errors (exit 2).
@@ -164,6 +177,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         out_dir: PathBuf::from("target/piflab"),
         quiet: false,
         cache_dir: None,
+        profile: false,
     };
     let mut all = false;
     let mut it = args.iter();
@@ -172,6 +186,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--all" => all = true,
             "--smoke" => opts.smoke = true,
             "--quiet" => opts.quiet = true,
+            "--profile" => opts.profile = true,
             "--cache" => {
                 opts.cache_dir.get_or_insert_with(ResultCache::default_dir);
             }
@@ -258,7 +273,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if let Some(c) = &cache {
             run_opts = run_opts.cache(c);
         }
-        let (report, stats) = run_spec_stats(&spec, &run_opts);
+        let (report, stats, profile) = if opts.profile {
+            let (report, stats, profile) = run_spec_profiled(&spec, &run_opts);
+            (report, stats, Some(profile))
+        } else {
+            let (report, stats) = run_spec_stats(&spec, &run_opts);
+            (report, stats, None)
+        };
         if cache.is_some() && !opts.quiet {
             eprintln!(
                 "piflab: {} — {} cells cached, {} executed",
@@ -271,6 +292,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Err(e) => {
                 eprintln!("piflab: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        if let Some(profile) = profile {
+            // The sidecar sits next to the report, never inside it: the
+            // report bytes above are identical with or without --profile.
+            let sidecar = path.with_extension("profile.json");
+            if let Err(e) = write_report_bytes(&profile.to_json(), &sidecar) {
+                eprintln!("piflab: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !opts.quiet {
+                eprintln!(
+                    "piflab: {} — {} us simulated across {} cells, profile at {}",
+                    spec.name,
+                    profile.total_exec_us(),
+                    profile.cells.len(),
+                    sidecar.display()
+                );
             }
         }
         if !opts.quiet {
@@ -532,8 +571,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
     let stats = service.shutdown();
     println!(
-        "pifd: drained, {} submitted / {} completed (max queue {})",
-        stats.submitted, stats.completed, stats.max_queue_depth
+        "pifd: drained, {} submitted / {} completed (max queue {}, exec {} us, \
+         mean wait {:.1} us, {} stolen)",
+        stats.submitted,
+        stats.completed,
+        stats.max_queue_depth,
+        stats.exec.total_us,
+        stats.queue_wait.mean_us(),
+        stats.stolen_jobs
     );
     ExitCode::SUCCESS
 }
@@ -696,6 +741,145 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Sends one request to a daemon and reads one response.
+fn request_once(addr: &str, request: &Request) -> Result<Response, String> {
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr} (is `piflab serve` running?): {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(request.to_line().as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err("daemon closed the connection".to_string()),
+        Ok(_) => Response::parse(&line),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Parses the `[--addr HOST:PORT]`-only argument form shared by `stats`
+/// and `metrics` (the latter also takes `--format`).
+fn parse_addr_args(cmd: &str, args: &[String]) -> Result<(String, Option<String>), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut format = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return Err("--addr needs HOST:PORT".into()),
+            },
+            "--format" if cmd == "metrics" => match it.next() {
+                Some(f) => format = Some(f.clone()),
+                None => return Err("--format needs prometheus|json".into()),
+            },
+            flag => return Err(format!("unknown flag {flag:?}")),
+        }
+    }
+    Ok((addr, format))
+}
+
+fn print_latency(label: &str, l: &LatencySummary) {
+    println!(
+        "  {label}: {} jobs, mean {:.1} us, max {} us",
+        l.count,
+        l.mean_us(),
+        l.max_us
+    );
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let (addr, _) = match parse_addr_args("stats", args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("piflab stats: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match request_once(&addr, &Request::Stats) {
+        Ok(Response::Stats {
+            submitted,
+            completed,
+            max_queue_depth,
+            queue_wait,
+            exec,
+            stolen_jobs,
+            cache,
+        }) => {
+            println!(
+                "pifd at {addr}: {submitted} submitted, {completed} completed \
+                 (max queue {max_queue_depth})"
+            );
+            print_latency("queue wait", &queue_wait);
+            print_latency("exec", &exec);
+            println!("  stolen jobs: {stolen_jobs}");
+            match cache {
+                Some(c) => println!(
+                    "  cache: {} hits, {} misses ({} corrupt)",
+                    c.hits, c.misses, c.corrupt
+                ),
+                None => println!("  cache: disabled"),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("piflab stats: unexpected response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("piflab stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (addr, format) = match parse_addr_args("metrics", args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("piflab metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let format = match format.as_deref() {
+        None | Some("prometheus") => MetricsFormat::Prometheus,
+        Some("json") => MetricsFormat::Json,
+        Some(other) => {
+            eprintln!("piflab metrics: unknown format {other:?} (want prometheus|json)");
+            return ExitCode::from(2);
+        }
+    };
+    match request_once(&addr, &Request::Metrics { format }) {
+        Ok(Response::Metrics { format, body }) => {
+            // Validate the exposition client-side before printing, the
+            // same way `submit` validates report bytes.
+            let valid = match format {
+                MetricsFormat::Prometheus => pif_obs::validate_prometheus(&body),
+                MetricsFormat::Json => Json::parse(&body).map(|_| ()),
+            };
+            if let Err(e) = valid {
+                eprintln!("piflab metrics: daemon sent invalid exposition: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("piflab metrics: unexpected response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("piflab metrics: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_cache(args: &[String]) -> ExitCode {
     let mut verb = None;
     let mut dir = None;
@@ -729,9 +913,13 @@ fn cmd_cache(args: &[String]) -> ExitCode {
         }
     };
     let result = match verb.as_str() {
-        "stats" => cache
-            .entries()
-            .map(|n| println!("{n} entries under {}", cache.root().display())),
+        "stats" => cache.verify_entries().map(|(valid, corrupt)| {
+            println!(
+                "{} entries ({valid} valid, {corrupt} corrupt) under {}",
+                valid + corrupt,
+                cache.root().display()
+            )
+        }),
         _ => cache
             .clear()
             .map(|n| println!("removed {n} entries under {}", cache.root().display())),
@@ -789,6 +977,32 @@ mod tests {
     fn run_args_all_expands_registry() {
         let opts = parse_run_args(&s(&["--all", "--smoke"])).unwrap();
         assert_eq!(opts.specs.len(), registry::all_specs().len());
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let opts = parse_run_args(&s(&["fig10", "--profile"])).unwrap();
+        assert!(opts.profile);
+        assert!(!parse_run_args(&s(&["fig10"])).unwrap().profile);
+    }
+
+    #[test]
+    fn addr_args_parse_for_stats_and_metrics() {
+        let (addr, format) = parse_addr_args("stats", &[]).unwrap();
+        assert_eq!(addr, DEFAULT_ADDR);
+        assert_eq!(format, None);
+        let (addr, format) = parse_addr_args(
+            "metrics",
+            &s(&["--addr", "127.0.0.1:9", "--format", "json"]),
+        )
+        .unwrap();
+        assert_eq!(addr, "127.0.0.1:9");
+        assert_eq!(format.as_deref(), Some("json"));
+        assert!(
+            parse_addr_args("stats", &s(&["--format", "json"])).is_err(),
+            "stats takes no --format"
+        );
+        assert!(parse_addr_args("metrics", &s(&["--wat"])).is_err());
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed (including corrupt entries).
     pub misses: u64,
+    /// The subset of misses where the entry file existed but failed to
+    /// parse or echo its key — evidence of on-disk damage, not absence.
+    pub corrupt: u64,
 }
 
 /// Appends one `key=value` field to a canonical string with length
@@ -160,6 +163,7 @@ pub struct ResultCache {
     root: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
 }
 
 impl ResultCache {
@@ -177,6 +181,7 @@ impl ResultCache {
             root,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         })
     }
 
@@ -208,17 +213,29 @@ impl ResultCache {
     }
 
     /// Looks up a cell's stored metrics. Corrupt, unreadable, or
-    /// kind-mismatched entries count as misses.
+    /// kind-mismatched entries count as misses (and additionally as
+    /// corrupt when the file was readable but failed validation).
     pub fn lookup(&self, key: &CacheKey) -> Option<Vec<(String, Metric)>> {
-        let parsed = std::fs::read_to_string(self.entry_path(key))
-            .ok()
-            .and_then(|text| parse_entry(&text, key));
-        match parsed {
-            Some(metrics) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(metrics)
-            }
-            None => {
+        let path = self.entry_path(key);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_entry(&text, key) {
+                Some(metrics) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(metrics)
+                }
+                None => {
+                    // Readable but invalid: damaged or hand-moved entry.
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    pif_obs::log::warn(
+                        "pif_lab::cache",
+                        "corrupt cache entry; re-simulating",
+                        &[("path", &path.display())],
+                    );
+                    None
+                }
+            },
+            Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -271,6 +288,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -291,6 +309,50 @@ impl ResultCache {
             }
         }
         Ok(n)
+    }
+
+    /// Walks the store, validating every entry against its path-derived
+    /// key, and returns `(valid, corrupt)` counts. Files with non-hex
+    /// names count as corrupt — they can never be addressed by a lookup.
+    ///
+    /// # Errors
+    ///
+    /// Reports directory-walk failures.
+    pub fn verify_entries(&self) -> std::io::Result<(usize, usize)> {
+        let hex =
+            |s: &std::ffi::OsStr| -> Option<u64> { u64::from_str_radix(s.to_str()?, 16).ok() };
+        let (mut valid, mut corrupt) = (0, 0);
+        for shard in std::fs::read_dir(&self.root)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            let trace_hash = shard.file_name().and_then(hex);
+            for entry in std::fs::read_dir(&shard)? {
+                let path = entry?.path();
+                if path.extension().is_none_or(|x| x != "json") {
+                    continue;
+                }
+                let key = trace_hash.zip(path.file_stem().and_then(hex)).map(
+                    |(trace_hash, config_fp)| CacheKey {
+                        trace_hash,
+                        config_fp,
+                    },
+                );
+                let ok = key.is_some_and(|key| {
+                    std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| parse_entry(&text, &key))
+                        .is_some()
+                });
+                if ok {
+                    valid += 1;
+                } else {
+                    corrupt += 1;
+                }
+            }
+        }
+        Ok((valid, corrupt))
     }
 
     /// Removes every entry, returning how many were deleted.
@@ -380,7 +442,14 @@ mod tests {
         for ((_, a), (_, b)) in metrics.iter().zip(&back) {
             assert_eq!(metric_token(*a), metric_token(*b));
         }
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                corrupt: 0
+            }
+        );
     }
 
     #[test]
@@ -396,6 +465,24 @@ mod tests {
         .unwrap();
         assert!(cache.lookup(&k).is_none());
         assert_eq!(cache.stats().misses, 2);
+        // Only the damaged file counts as corrupt; the absent one is a
+        // plain miss.
+        assert_eq!(cache.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn verify_entries_splits_valid_from_corrupt() {
+        let cache = ResultCache::open(tmpdir("verify")).unwrap();
+        for i in 0..3 {
+            cache
+                .store(&key(i, i), &[("m".into(), Metric::U64(i))])
+                .unwrap();
+        }
+        assert_eq!(cache.verify_entries().unwrap(), (3, 0));
+        std::fs::write(cache.entry_path(&key(1, 1)), "{oops").unwrap();
+        // A hand-moved entry fails the key echo.
+        std::fs::copy(cache.entry_path(&key(2, 2)), cache.entry_path(&key(2, 9))).unwrap();
+        assert_eq!(cache.verify_entries().unwrap(), (2, 2));
     }
 
     #[test]

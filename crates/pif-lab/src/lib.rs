@@ -81,7 +81,7 @@
 pub mod cache;
 pub mod json;
 mod measure;
-pub mod pool;
+pub mod profile;
 pub mod protocol;
 pub mod registry;
 pub mod report;
@@ -91,15 +91,14 @@ pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use measure::{density_metric, jump_cdf_metric, len_cdf_metric, offset_metric, runs_metric};
+pub use profile::{CellProfile, SweepProfile};
 pub use report::{Cell, CheckSummary, Metric, SweepReport};
 pub use scale::Scale;
-pub use service::{default_threads, Pool};
+pub use service::{default_threads, LatencySummary, MetricsFormat, Pool, PoolRunStats};
 pub use spec::{CdfKind, Measure, ParamAxis, PrefetcherKind, SweepSpec};
 
 #[doc(hidden)]
 pub use measure::jobs_executed;
-#[allow(deprecated)]
-pub use pool::parallel_map;
 
 use pif_workloads::WorkloadProfile;
 
@@ -183,6 +182,10 @@ pub struct SweepRunStats {
     pub cached_cells: usize,
     /// Cells simulated by this run.
     pub executed_cells: usize,
+    /// Pool jobs claimed by a different worker than the preceding job
+    /// index (see [`service::PoolRunStats::stolen_jobs`]). Schedule-
+    /// dependent diagnostics only — never part of a report.
+    pub stolen_jobs: u64,
 }
 
 /// Expands `spec` into its job grid, runs it per `opts`, and merges the
@@ -206,6 +209,36 @@ pub fn run_spec(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport {
 ///
 /// Panics if the spec names a workload that does not exist.
 pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, SweepRunStats) {
+    let (report, stats, _) = run_spec_impl(spec, opts, false);
+    (report, stats)
+}
+
+/// [`run_spec_stats`], also collecting a wall-clock [`SweepProfile`].
+///
+/// The profile is a sidecar: the returned report is byte-identical to an
+/// unprofiled run of the same `(spec, opts)` (asserted by
+/// `profile::tests`), and timing data never enters it.
+///
+/// # Panics
+///
+/// Panics if the spec names a workload that does not exist.
+pub fn run_spec_profiled(
+    spec: &SweepSpec,
+    opts: &RunOptions<'_>,
+) -> (SweepReport, SweepRunStats, SweepProfile) {
+    let (report, stats, profile) = run_spec_impl(spec, opts, true);
+    (
+        report,
+        stats,
+        profile.expect("profile collected when requested"),
+    )
+}
+
+fn run_spec_impl(
+    spec: &SweepSpec,
+    opts: &RunOptions<'_>,
+    want_profile: bool,
+) -> (SweepReport, SweepRunStats, Option<SweepProfile>) {
     let scale = &opts.scale;
     let names = spec.workload_names();
     let available = scale.workloads();
@@ -248,10 +281,13 @@ pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, 
     // from their stored metric tokens, the rest go to the pool.
     let mut cells: Vec<Option<Cell>> = (0..coords.len()).map(|_| None).collect();
     let mut missing: Vec<spec::JobCoord> = Vec::new();
+    let mut cached_by_index = vec![false; coords.len()];
+    let mut exec_us_by_index = vec![0u64; coords.len()];
     for &coord in &coords {
         let cached = opts.cache.and_then(|c| c.lookup(&cell_key(coord)));
         match cached {
             Some(metrics) => {
+                cached_by_index[coord.index] = true;
                 cells[coord.index] = Some(Cell {
                     index: coord.index,
                     workload: profiles[coord.workload].name().to_string(),
@@ -265,11 +301,19 @@ pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, 
     }
     let cached_cells = coords.len() - missing.len();
 
-    let fresh = Pool::new(opts.threads).run_indexed(missing.len(), |i| {
-        measure::run_job(spec, scale, &profiles, &traces, missing[i])
+    let (fresh, pool_stats) = Pool::new(opts.threads).run_indexed_stats(missing.len(), |i| {
+        // Timed only under profiling, and into a sidecar value — timing
+        // never reaches the cell or the report.
+        let started = want_profile.then(std::time::Instant::now);
+        let cell = measure::run_job(spec, scale, &profiles, &traces, missing[i]);
+        let exec_us = started
+            .map(|t| service::duration_us(t.elapsed()))
+            .unwrap_or(0);
+        (cell, exec_us)
     });
     let executed_cells = fresh.len();
-    for (coord, cell) in missing.iter().zip(fresh) {
+    for (coord, (cell, exec_us)) in missing.iter().zip(fresh) {
+        exec_us_by_index[coord.index] = exec_us;
         // Stored pre-derive: `derive_speedups` is a cross-cell merge pass
         // and is recomputed on every run, cached or not.
         if let Some(cache) = opts.cache {
@@ -298,12 +342,30 @@ pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, 
         config: config_summary(spec),
         cells,
     };
+    let profile = want_profile.then(|| SweepProfile {
+        spec: spec.name.to_string(),
+        threads: opts.threads,
+        cells: report
+            .cells
+            .iter()
+            .map(|c| CellProfile {
+                index: c.index,
+                workload: c.workload.clone(),
+                prefetcher: c.prefetcher,
+                point: c.point.clone(),
+                cached: cached_by_index[c.index],
+                exec_us: exec_us_by_index[c.index],
+            })
+            .collect(),
+    });
     (
         report,
         SweepRunStats {
             cached_cells,
             executed_cells,
+            stolen_jobs: pool_stats.stolen_jobs,
         },
+        profile,
     )
 }
 

@@ -12,18 +12,21 @@
 //! ```text
 //! {"proto": "piflab/1", "cmd": "ping"}
 //! {"proto": "piflab/1", "cmd": "stats"}
+//! {"proto": "piflab/1", "cmd": "metrics", "format": "prometheus"}
 //! {"proto": "piflab/1", "cmd": "shutdown"}
 //! {"proto": "piflab/1", "cmd": "submit", "spec": "fig10", "smoke": true,
 //!  "scale": {"instructions": 40000, "footprint": 0.03, "warmup_fraction": 0.3}}
 //! ```
 //!
-//! Responses mirror the request (`pong`, `stats`, `shutting_down`,
-//! `report`) or report an error. A `report` response embeds the full
-//! `pif-lab-sweep/v1` document **as a JSON string**, not as a nested
-//! object: the report's own serialization is a byte-identity contract
-//! (goldens are compared byte-for-byte), and string-embedding lets the
-//! client recover those exact bytes with one unescape while keeping the
-//! one-line framing.
+//! Responses mirror the request (`pong`, `stats`, `metrics`,
+//! `shutting_down`, `report`) or report an error. A `report` response
+//! embeds the full `pif-lab-sweep/v1` document **as a JSON string**, not
+//! as a nested object: the report's own serialization is a byte-identity
+//! contract (goldens are compared byte-for-byte), and string-embedding
+//! lets the client recover those exact bytes with one unescape while
+//! keeping the one-line framing. A `metrics` response embeds the
+//! daemon's full `pif_obs` exposition (Prometheus text or `pif-obs/v1`
+//! JSON, per the request's `"format"`) as a string for the same reason.
 //!
 //! An `error` response to a `submit` naming an unknown spec carries the
 //! registry's spec names in `"candidates"`, so clients can print the
@@ -36,7 +39,7 @@ use std::time::Duration;
 
 use crate::json::{escape, fmt_f64, Json};
 use crate::scale::Scale;
-use crate::service::{Service, ServiceStats, SweepJob};
+use crate::service::{LatencySummary, MetricsFormat, Service, ServiceStats, SweepJob};
 use crate::{registry, CacheStats};
 
 /// Protocol identifier carried by every frame.
@@ -49,6 +52,11 @@ pub enum Request {
     Ping,
     /// Ask for the daemon's counters.
     Stats,
+    /// Ask for the daemon's full metrics exposition.
+    Metrics {
+        /// The exposition format to render.
+        format: MetricsFormat,
+    },
     /// Ask the daemon to drain and exit.
     Shutdown,
     /// Submit one sweep.
@@ -68,6 +76,10 @@ impl Request {
         match self {
             Request::Ping => format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"ping\"}}\n"),
             Request::Stats => format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"stats\"}}\n"),
+            Request::Metrics { format } => format!(
+                "{{\"proto\": \"{PROTO}\", \"cmd\": \"metrics\", \"format\": \"{}\"}}\n",
+                format_token(*format)
+            ),
             Request::Shutdown => {
                 format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"shutdown\"}}\n")
             }
@@ -96,6 +108,13 @@ impl Request {
         match cmd {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics {
+                format: match j.get("format").and_then(Json::as_str) {
+                    None | Some("prometheus") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    Some(other) => return Err(format!("unknown metrics format {other:?}")),
+                },
+            }),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
                 let spec = j
@@ -129,8 +148,21 @@ pub enum Response {
         completed: u64,
         /// High-water mark of the queue depth.
         max_queue_depth: u64,
+        /// Queue-wait latency of completed jobs.
+        queue_wait: LatencySummary,
+        /// Execution latency of completed jobs.
+        exec: LatencySummary,
+        /// Work-stealing handoffs across completed jobs' pool runs.
+        stolen_jobs: u64,
         /// Result-cache counters, when the daemon has a cache.
         cache: Option<CacheStats>,
+    },
+    /// The daemon's metrics exposition.
+    Metrics {
+        /// Format of `body`.
+        format: MetricsFormat,
+        /// The exposition document, embedded as a string.
+        body: String,
     },
     /// Acknowledges a `shutdown` request.
     ShuttingDown,
@@ -163,18 +195,33 @@ impl Response {
                 submitted,
                 completed,
                 max_queue_depth,
+                queue_wait,
+                exec,
+                stolen_jobs,
                 cache,
             } => {
                 let cache = match cache {
-                    Some(c) => format!("{{\"hits\": {}, \"misses\": {}}}", c.hits, c.misses),
+                    Some(c) => format!(
+                        "{{\"hits\": {}, \"misses\": {}, \"corrupt\": {}}}",
+                        c.hits, c.misses, c.corrupt
+                    ),
                     None => "null".to_string(),
                 };
                 format!(
                     "{{\"proto\": \"{PROTO}\", \"resp\": \"stats\", \"submitted\": {submitted}, \
                      \"completed\": {completed}, \"max_queue_depth\": {max_queue_depth}, \
-                     \"cache\": {cache}}}\n"
+                     \"queue_wait\": {}, \"exec\": {}, \"stolen_jobs\": {stolen_jobs}, \
+                     \"cache\": {cache}}}\n",
+                    latency_json(queue_wait),
+                    latency_json(exec)
                 )
             }
+            Response::Metrics { format, body } => format!(
+                "{{\"proto\": \"{PROTO}\", \"resp\": \"metrics\", \"format\": \"{}\", \
+                 \"body\": \"{}\"}}\n",
+                format_token(*format),
+                escape(body)
+            ),
             Response::ShuttingDown => {
                 format!("{{\"proto\": \"{PROTO}\", \"resp\": \"shutting_down\"}}\n")
             }
@@ -234,12 +281,34 @@ impl Response {
                 submitted: u("submitted")?,
                 completed: u("completed")?,
                 max_queue_depth: u("max_queue_depth")?,
+                queue_wait: j
+                    .get("queue_wait")
+                    .and_then(parse_latency)
+                    .ok_or("stats missing \"queue_wait\"")?,
+                exec: j
+                    .get("exec")
+                    .and_then(parse_latency)
+                    .ok_or("stats missing \"exec\"")?,
+                stolen_jobs: u("stolen_jobs")?,
                 cache: j.get("cache").and_then(|c| {
                     Some(CacheStats {
                         hits: c.get("hits")?.as_f64()? as u64,
                         misses: c.get("misses")?.as_f64()? as u64,
+                        corrupt: c.get("corrupt")?.as_f64()? as u64,
                     })
                 }),
+            }),
+            "metrics" => Ok(Response::Metrics {
+                format: match j.get("format").and_then(Json::as_str) {
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    other => return Err(format!("metrics response has bad format {other:?}")),
+                },
+                body: j
+                    .get("body")
+                    .and_then(Json::as_str)
+                    .ok_or("metrics missing \"body\"")?
+                    .to_string(),
             }),
             "report" => Ok(Response::Report {
                 spec: j
@@ -274,6 +343,29 @@ impl Response {
             other => Err(format!("unknown response {other:?}")),
         }
     }
+}
+
+/// The wire token of a [`MetricsFormat`].
+fn format_token(format: MetricsFormat) -> &'static str {
+    match format {
+        MetricsFormat::Prometheus => "prometheus",
+        MetricsFormat::Json => "json",
+    }
+}
+
+fn latency_json(summary: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+        summary.count, summary.total_us, summary.max_us
+    )
+}
+
+fn parse_latency(j: &Json) -> Option<LatencySummary> {
+    Some(LatencySummary {
+        count: j.get("count")?.as_f64()? as u64,
+        total_us: j.get("total_us")?.as_f64()? as u64,
+        max_us: j.get("max_us")?.as_f64()? as u64,
+    })
 }
 
 fn check_proto(j: &Json) -> Result<(), String> {
@@ -411,15 +503,25 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
                 submitted,
                 completed,
                 max_queue_depth,
+                queue_wait,
+                exec,
+                stolen_jobs,
                 cache,
             } = service.stats();
             Response::Stats {
                 submitted,
                 completed,
                 max_queue_depth: max_queue_depth as u64,
+                queue_wait,
+                exec,
+                stolen_jobs,
                 cache,
             }
         }
+        Request::Metrics { format } => Response::Metrics {
+            format,
+            body: service.render_metrics(format),
+        },
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
@@ -468,6 +570,12 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
             Request::Shutdown,
             Request::Submit {
                 spec: "fig10".to_string(),
@@ -495,13 +603,41 @@ mod tests {
                 submitted: 9,
                 completed: 7,
                 max_queue_depth: 4,
-                cache: Some(CacheStats { hits: 3, misses: 2 }),
+                queue_wait: LatencySummary {
+                    count: 7,
+                    total_us: 900,
+                    max_us: 400,
+                },
+                exec: LatencySummary {
+                    count: 7,
+                    total_us: 123_456,
+                    max_us: 50_000,
+                },
+                stolen_jobs: 3,
+                cache: Some(CacheStats {
+                    hits: 3,
+                    misses: 2,
+                    corrupt: 1,
+                }),
             },
             Response::Stats {
                 submitted: 0,
                 completed: 0,
                 max_queue_depth: 0,
+                queue_wait: LatencySummary::default(),
+                exec: LatencySummary::default(),
+                stolen_jobs: 0,
                 cache: None,
+            },
+            Response::Metrics {
+                format: MetricsFormat::Prometheus,
+                body: "# TYPE pif_service_jobs_completed counter\n\
+                       pif_service_jobs_completed 2\n"
+                    .to_string(),
+            },
+            Response::Metrics {
+                format: MetricsFormat::Json,
+                body: "{\"schema\": \"pif-obs/v1\", \"metrics\": []}".to_string(),
             },
             Response::Report {
                 spec: "fig10".to_string(),

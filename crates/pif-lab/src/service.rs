@@ -1,10 +1,12 @@
 //! Reusable sweep execution: the work-stealing [`Pool`] and the
 //! long-running [`Service`] job queue behind `piflab serve`.
 //!
-//! [`Pool`] is the thread-count policy extracted from the old free
-//! functions in [`crate::pool`]: construct one with the worker count and
-//! every indexed run or parallel map goes through it, so thread plumbing
-//! lives in one place.
+//! [`Pool`] is the thread-count policy extracted from the old
+//! free-function façade (the former `pool` module, now removed):
+//! construct one with the worker count and every indexed run or parallel
+//! map goes through it, so thread plumbing lives in one place.
+//! [`Pool::run_indexed_stats`] additionally reports a [`PoolRunStats`]
+//! with a work-stealing interleave counter.
 //!
 //! [`Service`] turns [`crate::run_spec`] into simulation-as-a-service: a
 //! bounded job queue fed by [`Service::submit`] (which **blocks when the
@@ -13,6 +15,14 @@
 //! result cache, delivering each result through its [`SubmitHandle`].
 //! [`Service::shutdown`] is graceful: already-queued jobs finish, new
 //! submissions are refused, and the worker is joined before it returns.
+//!
+//! The service is instrumented with a `pif_obs` registry: per-job
+//! queue-wait and execution-latency histograms, job/steal counters, and
+//! cache hit/miss/corrupt gauges, rendered on demand by
+//! [`Service::render_metrics`] (the daemon's `metrics` protocol verb).
+//! The same latencies are folded into [`ServiceStats`] as
+//! [`LatencySummary`] values for the `stats` verb. None of this feeds
+//! back into sweep results — reports stay byte-identical.
 //!
 //! ```
 //! use pif_lab::{registry, service::{Service, ServiceConfig, SweepJob}, Scale};
@@ -30,6 +40,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::report::SweepReport;
@@ -93,29 +104,60 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.run_indexed_stats(n_jobs, f).0
+    }
+
+    /// [`Pool::run_indexed`], also reporting scheduling counters.
+    ///
+    /// The counters describe *how* the run was scheduled, never *what*
+    /// it computed — results stay ordered by job index regardless.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn run_indexed_stats<R, F>(&self, n_jobs: usize, f: F) -> (Vec<R>, PoolRunStats)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         let threads = self.threads.min(n_jobs.max(1));
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        // Which worker claimed each job index, for the steal counter.
+        let claims: Vec<AtomicUsize> = (0..n_jobs).map(|_| AtomicUsize::new(usize::MAX)).collect();
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
+            let (next, claims, slots, f) = (&next, &claims, &slots, &f);
+            for worker in 0..threads {
+                s.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_jobs {
                         break;
                     }
+                    claims[i].store(worker, Ordering::Relaxed);
                     let result = f(i);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
-        slots
+        let stolen_jobs = claims
+            .windows(2)
+            .filter(|w| w[0].load(Ordering::Relaxed) != w[1].load(Ordering::Relaxed))
+            .count() as u64;
+        let results = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot poisoned")
                     .expect("job completed")
             })
-            .collect()
+            .collect();
+        (
+            results,
+            PoolRunStats {
+                jobs: n_jobs as u64,
+                stolen_jobs,
+            },
+        )
     }
 
     /// Maps `f` over `items` in parallel (one logical job per item),
@@ -137,6 +179,66 @@ impl Pool {
             f(item)
         })
     }
+}
+
+/// Scheduling counters of one [`Pool::run_indexed_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolRunStats {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Jobs whose worker differed from the worker that claimed the
+    /// preceding job index — adjacent-index handoffs, a measure of
+    /// work-stealing interleave. Always 0 on a single worker, and
+    /// schedule-dependent otherwise: diagnostics only, never part of a
+    /// report.
+    pub stolen_jobs: u64,
+}
+
+/// Compact latency accounting: sample count, total, and maximum, in
+/// microseconds.
+///
+/// Integer-only so it stays `Eq` and renders exactly in the `piflab/1`
+/// protocol; the mean is derived on demand by [`LatencySummary::mean_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples, saturating, in microseconds.
+    pub total_us: u64,
+    /// Largest sample, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Folds one sample in.
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Mean sample in microseconds (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Saturating microseconds of a [`Duration`], for latency counters.
+pub(crate) fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Wire format of [`Service::render_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// The `pif-obs/v1` JSON document.
+    Json,
 }
 
 /// Configuration of a [`Service`].
@@ -200,6 +302,9 @@ pub struct SweepOutcome {
     pub cached_cells: usize,
     /// Cells simulated fresh.
     pub executed_cells: usize,
+    /// Adjacent-index worker handoffs in the pool run (see
+    /// [`PoolRunStats::stolen_jobs`]).
+    pub stolen_jobs: u64,
 }
 
 type ResultSlot = Arc<(Mutex<Option<Result<SweepOutcome, String>>>, Condvar)>;
@@ -251,17 +356,90 @@ pub struct ServiceStats {
     pub completed: u64,
     /// High-water mark of the queue depth (for backpressure asserts).
     pub max_queue_depth: usize,
+    /// Time completed jobs spent queued before a worker picked them up.
+    pub queue_wait: LatencySummary,
+    /// Wall-clock execution time of completed jobs.
+    pub exec: LatencySummary,
+    /// Total adjacent-index worker handoffs across completed jobs'
+    /// pool runs (see [`PoolRunStats::stolen_jobs`]).
+    pub stolen_jobs: u64,
     /// Result-cache counters, when a cache is attached.
     pub cache: Option<CacheStats>,
 }
 
 #[derive(Debug)]
 struct QueueState {
-    queue: VecDeque<(SweepJob, SubmitHandle)>,
+    queue: VecDeque<(SweepJob, SubmitHandle, Instant)>,
     closed: bool,
     submitted: u64,
     completed: u64,
     max_depth: usize,
+    queue_wait: LatencySummary,
+    exec: LatencySummary,
+    stolen_jobs: u64,
+}
+
+/// The service's `pif_obs` instrumentation: one registry plus the
+/// pre-registered handles the worker loop records into.
+#[derive(Debug)]
+struct ServiceMetrics {
+    registry: pif_obs::Registry,
+    queue_wait_us: pif_obs::Histogram,
+    exec_us: pif_obs::Histogram,
+    jobs_submitted: pif_obs::Counter,
+    jobs_completed: pif_obs::Counter,
+    jobs_failed: pif_obs::Counter,
+    stolen_jobs: pif_obs::Counter,
+    cache_hits: pif_obs::Gauge,
+    cache_misses: pif_obs::Gauge,
+    cache_corrupt: pif_obs::Gauge,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        let registry = pif_obs::Registry::new();
+        ServiceMetrics {
+            queue_wait_us: registry.histogram(
+                "pif_service_queue_wait_us",
+                "Microseconds jobs spent queued before execution",
+            ),
+            exec_us: registry.histogram(
+                "pif_service_exec_us",
+                "Wall-clock microseconds per executed job",
+            ),
+            jobs_submitted: registry.counter(
+                "pif_service_jobs_submitted",
+                "Jobs accepted into the service queue",
+            ),
+            jobs_completed: registry.counter(
+                "pif_service_jobs_completed",
+                "Jobs delivered (successfully or not)",
+            ),
+            jobs_failed: registry
+                .counter("pif_service_jobs_failed", "Jobs that panicked or errored"),
+            stolen_jobs: registry.counter(
+                "pif_service_stolen_jobs",
+                "Adjacent-index worker handoffs across pool runs",
+            ),
+            cache_hits: registry.gauge("pif_service_cache_hits", "Result-cache lookup hits"),
+            cache_misses: registry.gauge("pif_service_cache_misses", "Result-cache lookup misses"),
+            cache_corrupt: registry.gauge(
+                "pif_service_cache_corrupt",
+                "Result-cache entries that existed but failed validation",
+            ),
+            registry,
+        }
+    }
+
+    /// Copies the cache's external counters into the registry's gauges
+    /// so a scrape sees current values.
+    fn sync_cache(&self, cache: Option<&ResultCache>) {
+        if let Some(stats) = cache.map(ResultCache::stats) {
+            self.cache_hits.set(stats.hits);
+            self.cache_misses.set(stats.misses);
+            self.cache_corrupt.set(stats.corrupt);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -272,6 +450,7 @@ struct Inner {
     queue_depth: usize,
     pool_threads: usize,
     cache: Option<ResultCache>,
+    metrics: ServiceMetrics,
 }
 
 /// A long-running sweep executor with a bounded job queue.
@@ -304,12 +483,16 @@ impl Service {
                 submitted: 0,
                 completed: 0,
                 max_depth: 0,
+                queue_wait: LatencySummary::default(),
+                exec: LatencySummary::default(),
+                stolen_jobs: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_depth: config.queue_depth.max(1),
             pool_threads: config.threads.max(1),
             cache,
+            metrics: ServiceMetrics::new(),
         });
         let worker_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -342,9 +525,15 @@ impl Service {
             return Err("service is shut down".to_string());
         }
         let handle = SubmitHandle::new();
-        state.queue.push_back((job, handle.clone()));
+        pif_obs::log::debug(
+            "pif_lab::service",
+            "job submitted",
+            &[("spec", &job.spec.name), ("queued", &state.queue.len())],
+        );
+        state.queue.push_back((job, handle.clone(), Instant::now()));
         state.submitted += 1;
         state.max_depth = state.max_depth.max(state.queue.len());
+        self.inner.metrics.jobs_submitted.inc();
         self.inner.not_empty.notify_one();
         Ok(handle)
     }
@@ -356,6 +545,9 @@ impl Service {
             submitted: state.submitted,
             completed: state.completed,
             max_queue_depth: state.max_depth,
+            queue_wait: state.queue_wait,
+            exec: state.exec,
+            stolen_jobs: state.stolen_jobs,
             cache: self.inner.cache.as_ref().map(ResultCache::stats),
         }
     }
@@ -363,6 +555,16 @@ impl Service {
     /// The attached result cache, if any.
     pub fn cache(&self) -> Option<&ResultCache> {
         self.inner.cache.as_ref()
+    }
+
+    /// Renders the service's metrics registry in `format`, syncing the
+    /// cache gauges first so the scrape is current.
+    pub fn render_metrics(&self, format: MetricsFormat) -> String {
+        self.inner.metrics.sync_cache(self.inner.cache.as_ref());
+        match format {
+            MetricsFormat::Prometheus => pif_obs::render_prometheus(&self.inner.metrics.registry),
+            MetricsFormat::Json => pif_obs::render_json(&self.inner.metrics.registry),
+        }
     }
 
     /// Graceful shutdown: refuses new submissions, drains every queued
@@ -394,7 +596,7 @@ impl Drop for Service {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let (job, handle) = {
+        let (job, handle, enqueued) = {
             let mut state = inner.state.lock().expect("service state poisoned");
             loop {
                 if let Some(entry) = state.queue.pop_front() {
@@ -407,10 +609,45 @@ fn worker_loop(inner: &Inner) {
                 state = inner.not_empty.wait(state).expect("service state poisoned");
             }
         };
+        let wait_us = duration_us(enqueued.elapsed());
+        inner.metrics.queue_wait_us.record(wait_us);
+        let started = Instant::now();
         let result = run_one(inner, &job);
+        let exec_us = duration_us(started.elapsed());
+        inner.metrics.exec_us.record(exec_us);
+        inner.metrics.jobs_completed.inc();
+        let stolen = match &result {
+            Ok(outcome) => {
+                pif_obs::log::info(
+                    "pif_lab::service",
+                    "job completed",
+                    &[
+                        ("spec", &job.spec.name),
+                        ("queue_wait_us", &wait_us),
+                        ("exec_us", &exec_us),
+                        ("cached_cells", &outcome.cached_cells),
+                        ("executed_cells", &outcome.executed_cells),
+                    ],
+                );
+                outcome.stolen_jobs
+            }
+            Err(e) => {
+                inner.metrics.jobs_failed.inc();
+                pif_obs::log::error("pif_lab::service", "job failed", &[("error", e)]);
+                0
+            }
+        };
+        inner.metrics.stolen_jobs.add(stolen);
+        // Counters update before delivery, so a client that waited on
+        // the handle observes its own job in the stats.
+        {
+            let mut state = inner.state.lock().expect("service state poisoned");
+            state.completed += 1;
+            state.queue_wait.record(wait_us);
+            state.exec.record(exec_us);
+            state.stolen_jobs += stolen;
+        }
         handle.deliver(result);
-        let mut state = inner.state.lock().expect("service state poisoned");
-        state.completed += 1;
     }
 }
 
@@ -433,11 +670,13 @@ fn run_one(inner: &Inner, job: &SweepJob) -> Result<SweepOutcome, String> {
             SweepRunStats {
                 cached_cells,
                 executed_cells,
+                stolen_jobs,
             },
         )) => Ok(SweepOutcome {
             report,
             cached_cells,
             executed_cells,
+            stolen_jobs,
         }),
         Err(panic) => {
             let msg = panic
@@ -473,6 +712,71 @@ mod tests {
     fn pool_parallel_map_preserves_order() {
         let out = Pool::new(4).parallel_map(vec![1, 2, 3, 4], |x| x * 10);
         assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn pool_steal_stats_zero_on_single_worker() {
+        let (out, stats) = Pool::new(1).run_indexed_stats(9, |i| i);
+        assert_eq!(out.len(), 9);
+        assert_eq!(
+            stats,
+            PoolRunStats {
+                jobs: 9,
+                stolen_jobs: 0
+            }
+        );
+    }
+
+    #[test]
+    fn latency_summary_folds_and_means() {
+        let mut s = LatencySummary::default();
+        assert_eq!(s.mean_us(), 0.0);
+        s.record(10);
+        s.record(30);
+        assert_eq!(
+            s,
+            LatencySummary {
+                count: 2,
+                total_us: 40,
+                max_us: 30
+            }
+        );
+        assert_eq!(s.mean_us(), 20.0);
+        s.record(u64::MAX);
+        assert_eq!(s.total_us, u64::MAX, "total saturates");
+    }
+
+    #[test]
+    fn service_latency_and_metrics_cover_completed_jobs() {
+        let service = Service::start(ServiceConfig {
+            queue_depth: 4,
+            threads: 2,
+            cache_dir: None,
+        });
+        for _ in 0..2 {
+            service
+                .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+                .expect("queue open")
+                .wait()
+                .expect("job ran");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queue_wait.count, 2);
+        assert_eq!(stats.exec.count, 2);
+        assert!(stats.exec.max_us <= stats.exec.total_us);
+
+        let text = service.render_metrics(MetricsFormat::Prometheus);
+        pif_obs::validate_prometheus(&text).expect("service exposition must validate");
+        assert!(text.contains("# TYPE pif_service_exec_us histogram"));
+        assert!(text.contains("pif_service_jobs_completed 2"));
+
+        let json = service.render_metrics(MetricsFormat::Json);
+        let parsed = crate::json::Json::parse(&json).expect("metrics JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some("pif-obs/v1")
+        );
+        service.shutdown();
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Leveled structured logging with a `PIF_LOG` environment filter.
+//!
+//! Log lines are `key=value` records written to stderr:
+//!
+//! ```text
+//! level=info target=pifd msg="job completed" spec=fig10 exec_us=5321
+//! ```
+//!
+//! The filter is read from `PIF_LOG` once, on first use. The syntax is
+//! a comma-separated list of `target=level` entries plus an optional
+//! bare default level, e.g.:
+//!
+//! * `PIF_LOG=debug` — everything at debug and above
+//! * `PIF_LOG=warn,pifd=trace` — warn by default, trace for the `pifd`
+//!   target
+//! * unset — [`Level::Warn`] and above
+//!
+//! Unknown level names are ignored (the entry is dropped), never fatal:
+//! a typo in an env var must not take down a daemon. Logging goes to
+//! stderr only, so it can never contaminate report bytes written to
+//! stdout or to files.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-loss conditions.
+    Error,
+    /// Suspicious but survivable conditions (default threshold).
+    Warn,
+    /// High-level lifecycle events.
+    Info,
+    /// Per-operation detail.
+    Debug,
+    /// Everything, including hot-path events.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name as it appears in log lines and `PIF_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `PIF_LOG` filter: a default threshold plus per-target
+/// overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    default: Level,
+    targets: Vec<(String, Level)>,
+}
+
+impl Default for Filter {
+    fn default() -> Self {
+        Filter {
+            default: Level::Warn,
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl Filter {
+    /// Parses a `PIF_LOG`-style spec. Malformed entries are dropped.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            match entry.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        filter.targets.push((target.trim().to_owned(), level));
+                    }
+                }
+                None => {
+                    if let Some(level) = Level::parse(entry) {
+                        filter.default = level;
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// Whether a record at `level` for `target` passes this filter.
+    /// The most specific matching entry wins (exact target match beats
+    /// the default).
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let threshold = self
+            .targets
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default);
+        level <= threshold
+    }
+}
+
+static FILTER: OnceLock<Filter> = OnceLock::new();
+
+fn filter() -> &'static Filter {
+    FILTER.get_or_init(|| {
+        std::env::var("PIF_LOG")
+            .map(|spec| Filter::parse(&spec))
+            .unwrap_or_default()
+    })
+}
+
+/// Whether a record at `level` for `target` would be emitted under the
+/// process-wide `PIF_LOG` filter. Cheap enough to guard field
+/// formatting with.
+pub fn enabled(level: Level, target: &str) -> bool {
+    filter().enabled(level, target)
+}
+
+/// Emits one structured record to stderr if the filter allows it.
+///
+/// `fields` are appended as `key=value` pairs; values containing
+/// whitespace, quotes, or `=` are quoted with embedded quotes escaped.
+/// Prefer the level helpers ([`info`], [`warn`], ...) at call sites.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    if !enabled(level, target) {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    line.push_str("level=");
+    line.push_str(level.as_str());
+    line.push_str(" target=");
+    line.push_str(target);
+    line.push_str(" msg=");
+    push_value(&mut line, msg);
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        push_value(&mut line, &value.to_string());
+    }
+    line.push('\n');
+    // A failed stderr write is not actionable from here; drop the record.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+fn push_value(line: &mut String, value: &str) {
+    let needs_quoting = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=');
+    if needs_quoting {
+        line.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => line.push_str("\\\""),
+                '\\' => line.push_str("\\\\"),
+                '\n' => line.push_str("\\n"),
+                c => line.push(c),
+            }
+        }
+        line.push('"');
+    } else {
+        line.push_str(value);
+    }
+}
+
+/// Logs at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// Logs at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Logs at [`Level::Trace`].
+pub fn trace(target: &str, msg: &str, fields: &[(&str, &dyn Display)]) {
+    log(Level::Trace, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::default();
+        assert!(f.enabled(Level::Error, "x"));
+        assert!(f.enabled(Level::Warn, "x"));
+        assert!(!f.enabled(Level::Info, "x"));
+    }
+
+    #[test]
+    fn per_target_override_beats_default() {
+        let f = Filter::parse("warn,pifd=trace");
+        assert!(f.enabled(Level::Trace, "pifd"));
+        assert!(!f.enabled(Level::Info, "engine"));
+        assert!(f.enabled(Level::Warn, "engine"));
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("debug");
+        assert!(f.enabled(Level::Debug, "anything"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+    }
+
+    #[test]
+    fn malformed_entries_are_dropped_not_fatal() {
+        let f = Filter::parse("bogus,=,pifd=verbose,info");
+        assert_eq!(
+            f,
+            Filter {
+                default: Level::Info,
+                targets: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn values_with_spaces_are_quoted() {
+        let mut line = String::new();
+        push_value(&mut line, "two words");
+        assert_eq!(line, "\"two words\"");
+        let mut line = String::new();
+        push_value(&mut line, "plain");
+        assert_eq!(line, "plain");
+        let mut line = String::new();
+        push_value(&mut line, "a\"b");
+        assert_eq!(line, "\"a\\\"b\"");
+    }
+}

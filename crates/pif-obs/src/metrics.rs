@@ -1,0 +1,484 @@
+//! Atomic metric registry: counters, gauges, and log2 histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s over
+//! preallocated atomics, so recording is lock-free and allocation-free;
+//! the registry's mutex is touched only at registration and snapshot
+//! time. All operations use relaxed ordering: metrics are monotone
+//! diagnostics, not synchronization primitives, and a snapshot taken
+//! concurrently with recording is allowed to be mid-update (each
+//! individual cell is still a torn-free atomic read).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets in every [`Histogram`].
+///
+/// Bucket `i` holds values `v` with `floor(log2(max(v, 1))) == i`, i.e.
+/// `[2^i, 2^(i+1) - 1]` (values `0` and `1` both land in bucket 0), and
+/// the last bucket absorbs everything at or above `2^(HIST_BUCKETS-1)`.
+/// 32 buckets cover microsecond latencies up to ~35 minutes and cycle
+/// counts up to ~2 billion before clamping.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Returns the bucket index for `value` (same formula as
+/// `pif_sim::stats::Log2Histogram`).
+fn bucket_for(value: u64) -> usize {
+    ((63 - value.max(1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the last
+/// (clamping) bucket, whose effective bound is `+Inf`.
+pub(crate) fn bucket_bound(i: usize) -> Option<u64> {
+    if i + 1 >= HIST_BUCKETS {
+        None
+    } else {
+        Some((1u64 << (i + 1)) - 1)
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning yields another handle to the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter not attached to any registry (useful in tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge not attached to any registry (useful in tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log2 histogram handle.
+///
+/// Buckets are preallocated at construction; [`Histogram::record`] is
+/// three relaxed atomic RMW ops with no locking or allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Creates a histogram not attached to any registry (useful in
+    /// tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `value`.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of `value`.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.0.buckets[bucket_for(value)].fetch_add(n, Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        self.0.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(&self.0.buckets) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+///
+/// Snapshots form a commutative monoid under [`HistogramSnapshot::merge`]
+/// (bucket-wise addition, wrapping sum, max of maxima), so per-shard
+/// histograms can be folded together in any order or grouping, and
+/// merging matches recording the concatenated sample streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; see [`HIST_BUCKETS`] for the bucket
+    /// boundaries.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all recorded values (wrapping — a diagnostics total, not
+    /// an accounting one; `u64` microseconds wrap after ~580k years).
+    pub sum: u64,
+    /// Largest recorded value (exact, not a bucket bound).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Last-value-wins gauge.
+    Gauge,
+    /// Fixed-bucket log2 histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus/JSON type name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A snapshot of one registered metric's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram contents (boxed: much larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    /// The kind of metric this value came from.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One registered metric, captured by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Slot::Counter(_) => MetricKind::Counter,
+            Slot::Gauge(_) => MetricKind::Gauge,
+            Slot::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    slot: Slot,
+}
+
+/// A named collection of metrics.
+///
+/// Cloning a `Registry` yields another handle to the same collection;
+/// the internal mutex guards only registration and snapshotting, never
+/// the recording hot path. Registering a name twice returns a handle to
+/// the *existing* metric (and panics if the kinds disagree — that is a
+/// programming error, like a type mismatch).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        get: impl Fn(&Slot) -> Option<T>,
+        make: impl FnOnce() -> (Slot, T),
+    ) -> T {
+        assert!(
+            valid_name(name),
+            "invalid metric name {name:?}: want [a-zA-Z_][a-zA-Z0-9_]*"
+        );
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return get(&entry.slot).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as {}, requested {}",
+                    entry.slot.kind().as_str(),
+                    kind.as_str()
+                )
+            });
+        }
+        let (slot, handle) = make();
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            slot,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            |slot| match slot {
+                Slot::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::new();
+                (Slot::Counter(c.clone()), c)
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            |slot| match slot {
+                Slot::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::new();
+                (Slot::Gauge(g.clone()), g)
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a histogram named `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.register(
+            name,
+            help,
+            MetricKind::Histogram,
+            |slot| match slot {
+                Slot::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::new();
+                (Slot::Histogram(h.clone()), h)
+            },
+        )
+    }
+
+    /// Captures every registered metric, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                value: match &e.slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("jobs_total", "Jobs.");
+        c.inc();
+        c.add(4);
+        let g = reg.gauge("queue_depth", "Depth.");
+        g.set(7);
+        g.set(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].value, MetricValue::Counter(5));
+        assert_eq!(snap[1].value, MetricValue::Gauge(3));
+    }
+
+    #[test]
+    fn reregistering_returns_same_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", "Hits.");
+        let b = reg.counter("hits", "Hits.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        Registry::new().counter("9lives", "");
+    }
+
+    #[test]
+    fn histogram_bucketing_matches_log2_contract() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(snap.buckets[1], 2, "2 and 3 share bucket 1");
+        assert_eq!(snap.buckets[2], 2, "4 and 7 share bucket 2");
+        assert_eq!(snap.buckets[3], 1);
+        assert_eq!(snap.buckets[HIST_BUCKETS - 1], 1, "u64::MAX clamps");
+        assert_eq!(snap.count(), 8);
+        assert_eq!(snap.max, u64::MAX);
+        let expected_sum = (1u64 + 2 + 3 + 4 + 7 + 8).wrapping_add(u64::MAX);
+        assert_eq!(snap.sum, expected_sum, "sum wraps");
+    }
+
+    #[test]
+    fn histogram_mean_and_bounds() {
+        let h = Histogram::new();
+        h.record_n(10, 3);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum, 30);
+        assert!((snap.mean() - 10.0).abs() < 1e-12);
+        assert_eq!(bucket_bound(0), Some(1));
+        assert_eq!(bucket_bound(1), Some(3));
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the metrics layer.
+//!
+//! Histogram snapshots must form a commutative monoid under `merge`
+//! (so per-shard histograms fold in any order), and the Prometheus
+//! exposition must always validate and keep its cumulative invariants,
+//! whatever got recorded.
+
+use pif_obs::{render_prometheus, validate_prometheus, Histogram, HistogramSnapshot, Registry};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..64)
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = merged(&merged(&sa, &sb), &sc);
+        let right = merged(&sa, &merged(&sb, &sc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative_with_empty_identity(
+        a in samples(),
+        b in samples(),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+        prop_assert_eq!(merged(&sa, &HistogramSnapshot::default()), sa);
+    }
+
+    #[test]
+    fn merge_matches_recording_concatenation(
+        a in samples(),
+        b in samples(),
+    ) {
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(
+            merged(&snapshot_of(&a), &snapshot_of(&b)),
+            snapshot_of(&concat)
+        );
+    }
+
+    #[test]
+    fn exposition_always_validates(
+        counter in any::<u64>(),
+        gauge in any::<u64>(),
+        values in samples(),
+    ) {
+        let reg = Registry::new();
+        reg.counter("pif_test_total", "A counter.").add(counter);
+        reg.gauge("pif_test_depth", "A gauge.").set(gauge);
+        let h = reg.histogram("pif_test_us", "A histogram.");
+        for &v in &values {
+            h.record(v);
+        }
+        let text = render_prometheus(&reg);
+        prop_assert!(validate_prometheus(&text).is_ok(), "invalid exposition:\n{}", text);
+
+        // Cumulative invariants: monotone buckets, +Inf == count.
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines().filter(|l| l.starts_with("pif_test_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(v >= last);
+            last = v;
+            if line.contains("+Inf") {
+                inf = Some(v);
+            }
+        }
+        prop_assert_eq!(inf, Some(values.len() as u64));
+    }
+}

@@ -7,6 +7,7 @@ use crate::cache::{AccessOutcome, InstructionCache, L2Model, LineProvenance};
 use crate::config::EngineConfig;
 use crate::frontend::{FrontEnd, FrontendEvent};
 use crate::prefetch::{PrefetchContext, PrefetchQueue, Prefetcher};
+use crate::probe::{NoProbe, Probe, StallKind, GAUGE_SAMPLE_PERIOD};
 use crate::stats::{FetchStats, FrontendStats, PrefetchStats};
 use crate::timing::{TimingModel, TimingReport};
 
@@ -180,24 +181,73 @@ impl Engine {
         prefetcher: P,
         options: RunOptions<'_>,
     ) -> RunReport {
+        self.run_probed(source, prefetcher, options, &mut NoProbe)
+    }
+
+    /// [`Engine::run`] with an instrumentation [`Probe`] attached.
+    ///
+    /// The probe passively observes the run — fetch-stall breakdowns,
+    /// prefetch-queue occupancy, sampled prefetcher gauges — without
+    /// affecting it: for any trace, prefetcher, and options, the
+    /// returned [`RunReport`] is identical to an unprobed
+    /// [`Engine::run`] (see `tests/probe_equivalence.rs`). `run` itself
+    /// forwards here with [`NoProbe`], whose `ENABLED = false` constant
+    /// folds every instrumentation site out of the compiled loop.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pif_sim::{Engine, EngineConfig, EngineProbe, NoPrefetcher, RunOptions};
+    /// use pif_types::{Address, RetiredInstr, TrapLevel};
+    ///
+    /// let trace: Vec<_> = (0..4096u64)
+    ///     .map(|i| RetiredInstr::simple(Address::new((i % 4096) * 4), TrapLevel::Tl0))
+    ///     .collect();
+    /// let mut probe = EngineProbe::new();
+    /// let report = Engine::new(EngineConfig::paper_default()).run_probed(
+    ///     trace.iter().copied(),
+    ///     NoPrefetcher,
+    ///     RunOptions::new(),
+    ///     &mut probe,
+    /// );
+    /// assert_eq!(report.frontend.instructions, 4096);
+    /// // The probe's registry now holds stall/queue-depth histograms.
+    /// assert!(!probe.registry().snapshot().is_empty());
+    /// ```
+    pub fn run_probed<P: Prefetcher, S: InstrSource, Pr: Probe>(
+        &self,
+        source: S,
+        prefetcher: P,
+        options: RunOptions<'_>,
+        probe: &mut Pr,
+    ) -> RunReport {
         match options.frontend {
-            Some(frontend) => self.run_core(source, prefetcher, options.warmup_instrs, frontend),
+            Some(frontend) => {
+                self.run_core(source, prefetcher, options.warmup_instrs, frontend, probe)
+            }
             None => {
                 let mut frontend = FrontEnd::new(self.config.frontend);
-                self.run_core(source, prefetcher, options.warmup_instrs, &mut frontend)
+                self.run_core(
+                    source,
+                    prefetcher,
+                    options.warmup_instrs,
+                    &mut frontend,
+                    probe,
+                )
             }
         }
     }
 
-    fn run_core<P: Prefetcher, S: InstrSource>(
+    fn run_core<P: Prefetcher, S: InstrSource, Pr: Probe>(
         &self,
         mut source: S,
         prefetcher: P,
         warmup_instrs: usize,
         frontend: &mut FrontEnd,
+        probe: &mut Pr,
     ) -> RunReport {
         frontend.reset_stats();
-        let mut state = EngineState::new(&self.config, prefetcher);
+        let mut state = EngineState::new(&self.config, prefetcher, probe);
         let mut warm = warmup_instrs == 0;
         let mut retired: usize = 0;
         // Events are dispatched straight from the front end into
@@ -310,8 +360,15 @@ impl Engine {
 }
 
 /// Mutable per-run state, separated from `Engine` so `run` stays reentrant.
-struct EngineState<P> {
+struct EngineState<'p, P, Pr> {
     prefetcher: P,
+    /// Instrumentation observer; every use is guarded by `Pr::ENABLED`
+    /// so [`NoProbe`] monomorphizes the guards (and this field's
+    /// updates) out of the loop.
+    probe: &'p mut Pr,
+    /// Retirements since run start, maintained only when the probe is
+    /// enabled (drives periodic prefetcher-gauge sampling).
+    gauge_tick: u64,
     icache: InstructionCache,
     l2: L2Model,
     queue: PrefetchQueue,
@@ -325,11 +382,13 @@ struct EngineState<P> {
     scratch_requests: Vec<BlockAddr>,
 }
 
-impl<P: Prefetcher> EngineState<P> {
-    fn new(config: &EngineConfig, prefetcher: P) -> Self {
+impl<'p, P: Prefetcher, Pr: Probe> EngineState<'p, P, Pr> {
+    fn new(config: &EngineConfig, prefetcher: P, probe: &'p mut Pr) -> Self {
         let perfect = prefetcher.is_perfect();
         EngineState {
             prefetcher,
+            probe,
+            gauge_tick: 0,
             icache: InstructionCache::new(config.icache).expect("validated geometry"),
             l2: L2Model::new(config.l2).expect("validated geometry"),
             queue: PrefetchQueue::default(),
@@ -386,6 +445,9 @@ impl<P: Prefetcher> EngineState<P> {
 
     fn process_fetch(&mut self, access: FetchAccess) {
         self.install_ready_prefetches();
+        if Pr::ENABLED {
+            self.probe.queue_depth(self.queue.len());
+        }
         let block = access.pc.block();
 
         self.run_hook(|p, ctx| p.on_fetch(&access, block, ctx));
@@ -413,10 +475,17 @@ impl<P: Prefetcher> EngineState<P> {
                         self.queue.cancel(block);
                         self.fetch.partial_covered += 1;
                         self.prefetch.useful += 1;
-                        self.timing.fetch_stall(ready_at.saturating_sub(now));
+                        let stall = ready_at.saturating_sub(now);
+                        if Pr::ENABLED {
+                            self.probe.fetch_stall(StallKind::LatePrefetch, stall);
+                        }
+                        self.timing.fetch_stall(stall);
                     } else {
                         self.fetch.demand_misses += 1;
                         let latency = self.l2.access(block);
+                        if Pr::ENABLED {
+                            self.probe.fetch_stall(StallKind::DemandMiss, latency);
+                        }
                         self.timing.fetch_stall(latency);
                     }
                 }
@@ -436,6 +505,17 @@ impl<P: Prefetcher> EngineState<P> {
 
     fn process_retire(&mut self, instr: RetiredInstr, mispredicted: bool) {
         self.timing.retire_instruction(mispredicted);
+        if Pr::ENABLED {
+            self.gauge_tick += 1;
+            if self.gauge_tick.is_multiple_of(GAUGE_SAMPLE_PERIOD) {
+                // Split borrows: the gauge closure writes to the probe
+                // while reading the prefetcher.
+                let EngineState {
+                    prefetcher, probe, ..
+                } = self;
+                prefetcher.gauges(&mut |name, value| probe.prefetcher_gauge(name, value));
+            }
+        }
         // The provenance probe is a full cache lookup per retirement;
         // prefetchers that ignore the tag opt out of paying for it.
         let prefetched = self.prefetcher.uses_retire_provenance()
@@ -463,7 +543,7 @@ impl<P: Prefetcher> EngineState<P> {
     }
 }
 
-impl std::fmt::Debug for EngineState<()> {
+impl std::fmt::Debug for EngineState<'_, (), NoProbe> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineState").finish_non_exhaustive()
     }

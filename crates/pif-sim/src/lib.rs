@@ -21,7 +21,10 @@
 //!   allocation (`PrefetcherHarness::drive` accordingly returns a borrow
 //!   of the reused buffer rather than a fresh `Vec`);
 //! * the **engine** ([`engine`]) that drives a retire-order trace through
-//!   front end → L1-I → prefetcher and collects statistics;
+//!   front end → L1-I → prefetcher and collects statistics, with an
+//!   opt-in instrumentation layer ([`probe`]): a [`Probe`] observes
+//!   fetch-stall breakdowns, queue occupancy, and prefetcher gauges,
+//!   while the [`NoProbe`] default monomorphizes to nothing;
 //! * a **fetch-stall timing model** ([`timing`]) turning miss/stall counts
 //!   into cycles and UIPC, the paper's throughput metric;
 //! * the **temporal-stream predictor evaluation harness**
@@ -61,6 +64,7 @@ pub mod frontend;
 pub mod multicore;
 pub mod predictor_eval;
 pub mod prefetch;
+pub mod probe;
 pub mod sampling;
 pub mod stats;
 pub mod streams;
@@ -69,4 +73,5 @@ pub mod timing;
 pub use config::{EngineConfig, FrontendConfig, ICacheConfig, L2Config, TimingConfig};
 pub use engine::{Engine, RunOptions, RunReport};
 pub use prefetch::{NoPrefetcher, PrefetchContext, Prefetcher, PrefetcherHarness};
+pub use probe::{EngineProbe, NoProbe, Probe, StallKind};
 pub use stats::{FetchStats, FrontendStats, Log2Histogram, PrefetchStats};

@@ -189,6 +189,18 @@ pub trait Prefetcher {
     fn uses_retire_provenance(&self) -> bool {
         true
     }
+
+    /// Reports instantaneous internal gauges (e.g. SAB residency) by
+    /// calling `emit(name, value)` for each. Sampled periodically by the
+    /// engine *only when an instrumentation probe is enabled* (see
+    /// `pif_sim::probe`), so implementations may do modest read-only
+    /// work but must not mutate prefetcher state — sampling frequency
+    /// must never affect simulation results. `name` must be a static
+    /// `[a-z0-9_]+` identifier; emitting the same name repeatedly
+    /// records independent samples (e.g. one per stream buffer).
+    fn gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let _ = emit;
+    }
 }
 
 impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
@@ -221,6 +233,10 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
     fn uses_retire_provenance(&self) -> bool {
         (**self).uses_retire_provenance()
     }
+
+    fn gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        (**self).gauges(emit)
+    }
 }
 
 impl<P: Prefetcher + ?Sized> Prefetcher for &mut P {
@@ -252,6 +268,10 @@ impl<P: Prefetcher + ?Sized> Prefetcher for &mut P {
 
     fn uses_retire_provenance(&self) -> bool {
         (**self).uses_retire_provenance()
+    }
+
+    fn gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        (**self).gauges(emit)
     }
 }
 

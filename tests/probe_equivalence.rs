@@ -1,0 +1,189 @@
+//! Probe-enabled runs must be observationally identical to unprobed runs.
+//!
+//! The `Probe` layer (`pif_sim::probe`) is a passive observer: the
+//! engine hands it stall magnitudes, queue depths, and prefetcher
+//! gauges, and it feeds nothing back. This test drives the same traces
+//! through `Engine::run` (implicitly `NoProbe`) and
+//! `Engine::run_probed` with a live metrics-recording `EngineProbe`,
+//! and requires every `RunReport` counter to match exactly — while also
+//! checking the probe actually captured data and that its registry
+//! renders valid Prometheus exposition.
+
+use pif_baselines::{NextLinePrefetcher, Tifs};
+use pif_core::{Pif, PifConfig};
+use pif_sim::{Engine, EngineConfig, EngineProbe, NoPrefetcher, RunOptions, RunReport};
+use pif_workloads::WorkloadProfile;
+
+/// Canonical rendering of every counter in a [`RunReport`] (same shape
+/// as `tests/golden_equivalence.rs`).
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "{}|fetch:{},{},{},{},{},{}|pf:{},{},{},{}|fe:{},{},{},{}|t:{},{},{},{},{}|l2:{},{}",
+        r.prefetcher,
+        r.fetch.demand_accesses,
+        r.fetch.wrong_path_accesses,
+        r.fetch.demand_misses,
+        r.fetch.wrong_path_misses,
+        r.fetch.covered_by_prefetch,
+        r.fetch.partial_covered,
+        r.prefetch.issued,
+        r.prefetch.dropped_resident,
+        r.prefetch.useful,
+        r.prefetch.unused_evicted,
+        r.frontend.instructions,
+        r.frontend.branches,
+        r.frontend.mispredicts,
+        r.frontend.wrong_path_accesses,
+        r.timing.instructions,
+        r.timing.cycles,
+        r.timing.base_cycles,
+        r.timing.fetch_stall_cycles,
+        r.timing.mispredict_cycles,
+        r.l2_hits,
+        r.l2_misses,
+    )
+}
+
+fn histogram_count(probe: &EngineProbe, name: &str) -> u64 {
+    match &probe
+        .registry()
+        .snapshot()
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("probe registry missing {name}"))
+        .value
+    {
+        pif_obs::MetricValue::Histogram(h) => h.count(),
+        other => panic!("{name} is not a histogram: {other:?}"),
+    }
+}
+
+#[test]
+fn probed_run_reports_match_noprobe_for_every_prefetcher() {
+    let trace = WorkloadProfile::oltp_db2().scaled(0.05).generate(120_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+
+    // One closure per prefetcher so each probed/unprobed pair gets a
+    // freshly-constructed prefetcher with identical initial state.
+    type Case<'a> = (
+        &'a str,
+        Box<dyn Fn(Option<&mut EngineProbe>) -> RunReport + 'a>,
+    );
+    let cases: Vec<Case> = vec![
+        (
+            "None",
+            Box::new(|probe| match probe {
+                Some(p) => engine.run_probed(
+                    trace.instrs().iter().copied(),
+                    NoPrefetcher,
+                    RunOptions::new().warmup(36_000),
+                    p,
+                ),
+                None => engine.run(
+                    trace.instrs().iter().copied(),
+                    NoPrefetcher,
+                    RunOptions::new().warmup(36_000),
+                ),
+            }),
+        ),
+        (
+            "PIF",
+            Box::new(|probe| match probe {
+                Some(p) => engine.run_probed(
+                    trace.instrs().iter().copied(),
+                    Pif::new(PifConfig::paper_default()),
+                    RunOptions::new().warmup(36_000),
+                    p,
+                ),
+                None => engine.run(
+                    trace.instrs().iter().copied(),
+                    Pif::new(PifConfig::paper_default()),
+                    RunOptions::new().warmup(36_000),
+                ),
+            }),
+        ),
+        (
+            "Next-Line",
+            Box::new(|probe| match probe {
+                Some(p) => engine.run_probed(
+                    trace.instrs().iter().copied(),
+                    NextLinePrefetcher::aggressive(),
+                    RunOptions::new().warmup(36_000),
+                    p,
+                ),
+                None => engine.run(
+                    trace.instrs().iter().copied(),
+                    NextLinePrefetcher::aggressive(),
+                    RunOptions::new().warmup(36_000),
+                ),
+            }),
+        ),
+        (
+            "TIFS",
+            Box::new(|probe| match probe {
+                Some(p) => engine.run_probed(
+                    trace.instrs().iter().copied(),
+                    Tifs::new(Default::default()),
+                    RunOptions::new().warmup(36_000),
+                    p,
+                ),
+                None => engine.run(
+                    trace.instrs().iter().copied(),
+                    Tifs::new(Default::default()),
+                    RunOptions::new().warmup(36_000),
+                ),
+            }),
+        ),
+    ];
+
+    for (name, run) in &cases {
+        let plain = run(None);
+        let mut probe = EngineProbe::new();
+        let probed = run(Some(&mut probe));
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&probed),
+            "probe perturbed the {name} run"
+        );
+        // The probe must have observed the run, not just stayed silent.
+        assert!(
+            histogram_count(&probe, "pif_engine_prefetch_queue_depth") > 0,
+            "{name}: queue-depth histogram is empty"
+        );
+    }
+}
+
+#[test]
+fn probe_captures_stall_breakdown_and_sab_residency_for_pif() {
+    let trace = WorkloadProfile::oltp_db2().scaled(0.05).generate(120_000);
+    let engine = Engine::new(EngineConfig::paper_default());
+    let mut probe = EngineProbe::new();
+    let report = engine.run_probed(
+        trace.instrs().iter().copied(),
+        Pif::new(PifConfig::paper_default()),
+        RunOptions::new(),
+        &mut probe,
+    );
+
+    // Stall samples must reconcile with the report's miss counters.
+    assert_eq!(
+        histogram_count(&probe, "pif_engine_demand_stall_cycles"),
+        report.fetch.demand_misses,
+        "one demand-stall sample per demand miss"
+    );
+    assert_eq!(
+        histogram_count(&probe, "pif_engine_late_prefetch_stall_cycles"),
+        report.fetch.partial_covered,
+        "one late-prefetch sample per partially covered miss"
+    );
+    // PIF's gauges surface SAB residency via the periodic sampler.
+    assert!(
+        histogram_count(&probe, "pif_engine_sab_active_streams") > 0,
+        "SAB residency gauge never sampled"
+    );
+
+    // And the whole registry must render valid exposition text.
+    let text = pif_obs::render_prometheus(probe.registry());
+    pif_obs::validate_prometheus(&text).expect("probe exposition must validate");
+    assert!(text.contains("# TYPE pif_engine_demand_stall_cycles histogram"));
+}
