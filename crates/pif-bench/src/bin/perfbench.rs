@@ -151,6 +151,62 @@ fn measure_probe_overhead(
     (probed_s - plain_s) / plain_s * 100.0
 }
 
+/// The plain half of the failpoint-erasure pair: an integer-mixing hot
+/// loop with a serial data dependency, `#[inline(never)]` so the two
+/// halves compile as separate functions and `black_box` so neither folds
+/// to a constant.
+#[inline(never)]
+fn mix_loop_plain(iters: u64) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..iters {
+        acc = acc
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(std::hint::black_box(i));
+    }
+    acc
+}
+
+/// The instrumented half: byte-identical to [`mix_loop_plain`] except
+/// for a `fail_point!` per iteration. In the default build the macro
+/// expands to nothing, so any measured difference between the halves is
+/// residual noise — that near-zero percentage is the erasure proof the
+/// report carries as `failpoint_overhead_pct`.
+#[inline(never)]
+fn mix_loop_failpointed(iters: u64) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..iters {
+        pif_fail::fail_point!("bench.mix.iter");
+        acc = acc
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(std::hint::black_box(i));
+    }
+    acc
+}
+
+/// Measures the wall-clock cost of the failpointed hot loop relative to
+/// the plain one, in percent. Same discipline as
+/// [`measure_probe_overhead`]: interleaved within each rep, best-of-N
+/// per side. With `fail-inject` off (the default) this quantifies the
+/// compile-time erasure guarantee; with it on, the armed-but-idle cost.
+fn measure_failpoint_overhead(reps: usize) -> f64 {
+    const ITERS: u64 = 10_000_000;
+    let reps = reps.max(7);
+    let mut plain_s = f64::MAX;
+    let mut failpointed_s = f64::MAX;
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= mix_loop_plain(ITERS);
+        plain_s = plain_s.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        sink ^= mix_loop_failpointed(ITERS);
+        failpointed_s = failpointed_s.min(t1.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    (failpointed_s - plain_s) / plain_s * 100.0
+}
+
 /// One prefetcher's sampled-vs-exhaustive comparison (`--sampled` mode):
 /// both runs drive the same on-disk trace; the sampled run decodes only
 /// its windows.
@@ -386,9 +442,27 @@ fn main() {
             profiles[0].name()
         );
     }
+    let failpoint_overhead_pct = Some(measure_failpoint_overhead(reps));
+    if let Some(pct) = failpoint_overhead_pct {
+        println!(
+            "failpoint overhead (fail_point! {} vs plain hot loop): {pct:.2}%",
+            if cfg!(feature = "fail-inject") {
+                "armed"
+            } else {
+                "erased"
+            }
+        );
+    }
 
     let verdict = smoke.then(|| smoke_passed(gated_ips));
-    let json = render_json(&results, instructions, smoke, verdict, probe_overhead_pct);
+    let json = render_json(
+        &results,
+        instructions,
+        smoke,
+        verdict,
+        probe_overhead_pct,
+        failpoint_overhead_pct,
+    );
     if let Err(e) = validate_json(&json) {
         eprintln!("perfbench: emitted invalid JSON: {e}");
         std::process::exit(1);

@@ -71,14 +71,18 @@ use pif_lab::json::escape as json_escape;
 /// JSON `null` for full runs, where no gate applies). Callers must
 /// compute the verdict **before** rendering/writing so the artifact is
 /// honest about failure. `probe_overhead_pct` is the measured wall-clock
-/// cost of running with a live `EngineProbe` vs the `NoProbe` default
-/// (`None` renders as `null` when the pair was not measured).
+/// cost of running with a live `EngineProbe` vs the `NoProbe` default,
+/// and `failpoint_overhead_pct` the cost of a `fail_point!`-bearing hot
+/// loop vs its plain twin — near zero in default builds, where the macro
+/// erases at compile time (either renders as `null` when the pair was
+/// not measured).
 pub fn render_json(
     results: &[RunResult],
     instructions: usize,
     smoke: bool,
     smoke_passed: Option<bool>,
     probe_overhead_pct: Option<f64>,
+    failpoint_overhead_pct: Option<f64>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -94,6 +98,13 @@ pub fn render_json(
     s.push_str(&format!(
         "  \"probe_overhead_pct\": {},\n",
         match probe_overhead_pct {
+            Some(v) => format!("{v:.2}"),
+            None => "null".to_string(),
+        }
+    ));
+    s.push_str(&format!(
+        "  \"failpoint_overhead_pct\": {},\n",
+        match failpoint_overhead_pct {
             Some(v) => format!("{v:.2}"),
             None => "null".to_string(),
         }
@@ -182,17 +193,18 @@ mod tests {
         let slow = sample(1.0);
         let verdict = smoke_passed(none_ips(&slow));
         assert!(!verdict);
-        let json = render_json(&slow, 300_000, true, Some(verdict), None);
+        let json = render_json(&slow, 300_000, true, Some(verdict), None, None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         assert_eq!(doc.get("smoke_passed").and_then(Json::as_bool), Some(false));
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("probe_overhead_pct"), Some(&Json::Null));
+        assert_eq!(doc.get("failpoint_overhead_pct"), Some(&Json::Null));
     }
 
     #[test]
     fn full_run_has_null_verdict() {
-        let json = render_json(&sample(0.01), 2_000_000, false, None, None);
+        let json = render_json(&sample(0.01), 2_000_000, false, None, None, None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         assert_eq!(doc.get("smoke_passed"), Some(&Json::Null));
@@ -204,7 +216,7 @@ mod tests {
 
     #[test]
     fn probe_overhead_renders_as_a_number_when_measured() {
-        let json = render_json(&sample(0.01), 2_000_000, false, None, Some(1.234));
+        let json = render_json(&sample(0.01), 2_000_000, false, None, Some(1.234), None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         let pct = doc
@@ -212,6 +224,21 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("probe_overhead_pct is a number");
         assert!((pct - 1.23).abs() < 1e-9, "rounded to 2 decimals: {pct}");
+        assert_eq!(doc.get("failpoint_overhead_pct"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn failpoint_overhead_renders_as_a_number_when_measured() {
+        // Negative residuals (the failpointed loop winning a coin flip on
+        // a quiet machine) must render as plain numbers, not vanish.
+        let json = render_json(&sample(0.01), 2_000_000, false, None, None, Some(-0.057));
+        validate_json(&json).expect("artifact parses");
+        let doc = Json::parse(&json).unwrap();
+        let pct = doc
+            .get("failpoint_overhead_pct")
+            .and_then(Json::as_f64)
+            .expect("failpoint_overhead_pct is a number");
+        assert!((pct - -0.06).abs() < 1e-9, "rounded to 2 decimals: {pct}");
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //!            [--cache] [--cache-dir DIR] [--profile]
 //! piflab check <report.json> <baseline.json> [--tol X]
 //! piflab diff <a.json> <b.json>
-//! piflab serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
+//! piflab serve [--addr HOST:PORT] [--threads N] [--workers N]
+//!              [--queue-depth N] [--deadline-ms N]
 //!              [--cache-dir DIR] [--no-cache]
 //! piflab submit <spec>... [--addr HOST:PORT] [--smoke]
 //!               [--scale tiny|quick|paper] [--out PATH] [--out-dir DIR]
+//!               [--deadline-ms N] [--retries N] [--retry-base-ms N]
 //!               [--quiet]
 //! piflab stats [--addr HOST:PORT]
 //! piflab metrics [--addr HOST:PORT] [--format prometheus|json]
@@ -28,7 +30,11 @@
 //! over the same `run_spec` path, fronted by the line-delimited JSON
 //! protocol of `pif_lab::protocol`, with a persistent content-addressed
 //! result cache. `submit` is its client: reports come back byte-identical
-//! to a local `run` of the same spec and scale. `stats` and `metrics`
+//! to a local `run` of the same spec and scale. Transient failures —
+//! refused connections, sockets dying mid-exchange, retryable daemon
+//! error frames — are retried with exponential backoff and jitter
+//! (`--retries`, `--retry-base-ms`); every terminal failure prints one
+//! structured `piflab submit: <category>: ...` line. `stats` and `metrics`
 //! query a running daemon's counters and its full `pif_obs` exposition.
 //! `cache` inspects or clears the on-disk store.
 //!
@@ -45,6 +51,7 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use pif_lab::json::Json;
 use pif_lab::protocol::{Request, Response};
@@ -84,9 +91,10 @@ fn usage() -> ExitCode {
         "\nrun/submit: <spec>... [--all] [--smoke] [--scale tiny|quick|paper] \
          [--out PATH] [--out-dir DIR] [--quiet]\n\
          run also: [--threads N] [--cache] [--cache-dir DIR] [--profile]\n\
-         submit also: [--addr HOST:PORT]\n\
+         submit also: [--addr HOST:PORT] [--deadline-ms N] [--retries N] [--retry-base-ms N]\n\
          check: <report.json> <baseline.json> [--tol X]\n\
-         serve: [--addr HOST:PORT] [--threads N] [--queue-depth N] [--cache-dir DIR] [--no-cache]\n\
+         serve: [--addr HOST:PORT] [--threads N] [--workers N] [--queue-depth N]\n\
+                [--deadline-ms N] [--cache-dir DIR] [--no-cache]\n\
          stats: [--addr HOST:PORT]\n\
          metrics: [--addr HOST:PORT] [--format prometheus|json]\n\
          cache: stats|clear [--cache-dir DIR]"
@@ -488,7 +496,9 @@ fn install_signal_handlers() {}
 struct ServeArgs {
     addr: String,
     threads: usize,
+    workers: usize,
     queue_depth: usize,
+    deadline_ms: Option<u64>,
     cache_dir: Option<PathBuf>,
 }
 
@@ -498,7 +508,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut opts = ServeArgs {
         addr: DEFAULT_ADDR.to_string(),
         threads: pif_lab::default_threads(),
+        workers: 1,
         queue_depth: 16,
+        deadline_ms: None,
         cache_dir: Some(ResultCache::default_dir()),
     };
     let mut it = args.iter();
@@ -512,9 +524,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 Some(n) if n >= 1 => opts.threads = n,
                 _ => return Err("--threads needs a positive integer".into()),
             },
+            "--workers" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.workers = n,
+                _ => return Err("--workers needs a positive integer".into()),
+            },
             "--queue-depth" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.queue_depth = n,
                 _ => return Err("--queue-depth needs a positive integer".into()),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => opts.deadline_ms = Some(ms),
+                _ => return Err("--deadline-ms needs a positive integer".into()),
             },
             "--cache-dir" => match it.next() {
                 Some(p) => opts.cache_dir = Some(PathBuf::from(p)),
@@ -554,14 +574,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let service = Service::start(ServiceConfig {
         queue_depth: opts.queue_depth,
         threads: opts.threads,
+        workers: opts.workers,
+        default_deadline: opts.deadline_ms.map(Duration::from_millis),
         cache_dir: opts.cache_dir,
     });
     install_signal_handlers();
     // One parseable line on stdout so scripts (and CI) can wait for
     // readiness and discover an ephemeral --addr :0 port.
     println!(
-        "pifd: listening on {addr} (threads {}, queue {}, cache {cache_desc})",
-        opts.threads, opts.queue_depth
+        "pifd: listening on {addr} (workers {}, threads {}, queue {}, cache {cache_desc})",
+        opts.workers, opts.threads, opts.queue_depth
     );
     let _ = std::io::stdout().flush();
     if let Err(e) = protocol::serve(listener, &service, &SHUTDOWN) {
@@ -572,13 +594,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let stats = service.shutdown();
     println!(
         "pifd: drained, {} submitted / {} completed (max queue {}, exec {} us, \
-         mean wait {:.1} us, {} stolen)",
+         mean wait {:.1} us, {} stolen, {} deadline-exceeded, {} restarts, \
+         {} quarantined)",
         stats.submitted,
         stats.completed,
         stats.max_queue_depth,
         stats.exec.total_us,
         stats.queue_wait.mean_us(),
-        stats.stolen_jobs
+        stats.stolen_jobs,
+        stats.deadline_exceeded,
+        stats.worker_restarts,
+        stats.quarantined
     );
     ExitCode::SUCCESS
 }
@@ -592,6 +618,9 @@ struct SubmitArgs {
     out: Option<PathBuf>,
     out_dir: PathBuf,
     quiet: bool,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    retry_base_ms: u64,
 }
 
 /// Parses `piflab submit` arguments.
@@ -604,6 +633,9 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
         out: None,
         out_dir: PathBuf::from("target/piflab"),
         quiet: false,
+        deadline_ms: None,
+        retries: 3,
+        retry_base_ms: 200,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -626,6 +658,18 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
                 Some(p) => opts.out_dir = PathBuf::from(p),
                 None => return Err("--out-dir needs a directory".into()),
             },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => opts.deadline_ms = Some(ms),
+                _ => return Err("--deadline-ms needs a positive integer".into()),
+            },
+            "--retries" => match it.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) => opts.retries = n,
+                None => return Err("--retries needs a non-negative integer".into()),
+            },
+            "--retry-base-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => opts.retry_base_ms = ms,
+                _ => return Err("--retry-base-ms needs a positive integer".into()),
+            },
             name if !name.starts_with('-') => opts.specs.push(name.to_string()),
             flag => return Err(format!("unknown flag {flag:?}")),
         }
@@ -639,6 +683,211 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
     Ok(opts)
 }
 
+/// One terminal `piflab submit` failure: every way the exchange can
+/// die, each with a stable category token (the first word of the
+/// printed line) so scripts and tests can dispatch on it.
+#[derive(Debug)]
+enum SubmitFailure {
+    /// TCP connect was refused/reset on every attempt.
+    Connect { addr: String, error: String },
+    /// The socket died mid-exchange on every attempt.
+    Io { error: String },
+    /// The daemon answered with bytes that are not a `piflab/1` frame.
+    BadFrame { error: String },
+    /// The daemon answered with a typed error frame (terminal, or still
+    /// failing after the retry budget).
+    Daemon {
+        kind: String,
+        message: String,
+        candidates: Vec<String>,
+    },
+    /// The daemon's report failed client-side schema validation.
+    BadReport { spec: String, error: String },
+    /// Writing the validated report to disk failed.
+    WriteOut { error: String },
+}
+
+impl SubmitFailure {
+    /// Usage-class failures (the request itself can never succeed) exit
+    /// 2, matching `piflab run`'s unknown-spec behavior; everything else
+    /// is a runtime failure, exit 1.
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            SubmitFailure::Daemon { kind, .. }
+                if kind == "unknown_spec" || kind == "bad_request" =>
+            {
+                ExitCode::from(2)
+            }
+            _ => ExitCode::FAILURE,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitFailure::Connect { addr, error } => write!(
+                f,
+                "connect: cannot reach {addr} (is `piflab serve` running?): {error}"
+            ),
+            SubmitFailure::Io { error } => write!(f, "io: {error}"),
+            SubmitFailure::BadFrame { error } => write!(f, "bad-frame: {error}"),
+            SubmitFailure::Daemon { kind, message, .. } => write!(f, "daemon [{kind}]: {message}"),
+            SubmitFailure::BadReport { spec, error } => {
+                write!(f, "bad-report: daemon sent bad report for {spec}: {error}")
+            }
+            SubmitFailure::WriteOut { error } => write!(f, "write: {error}"),
+        }
+    }
+}
+
+/// Whether one attempt's failure is worth another connection. Connect
+/// and mid-exchange I/O failures are transient by assumption; daemon
+/// error frames say so themselves (`"retryable"`); a frame that does
+/// not even parse suggests a version mismatch, which retrying cannot
+/// fix.
+fn attempt_is_retryable(failure: &SubmitFailure, frame_retryable: bool) -> bool {
+    match failure {
+        SubmitFailure::Connect { .. } | SubmitFailure::Io { .. } => true,
+        SubmitFailure::Daemon { .. } => frame_retryable,
+        _ => false,
+    }
+}
+
+/// Exponential backoff with deterministic jitter: attempt `n` sleeps a
+/// duration drawn from `[base·2ⁿ/2, base·2ⁿ]`, the draw seeded by
+/// (seed, attempt) so tests are reproducible.
+fn backoff_delay(base_ms: u64, attempt: u32, seed: u64) -> Duration {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(10));
+    let mut z = seed
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let half = exp / 2;
+    Duration::from_millis(half + z % (half.max(1) + 1))
+}
+
+/// One connect + one request/response exchange, no retries.
+fn exchange_once(addr: &str, request: &Request) -> Result<Response, SubmitFailure> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| SubmitFailure::Connect {
+        addr: addr.to_string(),
+        error: e.to_string(),
+    })?;
+    let io = |e: std::io::Error| SubmitFailure::Io {
+        error: e.to_string(),
+    };
+    let mut writer = stream.try_clone().map_err(io)?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(request.to_line().as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(io)?;
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err(SubmitFailure::Io {
+            error: "daemon closed the connection before replying".to_string(),
+        }),
+        Ok(_) => Response::parse(&line).map_err(|error| SubmitFailure::BadFrame { error }),
+        Err(e) => Err(io(e)),
+    }
+}
+
+/// Sends `request` with up to `retries` reconnect-and-resend attempts
+/// after the first, backing off exponentially between attempts.
+fn submit_with_retry(
+    addr: &str,
+    request: &Request,
+    retries: u32,
+    base_ms: u64,
+    quiet: bool,
+) -> Result<Response, SubmitFailure> {
+    let seed = u64::from(std::process::id());
+    let mut attempt = 0u32;
+    loop {
+        let (failure, frame_retryable) = match exchange_once(addr, request) {
+            Ok(Response::Error {
+                kind,
+                retryable,
+                message,
+                candidates,
+                ..
+            }) => (
+                SubmitFailure::Daemon {
+                    kind,
+                    message,
+                    candidates,
+                },
+                retryable,
+            ),
+            Ok(response) => return Ok(response),
+            Err(failure) => (failure, false),
+        };
+        if attempt >= retries || !attempt_is_retryable(&failure, frame_retryable) {
+            return Err(failure);
+        }
+        let delay = backoff_delay(base_ms, attempt, seed);
+        if !quiet {
+            eprintln!(
+                "piflab submit: attempt {} failed ({failure}); retrying in {} ms",
+                attempt + 1,
+                delay.as_millis()
+            );
+        }
+        std::thread::sleep(delay);
+        attempt += 1;
+    }
+}
+
+/// Submits one spec and writes the validated report. Split from
+/// `cmd_submit` so the error paths are unit-testable without a daemon.
+fn submit_one(opts: &SubmitArgs, id: u64, name: &str, scale: Scale) -> Result<(), SubmitFailure> {
+    let request = Request::Submit {
+        id,
+        spec: name.to_string(),
+        scale,
+        smoke: opts.smoke,
+        deadline_ms: opts.deadline_ms,
+    };
+    let response = submit_with_retry(
+        &opts.addr,
+        &request,
+        opts.retries,
+        opts.retry_base_ms,
+        opts.quiet,
+    )?;
+    match response {
+        Response::Report {
+            spec,
+            cached_cells,
+            executed_cells,
+            json,
+            ..
+        } => {
+            // Same gate as a local run: the daemon's bytes must parse
+            // and validate before they land on disk — and they are
+            // written verbatim, preserving byte identity with `run`.
+            validate_report_bytes(&json, &spec).map_err(|error| SubmitFailure::BadReport {
+                spec: spec.clone(),
+                error,
+            })?;
+            let path = out_path(&opts.out, &opts.out_dir, name);
+            write_report_bytes(&json, &path).map_err(|error| SubmitFailure::WriteOut { error })?;
+            if !opts.quiet {
+                eprintln!(
+                    "piflab submit: {spec} — {cached_cells} cells cached, {executed_cells} executed"
+                );
+            }
+            println!("wrote {}", path.display());
+            Ok(())
+        }
+        other => Err(SubmitFailure::BadFrame {
+            error: format!("unexpected response {other:?}"),
+        }),
+    }
+}
+
 fn cmd_submit(args: &[String]) -> ExitCode {
     let opts = match parse_submit_args(args) {
         Ok(o) => o,
@@ -648,94 +897,15 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         }
     };
     let scale = effective_scale(opts.scale, opts.smoke);
-    let stream = match std::net::TcpStream::connect(&opts.addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!(
-                "piflab submit: cannot connect to {} (is `piflab serve` running?): {e}",
-                opts.addr
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("piflab submit: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut reader = BufReader::new(stream);
-    for name in &opts.specs {
-        let request = Request::Submit {
-            spec: name.clone(),
-            scale,
-            smoke: opts.smoke,
-        };
-        let mut line = String::new();
-        let exchanged = writer
-            .write_all(request.to_line().as_bytes())
-            .and_then(|()| writer.flush())
-            .and_then(|()| reader.read_line(&mut line));
-        match exchanged {
-            Ok(0) => {
-                eprintln!("piflab submit: daemon closed the connection");
-                return ExitCode::FAILURE;
-            }
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("piflab submit: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        let response = match Response::parse(&line) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("piflab submit: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match response {
-            Response::Report {
-                spec,
-                cached_cells,
-                executed_cells,
-                json,
-            } => {
-                // Same gate as a local run: the daemon's bytes must parse
-                // and validate before they land on disk — and they are
-                // written verbatim, preserving byte identity with `run`.
-                if let Err(e) = validate_report_bytes(&json, &spec) {
-                    eprintln!("piflab submit: daemon sent bad report: {e}");
-                    return ExitCode::FAILURE;
-                }
-                let path = out_path(&opts.out, &opts.out_dir, name);
-                if let Err(e) = write_report_bytes(&json, &path) {
-                    eprintln!("piflab submit: {e}");
-                    return ExitCode::FAILURE;
-                }
-                if !opts.quiet {
-                    eprintln!(
-                        "piflab submit: {spec} — {cached_cells} cells cached, {executed_cells} executed"
-                    );
-                }
-                println!("wrote {}", path.display());
-            }
-            Response::Error {
-                message,
-                candidates,
-            } => {
-                eprintln!("piflab submit: {message}");
+    for (i, name) in opts.specs.iter().enumerate() {
+        if let Err(failure) = submit_one(&opts, i as u64 + 1, name, scale) {
+            eprintln!("piflab submit: {failure}");
+            if let SubmitFailure::Daemon { candidates, .. } = &failure {
                 if !candidates.is_empty() {
                     eprintln!("  known specs: {}", candidates.join(", "));
-                    return ExitCode::from(2);
                 }
-                return ExitCode::FAILURE;
             }
-            other => {
-                eprintln!("piflab submit: unexpected response {other:?}");
-                return ExitCode::FAILURE;
-            }
+            return failure.exit_code();
         }
     }
     ExitCode::SUCCESS
@@ -806,6 +976,9 @@ fn cmd_stats(args: &[String]) -> ExitCode {
             queue_wait,
             exec,
             stolen_jobs,
+            deadline_exceeded,
+            worker_restarts,
+            quarantined,
             cache,
         }) => {
             println!(
@@ -815,10 +988,14 @@ fn cmd_stats(args: &[String]) -> ExitCode {
             print_latency("queue wait", &queue_wait);
             print_latency("exec", &exec);
             println!("  stolen jobs: {stolen_jobs}");
+            println!(
+                "  failures: {deadline_exceeded} deadline-exceeded, \
+                 {worker_restarts} worker restarts, {quarantined} quarantined"
+            );
             match cache {
                 Some(c) => println!(
-                    "  cache: {} hits, {} misses ({} corrupt)",
-                    c.hits, c.misses, c.corrupt
+                    "  cache: {} hits, {} misses ({} corrupt, {} quarantined)",
+                    c.hits, c.misses, c.corrupt, c.quarantined
                 ),
                 None => println!("  cache: disabled"),
             }
@@ -1019,18 +1196,28 @@ mod tests {
         assert_eq!(d.addr, DEFAULT_ADDR);
         assert_eq!(d.queue_depth, 16);
         assert_eq!(d.cache_dir, Some(ResultCache::default_dir()));
+        assert_eq!(d.workers, 1);
+        assert_eq!(d.deadline_ms, None);
         let o = parse_serve_args(&s(&[
             "--addr",
             "127.0.0.1:0",
             "--queue-depth",
             "4",
+            "--workers",
+            "3",
+            "--deadline-ms",
+            "30000",
             "--no-cache",
         ]))
         .unwrap();
         assert_eq!(o.addr, "127.0.0.1:0");
         assert_eq!(o.queue_depth, 4);
+        assert_eq!(o.workers, 3);
+        assert_eq!(o.deadline_ms, Some(30_000));
         assert_eq!(o.cache_dir, None);
         assert!(parse_serve_args(&s(&["--queue-depth", "0"])).is_err());
+        assert!(parse_serve_args(&s(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&s(&["--deadline-ms", "no"])).is_err());
     }
 
     #[test]
@@ -1039,7 +1226,117 @@ mod tests {
         assert_eq!(o.specs, vec!["fig10"]);
         assert_eq!(o.addr, "127.0.0.1:9");
         assert!(o.smoke);
+        assert_eq!((o.retries, o.retry_base_ms, o.deadline_ms), (3, 200, None));
+        let o = parse_submit_args(&s(&[
+            "fig10",
+            "--retries",
+            "0",
+            "--retry-base-ms",
+            "5",
+            "--deadline-ms",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (o.retries, o.retry_base_ms, o.deadline_ms),
+            (0, 5, Some(1000))
+        );
         assert!(parse_submit_args(&s(&["--smoke"])).is_err(), "no specs");
+        assert!(parse_submit_args(&s(&["fig10", "--retry-base-ms", "0"])).is_err());
+    }
+
+    fn tiny_submit() -> Request {
+        Request::Submit {
+            id: 1,
+            spec: "fig10".to_string(),
+            scale: Scale::tiny(),
+            smoke: true,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn refused_connection_is_a_structured_connect_failure() {
+        // Bind a listener to reserve a port, then drop it: connecting to
+        // the now-closed port is refused (or reset) deterministically.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let failure = submit_with_retry(&addr, &tiny_submit(), 1, 1, true).unwrap_err();
+        match &failure {
+            SubmitFailure::Connect { addr: a, .. } => assert_eq!(a, &addr),
+            other => panic!("expected connect failure, got {other:?}"),
+        }
+        assert_eq!(failure.exit_code(), ExitCode::FAILURE);
+        let printed = failure.to_string();
+        assert!(printed.starts_with("connect: "), "{printed}");
+        assert!(printed.contains(&addr), "{printed}");
+    }
+
+    #[test]
+    fn daemon_closing_mid_exchange_is_a_structured_io_failure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept and immediately drop every connection: the client sees
+        // EOF (or reset) mid-exchange on the first attempt and each of
+        // its retries.
+        let server = std::thread::spawn(move || {
+            for stream in listener.incoming().take(3) {
+                drop(stream);
+            }
+        });
+        let failure = submit_with_retry(&addr, &tiny_submit(), 2, 1, true).unwrap_err();
+        server.join().unwrap();
+        assert!(
+            matches!(failure, SubmitFailure::Io { .. }),
+            "expected io failure, got {failure:?}"
+        );
+        assert_eq!(failure.exit_code(), ExitCode::FAILURE);
+        assert!(failure.to_string().starts_with("io: "), "{failure}");
+    }
+
+    #[test]
+    fn exit_codes_split_usage_failures_from_runtime_failures() {
+        let usage = SubmitFailure::Daemon {
+            kind: "unknown_spec".to_string(),
+            message: "unknown spec \"nope\"".to_string(),
+            candidates: vec!["fig10".to_string()],
+        };
+        assert_eq!(usage.exit_code(), ExitCode::from(2));
+        let runtime = SubmitFailure::Daemon {
+            kind: "failed".to_string(),
+            message: "sweep died".to_string(),
+            candidates: Vec::new(),
+        };
+        assert_eq!(runtime.exit_code(), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn retry_policy_and_backoff_are_deterministic() {
+        let io = SubmitFailure::Io {
+            error: "reset".to_string(),
+        };
+        assert!(attempt_is_retryable(&io, false));
+        let bad_frame = SubmitFailure::BadFrame {
+            error: "not json".to_string(),
+        };
+        assert!(!attempt_is_retryable(&bad_frame, false));
+        let daemon = SubmitFailure::Daemon {
+            kind: "deadline_exceeded".to_string(),
+            message: "m".to_string(),
+            candidates: Vec::new(),
+        };
+        assert!(attempt_is_retryable(&daemon, true));
+        assert!(!attempt_is_retryable(&daemon, false));
+        for attempt in 0..4 {
+            let d = backoff_delay(100, attempt, 7);
+            assert_eq!(d, backoff_delay(100, attempt, 7), "same seed, same delay");
+            let exp = 100u64 << attempt;
+            let ms = d.as_millis() as u64;
+            assert!(ms >= exp / 2 && ms <= exp, "attempt {attempt}: {ms} ms");
+        }
     }
 
     #[test]

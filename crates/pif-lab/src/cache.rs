@@ -70,6 +70,10 @@ pub struct CacheStats {
     /// The subset of misses where the entry file existed but failed to
     /// parse or echo its key — evidence of on-disk damage, not absence.
     pub corrupt: u64,
+    /// Corrupt entries moved aside to `<dir>/quarantine/` (a subset of
+    /// `corrupt`: a quarantine that itself fails leaves the file in
+    /// place).
+    pub quarantined: u64,
 }
 
 /// Appends one `key=value` field to a canonical string with length
@@ -161,9 +165,14 @@ pub fn cell_fingerprint(spec: &SweepSpec, scale: &Scale, workload: &str, coord: 
 #[derive(Debug)]
 pub struct ResultCache {
     root: PathBuf,
+    /// The user-facing cache directory (`root`'s grandparent): the
+    /// quarantine directory lives here, *outside* the versioned root
+    /// that `entries`/`verify_entries` walk.
+    quarantine_dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ResultCache {
@@ -175,13 +184,16 @@ impl ResultCache {
     ///
     /// Fails if the versioned subdirectory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let root = dir.into().join(CELL_SCHEMA);
+        let dir = dir.into();
+        let root = dir.join(CELL_SCHEMA);
         std::fs::create_dir_all(&root)?;
         Ok(ResultCache {
             root,
+            quarantine_dir: dir.join("quarantine"),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -217,6 +229,17 @@ impl ResultCache {
     /// corrupt when the file was readable but failed validation).
     pub fn lookup(&self, key: &CacheKey) -> Option<Vec<(String, Metric)>> {
         let path = self.entry_path(key);
+        // An injected read fault (EIO) degrades to a plain miss: the
+        // cell re-simulates, the run stays correct.
+        pif_fail::fail_point!("cache.lookup.read", |e: pif_fail::FailError| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            pif_obs::log::warn(
+                "pif_lab::cache",
+                "cache read failed; re-simulating",
+                &[("error", &e)],
+            );
+            None
+        });
         match std::fs::read_to_string(&path) {
             Ok(text) => match parse_entry(&text, key) {
                 Some(metrics) => {
@@ -225,12 +248,15 @@ impl ResultCache {
                 }
                 None => {
                     // Readable but invalid: damaged or hand-moved entry.
+                    // Quarantine it so the damage is preserved for
+                    // inspection but never rescanned or re-trusted.
                     self.corrupt.fetch_add(1, Ordering::Relaxed);
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    let quarantined = self.quarantine(key, &path);
                     pif_obs::log::warn(
                         "pif_lab::cache",
                         "corrupt cache entry; re-simulating",
-                        &[("path", &path.display())],
+                        &[("path", &path.display()), ("quarantined", &quarantined)],
                     );
                     None
                 }
@@ -240,6 +266,31 @@ impl ResultCache {
                 None
             }
         }
+    }
+
+    /// Moves a corrupt entry into the quarantine directory (named by its
+    /// full key, so entries from different shards cannot collide).
+    /// Best-effort: on failure the file stays where it is and only the
+    /// `corrupt` counter records the damage.
+    fn quarantine(&self, key: &CacheKey, path: &Path) -> bool {
+        let moved = std::fs::create_dir_all(&self.quarantine_dir).is_ok()
+            && std::fs::rename(
+                path,
+                self.quarantine_dir.join(format!(
+                    "{:016x}-{:016x}.json",
+                    key.trace_hash, key.config_fp
+                )),
+            )
+            .is_ok();
+        if moved {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        moved
+    }
+
+    /// Where corrupt entries are moved: `<dir>/quarantine/`.
+    pub fn quarantine_dir(&self) -> &Path {
+        &self.quarantine_dir
     }
 
     /// Persists a cell's metrics under `key`.
@@ -279,8 +330,29 @@ impl ResultCache {
         }
         doc.push_str("]}\n");
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, &doc).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))
+        let write = (|| -> Result<(), String> {
+            pif_fail::fail_point!("cache.store.write", |e: pif_fail::FailError| Err(
+                e.to_string()
+            ));
+            let mut file = std::fs::File::create(&tmp)
+                .map_err(|e| format!("create {}: {e}", tmp.display()))?;
+            use std::io::Write as _;
+            file.write_all(doc.as_bytes())
+                .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+            // fsync before rename: without it a crash can publish the
+            // entry's *name* while its bytes never reached the disk,
+            // leaving a zero-length (corrupt) entry under a valid key.
+            file.sync_all()
+                .map_err(|e| format!("fsync {}: {e}", tmp.display()))
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("rename {}: {e}", path.display())
+        })
     }
 
     /// This cache's hit/miss counters (process-local).
@@ -289,6 +361,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -446,8 +519,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
-                misses: 0,
-                corrupt: 0
+                ..CacheStats::default()
             }
         );
     }
@@ -468,6 +540,17 @@ mod tests {
         // Only the damaged file counts as corrupt; the absent one is a
         // plain miss.
         assert_eq!(cache.stats().corrupt, 1);
+        // The damaged file was moved aside, out of the addressable
+        // store, and preserved under the quarantine directory.
+        assert_eq!(cache.stats().quarantined, 1);
+        assert!(!cache.entry_path(&k).exists());
+        assert!(cache
+            .quarantine_dir()
+            .join("0000000000000001-0000000000000002.json")
+            .exists());
+        // A fresh store under the same key works again.
+        cache.store(&k, &[("x".into(), Metric::U64(2))]).unwrap();
+        assert_eq!(cache.lookup(&k).unwrap()[0].1, Metric::U64(2));
     }
 
     #[test]

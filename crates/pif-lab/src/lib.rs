@@ -306,8 +306,10 @@ fn run_spec_impl(
         // never reaches the cell or the report.
         let started = want_profile.then(std::time::Instant::now);
         let cell = measure::run_job(spec, scale, &profiles, &traces, missing[i]);
+        // Sub-microsecond cells (release builds at tiny scale) round up
+        // to 1 so an executed cell is never recorded as untimed.
         let exec_us = started
-            .map(|t| service::duration_us(t.elapsed()))
+            .map(|t| service::duration_us(t.elapsed()).max(1))
             .unwrap_or(0);
         (cell, exec_us)
     });
@@ -317,8 +319,14 @@ fn run_spec_impl(
         // Stored pre-derive: `derive_speedups` is a cross-cell merge pass
         // and is recomputed on every run, cached or not.
         if let Some(cache) = opts.cache {
+            // A failed store (disk full, EIO) degrades to running
+            // uncached: the sweep still completes with the fresh cell.
             if let Err(e) = cache.store(&cell_key(*coord), &cell.metrics) {
-                eprintln!("piflab: cache store failed for {}: {e}", spec.name);
+                pif_obs::log::warn(
+                    "pif_lab",
+                    "cache store failed; running uncached",
+                    &[("spec", &spec.name), ("error", &e)],
+                );
             }
         }
         cells[coord.index] = Some(cell);

@@ -14,7 +14,8 @@
 //! {"proto": "piflab/1", "cmd": "stats"}
 //! {"proto": "piflab/1", "cmd": "metrics", "format": "prometheus"}
 //! {"proto": "piflab/1", "cmd": "shutdown"}
-//! {"proto": "piflab/1", "cmd": "submit", "spec": "fig10", "smoke": true,
+//! {"proto": "piflab/1", "cmd": "submit", "id": 7, "spec": "fig10", "smoke": true,
+//!  "deadline_ms": 30000,
 //!  "scale": {"instructions": 40000, "footprint": 0.03, "warmup_fraction": 0.3}}
 //! ```
 //!
@@ -28,9 +29,13 @@
 //! daemon's full `pif_obs` exposition (Prometheus text or `pif-obs/v1`
 //! JSON, per the request's `"format"`) as a string for the same reason.
 //!
-//! An `error` response to a `submit` naming an unknown spec carries the
-//! registry's spec names in `"candidates"`, so clients can print the
-//! same hint `piflab run` prints locally.
+//! Error frames are typed: every `error` carries a `"kind"` token (see
+//! [`Response::Error`]), a `"retryable"` flag telling clients whether a
+//! resubmit can succeed, and the `"request_id"` echoed from the submit
+//! (0 when the failure predates parsing an id). An `error` response to a
+//! `submit` naming an unknown spec additionally carries the registry's
+//! spec names in `"candidates"`, so clients can print the same hint
+//! `piflab run` prints locally.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -39,7 +44,7 @@ use std::time::Duration;
 
 use crate::json::{escape, fmt_f64, Json};
 use crate::scale::Scale;
-use crate::service::{LatencySummary, MetricsFormat, Service, ServiceStats, SweepJob};
+use crate::service::{JobError, LatencySummary, MetricsFormat, Service, ServiceStats, SweepJob};
 use crate::{registry, CacheStats};
 
 /// Protocol identifier carried by every frame.
@@ -61,12 +66,17 @@ pub enum Request {
     Shutdown,
     /// Submit one sweep.
     Submit {
+        /// Client-chosen correlation id, echoed in the report or error
+        /// frame (0 when the client does not correlate).
+        id: u64,
         /// Registry name of the spec to run.
         spec: String,
         /// Scale to run it at.
         scale: Scale,
         /// Mark the report as a smoke run.
         smoke: bool,
+        /// Per-job deadline in milliseconds, measured from submission.
+        deadline_ms: Option<u64>,
     },
 }
 
@@ -83,12 +93,24 @@ impl Request {
             Request::Shutdown => {
                 format!("{{\"proto\": \"{PROTO}\", \"cmd\": \"shutdown\"}}\n")
             }
-            Request::Submit { spec, scale, smoke } => format!(
-                "{{\"proto\": \"{PROTO}\", \"cmd\": \"submit\", \"spec\": \"{}\", \
-                 \"smoke\": {smoke}, \"scale\": {}}}\n",
-                escape(spec),
-                scale_json(scale)
-            ),
+            Request::Submit {
+                id,
+                spec,
+                scale,
+                smoke,
+                deadline_ms,
+            } => {
+                let deadline = match deadline_ms {
+                    Some(ms) => format!(", \"deadline_ms\": {ms}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"proto\": \"{PROTO}\", \"cmd\": \"submit\", \"id\": {id}, \
+                     \"spec\": \"{}\", \"smoke\": {smoke}{deadline}, \"scale\": {}}}\n",
+                    escape(spec),
+                    scale_json(scale)
+                )
+            }
         }
     }
 
@@ -128,7 +150,18 @@ impl Request {
                     .map(parse_scale)
                     .transpose()?
                     .unwrap_or_default();
-                Ok(Request::Submit { spec, scale, smoke })
+                let id = j.get("id").and_then(Json::as_f64).map_or(0, |v| v as u64);
+                let deadline_ms = j
+                    .get("deadline_ms")
+                    .and_then(Json::as_f64)
+                    .map(|v| v as u64);
+                Ok(Request::Submit {
+                    id,
+                    spec,
+                    scale,
+                    smoke,
+                    deadline_ms,
+                })
             }
             other => Err(format!("unknown command {other:?}")),
         }
@@ -154,6 +187,12 @@ pub enum Response {
         exec: LatencySummary,
         /// Work-stealing handoffs across completed jobs' pool runs.
         stolen_jobs: u64,
+        /// Jobs failed because their deadline expired.
+        deadline_exceeded: u64,
+        /// Worker threads restarted after a panic.
+        worker_restarts: u64,
+        /// Jobs quarantined because their worker died running them.
+        quarantined: u64,
         /// Result-cache counters, when the daemon has a cache.
         cache: Option<CacheStats>,
     },
@@ -168,6 +207,8 @@ pub enum Response {
     ShuttingDown,
     /// A finished sweep.
     Report {
+        /// The submit's correlation id, echoed back.
+        request_id: u64,
         /// The spec that ran.
         spec: String,
         /// Cells replayed from the daemon's result cache.
@@ -179,6 +220,15 @@ pub enum Response {
     },
     /// Request failed.
     Error {
+        /// Failure class: `bad_request`, `unknown_spec`, `rejected`,
+        /// `deadline_exceeded`, `worker_panicked`, `failed`, or
+        /// `internal`.
+        kind: String,
+        /// Whether resubmitting the same request can succeed.
+        retryable: bool,
+        /// The submit's correlation id (0 when the failure predates
+        /// parsing one).
+        request_id: u64,
         /// Human-readable failure.
         message: String,
         /// For unknown-spec errors: the valid spec names.
@@ -198,12 +248,16 @@ impl Response {
                 queue_wait,
                 exec,
                 stolen_jobs,
+                deadline_exceeded,
+                worker_restarts,
+                quarantined,
                 cache,
             } => {
                 let cache = match cache {
                     Some(c) => format!(
-                        "{{\"hits\": {}, \"misses\": {}, \"corrupt\": {}}}",
-                        c.hits, c.misses, c.corrupt
+                        "{{\"hits\": {}, \"misses\": {}, \"corrupt\": {}, \
+                         \"quarantined\": {}}}",
+                        c.hits, c.misses, c.corrupt, c.quarantined
                     ),
                     None => "null".to_string(),
                 };
@@ -211,6 +265,8 @@ impl Response {
                     "{{\"proto\": \"{PROTO}\", \"resp\": \"stats\", \"submitted\": {submitted}, \
                      \"completed\": {completed}, \"max_queue_depth\": {max_queue_depth}, \
                      \"queue_wait\": {}, \"exec\": {}, \"stolen_jobs\": {stolen_jobs}, \
+                     \"deadline_exceeded\": {deadline_exceeded}, \
+                     \"worker_restarts\": {worker_restarts}, \"quarantined\": {quarantined}, \
                      \"cache\": {cache}}}\n",
                     latency_json(queue_wait),
                     latency_json(exec)
@@ -226,18 +282,22 @@ impl Response {
                 format!("{{\"proto\": \"{PROTO}\", \"resp\": \"shutting_down\"}}\n")
             }
             Response::Report {
+                request_id,
                 spec,
                 cached_cells,
                 executed_cells,
                 json,
             } => format!(
-                "{{\"proto\": \"{PROTO}\", \"resp\": \"report\", \"spec\": \"{}\", \
-                 \"cached_cells\": {cached_cells}, \"executed_cells\": {executed_cells}, \
-                 \"report\": \"{}\"}}\n",
+                "{{\"proto\": \"{PROTO}\", \"resp\": \"report\", \"request_id\": {request_id}, \
+                 \"spec\": \"{}\", \"cached_cells\": {cached_cells}, \
+                 \"executed_cells\": {executed_cells}, \"report\": \"{}\"}}\n",
                 escape(spec),
                 escape(json)
             ),
             Response::Error {
+                kind,
+                retryable,
+                request_id,
                 message,
                 candidates,
             } => {
@@ -246,8 +306,10 @@ impl Response {
                     .map(|c| format!("\"{}\"", escape(c)))
                     .collect();
                 format!(
-                    "{{\"proto\": \"{PROTO}\", \"resp\": \"error\", \"message\": \"{}\", \
-                     \"candidates\": [{}]}}\n",
+                    "{{\"proto\": \"{PROTO}\", \"resp\": \"error\", \"kind\": \"{}\", \
+                     \"retryable\": {retryable}, \"request_id\": {request_id}, \
+                     \"message\": \"{}\", \"candidates\": [{}]}}\n",
+                    escape(kind),
                     escape(message),
                     cands.join(", ")
                 )
@@ -290,11 +352,15 @@ impl Response {
                     .and_then(parse_latency)
                     .ok_or("stats missing \"exec\"")?,
                 stolen_jobs: u("stolen_jobs")?,
+                deadline_exceeded: u("deadline_exceeded")?,
+                worker_restarts: u("worker_restarts")?,
+                quarantined: u("quarantined")?,
                 cache: j.get("cache").and_then(|c| {
                     Some(CacheStats {
                         hits: c.get("hits")?.as_f64()? as u64,
                         misses: c.get("misses")?.as_f64()? as u64,
                         corrupt: c.get("corrupt")?.as_f64()? as u64,
+                        quarantined: c.get("quarantined")?.as_f64()? as u64,
                     })
                 }),
             }),
@@ -311,6 +377,10 @@ impl Response {
                     .to_string(),
             }),
             "report" => Ok(Response::Report {
+                request_id: j
+                    .get("request_id")
+                    .and_then(Json::as_f64)
+                    .map_or(0, |v| v as u64),
                 spec: j
                     .get("spec")
                     .and_then(Json::as_str)
@@ -325,6 +395,16 @@ impl Response {
                     .to_string(),
             }),
             "error" => Ok(Response::Error {
+                kind: j
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("internal")
+                    .to_string(),
+                retryable: j.get("retryable").and_then(Json::as_bool).unwrap_or(false),
+                request_id: j
+                    .get("request_id")
+                    .and_then(Json::as_f64)
+                    .map_or(0, |v| v as u64),
                 message: j
                     .get("message")
                     .and_then(Json::as_str)
@@ -455,6 +535,12 @@ fn serve_connection(
     loop {
         // `read_line` keeps partial data in `line` across timeouts, so a
         // slow client cannot split a frame.
+        // Injected socket faults drop the connection (the daemon-side
+        // symptom of a flaky network); the client's retry loop owns
+        // recovery.
+        pif_fail::fail_point!("proto.read.frame", |e: pif_fail::FailError| Err(
+            std::io::Error::other(e.to_string())
+        ));
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()),
             Ok(_) => {
@@ -464,6 +550,9 @@ fn serve_connection(
                 }
                 let response = handle_request(&line, service, shutdown);
                 let done = matches!(response, Response::ShuttingDown);
+                pif_fail::fail_point!("proto.write.frame", |e: pif_fail::FailError| Err(
+                    std::io::Error::other(e.to_string())
+                ));
                 writer.write_all(response.to_line().as_bytes())?;
                 writer.flush()?;
                 line.clear();
@@ -491,6 +580,9 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
         Ok(r) => r,
         Err(message) => {
             return Response::Error {
+                kind: "bad_request".to_string(),
+                retryable: false,
+                request_id: 0,
                 message,
                 candidates: Vec::new(),
             }
@@ -506,6 +598,9 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
                 queue_wait,
                 exec,
                 stolen_jobs,
+                deadline_exceeded,
+                worker_restarts,
+                quarantined,
                 cache,
             } = service.stats();
             Response::Stats {
@@ -515,6 +610,9 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
                 queue_wait,
                 exec,
                 stolen_jobs,
+                deadline_exceeded,
+                worker_restarts,
+                quarantined,
                 cache,
             }
         }
@@ -526,9 +624,18 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
             shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
-        Request::Submit { spec, scale, smoke } => {
+        Request::Submit {
+            id,
+            spec,
+            scale,
+            smoke,
+            deadline_ms,
+        } => {
             let Some(resolved) = registry::spec(&spec) else {
                 return Response::Error {
+                    kind: "unknown_spec".to_string(),
+                    retryable: false,
+                    request_id: id,
                     message: format!("unknown spec {spec:?}"),
                     candidates: registry::all_specs()
                         .iter()
@@ -536,28 +643,41 @@ pub fn handle_request(line: &str, service: &Service, shutdown: &AtomicBool) -> R
                         .collect(),
                 };
             };
-            let outcome = service
-                .submit(SweepJob::new(resolved, scale).smoke(smoke))
-                .and_then(|handle| handle.wait());
+            let job = SweepJob::new(resolved, scale)
+                .smoke(smoke)
+                .deadline(deadline_ms.map(Duration::from_millis));
+            let outcome = service.submit(job).and_then(|handle| handle.wait());
             match outcome {
                 Ok(outcome) => match outcome.report.to_json() {
                     Ok(json) => Response::Report {
+                        request_id: id,
                         spec,
                         cached_cells: outcome.cached_cells as u64,
                         executed_cells: outcome.executed_cells as u64,
                         json,
                     },
                     Err(e) => Response::Error {
+                        kind: "internal".to_string(),
+                        retryable: false,
+                        request_id: id,
                         message: format!("report for {spec} failed to serialize: {e}"),
                         candidates: Vec::new(),
                     },
                 },
-                Err(message) => Response::Error {
-                    message,
-                    candidates: Vec::new(),
-                },
+                Err(err) => error_frame(id, &err),
             }
         }
+    }
+}
+
+/// Renders a [`JobError`] as a typed wire error frame.
+fn error_frame(request_id: u64, err: &JobError) -> Response {
+    Response::Error {
+        kind: err.kind().to_string(),
+        retryable: err.retryable(),
+        request_id,
+        message: err.to_string(),
+        candidates: Vec::new(),
     }
 }
 
@@ -578,9 +698,18 @@ mod tests {
             },
             Request::Shutdown,
             Request::Submit {
+                id: 0,
                 spec: "fig10".to_string(),
                 scale: Scale::tiny(),
                 smoke: true,
+                deadline_ms: None,
+            },
+            Request::Submit {
+                id: 41,
+                spec: "fig10".to_string(),
+                scale: Scale::tiny(),
+                smoke: false,
+                deadline_ms: Some(30_000),
             },
         ];
         for r in reqs {
@@ -614,10 +743,14 @@ mod tests {
                     max_us: 50_000,
                 },
                 stolen_jobs: 3,
+                deadline_exceeded: 2,
+                worker_restarts: 1,
+                quarantined: 1,
                 cache: Some(CacheStats {
                     hits: 3,
                     misses: 2,
                     corrupt: 1,
+                    quarantined: 1,
                 }),
             },
             Response::Stats {
@@ -627,6 +760,9 @@ mod tests {
                 queue_wait: LatencySummary::default(),
                 exec: LatencySummary::default(),
                 stolen_jobs: 0,
+                deadline_exceeded: 0,
+                worker_restarts: 0,
+                quarantined: 0,
                 cache: None,
             },
             Response::Metrics {
@@ -640,14 +776,25 @@ mod tests {
                 body: "{\"schema\": \"pif-obs/v1\", \"metrics\": []}".to_string(),
             },
             Response::Report {
+                request_id: 41,
                 spec: "fig10".to_string(),
                 cached_cells: 5,
                 executed_cells: 1,
                 json: "{\"schema\": \"pif-lab-sweep/v1\",\n  \"cells\": []}\n".to_string(),
             },
             Response::Error {
+                kind: "unknown_spec".to_string(),
+                retryable: false,
+                request_id: 41,
                 message: "unknown spec \"nope\"".to_string(),
                 candidates: vec!["fig2".to_string(), "fig10".to_string()],
+            },
+            Response::Error {
+                kind: "deadline_exceeded".to_string(),
+                retryable: true,
+                request_id: 7,
+                message: "job deadline of 30000 ms exceeded".to_string(),
+                candidates: Vec::new(),
             },
         ];
         for r in resps {
@@ -665,6 +812,7 @@ mod tests {
     fn report_bytes_survive_embedding_exactly() {
         let json = "{\"a\": 1.5, \"b\": \"x\\\"y\",\n \"c\": [1, 2]}\n";
         let line = Response::Report {
+            request_id: 0,
             spec: "s".to_string(),
             cached_cells: 0,
             executed_cells: 0,
@@ -694,9 +842,11 @@ mod tests {
         assert_eq!(
             r,
             Request::Submit {
+                id: 0,
                 spec: "table1".to_string(),
                 scale: Scale::default(),
                 smoke: false,
+                deadline_ms: None,
             }
         );
         assert!(

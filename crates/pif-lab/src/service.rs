@@ -11,10 +11,24 @@
 //! [`Service`] turns [`crate::run_spec`] into simulation-as-a-service: a
 //! bounded job queue fed by [`Service::submit`] (which **blocks when the
 //! queue is full** — backpressure, not unbounded buffering), drained by a
-//! worker thread that executes each sweep on the service's pool and
-//! result cache, delivering each result through its [`SubmitHandle`].
-//! [`Service::shutdown`] is graceful: already-queued jobs finish, new
-//! submissions are refused, and the worker is joined before it returns.
+//! supervised pool of worker threads that execute each sweep on the
+//! service's pool and result cache, delivering each result through its
+//! [`SubmitHandle`]. [`Service::shutdown`] is graceful: already-queued
+//! jobs finish, new submissions are refused (blocked submitters are
+//! unblocked with a typed [`JobError::Rejected`]), and every thread is
+//! joined before it returns.
+//!
+//! Failures are typed ([`JobError`]) and contained:
+//!
+//! * a sweep that panics fails **that job** ([`JobError::Failed`]);
+//! * a job that outlives its deadline (per-job via [`SweepJob::deadline`]
+//!   or service-wide via [`ServiceConfig::default_deadline`]) is failed
+//!   with [`JobError::DeadlineExceeded`] by the supervisor's watchdog —
+//!   it never blocks the queue, even while the worker is still stuck on
+//!   it;
+//! * a panic that escapes the job harness kills only one worker: the
+//!   supervisor quarantines the poisoned job
+//!   ([`JobError::WorkerPanicked`]) and restarts the worker.
 //!
 //! The service is instrumented with a `pif_obs` registry: per-job
 //! queue-wait and execution-latency histograms, job/steal counters, and
@@ -249,6 +263,14 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Worker threads of the pool each sweep runs on.
     pub threads: usize,
+    /// Service worker threads draining the queue concurrently. Each
+    /// runs one job at a time on its own `threads`-wide pool; a panicked
+    /// worker is restarted by the supervisor.
+    pub workers: usize,
+    /// Deadline applied to jobs that do not set their own (see
+    /// [`SweepJob::deadline`]). Measured from submission; `None` means
+    /// jobs may run indefinitely.
+    pub default_deadline: Option<Duration>,
     /// Directory of the persistent result cache, if any.
     pub cache_dir: Option<std::path::PathBuf>,
 }
@@ -258,6 +280,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             queue_depth: 16,
             threads: default_threads(),
+            workers: 1,
+            default_deadline: None,
             cache_dir: None,
         }
     }
@@ -272,6 +296,9 @@ pub struct SweepJob {
     pub scale: Scale,
     /// Whether the report is marked as a smoke run.
     pub smoke: bool,
+    /// Per-job deadline, measured from submission; overrides
+    /// [`ServiceConfig::default_deadline`] when set.
+    pub deadline: Option<Duration>,
 }
 
 impl SweepJob {
@@ -281,6 +308,7 @@ impl SweepJob {
             spec,
             scale,
             smoke: false,
+            deadline: None,
         }
     }
 
@@ -290,7 +318,85 @@ impl SweepJob {
         self.smoke = smoke;
         self
     }
+
+    /// Sets a per-job deadline (from submission to delivery).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
 }
+
+/// Typed failure of one submission.
+///
+/// Every way a job can fail maps to exactly one variant, and each
+/// variant declares whether retrying the same submission can help
+/// ([`JobError::retryable`]) — the bit `piflab submit` uses to decide
+/// between backing off and giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The service refused the submission (shutting down).
+    Rejected {
+        /// Why the submission was refused.
+        reason: String,
+    },
+    /// The job did not complete within its deadline.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The worker thread running the job died; the job was quarantined
+    /// and the worker restarted.
+    WorkerPanicked {
+        /// What the supervisor observed.
+        message: String,
+    },
+    /// The sweep itself failed (panicked or errored deterministically).
+    Failed {
+        /// The failure message.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Stable wire token for this failure class (the `piflab/1` error
+    /// frame's `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Rejected { .. } => "rejected",
+            JobError::DeadlineExceeded { .. } => "deadline_exceeded",
+            JobError::WorkerPanicked { .. } => "worker_panicked",
+            JobError::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether resubmitting the same job can plausibly succeed.
+    ///
+    /// Deadline and worker-loss failures are load- or fault-dependent,
+    /// so retrying (with backoff) is sound; a rejected submission or a
+    /// deterministic sweep failure will fail the same way again.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            JobError::DeadlineExceeded { .. } | JobError::WorkerPanicked { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            JobError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline exceeded ({deadline_ms} ms)")
+            }
+            JobError::WorkerPanicked { message } => write!(f, "worker panicked: {message}"),
+            JobError::Failed { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// A finished sweep: the report plus how much of it came from the cache.
 #[derive(Debug, Clone)]
@@ -307,7 +413,18 @@ pub struct SweepOutcome {
     pub stolen_jobs: u64,
 }
 
-type ResultSlot = Arc<(Mutex<Option<Result<SweepOutcome, String>>>, Condvar)>;
+#[derive(Debug, Default)]
+struct SlotState {
+    /// The delivered result, until `wait` consumes it.
+    result: Option<Result<SweepOutcome, JobError>>,
+    /// Set by the first (and only effective) delivery. Kept separate
+    /// from `result` because `wait` takes the value out: a worker
+    /// finishing a job the watchdog already timed out must still see
+    /// "delivered" and stand down.
+    delivered: bool,
+}
+
+type ResultSlot = Arc<(Mutex<SlotState>, Condvar)>;
 
 /// The caller's side of one submission: blocks until the service worker
 /// delivers the sweep's outcome.
@@ -319,13 +436,31 @@ pub struct SubmitHandle {
 impl SubmitHandle {
     fn new() -> Self {
         SubmitHandle {
-            slot: Arc::new((Mutex::new(None), Condvar::new())),
+            slot: Arc::new((Mutex::new(SlotState::default()), Condvar::new())),
         }
     }
 
-    fn deliver(&self, result: Result<SweepOutcome, String>) {
+    /// Claims the right to deliver this job's result; the first claimer
+    /// wins and must follow up with [`SubmitHandle::fulfill`]. The
+    /// split lets the deliverer update service counters *between* claim
+    /// and fulfill, so a client unblocked by `wait` always observes its
+    /// own job in the stats — while a late deliverer (a worker finishing
+    /// a job the watchdog already timed out, say) gets `false` and must
+    /// not double-count.
+    fn try_claim(&self) -> bool {
+        let (lock, _) = &*self.slot;
+        let mut guard = lock.lock().expect("result slot poisoned");
+        if guard.delivered {
+            return false;
+        }
+        guard.delivered = true;
+        true
+    }
+
+    /// Publishes the result of a claimed delivery and wakes waiters.
+    fn fulfill(&self, result: Result<SweepOutcome, JobError>) {
         let (lock, cv) = &*self.slot;
-        *lock.lock().expect("result slot poisoned") = Some(result);
+        lock.lock().expect("result slot poisoned").result = Some(result);
         cv.notify_all();
     }
 
@@ -333,13 +468,13 @@ impl SubmitHandle {
     ///
     /// # Errors
     ///
-    /// Returns the job's failure message if the sweep panicked or the
-    /// service shut down before running it.
-    pub fn wait(&self) -> Result<SweepOutcome, String> {
+    /// The typed [`JobError`]: sweep failure, deadline overrun, worker
+    /// loss, or shutdown rejection.
+    pub fn wait(&self) -> Result<SweepOutcome, JobError> {
         let (lock, cv) = &*self.slot;
         let mut guard = lock.lock().expect("result slot poisoned");
         loop {
-            if let Some(result) = guard.take() {
+            if let Some(result) = guard.result.take() {
                 return result;
             }
             guard = cv.wait(guard).expect("result slot poisoned");
@@ -363,13 +498,37 @@ pub struct ServiceStats {
     /// Total adjacent-index worker handoffs across completed jobs'
     /// pool runs (see [`PoolRunStats::stolen_jobs`]).
     pub stolen_jobs: u64,
+    /// Jobs failed with [`JobError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Worker threads the supervisor restarted after a panic.
+    pub worker_restarts: u64,
+    /// Jobs quarantined because their worker died mid-run
+    /// ([`JobError::WorkerPanicked`]).
+    pub quarantined: u64,
     /// Result-cache counters, when a cache is attached.
     pub cache: Option<CacheStats>,
 }
 
 #[derive(Debug)]
+struct QueuedJob {
+    job: SweepJob,
+    handle: SubmitHandle,
+    enqueued: Instant,
+}
+
+/// What a worker is currently executing, visible to the supervisor's
+/// deadline watchdog and worker-loss quarantine.
+#[derive(Debug)]
+struct RunningJob {
+    handle: SubmitHandle,
+    spec: String,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+}
+
+#[derive(Debug)]
 struct QueueState {
-    queue: VecDeque<(SweepJob, SubmitHandle, Instant)>,
+    queue: VecDeque<QueuedJob>,
     closed: bool,
     submitted: u64,
     completed: u64,
@@ -377,6 +536,9 @@ struct QueueState {
     queue_wait: LatencySummary,
     exec: LatencySummary,
     stolen_jobs: u64,
+    deadline_exceeded: u64,
+    worker_restarts: u64,
+    quarantined: u64,
 }
 
 /// The service's `pif_obs` instrumentation: one registry plus the
@@ -390,9 +552,13 @@ struct ServiceMetrics {
     jobs_completed: pif_obs::Counter,
     jobs_failed: pif_obs::Counter,
     stolen_jobs: pif_obs::Counter,
+    deadline_exceeded: pif_obs::Counter,
+    worker_restarts: pif_obs::Counter,
+    jobs_quarantined: pif_obs::Counter,
     cache_hits: pif_obs::Gauge,
     cache_misses: pif_obs::Gauge,
     cache_corrupt: pif_obs::Gauge,
+    cache_quarantined: pif_obs::Gauge,
 }
 
 impl ServiceMetrics {
@@ -421,11 +587,27 @@ impl ServiceMetrics {
                 "pif_service_stolen_jobs",
                 "Adjacent-index worker handoffs across pool runs",
             ),
+            deadline_exceeded: registry.counter(
+                "pif_service_deadline_exceeded",
+                "Jobs failed for outliving their deadline",
+            ),
+            worker_restarts: registry.counter(
+                "pif_service_worker_restarts",
+                "Worker threads restarted after a panic",
+            ),
+            jobs_quarantined: registry.counter(
+                "pif_service_jobs_quarantined",
+                "Jobs quarantined because their worker died mid-run",
+            ),
             cache_hits: registry.gauge("pif_service_cache_hits", "Result-cache lookup hits"),
             cache_misses: registry.gauge("pif_service_cache_misses", "Result-cache lookup misses"),
             cache_corrupt: registry.gauge(
                 "pif_service_cache_corrupt",
                 "Result-cache entries that existed but failed validation",
+            ),
+            cache_quarantined: registry.gauge(
+                "pif_service_cache_quarantined",
+                "Corrupt result-cache entries moved to the quarantine directory",
             ),
             registry,
         }
@@ -438,6 +620,7 @@ impl ServiceMetrics {
             self.cache_hits.set(stats.hits);
             self.cache_misses.set(stats.misses);
             self.cache_corrupt.set(stats.corrupt);
+            self.cache_quarantined.set(stats.quarantined);
         }
     }
 }
@@ -449,8 +632,29 @@ struct Inner {
     not_full: Condvar,
     queue_depth: usize,
     pool_threads: usize,
+    default_deadline: Option<Duration>,
+    /// Per-worker slot holding the job that worker is executing right
+    /// now; the supervisor reads these for deadline enforcement and
+    /// quarantine.
+    running: Vec<Mutex<Option<RunningJob>>>,
     cache: Option<ResultCache>,
     metrics: ServiceMetrics,
+}
+
+impl Inner {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().expect("service state poisoned")
+    }
+
+    fn lock_running(&self, w: usize) -> std::sync::MutexGuard<'_, Option<RunningJob>> {
+        // A worker killed by an injected panic can die while its slot
+        // guard is live; the supervisor must still be able to read the
+        // slot to quarantine the job.
+        match self.running[w].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 /// A long-running sweep executor with a bounded job queue.
@@ -460,11 +664,11 @@ struct Inner {
 #[derive(Debug)]
 pub struct Service {
     inner: Arc<Inner>,
-    worker: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Service {
-    /// Starts the service worker.
+    /// Starts the worker pool and its supervisor.
     ///
     /// # Panics
     ///
@@ -476,6 +680,7 @@ impl Service {
             ResultCache::open(&dir)
                 .unwrap_or_else(|e| panic!("cannot open cache at {}: {e}", dir.display()))
         });
+        let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -486,22 +691,27 @@ impl Service {
                 queue_wait: LatencySummary::default(),
                 exec: LatencySummary::default(),
                 stolen_jobs: 0,
+                deadline_exceeded: 0,
+                worker_restarts: 0,
+                quarantined: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_depth: config.queue_depth.max(1),
             pool_threads: config.threads.max(1),
+            default_deadline: config.default_deadline,
+            running: (0..workers).map(|_| Mutex::new(None)).collect(),
             cache,
             metrics: ServiceMetrics::new(),
         });
-        let worker_inner = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name("pifd-worker".into())
-            .spawn(move || worker_loop(&worker_inner))
-            .expect("spawn service worker");
+        let supervisor_inner = Arc::clone(&inner);
+        let supervisor = std::thread::Builder::new()
+            .name("pifd-supervisor".into())
+            .spawn(move || supervisor_loop(&supervisor_inner, workers))
+            .expect("spawn service supervisor");
         Service {
             inner,
-            worker: Some(worker),
+            supervisor: Some(supervisor),
         }
     }
 
@@ -511,9 +721,11 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// Refuses the job if the service is shutting down.
-    pub fn submit(&self, job: SweepJob) -> Result<SubmitHandle, String> {
-        let mut state = self.inner.state.lock().expect("service state poisoned");
+    /// [`JobError::Rejected`] if the service is shutting down — including
+    /// a submitter that was *blocked on backpressure* when shutdown
+    /// began: `close` wakes it and it is refused, never deadlocked.
+    pub fn submit(&self, job: SweepJob) -> Result<SubmitHandle, JobError> {
+        let mut state = self.inner.lock_state();
         while !state.closed && state.queue.len() >= self.inner.queue_depth {
             state = self
                 .inner
@@ -522,7 +734,9 @@ impl Service {
                 .expect("service state poisoned");
         }
         if state.closed {
-            return Err("service is shut down".to_string());
+            return Err(JobError::Rejected {
+                reason: "service is shut down".to_string(),
+            });
         }
         let handle = SubmitHandle::new();
         pif_obs::log::debug(
@@ -530,7 +744,11 @@ impl Service {
             "job submitted",
             &[("spec", &job.spec.name), ("queued", &state.queue.len())],
         );
-        state.queue.push_back((job, handle.clone(), Instant::now()));
+        state.queue.push_back(QueuedJob {
+            job,
+            handle: handle.clone(),
+            enqueued: Instant::now(),
+        });
         state.submitted += 1;
         state.max_depth = state.max_depth.max(state.queue.len());
         self.inner.metrics.jobs_submitted.inc();
@@ -540,7 +758,7 @@ impl Service {
 
     /// Current counters.
     pub fn stats(&self) -> ServiceStats {
-        let state = self.inner.state.lock().expect("service state poisoned");
+        let state = self.inner.lock_state();
         ServiceStats {
             submitted: state.submitted,
             completed: state.completed,
@@ -548,6 +766,9 @@ impl Service {
             queue_wait: state.queue_wait,
             exec: state.exec,
             stolen_jobs: state.stolen_jobs,
+            deadline_exceeded: state.deadline_exceeded,
+            worker_restarts: state.worker_restarts,
+            quarantined: state.quarantined,
             cache: self.inner.cache.as_ref().map(ResultCache::stats),
         }
     }
@@ -567,18 +788,20 @@ impl Service {
         }
     }
 
-    /// Graceful shutdown: refuses new submissions, drains every queued
-    /// job, joins the worker, and returns the final counters.
+    /// Graceful shutdown: refuses new submissions (and unblocks any
+    /// submitter stuck on backpressure with a typed rejection), drains
+    /// every queued job, joins the workers and supervisor, and returns
+    /// the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.close();
-        if let Some(worker) = self.worker.take() {
-            worker.join().expect("service worker panicked");
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join().expect("service supervisor panicked");
         }
         self.stats()
     }
 
     fn close(&self) {
-        let mut state = self.inner.state.lock().expect("service state poisoned");
+        let mut state = self.inner.lock_state();
         state.closed = true;
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
@@ -588,16 +811,162 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         self.close();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
 
-fn worker_loop(inner: &Inner) {
+/// How often the supervisor scans for dead workers and expired
+/// deadlines. Bounds how late a deadline can be observed.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
+
+fn spawn_worker(inner: &Arc<Inner>, w: usize) -> JoinHandle<()> {
+    let worker_inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("pifd-worker-{w}"))
+        .spawn(move || worker_loop(&worker_inner, w))
+        .expect("spawn service worker")
+}
+
+/// Owns the worker pool: spawns it, enforces deadlines on running jobs,
+/// quarantines jobs whose worker died, restarts dead workers, and joins
+/// everything on shutdown.
+fn supervisor_loop(inner: &Arc<Inner>, workers: usize) {
+    let mut pool: Vec<Option<JoinHandle<()>>> =
+        (0..workers).map(|w| Some(spawn_worker(inner, w))).collect();
     loop {
-        let (job, handle, enqueued) = {
-            let mut state = inner.state.lock().expect("service state poisoned");
+        // Deadline watchdog: a stuck job is failed *while its worker is
+        // still running it* — the submitter unblocks now, the worker's
+        // eventual result is discarded by the first-delivery-wins slot.
+        for w in 0..workers {
+            let expired = {
+                let guard = inner.lock_running(w);
+                guard.as_ref().and_then(|running| {
+                    running.deadline.and_then(|deadline| {
+                        (running.enqueued.elapsed() >= deadline)
+                            .then(|| (running.handle.clone(), deadline, running.spec.clone()))
+                    })
+                })
+            };
+            if let Some((handle, deadline, spec)) = expired {
+                deliver_deadline(inner, &handle, deadline, &spec);
+            }
+        }
+        // Worker reaper: a panicked worker poisons only the job it was
+        // running; the job is quarantined and the worker replaced.
+        for (w, slot) in pool.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = slot.take().expect("checked above");
+            let panicked = handle.join().is_err();
+            if !panicked {
+                // Clean exit: only happens once the queue is closed and
+                // drained; leave the slot empty.
+                continue;
+            }
+            let poisoned = inner.lock_running(w).take();
+            if let Some(running) = poisoned {
+                let err = JobError::WorkerPanicked {
+                    message: format!(
+                        "worker {w} died while running {}; job quarantined",
+                        running.spec
+                    ),
+                };
+                pif_obs::log::error(
+                    "pif_lab::service",
+                    "job quarantined",
+                    &[("spec", &running.spec), ("worker", &w)],
+                );
+                if running.handle.try_claim() {
+                    inner.metrics.jobs_completed.inc();
+                    inner.metrics.jobs_failed.inc();
+                    inner.metrics.jobs_quarantined.inc();
+                    {
+                        let mut state = inner.lock_state();
+                        state.completed += 1;
+                        state.quarantined += 1;
+                    }
+                    running.handle.fulfill(Err(err));
+                }
+            }
+            let restart = {
+                let state = inner.lock_state();
+                !state.closed || !state.queue.is_empty()
+            };
+            if restart {
+                pif_obs::log::warn("pif_lab::service", "worker restarted", &[("worker", &w)]);
+                inner.metrics.worker_restarts.inc();
+                inner.lock_state().worker_restarts += 1;
+                *slot = Some(spawn_worker(inner, w));
+            }
+        }
+        if pool.iter().all(Option::is_none) {
+            // Every worker exited (cleanly, or panicked with nothing
+            // left to drain): reject whatever the queue still holds and
+            // stop supervising.
+            let leftovers: Vec<QueuedJob> = {
+                let mut state = inner.lock_state();
+                if !state.closed {
+                    // All workers panicked while the service is live
+                    // and the queue is empty; respawn the pool.
+                    drop(state);
+                    for (w, slot) in pool.iter_mut().enumerate() {
+                        inner.metrics.worker_restarts.inc();
+                        inner.lock_state().worker_restarts += 1;
+                        *slot = Some(spawn_worker(inner, w));
+                    }
+                    continue;
+                }
+                state.queue.drain(..).collect()
+            };
+            for entry in leftovers {
+                if entry.handle.try_claim() {
+                    inner.metrics.jobs_completed.inc();
+                    inner.metrics.jobs_failed.inc();
+                    inner.lock_state().completed += 1;
+                    entry.handle.fulfill(Err(JobError::Rejected {
+                        reason: "service shut down before the job ran".to_string(),
+                    }));
+                }
+            }
+            return;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+fn deliver_deadline(inner: &Inner, handle: &SubmitHandle, deadline: Duration, spec: &str) {
+    let deadline_ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+    if !handle.try_claim() {
+        return;
+    }
+    pif_obs::log::warn(
+        "pif_lab::service",
+        "job deadline exceeded",
+        &[("spec", &spec), ("deadline_ms", &deadline_ms)],
+    );
+    inner.metrics.jobs_completed.inc();
+    inner.metrics.jobs_failed.inc();
+    inner.metrics.deadline_exceeded.inc();
+    {
+        let mut state = inner.lock_state();
+        state.completed += 1;
+        state.deadline_exceeded += 1;
+    }
+    handle.fulfill(Err(JobError::DeadlineExceeded { deadline_ms }));
+}
+
+fn worker_loop(inner: &Inner, w: usize) {
+    loop {
+        let QueuedJob {
+            job,
+            handle,
+            enqueued,
+        } = {
+            let mut state = inner.lock_state();
             loop {
                 if let Some(entry) = state.queue.pop_front() {
                     inner.not_full.notify_one();
@@ -609,13 +978,36 @@ fn worker_loop(inner: &Inner) {
                 state = inner.not_empty.wait(state).expect("service state poisoned");
             }
         };
+        let deadline = job.deadline.or(inner.default_deadline);
+        // Expired while still queued: fail it typed without burning a
+        // pool run (the cheapest way a deadline "never blocks the
+        // queue").
+        if let Some(dl) = deadline {
+            if enqueued.elapsed() >= dl {
+                deliver_deadline(inner, &handle, dl, job.spec.name);
+                continue;
+            }
+        }
+        *inner.lock_running(w) = Some(RunningJob {
+            handle: handle.clone(),
+            spec: job.spec.name.to_string(),
+            enqueued,
+            deadline,
+        });
+        // Sits outside the catch_unwind on purpose: an injected panic
+        // here kills this worker thread, exercising the supervisor's
+        // quarantine-and-restart path.
+        pif_fail::fail_point!("service.worker.panic");
         let wait_us = duration_us(enqueued.elapsed());
-        inner.metrics.queue_wait_us.record(wait_us);
         let started = Instant::now();
         let result = run_one(inner, &job);
         let exec_us = duration_us(started.elapsed());
-        inner.metrics.exec_us.record(exec_us);
-        inner.metrics.jobs_completed.inc();
+        *inner.lock_running(w) = None;
+        if !handle.try_claim() {
+            // The watchdog already failed this job; its accounting is
+            // done. Drop the late result.
+            continue;
+        }
         let stolen = match &result {
             Ok(outcome) => {
                 pif_obs::log::info(
@@ -637,24 +1029,38 @@ fn worker_loop(inner: &Inner) {
                 0
             }
         };
+        inner.metrics.queue_wait_us.record(wait_us);
+        inner.metrics.exec_us.record(exec_us);
+        inner.metrics.jobs_completed.inc();
         inner.metrics.stolen_jobs.add(stolen);
         // Counters update before delivery, so a client that waited on
         // the handle observes its own job in the stats.
         {
-            let mut state = inner.state.lock().expect("service state poisoned");
+            let mut state = inner.lock_state();
             state.completed += 1;
             state.queue_wait.record(wait_us);
             state.exec.record(exec_us);
             state.stolen_jobs += stolen;
         }
-        handle.deliver(result);
+        handle.fulfill(result);
     }
 }
 
-fn run_one(inner: &Inner, job: &SweepJob) -> Result<SweepOutcome, String> {
+fn run_one(inner: &Inner, job: &SweepJob) -> Result<SweepOutcome, JobError> {
+    // An injected `error` here models a deterministic execution failure:
+    // typed, non-retryable, worker survives.
+    pif_fail::fail_point!("service.job.exec", |e: pif_fail::FailError| Err(
+        JobError::Failed {
+            message: e.to_string()
+        }
+    ));
     // A panicking sweep (e.g. a spec naming an unknown workload) fails
     // that submission, not the daemon.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Inside the harness: an injected `panic` is caught (job fails,
+        // worker survives); an injected `delay` makes the job overstay
+        // its deadline for the watchdog to catch.
+        pif_fail::fail_point!("service.job.run");
         let mut opts = RunOptions::new()
             .scale(job.scale)
             .threads(inner.pool_threads)
@@ -684,7 +1090,9 @@ fn run_one(inner: &Inner, job: &SweepJob) -> Result<SweepOutcome, String> {
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("sweep panicked");
-            Err(format!("sweep {} failed: {msg}", job.spec.name))
+            Err(JobError::Failed {
+                message: format!("sweep {} failed: {msg}", job.spec.name),
+            })
         }
     }
 }
@@ -751,7 +1159,7 @@ mod tests {
         let service = Service::start(ServiceConfig {
             queue_depth: 4,
             threads: 2,
-            cache_dir: None,
+            ..ServiceConfig::default()
         });
         for _ in 0..2 {
             service
@@ -784,7 +1192,7 @@ mod tests {
         let service = Service::start(ServiceConfig {
             queue_depth: 2,
             threads: 2,
-            cache_dir: None,
+            ..ServiceConfig::default()
         });
         let handles: Vec<_> = (0..3)
             .map(|_| {
@@ -809,7 +1217,7 @@ mod tests {
         let service = Service::start(ServiceConfig {
             queue_depth: 8,
             threads: 1,
-            cache_dir: None,
+            ..ServiceConfig::default()
         });
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -832,7 +1240,7 @@ mod tests {
         let err = service
             .submit(SweepJob::new(registry::table1(), Scale::tiny()))
             .unwrap_err();
-        assert!(err.contains("shut down"), "{err}");
+        assert!(matches!(err, JobError::Rejected { .. }), "{err}");
     }
 
     #[test]
@@ -840,7 +1248,7 @@ mod tests {
         let service = Service::start(ServiceConfig {
             queue_depth: 4,
             threads: 1,
-            cache_dir: None,
+            ..ServiceConfig::default()
         });
         let bad = crate::SweepSpec::new("bad", "bad", crate::Measure::Static)
             .with_workloads(vec!["No-Such-Workload"]);
@@ -850,8 +1258,120 @@ mod tests {
         let h_ok = service
             .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
             .unwrap();
-        assert!(h_bad.wait().is_err());
+        let err = h_bad.wait().unwrap_err();
+        assert!(matches!(err, JobError::Failed { .. }), "{err}");
+        assert_eq!(err.kind(), "failed");
+        assert!(!err.retryable());
         h_ok.wait().expect("worker survived the panic");
         service.shutdown();
+    }
+
+    #[test]
+    fn job_error_kinds_and_retryability() {
+        let cases: [(JobError, &str, bool); 4] = [
+            (
+                JobError::Rejected {
+                    reason: "closed".into(),
+                },
+                "rejected",
+                false,
+            ),
+            (
+                JobError::DeadlineExceeded { deadline_ms: 50 },
+                "deadline_exceeded",
+                true,
+            ),
+            (
+                JobError::WorkerPanicked {
+                    message: "gone".into(),
+                },
+                "worker_panicked",
+                true,
+            ),
+            (
+                JobError::Failed {
+                    message: "boom".into(),
+                },
+                "failed",
+                false,
+            ),
+        ];
+        for (err, kind, retryable) in cases {
+            assert_eq!(err.kind(), kind);
+            assert_eq!(err.retryable(), retryable, "{kind}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_without_blocking_the_queue() {
+        let service = Service::start(ServiceConfig {
+            queue_depth: 4,
+            threads: 1,
+            ..ServiceConfig::default()
+        });
+        // A zero deadline is already expired at dequeue: the job must
+        // fail typed (and deterministically — no watchdog race), and the
+        // queue must keep flowing for the unconstrained job behind it.
+        let h_dead = service
+            .submit(
+                SweepJob::new(registry::table1(), Scale::tiny())
+                    .smoke(true)
+                    .deadline(Some(Duration::ZERO)),
+            )
+            .unwrap();
+        let h_ok = service
+            .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+            .unwrap();
+        let err = h_dead.wait().unwrap_err();
+        assert_eq!(err, JobError::DeadlineExceeded { deadline_ms: 0 });
+        assert!(err.retryable());
+        h_ok.wait().expect("queue flowed past the dead job");
+        let stats = service.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.exec.count, 1, "dead job never burned a pool run");
+    }
+
+    #[test]
+    fn shutdown_unblocks_blocked_submitter_with_typed_rejection() {
+        // The satellite regression: a submitter blocked on backpressure
+        // when shutdown begins must be woken and refused, not
+        // deadlocked.
+        let service = Arc::new(Service::start(ServiceConfig {
+            queue_depth: 1,
+            threads: 1,
+            ..ServiceConfig::default()
+        }));
+        // One job runs, one sits in the single queue slot; the third
+        // submit blocks on backpressure (or, if the worker drains fast,
+        // lands after close and is refused — both are the typed path).
+        let _running = service
+            .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+            .unwrap();
+        let _queued = service
+            .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+            .unwrap();
+        let submitter = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                service.submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+            })
+        };
+        // Give the submitter time to reach the backpressure wait.
+        std::thread::sleep(Duration::from_millis(20));
+        service.close();
+        let result = submitter.join().expect("submitter must return, not hang");
+        match result {
+            Ok(handle) => {
+                // Raced in before close: the job either drains or is
+                // rejected by the supervisor — either way wait()
+                // returns.
+                let _ = handle.wait();
+            }
+            Err(err) => assert!(matches!(err, JobError::Rejected { .. }), "{err}"),
+        }
+        // Drain fully so drop is clean.
+        drop(service);
     }
 }

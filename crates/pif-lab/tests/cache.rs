@@ -115,6 +115,74 @@ fn committed_grids_have_distinct_cell_fingerprints() {
     }
 }
 
+/// The single `.json` entry file under the cache's versioned root.
+fn only_entry_file(root: &std::path::Path) -> PathBuf {
+    let mut found = Vec::new();
+    for shard in std::fs::read_dir(root).unwrap() {
+        let shard = shard.unwrap().path();
+        if shard.is_dir() {
+            for entry in std::fs::read_dir(shard).unwrap() {
+                found.push(entry.unwrap().path());
+            }
+        }
+    }
+    assert_eq!(found.len(), 1, "expected exactly one entry, got {found:?}");
+    found.remove(0)
+}
+
+/// Torn-write robustness (crash-mid-write simulation): an entry
+/// truncated at **every** byte offset must either replay the exact
+/// stored metrics (a prefix that is still a valid document) or miss and
+/// quarantine — and must never panic the lookup path.
+#[test]
+fn truncated_entries_at_every_offset_replay_exactly_or_quarantine() {
+    let dir = tmpdir("torn");
+    let cache = ResultCache::open(&dir).unwrap();
+    let key = pif_lab::CacheKey {
+        trace_hash: 0xabc,
+        config_fp: 0xdef,
+    };
+    let metrics = vec![
+        ("uipc".to_string(), Metric::F64(1.5)),
+        ("misses".to_string(), Metric::U64(42)),
+    ];
+    cache.store(&key, &metrics).unwrap();
+    let path = only_entry_file(cache.root());
+    let full = std::fs::read(&path).unwrap();
+
+    let mut hits = 0u64;
+    for len in 0..full.len() {
+        std::fs::write(&path, &full[..len]).unwrap();
+        match cache.lookup(&key) {
+            Some(got) => {
+                assert_eq!(
+                    got, metrics,
+                    "a hit on a {len}-byte truncation must be byte-equivalent"
+                );
+                hits += 1;
+            }
+            None => {
+                // The damaged file must be quarantined, not left in
+                // place to be re-read (and re-failed) forever.
+                assert!(!path.exists(), "offset {len}: corrupt entry left in place");
+            }
+        }
+        // Restore a pristine entry for the next offset.
+        cache.store(&key, &metrics).unwrap();
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.corrupt, stats.quarantined,
+        "every corrupt truncation must quarantine"
+    );
+    assert_eq!(stats.corrupt + hits, full.len() as u64);
+    assert!(stats.quarantined > 0, "most truncations must be corrupt");
+
+    // After all that damage the cache still round-trips normally.
+    assert_eq!(cache.lookup(&key).unwrap(), metrics);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn entry_name() -> impl Strategy<Value = String> {
     "[a-z_][a-z0-9_]{0,11}"
 }

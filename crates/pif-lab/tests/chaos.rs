@@ -1,0 +1,350 @@
+//! Chaos soak: the PR-6 service soak re-run under a seeded fault plan
+//! that injects at every `pif-lab` failpoint. Compiled only with
+//! `--features fail-inject`; CI's chaos shard runs it.
+//!
+//! The acceptance criteria, from the ISSUE:
+//!
+//! 1. the daemon drains cleanly — no deadlock, no abort, every client
+//!    thread finishes;
+//! 2. every report a client *does* receive is byte-identical to a
+//!    direct `run_spec` of the same job (faults fail closed, they never
+//!    corrupt results);
+//! 3. every injected fault surfaces as a typed error — a known error
+//!    frame kind on the wire, or a dropped connection the client's
+//!    retry loop recovers from — never a hang or a garbled frame.
+
+#![cfg(feature = "fail-inject")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pif_fail::{FailAction, FailPlan, SiteRule};
+use pif_lab::json::Json;
+use pif_lab::protocol::{serve, Request, Response};
+use pif_lab::report::validate_report;
+use pif_lab::service::{JobError, Service, ServiceConfig, SweepJob};
+use pif_lab::{registry, run_spec, ResultCache, RunOptions, Scale};
+
+/// The active fail plan is process-global; serialize the tests.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match SERIAL.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Error-frame kinds a chaos client may legitimately see.
+const KNOWN_KINDS: &[&str] = &["rejected", "deadline_exceeded", "worker_panicked", "failed"];
+
+fn rule(p: f64) -> SiteRule {
+    SiteRule {
+        action: FailAction::Error,
+        probability: p,
+        max_fires: None,
+    }
+}
+
+/// Faults at every service-path site. Probabilities are tuned so most
+/// submissions eventually succeed within the retry budget while every
+/// site still fires during the soak.
+fn chaos_plan(seed: u64) -> FailPlan {
+    FailPlan::new(seed)
+        .site("cache.store.write", rule(0.3))
+        .site("cache.lookup.read", rule(0.3))
+        // Evaluated once per job (a dozen-odd times a soak), so it
+        // needs a high probability to be certain to fire.
+        .site("service.job.exec", rule(0.5))
+        .site("proto.read.frame", rule(0.10))
+        .site("proto.write.frame", rule(0.10))
+}
+
+/// One submit with reconnect-and-retry: injected connection drops and
+/// retryable error frames get another attempt; terminal typed errors
+/// are returned as their kind.
+fn chaos_submit(addr: std::net::SocketAddr, spec: &str, attempts: u32) -> Result<String, String> {
+    let mut last = String::from("no attempt made");
+    for _ in 0..attempts {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            last = "connect refused".to_string();
+            continue;
+        };
+        let request = Request::Submit {
+            id: 1,
+            spec: spec.to_string(),
+            scale: Scale::tiny(),
+            smoke: true,
+            deadline_ms: None,
+        };
+        let mut writer = stream.try_clone().unwrap();
+        let mut line = String::new();
+        let exchanged = writer
+            .write_all(request.to_line().as_bytes())
+            .and_then(|()| writer.flush())
+            .and_then(|()| BufReader::new(stream).read_line(&mut line));
+        match exchanged {
+            Ok(0) | Err(_) => {
+                // The daemon dropped the connection (an injected proto
+                // fault): reconnect and resubmit.
+                last = "connection dropped".to_string();
+                continue;
+            }
+            Ok(_) => {}
+        }
+        // A garbled frame would be a real failure: faults must surface
+        // as typed errors or dropped connections, never as bad bytes.
+        match Response::parse(&line).expect("frames stay well-formed under chaos") {
+            Response::Report { json, .. } => return Ok(json),
+            Response::Error {
+                kind, retryable, ..
+            } => {
+                assert!(
+                    KNOWN_KINDS.contains(&kind.as_str()),
+                    "unknown error kind {kind:?}"
+                );
+                if !retryable {
+                    return Err(kind);
+                }
+                last = format!("retryable {kind}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    Err(format!("retry budget exhausted ({last})"))
+}
+
+#[test]
+fn chaos_soak_drains_cleanly_with_byte_identical_reports() {
+    let _serial = lock();
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 2;
+
+    let cache_dir = std::env::temp_dir().join(format!("pif-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // Reference bytes, computed before any fault is armed.
+    let specs = [registry::table1(), registry::fig10()];
+    let reference: Vec<(String, String)> = specs
+        .iter()
+        .map(|spec| {
+            let report = run_spec(
+                spec,
+                &RunOptions::new()
+                    .scale(Scale::tiny())
+                    .threads(2)
+                    .smoke(true),
+            );
+            (spec.name.to_string(), report.to_json().unwrap())
+        })
+        .collect();
+
+    pif_fail::install(&chaos_plan(0xC4A0_5EED));
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::start(ServiceConfig {
+        queue_depth: 4,
+        threads: 2,
+        workers: 2,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let shutdown = AtomicBool::new(false);
+
+    let (successes, typed_failures) = std::thread::scope(|s| {
+        let server = s.spawn(|| serve(listener, &service, &shutdown).unwrap());
+        let reference = &reference;
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut failed = 0u64;
+                    for round in 0..ROUNDS {
+                        let (name, want) = &reference[(client + round) % reference.len()];
+                        match chaos_submit(addr, name, 40) {
+                            Ok(json) => {
+                                validate_report(&Json::parse(&json).unwrap()).unwrap();
+                                assert_eq!(
+                                    &json, want,
+                                    "client {client} round {round}: {name} bytes drifted under chaos"
+                                );
+                                ok += 1;
+                            }
+                            Err(kind) => {
+                                assert!(
+                                    kind == "failed" || kind.starts_with("retry budget"),
+                                    "client {client}: unexpected terminal failure {kind:?}"
+                                );
+                                failed += 1;
+                            }
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for c in clients {
+            let (o, f) = c.join().expect("no client may deadlock or die");
+            ok += o;
+            failed += f;
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        server.join().unwrap();
+        (ok, failed)
+    });
+
+    let fired: Vec<String> = pif_fail::stats()
+        .into_iter()
+        .filter(|s| s.fires > 0)
+        .map(|s| s.site)
+        .collect();
+    pif_fail::clear();
+
+    let stats = service.shutdown();
+    assert_eq!(
+        successes + typed_failures,
+        (CLIENTS * ROUNDS) as u64,
+        "every submission must resolve"
+    );
+    assert!(successes > 0, "chaos must not starve every client");
+    assert!(
+        fired.iter().any(|s| s.starts_with("cache."))
+            && fired.iter().any(|s| s.starts_with("service.")),
+        "the plan must actually fire across layers, fired: {fired:?}"
+    );
+    assert!(stats.completed > 0);
+
+    // Faults never corrupt the store: whatever entries survived the
+    // soak all verify.
+    let cache = ResultCache::open(&cache_dir).unwrap();
+    let (_valid, corrupt) = cache.verify_entries().unwrap();
+    assert_eq!(corrupt, 0, "injected faults must never corrupt entries");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn injected_worker_panic_quarantines_the_job_and_restarts_the_worker() {
+    let _serial = lock();
+    pif_fail::install(&FailPlan::new(7).site(
+        "service.worker.panic",
+        SiteRule {
+            action: FailAction::Panic,
+            probability: 1.0,
+            max_fires: Some(1),
+        },
+    ));
+    let service = Service::start(ServiceConfig {
+        queue_depth: 4,
+        threads: 1,
+        workers: 1,
+        cache_dir: None,
+        ..ServiceConfig::default()
+    });
+
+    let job = || SweepJob::new(registry::table1(), Scale::tiny()).smoke(true);
+    let err = service.submit(job()).unwrap().wait().unwrap_err();
+    assert!(
+        matches!(err, JobError::WorkerPanicked { .. }),
+        "expected quarantine, got {err:?}"
+    );
+    assert!(err.retryable(), "a panicked worker is worth a resubmit");
+
+    // The supervisor restarted the pool: the next job runs to completion.
+    service
+        .submit(job())
+        .unwrap()
+        .wait()
+        .expect("restarted worker must serve jobs");
+
+    pif_fail::clear();
+    let stats = service.shutdown();
+    assert_eq!(stats.quarantined, 1);
+    assert!(stats.worker_restarts >= 1);
+    assert_eq!(stats.completed, 2, "both jobs resolved");
+}
+
+#[test]
+fn injected_slow_job_trips_the_deadline_watchdog() {
+    let _serial = lock();
+    pif_fail::install(&FailPlan::new(7).site(
+        "service.job.run",
+        SiteRule {
+            action: FailAction::Delay(Duration::from_millis(300)),
+            probability: 1.0,
+            max_fires: Some(1),
+        },
+    ));
+    let service = Service::start(ServiceConfig {
+        queue_depth: 4,
+        threads: 1,
+        workers: 1,
+        cache_dir: None,
+        ..ServiceConfig::default()
+    });
+
+    let slow = SweepJob::new(registry::table1(), Scale::tiny())
+        .smoke(true)
+        .deadline(Some(Duration::from_millis(40)));
+    let err = service.submit(slow).unwrap().wait().unwrap_err();
+    match err {
+        JobError::DeadlineExceeded { deadline_ms } => assert_eq!(deadline_ms, 40),
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+
+    // The watchdog freed the queue without waiting for the stuck run:
+    // an undeadlined job completes right after.
+    service
+        .submit(SweepJob::new(registry::table1(), Scale::tiny()).smoke(true))
+        .unwrap()
+        .wait()
+        .expect("queue must not be blocked by an expired job");
+
+    pif_fail::clear();
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_exceeded, 1);
+}
+
+#[test]
+fn injected_store_faults_degrade_to_uncached_runs() {
+    let _serial = lock();
+    let dir = std::env::temp_dir().join(format!("pif-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = registry::table1();
+    let opts = RunOptions::new()
+        .scale(Scale::tiny())
+        .threads(2)
+        .smoke(true);
+    let reference = run_spec(&spec, &opts).to_json().unwrap();
+
+    pif_fail::install(
+        &FailPlan::new(3).site("cache.store.write", SiteRule::always(FailAction::Error)),
+    );
+    let cache = ResultCache::open(&dir).unwrap();
+    let cached_opts = opts.clone().cache(&cache);
+    let report = run_spec(&spec, &cached_opts);
+    pif_fail::clear();
+
+    assert_eq!(
+        report.to_json().unwrap(),
+        reference,
+        "store faults must not change results"
+    );
+    assert_eq!(
+        cache.entries().unwrap(),
+        0,
+        "every injected store failure must leave the store empty"
+    );
+
+    // With the fault gone the same cache fills and replays normally.
+    let report = run_spec(&spec, &cached_opts);
+    assert_eq!(report.to_json().unwrap(), reference);
+    assert_eq!(cache.entries().unwrap(), spec.grid_len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -33,6 +33,7 @@ fn daemon_round_trip_over_tcp() {
         queue_depth: 4,
         threads: 2,
         cache_dir: None,
+        ..ServiceConfig::default()
     });
     let shutdown = AtomicBool::new(false);
 
@@ -48,14 +49,23 @@ fn daemon_round_trip_over_tcp() {
                 let response = exchange(
                     &stream,
                     &Request::Submit {
+                        id: 7,
                         spec: "table1".to_string(),
                         scale: Scale::tiny(),
                         smoke: true,
+                        deadline_ms: None,
                     },
                 );
-                let Response::Report { spec, json, .. } = response else {
+                let Response::Report {
+                    request_id,
+                    spec,
+                    json,
+                    ..
+                } = response
+                else {
                     panic!("expected report, got {response:?}");
                 };
+                assert_eq!(request_id, 7, "submit id must echo back");
                 assert_eq!(spec, "table1");
                 json
             }));
@@ -81,18 +91,26 @@ fn daemon_round_trip_over_tcp() {
         let response = exchange(
             &stream,
             &Request::Submit {
+                id: 9,
                 spec: "not-a-spec".to_string(),
                 scale: Scale::tiny(),
                 smoke: true,
+                deadline_ms: None,
             },
         );
         let Response::Error {
+            kind,
+            retryable,
+            request_id,
             message,
             candidates,
         } = response
         else {
             panic!("expected error, got {response:?}");
         };
+        assert_eq!(kind, "unknown_spec");
+        assert!(!retryable, "an unknown spec can never succeed on retry");
+        assert_eq!(request_id, 9, "error frames must echo the submit id");
         assert!(message.contains("unknown spec"), "{message}");
         assert_eq!(candidates.len(), registry::all_specs().len());
 
@@ -128,6 +146,7 @@ fn malformed_frames_get_errors_not_disconnects() {
         queue_depth: 2,
         threads: 1,
         cache_dir: None,
+        ..ServiceConfig::default()
     });
     let shutdown = AtomicBool::new(false);
 
@@ -143,7 +162,12 @@ fn malformed_frames_get_errors_not_disconnects() {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             match Response::parse(&line).unwrap() {
-                Response::Error { .. } => {}
+                Response::Error {
+                    kind, retryable, ..
+                } => {
+                    assert_eq!(kind, "bad_request");
+                    assert!(!retryable);
+                }
                 other => panic!("expected error for {bad:?}, got {other:?}"),
             }
         }

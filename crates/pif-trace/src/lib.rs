@@ -129,7 +129,7 @@ pub use hash::{content_hash, TraceHasher};
 pub use reader::{
     decode, encode_v2, scan_info, ChunkEntry, ChunkIndex, Instrs, InstrsMut, TraceInfo, TraceReader,
 };
-pub use writer::TraceWriter;
+pub use writer::{AtomicTraceWriter, TraceWriter};
 
 #[cfg(test)]
 mod tests {

@@ -315,6 +315,9 @@ impl<R: Read> TraceReader<R> {
             return Ok(None);
         }
         if *chunk_remaining == 0 {
+            pif_fail::fail_point!("trace.read.chunk", |e: pif_fail::FailError| Err(
+                TraceDecodeError::Io(std::io::Error::other(e.to_string()))
+            ));
             let records = read_u32(&mut self.source)?;
             let payload_len = read_u32(&mut self.source)?;
             if records == 0 {

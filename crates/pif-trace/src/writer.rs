@@ -1,6 +1,9 @@
-//! Streaming v2 trace writer.
+//! Streaming v2 trace writer, plus the crash-safe [`AtomicTraceWriter`]
+//! used by `tracectl record`.
 
-use std::io::{self, Write};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 use pif_types::RetiredInstr;
 
@@ -141,6 +144,9 @@ impl<W: Write> TraceWriter<W> {
         if self.chunk_records == 0 {
             return Ok(());
         }
+        pif_fail::fail_point!("trace.write.chunk", |e: pif_fail::FailError| Err(
+            io::Error::other(e.to_string())
+        ));
         self.sink.write_all(&self.chunk_records.to_le_bytes())?;
         self.sink
             .write_all(&(self.buf.len() as u32).to_le_bytes())?;
@@ -162,6 +168,9 @@ impl<W: Write> TraceWriter<W> {
     /// leaves a truncated (reader-detectable) file.
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_chunk()?;
+        pif_fail::fail_point!("trace.write.finish", |e: pif_fail::FailError| Err(
+            io::Error::other(e.to_string())
+        ));
         self.sink.write_all(&0u32.to_le_bytes())?;
         self.sink.write_all(&8u32.to_le_bytes())?;
         self.sink.write_all(&self.total_records.to_le_bytes())?;
@@ -169,6 +178,151 @@ impl<W: Write> TraceWriter<W> {
         self.finished = true;
         self.sink.flush()?;
         Ok(self.sink)
+    }
+}
+
+/// Crash-safe [`TraceWriter`] over a destination *path*: records stream
+/// into a hidden sibling temp file, and only a successful
+/// [`finish`](AtomicTraceWriter::finish) — which flushes, fsyncs, and
+/// atomically renames — makes the destination appear.
+///
+/// The contract this buys: the destination path is either absent or a
+/// complete, terminated trace. A crash (or plain drop) mid-record never
+/// leaves a truncated file under the real name; the abandoned temp file
+/// is removed on drop, and a temp file orphaned by a hard kill never
+/// shadows the destination because its name carries the writing PID.
+///
+/// `tracectl record`/`convert` write through this type, which is what
+/// makes killing a long record safe to retry.
+#[derive(Debug)]
+pub struct AtomicTraceWriter {
+    /// `None` only after `finish` has consumed the inner writer.
+    writer: Option<TraceWriter<BufWriter<File>>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicTraceWriter {
+    /// Starts a v2 trace destined for `dest`, staging into a sibling
+    /// temp file (`<file>.tmp.<pid>` in the same directory, so the final
+    /// rename cannot cross filesystems).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceWriter::with_chunk_records`] reports, plus
+    /// failure to create the temp file.
+    pub fn create(
+        dest: impl Into<PathBuf>,
+        name: &str,
+        chunk_records: u32,
+    ) -> io::Result<AtomicTraceWriter> {
+        let dest = dest.into();
+        let mut tmp_name = dest.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = dest.with_file_name(tmp_name);
+        let file = File::create(&tmp)?;
+        match TraceWriter::with_chunk_records(BufWriter::new(file), name, chunk_records) {
+            Ok(writer) => Ok(AtomicTraceWriter {
+                writer: Some(writer),
+                tmp,
+                dest,
+            }),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// As [`AtomicTraceWriter::create`] with the default chunk capacity.
+    pub fn create_default(dest: impl Into<PathBuf>, name: &str) -> io::Result<AtomicTraceWriter> {
+        Self::create(dest, name, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// Appends one retired instruction (see [`TraceWriter::push`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing a full chunk.
+    pub fn push(&mut self, instr: &RetiredInstr) -> io::Result<()> {
+        self.inner_mut().push(instr)
+    }
+
+    /// Appends every instruction from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing full chunks.
+    pub fn extend<I: IntoIterator<Item = RetiredInstr>>(&mut self, instrs: I) -> io::Result<()> {
+        self.inner_mut().extend(instrs)
+    }
+
+    /// Records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.inner().records_written()
+    }
+
+    /// Bytes staged so far, buffered partial chunk included.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner().bytes_written()
+    }
+
+    /// The destination path the trace will appear at after `finish`.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Seals the trace (terminator, flush, fsync) and atomically renames
+    /// it into place, returning the total encoded size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; on error the temp file is removed and the
+    /// destination is left untouched (absent, or whatever it held
+    /// before).
+    pub fn finish(mut self) -> io::Result<u64> {
+        let writer = self.writer.take().expect("writer present until finish");
+        let result = (|| {
+            let buf = writer.finish()?;
+            let file = buf
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            // The fsync-before-rename is the crash-safety half of the
+            // contract: rename alone can publish a name whose bytes never
+            // reached the disk.
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&self.tmp, &self.dest)
+        })();
+        match result {
+            Ok(()) => {
+                let bytes = std::fs::metadata(&self.dest).map(|m| m.len()).unwrap_or(0);
+                Ok(bytes)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&self.tmp);
+                Err(e)
+            }
+        }
+    }
+
+    fn inner(&self) -> &TraceWriter<BufWriter<File>> {
+        self.writer.as_ref().expect("writer present until finish")
+    }
+
+    fn inner_mut(&mut self) -> &mut TraceWriter<BufWriter<File>> {
+        self.writer.as_mut().expect("writer present until finish")
+    }
+}
+
+impl Drop for AtomicTraceWriter {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            // Abandoned mid-record: close the handle, then discard the
+            // staged bytes so nothing masquerades as a finished trace.
+            drop(writer);
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 
@@ -237,6 +391,73 @@ mod tests {
         let info = crate::scan_info(bytes.as_slice()).unwrap();
         assert_eq!(info.records, n, "every record decodes back");
         assert!(info.chunks >= 2, "byte cap must have split the stream");
+    }
+
+    /// Scratch directory for atomic-writer tests; removed by each test.
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pif-trace-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_writer_publishes_only_on_finish() {
+        let dir = scratch("finish");
+        let dest = dir.join("out.pift");
+        let mut w = AtomicTraceWriter::create(&dest, "atomic", 4).unwrap();
+        for i in 0..100u64 {
+            w.push(&instr(0x1000 + i * 4)).unwrap();
+            assert!(!dest.exists(), "destination must not appear mid-record");
+        }
+        let bytes = w.finish().unwrap();
+        assert!(dest.exists());
+        assert_eq!(std::fs::metadata(&dest).unwrap().len(), bytes);
+        let info = crate::scan_info(std::fs::File::open(&dest).unwrap()).unwrap();
+        assert_eq!((info.records, info.name.as_str()), (100, "atomic"));
+        // No temp litter.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writer_dropped_mid_record_leaves_nothing() {
+        // The kill-mid-record contract, with drop standing in for the
+        // kill: after abandoning a half-written trace the destination is
+        // absent and the staging file is cleaned up.
+        let dir = scratch("drop");
+        let dest = dir.join("out.pift");
+        let mut w = AtomicTraceWriter::create(&dest, "doomed", 4).unwrap();
+        for i in 0..50u64 {
+            w.push(&instr(0x2000 + i * 4)).unwrap();
+        }
+        drop(w);
+        assert!(!dest.exists(), "abandoned record must not publish");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "staging file must be removed on drop"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writer_replaces_existing_destination_atomically() {
+        let dir = scratch("replace");
+        let dest = dir.join("out.pift");
+        // Seed a valid small trace, then overwrite with a bigger one.
+        let mut w = AtomicTraceWriter::create(&dest, "old", 4).unwrap();
+        w.push(&instr(0x10)).unwrap();
+        w.finish().unwrap();
+        let mut w = AtomicTraceWriter::create(&dest, "new", 4).unwrap();
+        for i in 0..10u64 {
+            w.push(&instr(0x3000 + i * 4)).unwrap();
+        }
+        w.finish().unwrap();
+        let info = crate::scan_info(std::fs::File::open(&dest).unwrap()).unwrap();
+        assert_eq!((info.records, info.name.as_str()), (10, "new"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Fault injection through the trace codec. Compiled only with
+//! `--features fail-inject`; CI's chaos shard runs it.
+
+#![cfg(feature = "fail-inject")]
+
+use std::sync::Mutex;
+
+use pif_fail::{FailAction, FailPlan, SiteRule};
+use pif_trace::{TraceErrorKind, TraceReader, TraceWriter};
+use pif_types::{Address, RetiredInstr, TrapLevel};
+
+/// The active plan is process-global; serialize the tests.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match SERIAL.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn instr(pc: u64) -> RetiredInstr {
+    RetiredInstr::simple(Address::new(pc), TrapLevel::Tl0)
+}
+
+fn sample_trace(records: u64) -> Vec<u8> {
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), "fp", 8).unwrap();
+    for i in 0..records {
+        w.push(&instr(0x4000 + i * 4)).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+#[test]
+fn injected_write_fault_surfaces_as_io_error() {
+    let _serial = lock();
+    pif_fail::install(
+        &FailPlan::new(11).site("trace.write.chunk", SiteRule::always(FailAction::Error)),
+    );
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), "fp", 4).unwrap();
+    let mut result = Ok(());
+    for i in 0..8u64 {
+        result = w.push(&instr(0x4000 + i * 4));
+        if result.is_err() {
+            break;
+        }
+    }
+    pif_fail::clear();
+    let err = result.expect_err("chunk flush should have failed");
+    assert!(err.to_string().contains("trace.write.chunk"), "{err}");
+}
+
+#[test]
+fn injected_finish_fault_surfaces_as_io_error() {
+    let _serial = lock();
+    pif_fail::install(
+        &FailPlan::new(11).site("trace.write.finish", SiteRule::always(FailAction::Error)),
+    );
+    let w = TraceWriter::new(Vec::new(), "fp").unwrap();
+    let err = w.finish().expect_err("terminator write should have failed");
+    pif_fail::clear();
+    assert!(err.to_string().contains("trace.write.finish"), "{err}");
+}
+
+#[test]
+fn injected_read_fault_is_a_typed_decode_error_and_fuses() {
+    let _serial = lock();
+    let bytes = sample_trace(32);
+    pif_fail::install(
+        &FailPlan::new(11).site("trace.read.chunk", SiteRule::always(FailAction::Error)),
+    );
+    let mut reader = TraceReader::open(bytes.as_slice()).unwrap();
+    let first = reader.next().expect("one result");
+    let err = first.expect_err("first chunk header read should fail");
+    pif_fail::clear();
+    assert_eq!(err.kind(), TraceErrorKind::Io);
+    assert!(err.to_string().contains("trace.read.chunk"), "{err}");
+    assert!(reader.next().is_none(), "reader must fuse after the error");
+}
+
+#[test]
+fn probabilistic_read_faults_never_corrupt_decoded_records() {
+    let _serial = lock();
+    let bytes = sample_trace(64);
+    let clean: Vec<RetiredInstr> = TraceReader::open(bytes.as_slice())
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    pif_fail::install(&FailPlan::new(42).site(
+        "trace.read.chunk",
+        SiteRule {
+            action: FailAction::Error,
+            probability: 0.5,
+            max_fires: None,
+        },
+    ));
+    // Whatever prefix decodes before the injected fault must match the
+    // clean decode exactly — faults fail closed, never corrupt.
+    let mut saw_fault = false;
+    for _ in 0..8 {
+        let mut reader = TraceReader::open(bytes.as_slice()).unwrap();
+        let mut decoded = Vec::new();
+        for result in reader.by_ref() {
+            match result {
+                Ok(i) => decoded.push(i),
+                Err(e) => {
+                    assert_eq!(e.kind(), TraceErrorKind::Io);
+                    saw_fault = true;
+                }
+            }
+        }
+        assert_eq!(&clean[..decoded.len()], decoded.as_slice());
+    }
+    let stats = pif_fail::stats();
+    pif_fail::clear();
+    assert!(saw_fault, "p=0.5 over 8 opens should fire at least once");
+    assert!(stats.iter().any(|s| s.fires > 0));
+}

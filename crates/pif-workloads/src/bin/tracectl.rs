@@ -11,7 +11,10 @@
 //! `record` streams a synthetic workload straight into a compressed v2
 //! trace (bounded memory, any length); `--v1` writes the legacy format
 //! instead (materializes the trace — for fixtures and compatibility
-//! testing). `info` reads only headers and chunk frames; `--chunks`
+//! testing). Both `record` and `convert` write through a temp file that
+//! is fsynced and atomically renamed over the destination, so a killed
+//! run leaves either no output file or a fully valid trace — never a
+//! torn one. `info` reads only headers and chunk frames; `--chunks`
 //! additionally prints the per-chunk random-access table (the index
 //! sampled simulation seeks with). `convert` upgrades v1 files to v2 (or
 //! re-chunks v2 files) as a stream. `head` prints the first records. `hash`
@@ -23,7 +26,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use pif_trace::{scan_info, TraceReader, TraceWriter, DEFAULT_CHUNK_RECORDS};
+use pif_trace::{scan_info, AtomicTraceWriter, TraceReader, DEFAULT_CHUNK_RECORDS};
 use pif_workloads::{io::write_trace, WorkloadProfile};
 
 fn usage() -> ExitCode {
@@ -107,6 +110,25 @@ fn find_workload(name: &str) -> Option<WorkloadProfile> {
         .find(|w| w.name().to_lowercase() == canonical)
 }
 
+/// Writes a materialized v1 trace through a temp file, fsyncs, and
+/// renames it over `out`: a kill mid-write leaves no torn destination.
+fn write_v1_atomically(out: &str, trace: &pif_workloads::Trace) -> std::io::Result<()> {
+    let tmp = format!("{out}.tmp.{}", std::process::id());
+    let publish = (|| {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        write_trace(&mut writer, trace)?;
+        use std::io::Write as _;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        std::fs::rename(&tmp, out)
+    })();
+    if publish.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    publish
+}
+
 fn record(opts: &Opts) -> ExitCode {
     let [name, out] = opts.positional.as_slice() else {
         return usage();
@@ -119,26 +141,22 @@ fn record(opts: &Opts) -> ExitCode {
     } else {
         profile
     };
-    let file = match File::create(out) {
-        Ok(f) => f,
-        Err(e) => return fail(out, e),
-    };
     let records;
     if opts.v1 {
-        // Legacy format: no streaming writer exists, materialize.
+        // Legacy format: no streaming writer exists, materialize — then
+        // publish with the same fsync + rename dance the v2 path gets
+        // from AtomicTraceWriter.
         let trace = profile
             .generate_with_execution_seed(opts.instructions.unwrap_or(1_000_000), opts.seed_offset);
         records = trace.len() as u64;
-        if let Err(e) = write_trace(BufWriter::new(file), &trace) {
+        if let Err(e) = write_v1_atomically(out, &trace) {
             return fail(out, e);
         }
     } else {
-        let mut writer =
-            match TraceWriter::with_chunk_records(BufWriter::new(file), profile.name(), opts.chunk)
-            {
-                Ok(w) => w,
-                Err(e) => return fail(out, e),
-            };
+        let mut writer = match AtomicTraceWriter::create(out, profile.name(), opts.chunk) {
+            Ok(w) => w,
+            Err(e) => return fail(out, e),
+        };
         let mut io_err = None;
         let n = opts.instructions.unwrap_or(1_000_000);
         profile.generate_with_execution_seed_into(n, opts.seed_offset, |instr| {
@@ -235,16 +253,11 @@ fn convert(opts: &Opts) -> ExitCode {
         Ok(r) => r,
         Err(e) => return fail(input, e),
     };
-    let out_file = match File::create(output) {
-        Ok(f) => f,
+    let name = reader.name().to_string();
+    let mut writer = match AtomicTraceWriter::create(output, &name, opts.chunk) {
+        Ok(w) => w,
         Err(e) => return fail(output, e),
     };
-    let name = reader.name().to_string();
-    let mut writer =
-        match TraceWriter::with_chunk_records(BufWriter::new(out_file), &name, opts.chunk) {
-            Ok(w) => w,
-            Err(e) => return fail(output, e),
-        };
     for result in reader.by_ref() {
         let instr = match result {
             Ok(i) => i,

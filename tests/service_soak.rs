@@ -35,9 +35,11 @@ fn specs() -> Vec<SweepSpec> {
 fn submit(stream: &TcpStream, spec: &str) -> Response {
     let mut writer = stream.try_clone().unwrap();
     let request = Request::Submit {
+        id: 0,
         spec: spec.to_string(),
         scale: Scale::tiny(),
         smoke: true,
+        deadline_ms: None,
     };
     writer.write_all(request.to_line().as_bytes()).unwrap();
     writer.flush().unwrap();
@@ -90,6 +92,7 @@ fn daemon_survives_concurrent_mixed_load() {
         queue_depth: QUEUE_DEPTH,
         threads: 2,
         cache_dir: Some(cache_dir.clone()),
+        ..ServiceConfig::default()
     });
     let shutdown = AtomicBool::new(false);
 
