@@ -10,7 +10,8 @@
 //! cargo run --release -p pif-bench --bin perfbench            # full run, writes BENCH_engine.json
 //! cargo run --release -p pif-bench --bin perfbench -- --smoke # CI mode: small trace, floor check
 //! cargo run --release -p pif-bench --bin perfbench -- --out /tmp/b.json
-//! cargo run --release -p pif-bench --bin perfbench -- --sampled # sampled-vs-exhaustive comparison
+//! cargo run --release -p pif-bench --bin perfbench -- --sampled   # sampled-vs-exhaustive comparison
+//! cargo run --release -p pif-bench --bin perfbench -- --aggregate # + parallel fan-out rows
 //! ```
 //!
 //! `--sampled` switches to the sampled-simulation comparison: the
@@ -20,6 +21,16 @@
 //! windows), printing wall-clock speedup and whether the sampled UIPC
 //! estimate lands within its own reported ci95 of the exhaustive value.
 //! Combine with `--smoke` for a small CI-sized trace.
+//!
+//! `--aggregate` additionally measures **parallel sampled execution**:
+//! the workload is recorded to a trace file, a per-window sampling plan
+//! is fanned out on a `pif_lab::Pool` at several thread counts via
+//! `pif_lab::sampled::sample_trace_file_parallel`, and each fan-out's
+//! aggregate simulated instructions per wall-clock second (warmup
+//! included — it is work the fan-out performs) lands in the report's
+//! `"aggregate"` array. The parallel report is asserted byte-equal to
+//! the serial one before any row is recorded, so a throughput number
+//! can never come from a run that changed the results.
 //!
 //! In `--smoke` mode the harness runs a reduced trace and fails (exit 1)
 //! if the no-prefetch engine's throughput drops more than 30% below the
@@ -33,8 +44,8 @@ use std::time::Instant;
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
 use pif_bench::report::{
-    none_ips, render_json, smoke_passed, smoke_threshold_ips, validate_json, RunResult,
-    PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
+    none_ips, render_json, smoke_passed, smoke_threshold_ips, validate_engine_report,
+    validate_json, AggregateResult, RunResult, PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
 };
 use pif_core::{Pif, PifConfig};
 use pif_sim::{Engine, EngineConfig, EngineProbe, NoPrefetcher, RunOptions};
@@ -329,15 +340,118 @@ fn run_sampled_mode(smoke: bool) {
     std::fs::remove_file(&path).ok();
 }
 
+/// Thread counts the aggregate mode sweeps. Recorded verbatim in the
+/// report's `threads` field, so a trend comparison always matches rows
+/// at the same fan-out width.
+const AGGREGATE_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Measures parallel sampled-execution throughput (`--aggregate`): a
+/// per-window plan over an on-disk trace, fanned out at each width in
+/// [`AGGREGATE_THREADS`] for the no-prefetch and PIF configurations.
+/// Every fan-out's report is asserted equal to the serial driver's
+/// before its timing is kept — the determinism contract is load-bearing
+/// for the numbers, not just a test elsewhere.
+fn run_aggregate_mode(smoke: bool) -> Vec<AggregateResult> {
+    use pif_lab::sampled::sample_trace_file_parallel;
+    use pif_lab::Pool;
+    use pif_sim::sampling::{sample_trace_file, SamplingPlan, WarmStrategy};
+
+    let instructions: usize = if smoke { 400_000 } else { 4_000_000 };
+    let profile = if smoke {
+        WorkloadProfile::oltp_db2().scaled(0.1)
+    } else {
+        WorkloadProfile::oltp_db2().scaled(0.2)
+    };
+    let path =
+        std::env::temp_dir().join(format!("perfbench-aggregate-{}.pift", std::process::id()));
+    eprintln!(
+        "perfbench --aggregate: recording {} × {instructions} instrs to {}",
+        profile.name(),
+        path.display()
+    );
+    let file = std::fs::File::create(&path).expect("temp trace writable");
+    let mut writer = pif_trace::TraceWriter::new(std::io::BufWriter::new(file), profile.name())
+        .expect("writer opens");
+    let mut io_err = None;
+    profile.generate_into(instructions, |instr| {
+        if io_err.is_none() {
+            io_err = writer.push(&instr).err();
+        }
+    });
+    assert!(io_err.is_none(), "{io_err:?}");
+    writer.finish().expect("trace seals");
+
+    let config = EngineConfig::paper_default();
+    let measure = (instructions as u64 / 500).max(1_000);
+    let samples = if smoke { 12 } else { 30 };
+    let plan = SamplingPlan::random(samples, 0x9a3f, 3 * measure, measure)
+        .with_warm_strategy(WarmStrategy::PerWindow {
+            extra_warmup_instrs: measure,
+        })
+        .with_burn_in(if smoke { 2 } else { 6 });
+    // Simulated work per fan-out: every window end to end, warmup
+    // included — that is what the workers execute.
+    let all_windows = plan.windows(instructions as u64);
+    let simulated: u64 = all_windows.iter().map(|w| w.len()).sum();
+    let windows = all_windows.len();
+    println!(
+        "aggregate plan: {windows} windows × ({} warmup + {} measure) = {simulated} simulated instrs",
+        plan.effective_warmup_instrs(),
+        plan.measure_instrs,
+    );
+
+    let mut out = Vec::new();
+    let mut sweep = |name: &'static str, mk: &(dyn Fn() -> Box<dyn pif_sim::Prefetcher> + Sync)| {
+        let t0 = Instant::now();
+        let serial =
+            sample_trace_file(&config, &plan, &path, |_| mk()).expect("serial sampled run decodes");
+        let serial_s = t0.elapsed().as_secs_f64();
+        for &threads in AGGREGATE_THREADS {
+            let pool = Pool::new(threads);
+            let t1 = Instant::now();
+            let parallel = sample_trace_file_parallel(&config, &plan, &path, |_| mk(), &pool)
+                .expect("parallel sampled run decodes");
+            let elapsed_s = t1.elapsed().as_secs_f64();
+            assert_eq!(
+                parallel, serial,
+                "{name}@{threads}: parallel report must equal serial before its timing counts"
+            );
+            let row = AggregateResult {
+                workload: profile.name().to_string(),
+                prefetcher: name,
+                threads,
+                windows,
+                instructions: simulated,
+                elapsed_s,
+                serial_elapsed_s: serial_s,
+            };
+            println!(
+                "{:<12} {name:<6} threads={threads}  {:>8.2} Minstr/s aggregate  ({:.3}s, speedup {:.2}x)",
+                row.workload,
+                row.aggregate_ips() / 1e6,
+                row.elapsed_s,
+                row.parallel_speedup(),
+            );
+            out.push(row);
+        }
+    };
+    sweep("None", &|| Box::new(NoPrefetcher));
+    sweep("PIF", &|| Box::new(Pif::new(PifConfig::paper_default())));
+    std::fs::remove_file(&path).ok();
+    out
+}
+
 fn main() {
     let mut smoke = false;
     let mut sampled = false;
+    let mut aggregate = false;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--sampled" => sampled = true,
+            "--aggregate" => aggregate = true,
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
@@ -346,7 +460,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfbench [--smoke] [--sampled] [--out PATH]");
+                eprintln!("usage: perfbench [--smoke] [--sampled] [--aggregate] [--out PATH]");
                 std::process::exit(2);
             }
         }
@@ -454,9 +568,16 @@ fn main() {
         );
     }
 
+    let aggregates = if aggregate {
+        run_aggregate_mode(smoke)
+    } else {
+        Vec::new()
+    };
+
     let verdict = smoke.then(|| smoke_passed(gated_ips));
     let json = render_json(
         &results,
+        &aggregates,
         instructions,
         smoke,
         verdict,
@@ -481,14 +602,22 @@ fn main() {
         eprintln!("perfbench: cannot write {path}: {e}");
         std::process::exit(1);
     }
-    // Re-read and re-validate: proves the artifact on disk parses.
+    // Re-read and re-validate: proves the artifact on disk parses and
+    // keeps the v2 structural contract (absent-or-bool verdict, numeric
+    // throughput on every row).
     match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
-        Ok(disk) => {
-            if let Err(e) = validate_json(&disk) {
+        Ok(disk) => match pif_lab::json::Json::parse(&disk) {
+            Ok(doc) => {
+                if let Err(e) = validate_engine_report(&doc) {
+                    eprintln!("perfbench: {path} violates the engine-report schema: {e}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
                 eprintln!("perfbench: {path} does not parse: {e}");
                 std::process::exit(1);
             }
-        }
+        },
         Err(e) => {
             eprintln!("perfbench: cannot re-read {path}: {e}");
             std::process::exit(1);

@@ -1,11 +1,37 @@
-//! The `pif-bench-engine/v1` throughput report: rendering, validation,
-//! and the `--smoke` floor verdict.
+//! The `pif-bench-engine/v2` throughput report: rendering, validation,
+//! the `--smoke` floor verdict, and the cross-run **trend gate**.
 //!
 //! Extracted from the `perfbench` binary so the verdict logic is unit
 //! tested. The crucial ordering contract: **the floor verdict is
 //! computed before any artifact is written**, and the verdict itself is
 //! embedded in the JSON (`"smoke_passed"`), so a failing smoke run can
 //! never leave a passing-looking report on disk.
+//!
+//! # Schema v2
+//!
+//! v2 makes two changes over v1:
+//!
+//! * `"smoke_passed"` is **absent** on full (non-smoke) runs instead of
+//!   `null` — present iff a verdict was actually computed, so consumers
+//!   can distinguish "gate not applicable" from "gate forgot to run";
+//! * an `"aggregate"` array records parallel sampled-execution
+//!   throughput rows (`aggregate_instrs_per_sec` = instructions the
+//!   whole fan-out retired per wall-clock second at a given thread
+//!   count), alongside the serial per-engine `"results"` rows.
+//!
+//! # The trend gate
+//!
+//! [`compare_trend`] compares a freshly measured report against the
+//! committed one **without trusting absolute numbers**: CI runners and
+//! dev machines differ by integer factors. It first estimates a
+//! machine-calibration ratio (the median of fresh/committed across
+//! matching rows — robust to a few genuine regressions), then flags any
+//! row whose own ratio falls more than [`TREND_TOLERANCE`] below that
+//! calibration. A uniformly slower machine moves every ratio equally and
+//! passes; a hot-loop regression moves the affected rows against the
+//! rest and trips. The committed absolute smoke floor still applies to
+//! the fresh no-prefetch rows as a backstop (the same floor logic as the
+//! smoke gate, with the same 30% noise allowance).
 
 /// Committed throughput floor for the `--smoke` regression gate, in
 /// retired instructions per second of the no-prefetch configuration.
@@ -20,6 +46,11 @@ pub const SMOKE_FLOOR_IPS: f64 = 4.0e6;
 pub const PRIOR_NONE_IPS: f64 = 29.2e6;
 /// Pre-refactor PIF-configuration throughput (see [`PRIOR_NONE_IPS`]).
 pub const PRIOR_PIF_IPS: f64 = 15.6e6;
+
+/// Fractional slack a row gets below the machine-calibrated expectation
+/// before the trend gate trips — the same 30% the smoke floor allows for
+/// runner noise.
+pub const TREND_TOLERANCE: f64 = 0.30;
 
 /// One measured (workload, prefetcher) throughput point.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +74,41 @@ impl RunResult {
     }
 }
 
+/// One parallel sampled-execution throughput point: a whole sampled run
+/// (every window, warmup included) fanned out at `threads` workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateResult {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher label.
+    pub prefetcher: &'static str,
+    /// Worker threads in the fan-out.
+    pub threads: usize,
+    /// Sample windows executed.
+    pub windows: usize,
+    /// Total instructions simulated across all windows (warmup +
+    /// measurement).
+    pub instructions: u64,
+    /// Wall-clock seconds for the whole fan-out.
+    pub elapsed_s: f64,
+    /// Wall-clock seconds of the serial driver over the same plan, for
+    /// the recorded speedup.
+    pub serial_elapsed_s: f64,
+}
+
+impl AggregateResult {
+    /// Aggregate simulated instructions per wall-clock second across the
+    /// fan-out.
+    pub fn aggregate_ips(&self) -> f64 {
+        self.instructions as f64 / self.elapsed_s
+    }
+
+    /// Wall-clock speedup of the fan-out over the serial driver.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial_elapsed_s / self.elapsed_s
+    }
+}
+
 /// The effective smoke gate: 30% below the committed floor, absorbing
 /// CI-runner noise.
 pub fn smoke_threshold_ips() -> f64 {
@@ -63,21 +129,25 @@ pub fn none_ips(results: &[RunResult]) -> f64 {
         .fold(f64::MAX, f64::min)
 }
 
-use pif_lab::json::escape as json_escape;
+use pif_lab::json::{escape as json_escape, Json};
 
-/// Renders the `pif-bench-engine/v1` JSON document.
+/// Renders the `pif-bench-engine/v2` JSON document.
 ///
-/// `smoke_passed` is the floor verdict for smoke runs (`None` renders as
-/// JSON `null` for full runs, where no gate applies). Callers must
-/// compute the verdict **before** rendering/writing so the artifact is
-/// honest about failure. `probe_overhead_pct` is the measured wall-clock
-/// cost of running with a live `EngineProbe` vs the `NoProbe` default,
-/// and `failpoint_overhead_pct` the cost of a `fail_point!`-bearing hot
-/// loop vs its plain twin — near zero in default builds, where the macro
-/// erases at compile time (either renders as `null` when the pair was
-/// not measured).
+/// `smoke_passed` is the floor verdict for smoke runs; `None` (full
+/// runs, where no gate applies) **omits the key** rather than rendering
+/// `null`, so its presence always means a verdict was computed. Callers
+/// must compute the verdict **before** rendering/writing so the artifact
+/// is honest about failure. `probe_overhead_pct` is the measured
+/// wall-clock cost of running with a live `EngineProbe` vs the `NoProbe`
+/// default, and `failpoint_overhead_pct` the cost of a
+/// `fail_point!`-bearing hot loop vs its plain twin — near zero in
+/// default builds, where the macro erases at compile time (either
+/// renders as `null` when the pair was not measured). `aggregates` rows
+/// record parallel sampled throughput; the array renders empty when the
+/// aggregate mode did not run.
 pub fn render_json(
     results: &[RunResult],
+    aggregates: &[AggregateResult],
     instructions: usize,
     smoke: bool,
     smoke_passed: Option<bool>,
@@ -86,15 +156,11 @@ pub fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"pif-bench-engine/v1\",\n");
+    s.push_str("  \"schema\": \"pif-bench-engine/v2\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!(
-        "  \"smoke_passed\": {},\n",
-        match smoke_passed {
-            Some(v) => v.to_string(),
-            None => "null".to_string(),
-        }
-    ));
+    if let Some(v) = smoke_passed {
+        s.push_str(&format!("  \"smoke_passed\": {v},\n"));
+    }
     s.push_str(&format!(
         "  \"probe_overhead_pct\": {},\n",
         match probe_overhead_pct {
@@ -134,6 +200,24 @@ pub fn render_json(
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"aggregate\": [\n");
+    for (i, a) in aggregates.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"prefetcher\": \"{}\", \"threads\": {}, \
+             \"windows\": {}, \"instructions\": {}, \"elapsed_s\": {:.6}, \
+             \"aggregate_instrs_per_sec\": {:.1}, \"parallel_speedup\": {:.3}}}{}\n",
+            json_escape(&a.workload),
+            json_escape(a.prefetcher),
+            a.threads,
+            a.windows,
+            a.instructions,
+            a.elapsed_s,
+            a.aggregate_ips(),
+            a.parallel_speedup(),
+            if i + 1 == aggregates.len() { "" } else { "," },
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -145,13 +229,253 @@ pub fn render_json(
 ///
 /// Returns the parser's message on malformed input.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    pif_lab::json::Json::parse(s).map(|_| ())
+    Json::parse(s).map(|_| ())
+}
+
+/// Structurally validates a parsed engine report: schema name, the
+/// absent-or-bool `smoke_passed` contract, and numeric throughput fields
+/// on every `results`/`aggregate` row.
+///
+/// Accepts `pif-bench-engine/v1` documents too (where `smoke_passed:
+/// null` was legal and `aggregate` absent), so the trend gate can read a
+/// committed baseline written before the v2 bump.
+///
+/// # Errors
+///
+/// A message naming the first offending field.
+pub fn validate_engine_report(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema")?;
+    let v1 = match schema {
+        "pif-bench-engine/v1" => true,
+        "pif-bench-engine/v2" => false,
+        other => return Err(format!("unknown schema {other:?}")),
+    };
+    doc.get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("smoke must be a bool")?;
+    match doc.get("smoke_passed") {
+        None => {}
+        Some(Json::Null) if v1 => {}
+        Some(v) if v.as_bool().is_some() => {}
+        Some(_) => return Err("smoke_passed must be absent or a bool".to_string()),
+    }
+    doc.get("smoke_floor_instrs_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or("smoke_floor_instrs_per_sec must be a number")?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("results must be an array")?;
+    for r in results {
+        result_key(r)?;
+        r.get("instrs_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("results row lacks numeric instrs_per_sec")?;
+    }
+    if let Some(aggs) = doc.get("aggregate") {
+        let aggs = aggs.as_arr().ok_or("aggregate must be an array")?;
+        for a in aggs {
+            aggregate_key(a)?;
+            a.get("aggregate_instrs_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("aggregate row lacks numeric aggregate_instrs_per_sec")?;
+        }
+    } else if !v1 {
+        return Err("v2 report lacks the aggregate array".to_string());
+    }
+    Ok(())
+}
+
+/// One regression found by [`compare_trend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRegression {
+    /// Row identity, e.g. `OLTP-DB2/PIF` or `aggregate OLTP-DB2/PIF@8`.
+    pub row: String,
+    /// Committed throughput for the row.
+    pub committed_ips: f64,
+    /// Freshly measured throughput for the row.
+    pub fresh_ips: f64,
+    /// The calibrated minimum the row had to clear.
+    pub required_ips: f64,
+}
+
+impl std::fmt::Display for TrendRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} Minstr/s < required {:.2} Minstr/s (committed {:.2})",
+            self.row,
+            self.fresh_ips / 1e6,
+            self.required_ips / 1e6,
+            self.committed_ips / 1e6
+        )
+    }
+}
+
+/// Outcome of a trend comparison: the calibration ratio actually used
+/// and any rows that regressed past it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Median fresh/committed throughput ratio over matching rows — the
+    /// machine-speed calibration.
+    pub calibration: f64,
+    /// Matching (committed, fresh) row pairs considered.
+    pub rows_compared: usize,
+    /// Rows regressing more than [`TREND_TOLERANCE`] below calibration,
+    /// or no-prefetch rows falling through the absolute floor.
+    pub regressions: Vec<TrendRegression>,
+}
+
+impl TrendReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn result_key(row: &Json) -> Result<String, String> {
+    let w = row
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("results row lacks workload")?;
+    let p = row
+        .get("prefetcher")
+        .and_then(Json::as_str)
+        .ok_or("results row lacks prefetcher")?;
+    Ok(format!("{w}/{p}"))
+}
+
+fn aggregate_key(row: &Json) -> Result<String, String> {
+    let w = row
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("aggregate row lacks workload")?;
+    let p = row
+        .get("prefetcher")
+        .and_then(Json::as_str)
+        .ok_or("aggregate row lacks prefetcher")?;
+    let t = row
+        .get("threads")
+        .and_then(Json::as_f64)
+        .ok_or("aggregate row lacks threads")?;
+    Ok(format!("aggregate {w}/{p}@{t}"))
+}
+
+/// Extracts every throughput row of a report as `(key, ips)` pairs:
+/// `results` rows keyed `workload/prefetcher` with `instrs_per_sec`, and
+/// `aggregate` rows keyed `aggregate workload/prefetcher@threads` with
+/// `aggregate_instrs_per_sec`.
+fn throughput_rows(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let mut rows = Vec::new();
+    for r in doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("results must be an array")?
+    {
+        let ips = r
+            .get("instrs_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("results row lacks numeric instrs_per_sec")?;
+        rows.push((result_key(r)?, ips));
+    }
+    for a in doc.get("aggregate").and_then(Json::as_arr).unwrap_or(&[]) {
+        let ips = a
+            .get("aggregate_instrs_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("aggregate row lacks numeric aggregate_instrs_per_sec")?;
+        rows.push((aggregate_key(a)?, ips));
+    }
+    Ok(rows)
+}
+
+/// Compares a fresh engine report against the committed baseline and
+/// flags throughput regressions, machine-independently (see the module
+/// docs for the calibration scheme).
+///
+/// Rows present in only one report are ignored (new benchmarks appear,
+/// old ones retire); the gate needs at least one matching row.
+///
+/// # Errors
+///
+/// A message if either document is structurally invalid or no rows
+/// match.
+pub fn compare_trend(committed: &Json, fresh: &Json) -> Result<TrendReport, String> {
+    validate_engine_report(committed).map_err(|e| format!("committed report: {e}"))?;
+    validate_engine_report(fresh).map_err(|e| format!("fresh report: {e}"))?;
+    let committed_rows = throughput_rows(committed)?;
+    let fresh_rows = throughput_rows(fresh)?;
+
+    let mut pairs: Vec<(String, f64, f64)> = Vec::new();
+    for (key, c_ips) in &committed_rows {
+        if let Some((_, f_ips)) = fresh_rows.iter().find(|(k, _)| k == key) {
+            pairs.push((key.clone(), *c_ips, *f_ips));
+        }
+    }
+    if pairs.is_empty() {
+        return Err("no matching throughput rows between the reports".to_string());
+    }
+
+    // Machine calibration: the median fresh/committed ratio. Robust to a
+    // minority of genuine regressions — those sit below the median and
+    // are exactly what the per-row check then catches.
+    let mut ratios: Vec<f64> = pairs.iter().map(|(_, c, f)| f / c).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("throughput ratios are finite"));
+    let calibration = if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    };
+
+    let mut regressions = Vec::new();
+    for (key, c_ips, f_ips) in &pairs {
+        let required = c_ips * calibration * (1.0 - TREND_TOLERANCE);
+        if *f_ips < required {
+            regressions.push(TrendRegression {
+                row: key.clone(),
+                committed_ips: *c_ips,
+                fresh_ips: *f_ips,
+                required_ips: required,
+            });
+        }
+    }
+
+    // Absolute backstop: whatever the calibration says, the fresh
+    // no-prefetch engine rows must still clear the committed smoke floor
+    // (with the same 30% noise allowance the smoke gate applies). A
+    // calibration ratio cannot talk the gate out of a machine-wide
+    // collapse.
+    let floor = committed
+        .get("smoke_floor_instrs_per_sec")
+        .and_then(Json::as_f64)
+        .expect("validated above");
+    for (key, ips) in &fresh_rows {
+        let is_none_engine_row = !key.starts_with("aggregate ") && key.ends_with("/None");
+        if is_none_engine_row && *ips < floor * (1.0 - TREND_TOLERANCE) {
+            let already = regressions.iter().any(|r| &r.row == key);
+            if !already {
+                regressions.push(TrendRegression {
+                    row: key.clone(),
+                    committed_ips: floor,
+                    fresh_ips: *ips,
+                    required_ips: floor * (1.0 - TREND_TOLERANCE),
+                });
+            }
+        }
+    }
+
+    Ok(TrendReport {
+        calibration,
+        rows_compared: pairs.len(),
+        regressions,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pif_lab::json::Json;
 
     fn sample(elapsed_s: f64) -> Vec<RunResult> {
         vec![
@@ -170,6 +494,18 @@ mod tests {
                 uipc: 2.0,
             },
         ]
+    }
+
+    fn sample_aggregates() -> Vec<AggregateResult> {
+        vec![AggregateResult {
+            workload: "OLTP-DB2".into(),
+            prefetcher: "PIF",
+            threads: 8,
+            windows: 30,
+            instructions: 1_200_000,
+            elapsed_s: 0.01,
+            serial_elapsed_s: 0.06,
+        }]
     }
 
     #[test]
@@ -193,9 +529,10 @@ mod tests {
         let slow = sample(1.0);
         let verdict = smoke_passed(none_ips(&slow));
         assert!(!verdict);
-        let json = render_json(&slow, 300_000, true, Some(verdict), None, None);
+        let json = render_json(&slow, &[], 300_000, true, Some(verdict), None, None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
+        validate_engine_report(&doc).expect("artifact validates");
         assert_eq!(doc.get("smoke_passed").and_then(Json::as_bool), Some(false));
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("probe_overhead_pct"), Some(&Json::Null));
@@ -203,11 +540,14 @@ mod tests {
     }
 
     #[test]
-    fn full_run_has_null_verdict() {
-        let json = render_json(&sample(0.01), 2_000_000, false, None, None, None);
+    fn full_run_omits_the_verdict_entirely() {
+        // The v1 schema rendered `smoke_passed: null` on full runs; v2
+        // omits the key, so presence always means a computed verdict.
+        let json = render_json(&sample(0.01), &[], 2_000_000, false, None, None, None);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
-        assert_eq!(doc.get("smoke_passed"), Some(&Json::Null));
+        validate_engine_report(&doc).expect("artifact validates");
+        assert_eq!(doc.get("smoke_passed"), None);
         assert_eq!(
             doc.get("results").and_then(Json::as_arr).map(<[_]>::len),
             Some(2)
@@ -215,8 +555,59 @@ mod tests {
     }
 
     #[test]
+    fn absent_or_bool_is_enforced_by_the_validator() {
+        let json = render_json(&sample(0.01), &[], 300_000, true, Some(true), None, None);
+        let doc = Json::parse(&json).unwrap();
+        validate_engine_report(&doc).expect("bool verdict validates");
+        // A v2 document with a null verdict violates the contract.
+        let null_verdict = json.replace("\"smoke_passed\": true", "\"smoke_passed\": null");
+        let doc = Json::parse(&null_verdict).unwrap();
+        let err = validate_engine_report(&doc).unwrap_err();
+        assert!(err.contains("absent or a bool"), "{err}");
+        // ...but a committed v1 baseline with `null` is still readable.
+        let v1 = null_verdict.replace("pif-bench-engine/v2", "pif-bench-engine/v1");
+        let doc = Json::parse(&v1).unwrap();
+        validate_engine_report(&doc).expect("v1 null verdict is accepted");
+    }
+
+    #[test]
+    fn aggregate_rows_render_and_validate() {
+        let json = render_json(
+            &sample(0.01),
+            &sample_aggregates(),
+            2_000_000,
+            false,
+            None,
+            None,
+            None,
+        );
+        validate_json(&json).expect("artifact parses");
+        let doc = Json::parse(&json).unwrap();
+        validate_engine_report(&doc).expect("artifact validates");
+        let aggs = doc.get("aggregate").and_then(Json::as_arr).unwrap();
+        assert_eq!(aggs.len(), 1);
+        let a = &aggs[0];
+        assert_eq!(a.get("threads").and_then(Json::as_f64), Some(8.0));
+        let ips = a
+            .get("aggregate_instrs_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((ips - 120.0e6).abs() < 1e3, "1.2M instrs / 0.01s: {ips}");
+        let speedup = a.get("parallel_speedup").and_then(Json::as_f64).unwrap();
+        assert!((speedup - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn probe_overhead_renders_as_a_number_when_measured() {
-        let json = render_json(&sample(0.01), 2_000_000, false, None, Some(1.234), None);
+        let json = render_json(
+            &sample(0.01),
+            &[],
+            2_000_000,
+            false,
+            None,
+            Some(1.234),
+            None,
+        );
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         let pct = doc
@@ -231,7 +622,15 @@ mod tests {
     fn failpoint_overhead_renders_as_a_number_when_measured() {
         // Negative residuals (the failpointed loop winning a coin flip on
         // a quiet machine) must render as plain numbers, not vanish.
-        let json = render_json(&sample(0.01), 2_000_000, false, None, None, Some(-0.057));
+        let json = render_json(
+            &sample(0.01),
+            &[],
+            2_000_000,
+            false,
+            None,
+            None,
+            Some(-0.057),
+        );
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         let pct = doc
@@ -245,5 +644,122 @@ mod tests {
     fn validate_rejects_garbage() {
         assert!(validate_json("{\"a\": }").is_err());
         assert!(validate_json("{} trailing").is_err());
+    }
+
+    // --- trend gate ---
+
+    /// Renders a full-mode report whose None row runs at `none_mips` and
+    /// PIF row at half that, plus one aggregate row at `agg_mips`.
+    fn trend_doc(none_mips: f64, pif_mips: f64, agg_mips: f64) -> Json {
+        let results = vec![
+            RunResult {
+                workload: "OLTP-DB2".into(),
+                prefetcher: "None",
+                instructions: 1_000_000,
+                elapsed_s: 1.0 / none_mips,
+                uipc: 1.5,
+            },
+            RunResult {
+                workload: "OLTP-DB2".into(),
+                prefetcher: "PIF",
+                instructions: 1_000_000,
+                elapsed_s: 1.0 / pif_mips,
+                uipc: 2.0,
+            },
+        ];
+        let aggregates = vec![AggregateResult {
+            workload: "OLTP-DB2".into(),
+            prefetcher: "PIF",
+            threads: 8,
+            windows: 30,
+            instructions: 1_000_000,
+            elapsed_s: 1.0 / agg_mips,
+            serial_elapsed_s: 2.0 / agg_mips,
+        }];
+        let json = render_json(&results, &aggregates, 1_000_000, false, None, None, None);
+        Json::parse(&json).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass_the_trend_gate() {
+        let doc = trend_doc(30.0, 15.0, 100.0);
+        let report = compare_trend(&doc, &doc).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.rows_compared, 3);
+        assert!((report.calibration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_uniformly_slower_machine_is_calibrated_away() {
+        // A CI runner 3x slower than the dev machine that committed the
+        // baseline: every ratio is 1/3, the median calibration absorbs
+        // it, nothing trips.
+        let committed = trend_doc(30.0, 15.0, 100.0);
+        let fresh = trend_doc(10.0, 5.0, 33.3);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!((report.calibration - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn a_single_row_regression_trips_the_gate() {
+        let committed = trend_doc(30.0, 15.0, 100.0);
+        // PIF alone collapses to 35% of its committed throughput; the
+        // other rows hold, so calibration stays ~1 and PIF trips.
+        let fresh = trend_doc(30.0, 15.0 * 0.35, 100.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].row, "OLTP-DB2/PIF");
+    }
+
+    #[test]
+    fn an_aggregate_row_regression_trips_the_gate() {
+        let committed = trend_doc(30.0, 15.0, 100.0);
+        let fresh = trend_doc(30.0, 15.0, 30.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].row, "aggregate OLTP-DB2/PIF@8");
+    }
+
+    #[test]
+    fn the_absolute_floor_catches_a_machine_wide_collapse() {
+        // Every row 100x slower: calibration alone would pass it (the
+        // trend is "consistent"), but the fresh None row lands below the
+        // committed absolute smoke floor and the backstop trips.
+        let committed = trend_doc(30.0, 15.0, 100.0);
+        let fresh = trend_doc(0.3, 0.15, 1.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.regressions.iter().any(|r| r.row == "OLTP-DB2/None"),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn a_committed_v1_baseline_is_accepted() {
+        let committed_json = render_json(&sample(0.01), &[], 300_000, false, None, None, None)
+            .replace("pif-bench-engine/v2", "pif-bench-engine/v1")
+            .replace("  \"aggregate\": [\n  ]\n}", "  \"aggregate\": []\n}");
+        let committed = Json::parse(&committed_json).unwrap();
+        validate_engine_report(&committed).expect("v1 baseline validates");
+        let fresh = Json::parse(&render_json(
+            &sample(0.012),
+            &sample_aggregates(),
+            300_000,
+            false,
+            None,
+            None,
+            None,
+        ))
+        .unwrap();
+        // Aggregate rows exist only in the fresh report: ignored, the
+        // engine rows still gate.
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert_eq!(report.rows_compared, 2);
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 }

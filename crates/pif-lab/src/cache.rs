@@ -46,7 +46,7 @@ use pif_trace::hash::fnv1a_64_once;
 use crate::json::{escape, Json};
 use crate::report::Metric;
 use crate::scale::Scale;
-use crate::spec::{JobCoord, SweepSpec};
+use crate::spec::{JobCoord, Measure, SweepSpec};
 
 /// Storage schema identifier; bump to invalidate every existing entry.
 const CELL_SCHEMA: &str = "pif-lab-cell/v1";
@@ -138,6 +138,12 @@ pub(crate) fn cell_identity(
     // Sampled cells derive their window seeds from the job index, so the
     // index is part of the result's identity, not just its position.
     push_field(&mut s, "index", &coord.index.to_string());
+    // Sampled semantics moved from continuous to per-window predictor
+    // warming; the driver version keys the identity so results produced
+    // under the old warming can never replay from the cache.
+    if matches!(spec.measure, Measure::Sampled { .. }) {
+        push_field(&mut s, "sampled_driver", "per-window-v2");
+    }
     push_field(
         &mut s,
         "scale",

@@ -85,6 +85,7 @@ pub mod profile;
 pub mod protocol;
 pub mod registry;
 pub mod report;
+pub mod sampled;
 mod scale;
 pub mod service;
 pub mod spec;
@@ -301,11 +302,21 @@ fn run_spec_impl(
     }
     let cached_cells = coords.len() - missing.len();
 
+    // Two-level parallelism without oversubscription: when the grid has
+    // enough cells to keep every worker busy, cells run on the outer pool
+    // and each cell's sampled windows run serially; a sparse grid (fewer
+    // cells than threads) instead hands the whole thread budget to each
+    // cell's window fan-out.
+    let inner = Pool::new(if missing.len() >= opts.threads {
+        1
+    } else {
+        opts.threads
+    });
     let (fresh, pool_stats) = Pool::new(opts.threads).run_indexed_stats(missing.len(), |i| {
         // Timed only under profiling, and into a sidecar value — timing
         // never reaches the cell or the report.
         let started = want_profile.then(std::time::Instant::now);
-        let cell = measure::run_job(spec, scale, &profiles, &traces, missing[i]);
+        let cell = measure::run_job(spec, scale, &profiles, &traces, missing[i], &inner);
         // Sub-microsecond cells (release builds at tiny scale) round up
         // to 1 so an executed cell is never recorded as untimed.
         let exec_us = started

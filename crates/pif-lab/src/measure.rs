@@ -15,7 +15,7 @@ use pif_core::analysis::{analyze_regions, PifAnalyzer};
 use pif_core::Pif;
 use pif_sim::predictor_eval::{evaluate_stream_coverage_warmup, TemporalPredictorConfig};
 use pif_sim::prefetch::Prefetcher;
-use pif_sim::sampling::{run_sampled, SampledRunReport, SamplingPlan};
+use pif_sim::sampling::{SampledRunReport, SamplingPlan, WarmStrategy};
 use pif_sim::{Engine, EngineConfig, NoPrefetcher, RunOptions, RunReport};
 use pif_types::{RegionGeometry, TrapLevel};
 use pif_workloads::{Trace, WorkloadProfile};
@@ -27,7 +27,9 @@ use crate::registry::{
     DENSITY_BUCKETS, JUMP_CDF_BUCKETS, LENGTH_CDF_BUCKETS, REGION_OFFSETS, RUN_BUCKETS,
 };
 use crate::report::{Cell, Metric};
+use crate::sampled::run_sampled_parallel;
 use crate::scale::Scale;
+use crate::service::Pool;
 use crate::spec::{CdfKind, JobCoord, Measure, ParamAxis, PrefetcherKind, SweepSpec};
 
 /// Metric name for a jump-distance CDF point (`jump_cdf_le_2p07` = the
@@ -80,6 +82,7 @@ pub(crate) fn run_job(
     profiles: &[WorkloadProfile],
     traces: &[OnceLock<Trace>],
     coord: JobCoord,
+    pool: &Pool,
 ) -> Cell {
     JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
     let profile = &profiles[coord.workload];
@@ -228,25 +231,45 @@ pub(crate) fn run_job(
             // The seed is a pure function of (spec, job index): reports
             // stay byte-identical across thread counts and runs.
             let seed = spec.seed_offset.wrapping_add(coord.index as u64);
-            let plan = SamplingPlan::random(samples, seed, warmup_instrs, measure_instrs);
+            // Per-window warming with an extra warmup's worth of burn-in
+            // prepended: windows become independent units of work (the
+            // precondition for the parallel fan-out below), and the
+            // doubled warm-up prefix rebuilds the predictor state that
+            // continuous warming used to carry across windows.
+            let plan = SamplingPlan::random(samples, seed, warmup_instrs, measure_instrs)
+                .with_warm_strategy(WarmStrategy::PerWindow {
+                    extra_warmup_instrs: warmup_instrs,
+                });
             let kind = coord.prefetcher.unwrap_or(PrefetcherKind::None);
             let t = trace();
             let report = match kind {
-                PrefetcherKind::None => sampled_run(&engine_cfg, &plan, t, || NoPrefetcher),
+                PrefetcherKind::None => sampled_run(&engine_cfg, &plan, t, pool, || NoPrefetcher),
                 PrefetcherKind::NextLine => {
-                    sampled_run(&engine_cfg, &plan, t, NextLinePrefetcher::aggressive)
+                    sampled_run(&engine_cfg, &plan, t, pool, NextLinePrefetcher::aggressive)
                 }
                 PrefetcherKind::Tifs => {
-                    sampled_run(&engine_cfg, &plan, t, || Tifs::new(Default::default()))
+                    sampled_run(
+                        &engine_cfg,
+                        &plan,
+                        t,
+                        pool,
+                        || Tifs::new(Default::default()),
+                    )
                 }
                 PrefetcherKind::TifsUnbounded => {
-                    sampled_run(&engine_cfg, &plan, t, Tifs::unbounded)
+                    sampled_run(&engine_cfg, &plan, t, pool, Tifs::unbounded)
                 }
-                PrefetcherKind::Discontinuity => {
-                    sampled_run(&engine_cfg, &plan, t, DiscontinuityPrefetcher::paper_scale)
+                PrefetcherKind::Discontinuity => sampled_run(
+                    &engine_cfg,
+                    &plan,
+                    t,
+                    pool,
+                    DiscontinuityPrefetcher::paper_scale,
+                ),
+                PrefetcherKind::Pif => sampled_run(&engine_cfg, &plan, t, pool, || Pif::new(pif)),
+                PrefetcherKind::Perfect => {
+                    sampled_run(&engine_cfg, &plan, t, pool, || PerfectICache)
                 }
-                PrefetcherKind::Pif => sampled_run(&engine_cfg, &plan, t, || Pif::new(pif)),
-                PrefetcherKind::Perfect => sampled_run(&engine_cfg, &plan, t, || PerfectICache),
             };
             sampled_metrics(&mut cell, &plan, &report);
         }
@@ -271,21 +294,24 @@ pub(crate) fn run_job(
     cell
 }
 
-/// One sampled cell run: windows over the memoized workload trace. With
-/// the plan's default continuous warming, `mk` builds the single
-/// prefetcher whose trained state persists across the cell's windows.
+/// One sampled cell run: windows over the memoized workload trace, fanned
+/// out on `pool`. The cell's plan uses per-window warming, so `mk` builds
+/// one fresh prefetcher per window and the merged report is byte-identical
+/// for every worker count (see [`crate::sampled`]).
 fn sampled_run<P: Prefetcher>(
     engine_cfg: &EngineConfig,
     plan: &SamplingPlan,
     trace: &Trace,
-    mut mk: impl FnMut() -> P,
+    pool: &Pool,
+    mk: impl Fn() -> P + Sync,
 ) -> SampledRunReport {
-    run_sampled(
+    run_sampled_parallel(
         engine_cfg,
         plan,
         trace.len() as u64,
         |w| trace.instrs()[w.warmup_start as usize..].iter().copied(),
         |_| mk(),
+        pool,
     )
 }
 

@@ -12,7 +12,7 @@ use crate::stats::{FetchStats, FrontendStats, PrefetchStats};
 use crate::timing::{TimingModel, TimingReport};
 
 /// Everything measured during one engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Name of the prefetcher that produced this report.
     pub prefetcher: &'static str,

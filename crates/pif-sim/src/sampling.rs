@@ -49,20 +49,42 @@ pub enum SampleSelection {
     },
 }
 
-/// How prefetcher/predictor tables are warmed across samples.
+/// How prefetcher/predictor tables are warmed across samples — and,
+/// consequently, whether the plan's windows are independent units of
+/// work that a parallel driver may fan out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PredictorWarming {
-    /// A fresh prefetcher per sample: windows are fully independent, but
-    /// deep-history predictors (PIF, TIFS) only ever see their own
-    /// warmup window and systematically under-cover.
-    PerSample,
+pub enum WarmStrategy {
     /// One prefetcher instance **and one front end** (direction tables,
     /// BTB, RAS) trained continuously across the file-ordered samples —
     /// SMARTS-style functional warming of predictor tables: by mid-run
     /// the predictors have accumulated the recurring streams and branch
     /// behaviour the exhaustive run would know, without decoding the
-    /// skipped regions. This is the default.
+    /// skipped regions. Inherently serial (each window consumes state
+    /// the previous windows produced). This is the default.
     Continuous,
+    /// Fresh predictor state per window, warmed by the window's own
+    /// functional-warmup prefix plus `extra_warmup_instrs` of additional
+    /// burn-in prepended to it (clamped at the trace head like ordinary
+    /// warmup). Windows share no state, so they can run in any order —
+    /// or concurrently — and still produce byte-identical reports; the
+    /// extra burn-in buys back part of the deep-history coverage that
+    /// [`WarmStrategy::Continuous`] accumulates from earlier samples.
+    PerWindow {
+        /// Additional warmup instructions prepended to every window's
+        /// functional-warmup prefix (0 = warm from the plan's
+        /// `warmup_instrs` alone).
+        extra_warmup_instrs: u64,
+    },
+}
+
+impl WarmStrategy {
+    /// Per-window warming with no extra burn-in (the fully independent
+    /// minimum-work strategy).
+    pub fn per_window() -> Self {
+        WarmStrategy::PerWindow {
+            extra_warmup_instrs: 0,
+        }
+    }
 }
 
 /// A sampled-simulation plan: sample count, placement, and the per-sample
@@ -89,11 +111,11 @@ pub struct SamplingPlan {
     /// itself.
     pub assume_warm_l2: bool,
     /// How predictor tables warm across samples (default
-    /// [`PredictorWarming::Continuous`]).
-    pub predictor_warming: PredictorWarming,
+    /// [`WarmStrategy::Continuous`]).
+    pub warm_strategy: WarmStrategy,
     /// Leading samples excluded from the summaries (still simulated —
     /// they train the continuously warmed predictors). Under
-    /// [`PredictorWarming::Continuous`] the first few windows run with
+    /// [`WarmStrategy::Continuous`] the first few windows run with
     /// the coldest predictor state; burning them in removes that
     /// transient from the estimate, exactly like burn-in in any stateful
     /// Monte-Carlo estimator. Default 0.
@@ -109,7 +131,7 @@ impl SamplingPlan {
             warmup_instrs,
             measure_instrs,
             assume_warm_l2: true,
-            predictor_warming: PredictorWarming::Continuous,
+            warm_strategy: WarmStrategy::Continuous,
             burn_in: 0,
         }
     }
@@ -122,7 +144,7 @@ impl SamplingPlan {
             warmup_instrs,
             measure_instrs,
             assume_warm_l2: true,
-            predictor_warming: PredictorWarming::Continuous,
+            warm_strategy: WarmStrategy::Continuous,
             burn_in: 0,
         }
     }
@@ -136,11 +158,39 @@ impl SamplingPlan {
     }
 
     /// Returns the plan with per-sample (fully independent) prefetcher
-    /// state instead of continuous predictor warming.
+    /// state instead of continuous predictor warming — shorthand for
+    /// [`SamplingPlan::with_warm_strategy`] of
+    /// [`WarmStrategy::per_window`].
     #[must_use]
-    pub fn with_per_sample_predictors(mut self) -> Self {
-        self.predictor_warming = PredictorWarming::PerSample;
+    pub fn with_per_sample_predictors(self) -> Self {
+        self.with_warm_strategy(WarmStrategy::per_window())
+    }
+
+    /// Returns the plan with the given [`WarmStrategy`].
+    #[must_use]
+    pub fn with_warm_strategy(mut self, strategy: WarmStrategy) -> Self {
+        self.warm_strategy = strategy;
         self
+    }
+
+    /// Whether this plan's windows are fully independent units of work
+    /// (no predictor state crosses window boundaries) — the precondition
+    /// for fanning them out on a thread pool while keeping the merged
+    /// report byte-identical to the serial run.
+    pub fn windows_independent(&self) -> bool {
+        matches!(self.warm_strategy, WarmStrategy::PerWindow { .. })
+    }
+
+    /// The functional-warmup length each window actually targets: the
+    /// plan's `warmup_instrs` plus any per-window burn-in the
+    /// [`WarmStrategy`] adds (clamping at the trace head still applies).
+    pub fn effective_warmup_instrs(&self) -> u64 {
+        match self.warm_strategy {
+            WarmStrategy::Continuous => self.warmup_instrs,
+            WarmStrategy::PerWindow {
+                extra_warmup_instrs,
+            } => self.warmup_instrs + extra_warmup_instrs,
+        }
     }
 
     /// Returns the plan with cold-structure semantics (no warm-L2
@@ -162,10 +212,10 @@ impl SamplingPlan {
         cfg
     }
 
-    /// Instructions simulated per sample (warmup + measurement), before
-    /// end-of-trace clamping.
+    /// Instructions simulated per sample (warmup + measurement,
+    /// including any per-window burn-in), before end-of-trace clamping.
     pub fn instrs_per_sample(&self) -> u64 {
-        self.warmup_instrs + self.measure_instrs
+        self.effective_warmup_instrs() + self.measure_instrs
     }
 
     /// Resolves the plan against a trace of `total_records` instructions
@@ -202,7 +252,7 @@ impl SamplingPlan {
             .into_iter()
             .enumerate()
             .map(|(index, measure_start)| {
-                let warmup_start = measure_start.saturating_sub(self.warmup_instrs);
+                let warmup_start = measure_start.saturating_sub(self.effective_warmup_instrs());
                 SampleWindow {
                     index,
                     warmup_start,
@@ -254,7 +304,7 @@ impl SampleWindow {
 }
 
 /// One sample's engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleResult {
     /// The window this sample covered.
     pub window: SampleWindow,
@@ -265,7 +315,7 @@ pub struct SampleResult {
 /// Aggregated results of a sampled run: per-sample reports plus
 /// [`Summary`] statistics over the per-sample metrics — the shape the
 /// paper's "UIPC at 95% confidence" methodology reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampledRunReport {
     /// Name of the prefetcher measured (empty if the plan produced no
     /// windows, e.g. over an empty trace).
@@ -365,13 +415,18 @@ impl<S: InstrSource> Iterator for Bounded<S> {
 /// `open_at(window)` must return a source positioned at
 /// `window.warmup_start`; it will be pulled for at most `window.len()`
 /// instructions. How `prefetcher_for` is used depends on the plan's
-/// [`PredictorWarming`]: under the default
-/// [`PredictorWarming::Continuous`], `prefetcher_for(0)` is called
-/// **once** and that instance (plus one front end) deliberately carries
-/// its trained state across all windows; only under
-/// [`PredictorWarming::PerSample`] does `prefetcher_for(index)` build a
-/// fresh, fully independent prefetcher per sample. Engine-side state
-/// (caches, queues, timing) is always fresh per window.
+/// [`WarmStrategy`]: under the default [`WarmStrategy::Continuous`],
+/// `prefetcher_for(0)` is called **once** and that instance (plus one
+/// front end) deliberately carries its trained state across all windows;
+/// only under [`WarmStrategy::PerWindow`] does `prefetcher_for(index)`
+/// build a fresh, fully independent prefetcher per sample. Engine-side
+/// state (caches, queues, timing) is always fresh per window.
+///
+/// With independent windows ([`SamplingPlan::windows_independent`]) this
+/// serial loop and a pool-parallel fan-out over
+/// [`run_one_window`]/[`assemble_report`] (see
+/// `pif_lab::sampled::run_sampled_parallel`) produce byte-identical
+/// reports.
 ///
 /// # Example
 ///
@@ -440,8 +495,8 @@ impl<P: Prefetcher> SampledDriver<P> {
         prefetcher_for: &mut impl FnMut(usize) -> P,
     ) -> Self {
         let engine = Engine::new(plan.engine_config(config));
-        let shared = match plan.predictor_warming {
-            PredictorWarming::Continuous if !windows.is_empty() => {
+        let shared = match plan.warm_strategy {
+            WarmStrategy::Continuous if !windows.is_empty() => {
                 Some((prefetcher_for(0), FrontEnd::new(engine.config().frontend)))
             }
             _ => None,
@@ -456,7 +511,7 @@ impl<P: Prefetcher> SampledDriver<P> {
 
     /// Runs one window over `source` (positioned at the window's warmup
     /// start and bounded to `window.len()` pulls by the caller). `mk` is
-    /// only invoked in per-sample mode.
+    /// only invoked in per-window mode.
     fn run_window<S: InstrSource>(
         &mut self,
         window: SampleWindow,
@@ -526,6 +581,65 @@ where
         }
     }
     Ok(driver.finish(plan, total))
+}
+
+/// Runs exactly one sample window in isolation and returns its
+/// [`SampleResult`].
+///
+/// This is the unit of work a parallel sampled driver fans out: a fresh
+/// [`Engine`] and a fresh `prefetcher`, fed `window.len()` instructions
+/// from `source` (which must already be positioned at
+/// `window.warmup_start`). Because the engine holds no state across
+/// `run` calls, the result is byte-identical to what the serial
+/// [`run_sampled`] loop produces for the same window under
+/// [`WarmStrategy::PerWindow`] — that equivalence is what lets
+/// [`assemble_report`] splice independently-computed windows back into a
+/// report indistinguishable from a serial run.
+///
+/// Plans using [`WarmStrategy::Continuous`] thread predictor state
+/// through windows in file order and therefore cannot be decomposed this
+/// way; callers should check [`SamplingPlan::windows_independent`] and
+/// fall back to [`run_sampled`].
+pub fn run_one_window<P: Prefetcher, S: InstrSource>(
+    config: &EngineConfig,
+    plan: &SamplingPlan,
+    window: SampleWindow,
+    source: S,
+    prefetcher: P,
+) -> SampleResult {
+    let engine = Engine::new(plan.engine_config(config));
+    let bounded = Bounded {
+        inner: source,
+        left: window.len(),
+    };
+    let report = engine.run(
+        bounded,
+        prefetcher,
+        RunOptions::new().warmup(window.warmup_instrs as usize),
+    );
+    SampleResult { window, report }
+}
+
+/// Merges per-window [`SampleResult`]s — typically produced concurrently
+/// by [`run_one_window`] — into the [`SampledRunReport`] the serial
+/// driver would have built.
+///
+/// Samples are ordered by window index, so the report is independent of
+/// the completion (or submission) order of the windows: any thread count
+/// yields the same bytes. Burn-in is re-clamped against the actual
+/// sample count exactly as the serial driver's `finish` does.
+pub fn assemble_report(
+    plan: &SamplingPlan,
+    total_records: u64,
+    mut samples: Vec<SampleResult>,
+) -> SampledRunReport {
+    samples.sort_by_key(|s| s.window.index);
+    SampledRunReport {
+        prefetcher: samples.first().map_or("", |s| s.report.prefetcher),
+        total_records,
+        burn_in: plan.burn_in.min(samples.len()),
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -703,5 +817,102 @@ mod tests {
             assert_eq!(a.report.timing, b.report.timing);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_window_burn_in_extends_the_warmup_window() {
+        let base = SamplingPlan::systematic(4, 2_000, 1_000);
+        let extra = base.with_warm_strategy(WarmStrategy::PerWindow {
+            extra_warmup_instrs: 1_500,
+        });
+        assert!(!base.windows_independent());
+        assert!(extra.windows_independent());
+        assert_eq!(base.effective_warmup_instrs(), 2_000);
+        assert_eq!(extra.effective_warmup_instrs(), 3_500);
+        assert_eq!(extra.instrs_per_sample(), 3_500 + 1_000);
+        let (a, b) = (base.windows(100_000), extra.windows(100_000));
+        for (wa, wb) in a.iter().zip(&b) {
+            // Same measurement windows, longer warm-up prefix (clamped at
+            // the trace head).
+            assert_eq!(wa.measure_start, wb.measure_start);
+            assert_eq!(wa.measure_instrs, wb.measure_instrs);
+            assert_eq!(
+                wb.warmup_start,
+                wb.measure_start.saturating_sub(3_500),
+                "extra burn-in is prepended to the warmup window"
+            );
+            assert!(wb.warmup_start <= wa.warmup_start);
+        }
+    }
+
+    #[test]
+    fn run_one_window_matches_the_serial_per_window_driver() {
+        let trace = looped_trace(60_000, 1024);
+        let plan =
+            SamplingPlan::random(6, 11, 2_000, 1_000).with_warm_strategy(WarmStrategy::PerWindow {
+                extra_warmup_instrs: 500,
+            });
+        let config = EngineConfig::paper_default();
+        let serial = run_sampled(
+            &config,
+            &plan,
+            trace.len() as u64,
+            |w| trace[w.warmup_start as usize..].iter().copied(),
+            |_| NoPrefetcher,
+        );
+        for (window, expect) in plan
+            .windows(trace.len() as u64)
+            .into_iter()
+            .zip(&serial.samples)
+        {
+            let got = run_one_window(
+                &config,
+                &plan,
+                window,
+                trace[window.warmup_start as usize..].iter().copied(),
+                NoPrefetcher,
+            );
+            assert_eq!(got.window, expect.window);
+            assert_eq!(got.report, expect.report);
+        }
+    }
+
+    #[test]
+    fn assemble_report_is_order_independent() {
+        let trace = looped_trace(40_000, 512);
+        let plan = SamplingPlan::systematic(5, 1_000, 800)
+            .with_warm_strategy(WarmStrategy::per_window())
+            .with_burn_in(2);
+        let config = EngineConfig::paper_default();
+        let serial = run_sampled(
+            &config,
+            &plan,
+            trace.len() as u64,
+            |w| trace[w.warmup_start as usize..].iter().copied(),
+            |_| NoPrefetcher,
+        );
+        let mut samples: Vec<SampleResult> = plan
+            .windows(trace.len() as u64)
+            .into_iter()
+            .map(|w| {
+                run_one_window(
+                    &config,
+                    &plan,
+                    w,
+                    trace[w.warmup_start as usize..].iter().copied(),
+                    NoPrefetcher,
+                )
+            })
+            .collect();
+        // Scramble completion order; the report must not notice.
+        samples.reverse();
+        samples.swap(0, 2);
+        let merged = assemble_report(&plan, trace.len() as u64, samples);
+        assert_eq!(merged, serial);
+        assert_eq!(merged.burn_in, 2);
+        // Empty fan-out degenerates like an empty serial run.
+        let empty = assemble_report(&plan, 0, Vec::new());
+        assert_eq!(empty.prefetcher, "");
+        assert_eq!(empty.burn_in, 0);
     }
 }

@@ -67,7 +67,7 @@ pub(crate) fn kind_from_bits(b: u8) -> Result<BranchKind, TraceDecodeError> {
 
 /// Appends one v2 record to `buf`. `prev_pc` is the intra-chunk delta
 /// base and must start at 0 for each chunk.
-pub(crate) fn encode_record(buf: &mut Vec<u8>, instr: &RetiredInstr, prev_pc: &mut u64) {
+pub fn encode_record(buf: &mut Vec<u8>, instr: &RetiredInstr, prev_pc: &mut u64) {
     let pc = instr.pc.raw();
     let mut flags = instr.trap_level.index() as u8;
     if let Some(info) = instr.branch {
@@ -91,7 +91,7 @@ pub(crate) fn encode_record(buf: &mut Vec<u8>, instr: &RetiredInstr, prev_pc: &m
 }
 
 /// Decodes one v2 record from the front of `data`, advancing it.
-pub(crate) fn decode_record(
+pub fn decode_record(
     data: &mut &[u8],
     prev_pc: &mut u64,
 ) -> Result<RetiredInstr, TraceDecodeError> {
@@ -131,6 +131,33 @@ pub(crate) fn decode_record(
         trap_level,
         branch,
     })
+}
+
+/// Batch-decodes a whole chunk payload into `out` (cleared first).
+///
+/// Semantically identical to calling [`decode_record`] `records` times
+/// from a zeroed delta base — the proptests in
+/// `tests/decode_batched.rs` hold the two paths equal — but the tight
+/// loop over a flat output `Vec` keeps the varint decode
+/// branch-predictable instead of interleaving it with per-record
+/// consumer work. The caller reuses `out` across chunks, so steady-state
+/// decoding allocates nothing.
+pub fn decode_chunk(
+    payload: &[u8],
+    records: u32,
+    out: &mut Vec<RetiredInstr>,
+) -> Result<(), TraceDecodeError> {
+    out.clear();
+    out.reserve(records as usize);
+    let mut slice = payload;
+    let mut prev_pc = 0u64;
+    for _ in 0..records {
+        out.push(decode_record(&mut slice, &mut prev_pc)?);
+    }
+    if !slice.is_empty() {
+        return Err(TraceDecodeError::Corrupt("trailing chunk bytes"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

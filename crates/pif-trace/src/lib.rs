@@ -131,6 +131,14 @@ pub use reader::{
 };
 pub use writer::{AtomicTraceWriter, TraceWriter};
 
+/// v2 codec internals, exposed for differential tests
+/// (`tests/decode_batched.rs`) that hold the batched chunk decode equal
+/// to a record-at-a-time reference decode. Not a stable API.
+#[doc(hidden)]
+pub mod codec {
+    pub use crate::format::{decode_chunk, decode_record, encode_record};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +509,30 @@ mod seek_tests {
         bad.seek_to_record(150).unwrap();
         let tail: Vec<_> = bad.instrs_mut().collect();
         assert_eq!(tail, instrs[150..], "seek rebuilds decode state");
+    }
+
+    #[test]
+    fn open_with_index_skips_the_rescan_but_seeks_identically() {
+        let instrs = branchy_trace(900);
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), "share", 128).unwrap();
+        w.extend(instrs.iter().copied()).unwrap();
+        let bytes = w.finish().unwrap();
+        let indexed = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
+        let index = indexed.chunk_index().unwrap().clone();
+
+        let mut shared = TraceReader::open_with_index(Cursor::new(&bytes), index.clone()).unwrap();
+        assert_eq!(shared.declared_count(), Some(900));
+        assert_eq!(shared.chunk_index(), Some(&index));
+        for n in [700usize, 0, 129, 899, 900] {
+            shared.seek_to_record(n as u64).unwrap();
+            assert_eq!(collect_rest(&mut shared), instrs[n..], "seek to {n}");
+        }
+
+        let v1 = encode_v1("v1", &instrs);
+        assert_eq!(
+            TraceReader::open_with_index(Cursor::new(&v1), index).err(),
+            Some(TraceDecodeError::Corrupt("chunk index over a v1 trace"))
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use pif_types::{Address, BranchInfo, RetiredInstr, TrapLevel};
 
 use crate::error::TraceDecodeError;
 use crate::format::{
-    decode_record, kind_from_bits, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN,
+    decode_chunk, kind_from_bits, MAGIC, MAX_CHUNK_BYTES, MAX_CHUNK_RECORDS, MAX_NAME_LEN,
     VERSION_V1, VERSION_V2,
 };
 
@@ -98,18 +98,36 @@ enum State {
     /// Legacy fixed-width records; `remaining` counts down from the
     /// header's declared total.
     V1 { remaining: u64 },
-    /// Chunked stream: the current chunk's payload, a decode cursor into
-    /// it, and the per-chunk delta base.
+    /// Chunked stream. Each chunk is batch-decoded on load into a flat,
+    /// reusable scratch (`decoded`); iteration then serves records by
+    /// index. Keeping the varint loop separate from the consumer keeps
+    /// it branch-predictable, and both buffers are reused across chunks
+    /// so steady-state decoding allocates nothing.
     V2 {
-        chunk: Vec<u8>,
-        cursor: usize,
-        chunk_remaining: u32,
-        prev_pc: u64,
+        /// Raw payload scratch, reused across chunks.
+        raw: Vec<u8>,
+        /// Batch-decoded records of the current chunk, reused.
+        decoded: Vec<RetiredInstr>,
+        /// Serve cursor into `decoded`.
+        next: usize,
         records_read: u64,
         done: bool,
     },
     /// A decode error was reported; the iterator is fused.
     Failed,
+}
+
+impl State {
+    /// Fresh v2 decode state positioned before the first chunk.
+    fn v2_start() -> Self {
+        State::V2 {
+            raw: Vec::new(),
+            decoded: Vec::new(),
+            next: 0,
+            records_read: 0,
+            done: false,
+        }
+    }
 }
 
 /// Streaming reader over a serialized trace (either format version).
@@ -185,18 +203,7 @@ impl<R: Read> TraceReader<R> {
                 header_bytes + 8,
             )
         } else {
-            (
-                State::V2 {
-                    chunk: Vec::new(),
-                    cursor: 0,
-                    chunk_remaining: 0,
-                    prev_pc: 0,
-                    records_read: 0,
-                    done: false,
-                },
-                None,
-                header_bytes,
-            )
+            (State::v2_start(), None, header_bytes)
         };
         Ok(TraceReader {
             source,
@@ -301,10 +308,9 @@ impl<R: Read> TraceReader<R> {
 
     fn next_v2(&mut self) -> Result<Option<RetiredInstr>, TraceDecodeError> {
         let State::V2 {
-            chunk,
-            cursor,
-            chunk_remaining,
-            prev_pc,
+            raw,
+            decoded,
+            next,
             records_read,
             done,
         } = &mut self.state
@@ -314,7 +320,10 @@ impl<R: Read> TraceReader<R> {
         if *done {
             return Ok(None);
         }
-        if *chunk_remaining == 0 {
+        if *next == decoded.len() {
+            // Current chunk drained: batch-decode the next one (or the
+            // terminator). Corruption anywhere in a chunk therefore
+            // surfaces before any of its records are served.
             pif_fail::fail_point!("trace.read.chunk", |e: pif_fail::FailError| Err(
                 TraceDecodeError::Io(std::io::Error::other(e.to_string()))
             ));
@@ -334,21 +343,14 @@ impl<R: Read> TraceReader<R> {
                 return Ok(None);
             }
             validate_chunk_header(records, payload_len)?;
-            chunk.resize(payload_len as usize, 0);
-            self.source.read_exact(chunk)?;
-            *cursor = 0;
-            *chunk_remaining = records;
-            *prev_pc = 0;
+            raw.resize(payload_len as usize, 0);
+            self.source.read_exact(raw)?;
+            decode_chunk(raw, records, decoded)?;
+            *next = 0;
         }
-        let mut slice = &chunk[*cursor..];
-        let before = slice.len();
-        let instr = decode_record(&mut slice, prev_pc)?;
-        *cursor += before - slice.len();
-        *chunk_remaining -= 1;
+        let instr = decoded[*next];
+        *next += 1;
         *records_read += 1;
-        if *chunk_remaining == 0 && *cursor != chunk.len() {
-            return Err(TraceDecodeError::Corrupt("trailing chunk bytes"));
-        }
         Ok(Some(instr))
     }
 
@@ -435,15 +437,34 @@ impl<R: Read + Seek> TraceReader<R> {
             total_records: records,
         });
         self.source.seek(SeekFrom::Start(self.data_start))?;
-        self.state = State::V2 {
-            chunk: Vec::new(),
-            cursor: 0,
-            chunk_remaining: 0,
-            prev_pc: 0,
-            records_read: 0,
-            done: false,
-        };
+        self.state = State::v2_start();
         Ok(())
+    }
+
+    /// As [`TraceReader::open_indexed`] but installing a previously built
+    /// [`ChunkIndex`] instead of rescanning the chunk headers — for
+    /// concurrent samplers opening many readers over the same v2 file:
+    /// the file is indexed once and each reader's open costs only the
+    /// container-header read.
+    ///
+    /// The index is trusted to describe this file (it came from an
+    /// earlier [`TraceReader::open_indexed`]/[`TraceReader::seek_to_record`]
+    /// over the same bytes); a mismatched index surfaces as a decode
+    /// error when its offsets land mid-record.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceReader::open`] reports, plus
+    /// [`TraceDecodeError::Corrupt`] if the file is v1 (which has no
+    /// chunks to index).
+    pub fn open_with_index(source: R, index: ChunkIndex) -> Result<Self, TraceDecodeError> {
+        let mut reader = Self::open(source)?;
+        if reader.version != VERSION_V2 {
+            return Err(TraceDecodeError::Corrupt("chunk index over a v1 trace"));
+        }
+        reader.declared = Some(index.total_records());
+        reader.index = Some(index);
+        Ok(reader)
     }
 
     /// Repositions the reader so the next record yielded is record `n`
@@ -479,34 +500,27 @@ impl<R: Read + Seek> TraceReader<R> {
             // by the index build.
             self.declared = Some(total);
             self.state = State::V2 {
-                chunk: Vec::new(),
-                cursor: 0,
-                chunk_remaining: 0,
-                prev_pc: 0,
+                raw: Vec::new(),
+                decoded: Vec::new(),
+                next: 0,
                 records_read: total,
                 done: true,
             };
             return Ok(());
         };
         self.source.seek(SeekFrom::Start(entry.payload_offset))?;
-        let mut chunk = vec![0u8; entry.payload_len as usize];
-        self.source.read_exact(&mut chunk)?;
-        // Decode-and-discard the intra-chunk prefix: deltas chain from
-        // the chunk's base, so records before `n` in this chunk must be
-        // decoded (but only this chunk's — every earlier chunk was
-        // skipped wholesale).
-        let skip = (n - entry.first_record) as u32;
-        let mut slice = chunk.as_slice();
-        let mut prev_pc = 0u64;
-        for _ in 0..skip {
-            decode_record(&mut slice, &mut prev_pc)?;
-        }
-        let cursor = chunk.len() - slice.len();
+        let mut raw = vec![0u8; entry.payload_len as usize];
+        self.source.read_exact(&mut raw)?;
+        // Batch-decode the whole chunk and start serving at `n`'s
+        // intra-chunk offset: deltas chain from the chunk's base, so the
+        // prefix must be decoded anyway (but only this chunk's — every
+        // earlier chunk was skipped wholesale).
+        let mut decoded = Vec::new();
+        decode_chunk(&raw, entry.records, &mut decoded)?;
         self.state = State::V2 {
-            chunk,
-            cursor,
-            chunk_remaining: entry.records - skip,
-            prev_pc,
+            raw,
+            decoded,
+            next: (n - entry.first_record) as usize,
             records_read: n,
             done: false,
         };

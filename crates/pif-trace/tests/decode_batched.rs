@@ -1,0 +1,246 @@
+//! Differential proptests: the batched chunk decode behind
+//! [`TraceReader`] must equal a record-at-a-time reference decode built
+//! directly on `decode_record` — over arbitrary chunk contents, the v1
+//! fallback, and truncated files.
+//!
+//! The reference walks the container byte-for-byte per the crate-level
+//! format spec and decodes each record individually, i.e. exactly what
+//! the reader did before chunks were batch-decoded into a flat scratch.
+
+use pif_trace::codec::{decode_chunk, decode_record};
+use pif_trace::{TraceDecodeError, TraceReader, TraceWriter, MAGIC, VERSION_V1};
+use pif_types::{Address, BranchInfo, BranchKind, RetiredInstr, TrapLevel};
+use proptest::prelude::*;
+
+fn kind_of(k: u8) -> BranchKind {
+    match k {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Direct,
+        2 => BranchKind::Call,
+        3 => BranchKind::IndirectCall,
+        _ => BranchKind::Return,
+    }
+}
+
+fn instr_strategy() -> impl Strategy<Value = RetiredInstr> {
+    (
+        any::<u64>(),
+        0usize..TrapLevel::COUNT,
+        proptest::option::of((0u8..5, any::<bool>(), any::<u64>(), any::<u64>())),
+    )
+        .prop_map(|(pc, tl, branch)| RetiredInstr {
+            pc: Address::new(pc),
+            trap_level: TrapLevel::from_index(tl),
+            branch: branch.map(|(k, taken, target, fall)| BranchInfo {
+                kind: kind_of(k),
+                taken,
+                taken_target: Address::new(target),
+                fall_through: Address::new(fall),
+            }),
+        })
+}
+
+fn encode(instrs: &[RetiredInstr], chunk: u32) -> Vec<u8> {
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), "diff", chunk).unwrap();
+    w.extend(instrs.iter().copied()).unwrap();
+    w.finish().unwrap()
+}
+
+/// Hand-rolled v1 encoder, layout from the crate-level format spec (the
+/// production v1 writer lives in `pif_workloads`, outside this crate).
+fn encode_v1(instrs: &[RetiredInstr]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(MAGIC);
+    b.extend_from_slice(&VERSION_V1.to_le_bytes());
+    b.extend_from_slice(&2u32.to_le_bytes());
+    b.extend_from_slice(b"v1");
+    b.extend_from_slice(&(instrs.len() as u64).to_le_bytes());
+    for i in instrs {
+        b.extend_from_slice(&i.pc.raw().to_le_bytes());
+        b.push(i.trap_level.index() as u8);
+        match i.branch {
+            None => b.push(0),
+            Some(info) => {
+                b.push(1);
+                b.push(match info.kind {
+                    BranchKind::Conditional => 0,
+                    BranchKind::Direct => 1,
+                    BranchKind::Call => 2,
+                    BranchKind::IndirectCall => 3,
+                    BranchKind::Return => 4,
+                });
+                b.push(info.taken as u8);
+                b.extend_from_slice(&info.taken_target.raw().to_le_bytes());
+                b.extend_from_slice(&info.fall_through.raw().to_le_bytes());
+            }
+        }
+    }
+    b
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, ()> {
+    let (head, rest) = data.split_at_checked(4).ok_or(())?;
+    *data = rest;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Record-at-a-time reference decode of a v2 file: walks the container
+/// structure by hand and decodes every record individually with
+/// `decode_record`. Returns the records decoded before the first error
+/// and whether the file decoded cleanly to a verified terminator.
+fn reference_decode_v2(bytes: &[u8]) -> (Vec<RetiredInstr>, bool) {
+    let mut out = Vec::new();
+    let mut data = bytes;
+    // Container header: magic, version, name.
+    let Some((magic, rest)) = data.split_at_checked(4) else {
+        return (out, false);
+    };
+    assert_eq!(magic, MAGIC);
+    data = rest;
+    let Ok(version) = read_u32(&mut data) else {
+        return (out, false);
+    };
+    assert_eq!(version, 2);
+    let Ok(name_len) = read_u32(&mut data) else {
+        return (out, false);
+    };
+    let Some((_, rest)) = data.split_at_checked(name_len as usize) else {
+        return (out, false);
+    };
+    data = rest;
+    loop {
+        let Ok(records) = read_u32(&mut data) else {
+            return (out, false);
+        };
+        let Ok(payload_len) = read_u32(&mut data) else {
+            return (out, false);
+        };
+        if records == 0 {
+            // Terminator: verify the declared total.
+            let Some((total, _)) = data.split_at_checked(8) else {
+                return (out, false);
+            };
+            let clean = payload_len == 8
+                && u64::from_le_bytes(total.try_into().unwrap()) == out.len() as u64;
+            return (out, clean);
+        }
+        let Some((mut payload, rest)) = data.split_at_checked(payload_len as usize) else {
+            return (out, false);
+        };
+        data = rest;
+        let mut prev_pc = 0u64;
+        for _ in 0..records {
+            match decode_record(&mut payload, &mut prev_pc) {
+                Ok(instr) => out.push(instr),
+                Err(_) => return (out, false),
+            }
+        }
+        if !payload.is_empty() {
+            return (out, false);
+        }
+    }
+}
+
+/// Streams a reader to the end, returning the yielded prefix and the
+/// error that stopped it, if any.
+fn stream(bytes: &[u8]) -> (Vec<RetiredInstr>, Option<TraceDecodeError>) {
+    let mut reader = match TraceReader::open(bytes) {
+        Ok(r) => r,
+        Err(e) => return (Vec::new(), Some(e)),
+    };
+    let mut out = Vec::new();
+    let mut err = None;
+    for r in reader.by_ref() {
+        match r {
+            Ok(i) => out.push(i),
+            Err(e) => err = Some(e),
+        }
+    }
+    (out, err)
+}
+
+proptest! {
+    /// Valid v2 files: the batched streaming decode equals the
+    /// record-at-a-time reference equals the original records.
+    #[test]
+    fn batched_equals_record_at_a_time_on_valid_files(
+        instrs in proptest::collection::vec(instr_strategy(), 0..300),
+        chunk in 1u32..96,
+    ) {
+        let bytes = encode(&instrs, chunk);
+        let (reference, clean) = reference_decode_v2(&bytes);
+        prop_assert!(clean);
+        prop_assert_eq!(&reference, &instrs);
+        let (batched, err) = stream(&bytes);
+        prop_assert!(err.is_none(), "clean file decodes cleanly: {err:?}");
+        prop_assert_eq!(&batched, &reference);
+    }
+
+    /// The batch primitive itself equals a `decode_record` loop over one
+    /// chunk payload (shared `decode_chunk` is also what `seek_to_record`
+    /// uses, so this pins the seek path too).
+    #[test]
+    fn decode_chunk_equals_decode_record_loop(
+        instrs in proptest::collection::vec(instr_strategy(), 0..200),
+    ) {
+        let mut payload = Vec::new();
+        let mut prev = 0u64;
+        for i in &instrs {
+            pif_trace::codec::encode_record(&mut payload, i, &mut prev);
+        }
+        let mut batched = Vec::new();
+        decode_chunk(&payload, instrs.len() as u32, &mut batched).unwrap();
+        prop_assert_eq!(&batched, &instrs);
+        // A short count must flag the leftover bytes, like the reader's
+        // old per-record bookkeeping did.
+        if !instrs.is_empty() {
+            let short = decode_chunk(&payload, instrs.len() as u32 - 1, &mut batched);
+            prop_assert_eq!(
+                short,
+                Err(TraceDecodeError::Corrupt("trailing chunk bytes"))
+            );
+        }
+    }
+
+    /// Truncated v2 files: both paths detect the damage, and the batched
+    /// reader's yielded prefix is a (chunk-aligned) prefix of the
+    /// reference's — batching may withhold records of the damaged chunk,
+    /// but can never invent or reorder them.
+    #[test]
+    fn truncation_agrees_with_the_reference(
+        instrs in proptest::collection::vec(instr_strategy(), 1..150),
+        chunk in 1u32..48,
+        cut_seed in 0usize..4096,
+    ) {
+        let bytes = encode(&instrs, chunk);
+        let cut = cut_seed % bytes.len();
+        let (reference, clean) = reference_decode_v2(&bytes[..cut]);
+        prop_assert!(!clean, "a strict prefix never verifies its terminator");
+        let (batched, err) = stream(&bytes[..cut]);
+        prop_assert!(err.is_some(), "truncation at {cut} must surface an error");
+        prop_assert!(batched.len() <= reference.len());
+        prop_assert_eq!(&batched[..], &reference[..batched.len()]);
+        prop_assert_eq!(&batched[..], &instrs[..batched.len()]);
+    }
+
+    /// v1 fallback: unchunked fixed-width records take the
+    /// record-at-a-time path and still decode exactly.
+    #[test]
+    fn v1_fallback_decodes_exactly(
+        instrs in proptest::collection::vec(instr_strategy(), 0..150),
+        cut_seed in 0usize..4096,
+    ) {
+        let bytes = encode_v1(&instrs);
+        let (full, err) = stream(&bytes);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(&full, &instrs);
+        // Truncated v1 yields a prefix plus an error (unless the cut
+        // only removed zero records, impossible here: v1 has no
+        // terminator, the header count is the contract).
+        let cut = cut_seed % bytes.len();
+        let (prefix, err) = stream(&bytes[..cut]);
+        prop_assert!(err.is_some() || (cut == 0 && instrs.is_empty()));
+        prop_assert!(prefix.len() <= instrs.len());
+        prop_assert_eq!(&prefix[..], &instrs[..prefix.len()]);
+    }
+}

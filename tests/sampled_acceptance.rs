@@ -22,8 +22,10 @@
 use std::io::{BufReader, BufWriter, Write as _};
 use std::time::Instant;
 
+use pif_lab::sampled::sample_trace_file_parallel;
+use pif_lab::Pool;
 use pif_repro::prelude::*;
-use pif_sim::sampling::{sample_trace_file, SamplingPlan};
+use pif_sim::sampling::{sample_trace_file, SamplingPlan, WarmStrategy};
 
 const INSTRUCTIONS: usize = 10_000_000;
 
@@ -222,4 +224,82 @@ fn sampled_run_is_5x_faster_within_ci95() {
         r.exhaustive_s,
         r.sampled_s
     );
+}
+
+/// The parallel-driver differential at acceptance scale: a per-window
+/// plan over the 10M-instruction trace produces **equal reports in every
+/// field** under the serial driver and under the pool-parallel driver at
+/// 1, 2, and 8 threads. Wall-clock per thread count is recorded in the
+/// uploaded artifact; it is not asserted on, because aggregate speedup
+/// is a property of the host's core count, while the equality contract
+/// must hold everywhere.
+#[test]
+#[ignore = "acceptance-scale (10M instructions x 4 sampled runs); run with --ignored --release"]
+fn parallel_sampled_equals_serial_at_acceptance_scale() {
+    let config = EngineConfig::paper_default();
+    let path = trace_path();
+    // The accuracy plan, re-based onto per-window warming: the extra
+    // burn-in stands in for the predictor history continuous warming
+    // carried across windows.
+    let plan = SamplingPlan::random(28, 0x9a3f, 150_000, 40_000)
+        .with_warm_strategy(WarmStrategy::PerWindow {
+            extra_warmup_instrs: 150_000,
+        })
+        .with_burn_in(8);
+    let mk = || Pif::new(PifConfig::paper_default());
+
+    let t0 = Instant::now();
+    let serial = sample_trace_file(&config, &plan, &path, |_| mk()).unwrap();
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let t0 = Instant::now();
+        let parallel =
+            sample_trace_file_parallel(&config, &plan, &path, |_| mk(), &Pool::new(threads))
+                .unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            parallel, serial,
+            "threads={threads}: parallel report must equal the serial report"
+        );
+        println!(
+            "threads={threads}: {:.2}s (serial {:.2}s), uipc {:.4} ±{:.4}",
+            elapsed,
+            serial_s,
+            parallel.uipc().mean,
+            parallel.uipc().ci95
+        );
+        rows.push((threads, elapsed));
+    }
+
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir).ok();
+    let mut f = std::fs::File::create(dir.join("sampled_parallel_vs_serial.json")).unwrap();
+    let uipc = serial.uipc();
+    let mut s = String::from("{\n  \"schema\": \"pif-sampled-parallel/v1\",\n");
+    s.push_str(&format!("  \"instructions\": {INSTRUCTIONS},\n"));
+    s.push_str(&format!(
+        "  \"plan\": {{\"samples\": {}, \"warmup_instrs\": {}, \"measure_instrs\": {}, \
+         \"extra_warmup_instrs\": {}, \"burn_in\": {}}},\n",
+        plan.samples,
+        plan.warmup_instrs,
+        plan.measure_instrs,
+        plan.effective_warmup_instrs() - plan.warmup_instrs,
+        plan.burn_in
+    ));
+    s.push_str(&format!(
+        "  \"uipc_mean\": {:.6},\n  \"uipc_ci95\": {:.6},\n  \"serial_s\": {serial_s:.3},\n",
+        uipc.mean, uipc.ci95
+    ));
+    s.push_str("  \"reports_identical\": true,\n  \"parallel\": [\n");
+    for (i, (threads, elapsed)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {threads}, \"elapsed_s\": {elapsed:.3}, \"speedup\": {:.3}}}{}\n",
+            serial_s / elapsed,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    f.write_all(s.as_bytes()).unwrap();
 }
