@@ -44,7 +44,7 @@ use std::time::Instant;
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
 use pif_bench::report::{
-    none_ips, render_json, smoke_passed, smoke_threshold_ips, validate_engine_report,
+    host_cores, none_ips, render_json, smoke_passed, smoke_threshold_ips, validate_engine_report,
     validate_json, AggregateResult, RunResult, PRIOR_NONE_IPS, PRIOR_PIF_IPS, SMOKE_FLOOR_IPS,
 };
 use pif_core::{Pif, PifConfig};
@@ -345,6 +345,13 @@ fn run_sampled_mode(smoke: bool) {
 /// at the same fan-out width.
 const AGGREGATE_THREADS: &[usize] = &[1, 2, 4, 8];
 
+/// Measured instructions per sample window in the aggregate mode, fixed
+/// across smoke and full runs. Per-window fixed costs (cache re-warm,
+/// dispatch) dominate throughput at small windows, so letting the window
+/// size scale with the run length would make smoke rows incomparable to
+/// the committed full-mode baseline the trend gate checks them against.
+const AGGREGATE_MEASURE_INSTRS: u64 = 8_000;
+
 /// Measures parallel sampled-execution throughput (`--aggregate`): a
 /// per-window plan over an on-disk trace, fanned out at each width in
 /// [`AGGREGATE_THREADS`] for the no-prefetch and PIF configurations.
@@ -382,7 +389,7 @@ fn run_aggregate_mode(smoke: bool) -> Vec<AggregateResult> {
     writer.finish().expect("trace seals");
 
     let config = EngineConfig::paper_default();
-    let measure = (instructions as u64 / 500).max(1_000);
+    let measure = AGGREGATE_MEASURE_INSTRS;
     let samples = if smoke { 12 } else { 30 };
     let plan = SamplingPlan::random(samples, 0x9a3f, 3 * measure, measure)
         .with_warm_strategy(WarmStrategy::PerWindow {
@@ -583,6 +590,7 @@ fn main() {
         verdict,
         probe_overhead_pct,
         failpoint_overhead_pct,
+        host_cores(),
     );
     if let Err(e) = validate_json(&json) {
         eprintln!("perfbench: emitted invalid JSON: {e}");

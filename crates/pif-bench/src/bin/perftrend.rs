@@ -12,6 +12,12 @@
 //! 30% below its calibrated expectation — or a no-prefetch row breaching
 //! the committed absolute smoke floor — is a regression.
 //!
+//! Aggregate (parallel fan-out) rows are only compared when the host can
+//! express them: rows whose thread count exceeds this host's cores, or
+//! whose speedup was measured on a host with a different core count, are
+//! skipped and listed — see the host-portability notes in
+//! [`pif_bench::report`].
+//!
 //! Exit status: `0` trend ok, `1` regression detected, `2` usage or
 //! parse error. CI treats 1 as a failed gate and uploads both artifacts.
 
@@ -47,6 +53,9 @@ fn main() {
         report.calibration,
         TREND_TOLERANCE * 100.0
     );
+    for s in &report.skipped {
+        println!("perftrend: skipped {s}");
+    }
     if report.passed() {
         println!("perftrend: trend ok — no row regressed past the calibrated floor");
         return;

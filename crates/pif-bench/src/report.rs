@@ -32,6 +32,22 @@
 //! rest and trips. The committed absolute smoke floor still applies to
 //! the fresh no-prefetch rows as a backstop (the same floor logic as the
 //! smoke gate, with the same 30% noise allowance).
+//!
+//! ## Host portability of aggregate rows
+//!
+//! Serial `results` rows scale with single-core speed, which the
+//! calibration absorbs. Parallel `aggregate` rows do not: an 8-thread
+//! fan-out on a 2-core host is bounded by core count, not code quality,
+//! and would trip the gate on any small CI runner. The v2 schema
+//! therefore records `host_cores` (the measuring machine's available
+//! parallelism), and [`compare_trend`] skips — rather than compares —
+//! aggregate rows whose thread count exceeds the fresh host's cores, and
+//! all multi-threaded aggregate rows whenever the fresh host's core
+//! count differs from the one the baseline recorded (their speedup
+//! ratios are not comparable across machine shapes). Skips are reported
+//! in [`TrendReport::skipped`], never silently. Baselines written before
+//! `host_cores` existed lack the field and keep the old
+//! compare-everything behavior.
 
 /// Committed throughput floor for the `--smoke` regression gate, in
 /// retired instructions per second of the no-prefetch configuration.
@@ -115,6 +131,15 @@ pub fn smoke_threshold_ips() -> f64 {
     SMOKE_FLOOR_IPS * 0.7
 }
 
+/// The measuring host's available parallelism, recorded in the report as
+/// `host_cores` so a trend comparison can tell machine-shape differences
+/// from regressions.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// The smoke verdict for a measured no-prefetch throughput.
 pub fn smoke_passed(none_ips: f64) -> bool {
     none_ips >= smoke_threshold_ips()
@@ -144,7 +169,10 @@ use pif_lab::json::{escape as json_escape, Json};
 /// default builds, where the macro erases at compile time (either
 /// renders as `null` when the pair was not measured). `aggregates` rows
 /// record parallel sampled throughput; the array renders empty when the
-/// aggregate mode did not run.
+/// aggregate mode did not run. `host_cores` is the measuring machine's
+/// available parallelism (pass [`host_cores()`]) — the trend gate uses it
+/// to keep aggregate rows portable across machine shapes.
+#[allow(clippy::too_many_arguments)] // one flat field list, same order as the document
 pub fn render_json(
     results: &[RunResult],
     aggregates: &[AggregateResult],
@@ -153,6 +181,7 @@ pub fn render_json(
     smoke_passed: Option<bool>,
     probe_overhead_pct: Option<f64>,
     failpoint_overhead_pct: Option<f64>,
+    host_cores: usize,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -176,6 +205,7 @@ pub fn render_json(
         }
     ));
     s.push_str(&format!("  \"instructions_per_run\": {instructions},\n"));
+    s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     s.push_str(&format!(
         "  \"smoke_floor_instrs_per_sec\": {SMOKE_FLOOR_IPS:.1},\n"
     ));
@@ -265,6 +295,11 @@ pub fn validate_engine_report(doc: &Json) -> Result<(), String> {
     doc.get("smoke_floor_instrs_per_sec")
         .and_then(Json::as_f64)
         .ok_or("smoke_floor_instrs_per_sec must be a number")?;
+    // Recorded since the aggregate-portability fix; absent on older
+    // baselines (v1 and early v2), which is fine.
+    if let Some(hc) = doc.get("host_cores") {
+        hc.as_f64().ok_or("host_cores must be a number")?;
+    }
     let results = doc
         .get("results")
         .and_then(Json::as_arr)
@@ -315,8 +350,26 @@ impl std::fmt::Display for TrendRegression {
     }
 }
 
-/// Outcome of a trend comparison: the calibration ratio actually used
-/// and any rows that regressed past it.
+/// One matching row [`compare_trend`] declined to compare, and why —
+/// aggregate rows whose thread count the fresh host cannot express, or
+/// whose speedup is not comparable across machine shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSkip {
+    /// Row identity, e.g. `aggregate OLTP-DB2/PIF@8`.
+    pub row: String,
+    /// Human-readable reason for the skip.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TrendSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.row, self.reason)
+    }
+}
+
+/// Outcome of a trend comparison: the calibration ratio actually used,
+/// any rows that regressed past it, and any rows skipped as
+/// host-incomparable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrendReport {
     /// Median fresh/committed throughput ratio over matching rows — the
@@ -327,6 +380,10 @@ pub struct TrendReport {
     /// Rows regressing more than [`TREND_TOLERANCE`] below calibration,
     /// or no-prefetch rows falling through the absolute floor.
     pub regressions: Vec<TrendRegression>,
+    /// Matching rows excluded from the comparison because the host's
+    /// core count makes them incomparable (see the module docs). Never
+    /// silent: callers should surface these.
+    pub skipped: Vec<TrendSkip>,
 }
 
 impl TrendReport {
@@ -364,11 +421,20 @@ fn aggregate_key(row: &Json) -> Result<String, String> {
     Ok(format!("aggregate {w}/{p}@{t}"))
 }
 
-/// Extracts every throughput row of a report as `(key, ips)` pairs:
-/// `results` rows keyed `workload/prefetcher` with `instrs_per_sec`, and
-/// `aggregate` rows keyed `aggregate workload/prefetcher@threads` with
+/// One throughput row extracted for the trend comparison. `threads` is
+/// `Some` exactly for `aggregate` rows — the marker the host-portability
+/// skip logic keys on.
+struct ThroughputRow {
+    key: String,
+    ips: f64,
+    threads: Option<u64>,
+}
+
+/// Extracts every throughput row of a report: `results` rows keyed
+/// `workload/prefetcher` with `instrs_per_sec`, and `aggregate` rows
+/// keyed `aggregate workload/prefetcher@threads` with
 /// `aggregate_instrs_per_sec`.
-fn throughput_rows(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+fn throughput_rows(doc: &Json) -> Result<Vec<ThroughputRow>, String> {
     let mut rows = Vec::new();
     for r in doc
         .get("results")
@@ -379,14 +445,26 @@ fn throughput_rows(doc: &Json) -> Result<Vec<(String, f64)>, String> {
             .get("instrs_per_sec")
             .and_then(Json::as_f64)
             .ok_or("results row lacks numeric instrs_per_sec")?;
-        rows.push((result_key(r)?, ips));
+        rows.push(ThroughputRow {
+            key: result_key(r)?,
+            ips,
+            threads: None,
+        });
     }
     for a in doc.get("aggregate").and_then(Json::as_arr).unwrap_or(&[]) {
         let ips = a
             .get("aggregate_instrs_per_sec")
             .and_then(Json::as_f64)
             .ok_or("aggregate row lacks numeric aggregate_instrs_per_sec")?;
-        rows.push((aggregate_key(a)?, ips));
+        let threads = a
+            .get("threads")
+            .and_then(Json::as_f64)
+            .ok_or("aggregate row lacks threads")? as u64;
+        rows.push(ThroughputRow {
+            key: aggregate_key(a)?,
+            ips,
+            threads: Some(threads),
+        });
     }
     Ok(rows)
 }
@@ -396,7 +474,14 @@ fn throughput_rows(doc: &Json) -> Result<Vec<(String, f64)>, String> {
 /// docs for the calibration scheme).
 ///
 /// Rows present in only one report are ignored (new benchmarks appear,
-/// old ones retire); the gate needs at least one matching row.
+/// old ones retire); the gate needs at least one matching row. Aggregate
+/// rows are matched by thread count (it is part of their key), and a
+/// matching aggregate row is **skipped** — reported in
+/// [`TrendReport::skipped`], excluded from calibration and the
+/// regression check — when its thread count exceeds the fresh host's
+/// recorded `host_cores`, or when it is multi-threaded and the two
+/// reports were measured on hosts with different core counts (parallel
+/// speedup does not transfer across machine shapes).
 ///
 /// # Errors
 ///
@@ -407,12 +492,47 @@ pub fn compare_trend(committed: &Json, fresh: &Json) -> Result<TrendReport, Stri
     validate_engine_report(fresh).map_err(|e| format!("fresh report: {e}"))?;
     let committed_rows = throughput_rows(committed)?;
     let fresh_rows = throughput_rows(fresh)?;
+    let committed_cores = committed
+        .get("host_cores")
+        .and_then(Json::as_f64)
+        .map(|v| v as u64);
+    let fresh_cores = fresh
+        .get("host_cores")
+        .and_then(Json::as_f64)
+        .map(|v| v as u64);
 
     let mut pairs: Vec<(String, f64, f64)> = Vec::new();
-    for (key, c_ips) in &committed_rows {
-        if let Some((_, f_ips)) = fresh_rows.iter().find(|(k, _)| k == key) {
-            pairs.push((key.clone(), *c_ips, *f_ips));
+    let mut skipped = Vec::new();
+    for row in &committed_rows {
+        let Some(f) = fresh_rows.iter().find(|f| f.key == row.key) else {
+            continue;
+        };
+        if let Some(threads) = row.threads {
+            if let Some(cores) = fresh_cores {
+                if threads > cores {
+                    skipped.push(TrendSkip {
+                        row: row.key.clone(),
+                        reason: format!(
+                            "{threads}-thread fan-out exceeds this host's {cores} cores"
+                        ),
+                    });
+                    continue;
+                }
+            }
+            if let (Some(c), Some(fc)) = (committed_cores, fresh_cores) {
+                if c != fc && threads > 1 {
+                    skipped.push(TrendSkip {
+                        row: row.key.clone(),
+                        reason: format!(
+                            "parallel speedup is not comparable: baseline measured on \
+                             {c} cores, this host has {fc}"
+                        ),
+                    });
+                    continue;
+                }
+            }
         }
+        pairs.push((row.key.clone(), row.ips, f.ips));
     }
     if pairs.is_empty() {
         return Err("no matching throughput rows between the reports".to_string());
@@ -451,15 +571,15 @@ pub fn compare_trend(committed: &Json, fresh: &Json) -> Result<TrendReport, Stri
         .get("smoke_floor_instrs_per_sec")
         .and_then(Json::as_f64)
         .expect("validated above");
-    for (key, ips) in &fresh_rows {
-        let is_none_engine_row = !key.starts_with("aggregate ") && key.ends_with("/None");
-        if is_none_engine_row && *ips < floor * (1.0 - TREND_TOLERANCE) {
-            let already = regressions.iter().any(|r| &r.row == key);
+    for row in &fresh_rows {
+        let is_none_engine_row = row.threads.is_none() && row.key.ends_with("/None");
+        if is_none_engine_row && row.ips < floor * (1.0 - TREND_TOLERANCE) {
+            let already = regressions.iter().any(|r| r.row == row.key);
             if !already {
                 regressions.push(TrendRegression {
-                    row: key.clone(),
+                    row: row.key.clone(),
                     committed_ips: floor,
-                    fresh_ips: *ips,
+                    fresh_ips: row.ips,
                     required_ips: floor * (1.0 - TREND_TOLERANCE),
                 });
             }
@@ -470,6 +590,7 @@ pub fn compare_trend(committed: &Json, fresh: &Json) -> Result<TrendReport, Stri
         calibration,
         rows_compared: pairs.len(),
         regressions,
+        skipped,
     })
 }
 
@@ -529,7 +650,7 @@ mod tests {
         let slow = sample(1.0);
         let verdict = smoke_passed(none_ips(&slow));
         assert!(!verdict);
-        let json = render_json(&slow, &[], 300_000, true, Some(verdict), None, None);
+        let json = render_json(&slow, &[], 300_000, true, Some(verdict), None, None, 8);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         validate_engine_report(&doc).expect("artifact validates");
@@ -543,7 +664,7 @@ mod tests {
     fn full_run_omits_the_verdict_entirely() {
         // The v1 schema rendered `smoke_passed: null` on full runs; v2
         // omits the key, so presence always means a computed verdict.
-        let json = render_json(&sample(0.01), &[], 2_000_000, false, None, None, None);
+        let json = render_json(&sample(0.01), &[], 2_000_000, false, None, None, None, 8);
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
         validate_engine_report(&doc).expect("artifact validates");
@@ -556,7 +677,7 @@ mod tests {
 
     #[test]
     fn absent_or_bool_is_enforced_by_the_validator() {
-        let json = render_json(&sample(0.01), &[], 300_000, true, Some(true), None, None);
+        let json = render_json(&sample(0.01), &[], 300_000, true, Some(true), None, None, 8);
         let doc = Json::parse(&json).unwrap();
         validate_engine_report(&doc).expect("bool verdict validates");
         // A v2 document with a null verdict violates the contract.
@@ -580,6 +701,7 @@ mod tests {
             None,
             None,
             None,
+            8,
         );
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
@@ -607,6 +729,7 @@ mod tests {
             None,
             Some(1.234),
             None,
+            8,
         );
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
@@ -630,6 +753,7 @@ mod tests {
             None,
             None,
             Some(-0.057),
+            8,
         );
         validate_json(&json).expect("artifact parses");
         let doc = Json::parse(&json).unwrap();
@@ -649,8 +773,20 @@ mod tests {
     // --- trend gate ---
 
     /// Renders a full-mode report whose None row runs at `none_mips` and
-    /// PIF row at half that, plus one aggregate row at `agg_mips`.
+    /// PIF row at half that, plus one aggregate row at `agg_mips`,
+    /// measured on an 8-core host.
     fn trend_doc(none_mips: f64, pif_mips: f64, agg_mips: f64) -> Json {
+        trend_doc_on(8, none_mips, pif_mips, agg_mips)
+    }
+
+    /// [`trend_doc`] with an explicit recorded `host_cores`.
+    fn trend_doc_on(cores: usize, none_mips: f64, pif_mips: f64, agg_mips: f64) -> Json {
+        Json::parse(&trend_json_on(cores, none_mips, pif_mips, agg_mips)).unwrap()
+    }
+
+    /// The rendered report text behind [`trend_doc_on`], for tests that
+    /// manipulate the raw document.
+    fn trend_json_on(cores: usize, none_mips: f64, pif_mips: f64, agg_mips: f64) -> String {
         let results = vec![
             RunResult {
                 workload: "OLTP-DB2".into(),
@@ -676,8 +812,16 @@ mod tests {
             elapsed_s: 1.0 / agg_mips,
             serial_elapsed_s: 2.0 / agg_mips,
         }];
-        let json = render_json(&results, &aggregates, 1_000_000, false, None, None, None);
-        Json::parse(&json).unwrap()
+        render_json(
+            &results,
+            &aggregates,
+            1_000_000,
+            false,
+            None,
+            None,
+            None,
+            cores,
+        )
     }
 
     #[test]
@@ -740,8 +884,83 @@ mod tests {
     }
 
     #[test]
+    fn a_fan_out_wider_than_the_host_is_skipped_not_failed() {
+        // Baseline recorded on a 16-core dev machine; fresh run on a
+        // 2-core CI runner where the 8-thread fan-out collapses. The old
+        // gate flagged that collapse as a regression; now the row is
+        // skipped with a reason and the serial rows still gate.
+        let committed = trend_doc_on(16, 30.0, 15.0, 100.0);
+        let fresh = trend_doc_on(2, 30.0, 15.0, 12.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.rows_compared, 2, "only the serial rows compare");
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].row, "aggregate OLTP-DB2/PIF@8");
+        assert!(
+            report.skipped[0]
+                .reason
+                .contains("exceeds this host's 2 cores"),
+            "{}",
+            report.skipped[0].reason
+        );
+        // The skip is not a free pass for serial code: a genuine engine
+        // regression on the same small host still trips.
+        let regressed = trend_doc_on(2, 30.0, 15.0 * 0.35, 12.0);
+        let report = compare_trend(&committed, &regressed).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].row, "OLTP-DB2/PIF");
+    }
+
+    #[test]
+    fn differing_core_counts_exclude_speedup_sensitive_rows() {
+        // The other mismatch direction: the fresh host is *wider* than
+        // the baseline's (8-thread fan-out fits both), but parallel
+        // speedup still does not transfer across machine shapes — the
+        // aggregate row is excluded from the 30% check in either
+        // direction, with the skip recorded.
+        let committed = trend_doc_on(4, 30.0, 15.0, 100.0);
+        let fresh = trend_doc_on(32, 30.0, 15.0, 320.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.rows_compared, 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(
+            report.skipped[0]
+                .reason
+                .contains("baseline measured on 4 cores, this host has 32"),
+            "{}",
+            report.skipped[0].reason
+        );
+        // And the collapse direction on the same shapes: a wild aggregate
+        // value must not drag the calibration or trip the gate either.
+        let fresh = trend_doc_on(32, 30.0, 15.0, 9.0);
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn baselines_without_host_cores_compare_everything() {
+        // Reports written before the portability fix lack `host_cores`;
+        // the gate keeps its old compare-every-matching-row behavior for
+        // them rather than guessing at machine shapes.
+        let strip = |json: String| {
+            assert!(json.contains("\"host_cores\": 8,"), "{json}");
+            Json::parse(&json.replace("  \"host_cores\": 8,\n", "")).unwrap()
+        };
+        let committed = strip(trend_json_on(8, 30.0, 15.0, 100.0));
+        let fresh = strip(trend_json_on(8, 30.0, 15.0, 30.0));
+        validate_engine_report(&committed).expect("host_cores is optional");
+        let report = compare_trend(&committed, &fresh).unwrap();
+        assert_eq!(report.rows_compared, 3);
+        assert!(report.skipped.is_empty());
+        assert!(!report.passed(), "aggregate regression still compared");
+        assert_eq!(report.regressions[0].row, "aggregate OLTP-DB2/PIF@8");
+    }
+
+    #[test]
     fn a_committed_v1_baseline_is_accepted() {
-        let committed_json = render_json(&sample(0.01), &[], 300_000, false, None, None, None)
+        let committed_json = render_json(&sample(0.01), &[], 300_000, false, None, None, None, 8)
             .replace("pif-bench-engine/v2", "pif-bench-engine/v1")
             .replace("  \"aggregate\": [\n  ]\n}", "  \"aggregate\": []\n}");
         let committed = Json::parse(&committed_json).unwrap();
@@ -754,6 +973,7 @@ mod tests {
             None,
             None,
             None,
+            8,
         ))
         .unwrap();
         // Aggregate rows exist only in the fresh report: ignored, the

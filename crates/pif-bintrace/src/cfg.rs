@@ -1,0 +1,344 @@
+//! Basic-block discovery and CFG recovery over an [`ElfImage`].
+//!
+//! Recovery is a worklist sweep seeded at every known function start
+//! (symbols plus the entry point): from each pending address,
+//! instructions are decoded linearly until a control transfer, and
+//! every address that control can reach — branch targets, conditional
+//! and call fall-throughs — becomes a new block leader. A second pass
+//! then materialises one [`Block`] per leader, ending each block at its
+//! control transfer or at the next leader (a [`Terminator::FallThrough`]
+//! split). Bytes that fail to decode terminate their block as a
+//! [`Terminator::DeadEnd`]; the walker treats those as restart points,
+//! so data islands and unsupported encodings degrade coverage, never
+//! correctness.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use crate::decode::{decode, Ctrl, MAX_INSN_LEN};
+use crate::elf::ElfImage;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// No control transfer: the block ends because the next address is
+    /// another block's leader.
+    FallThrough {
+        /// Leader of the following block (`== end` of this one).
+        next: u64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump destination.
+        target: u64,
+    },
+    /// Conditional branch.
+    CondJump {
+        /// Taken-path destination.
+        target: u64,
+        /// Not-taken destination (address after the branch).
+        fall: u64,
+    },
+    /// Direct call; control resumes at `ret` after the callee returns.
+    Call {
+        /// Callee entry.
+        target: u64,
+        /// Return address (address after the call).
+        ret: u64,
+    },
+    /// Indirect call: callee unknown statically.
+    IndirectCall {
+        /// Return address (address after the call).
+        ret: u64,
+    },
+    /// Indirect jump: destination unknown statically.
+    IndirectJump,
+    /// Function return.
+    Return,
+    /// Trap instruction or undecodable bytes: execution cannot
+    /// continue here.
+    DeadEnd,
+}
+
+/// One recovered basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Leader address.
+    pub start: u64,
+    /// `(pc, len)` of every instruction in the block, terminator
+    /// included. Empty only for leaders whose very first bytes failed
+    /// to decode (the block is then a bare [`Terminator::DeadEnd`]).
+    pub insns: Vec<(u64, u8)>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Address one past the last decoded byte.
+    pub fn end(&self) -> u64 {
+        match self.insns.last() {
+            Some(&(pc, len)) => pc + len as u64,
+            None => self.start,
+        }
+    }
+}
+
+/// A recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks keyed by leader address.
+    pub blocks: BTreeMap<u64, Block>,
+    /// Function starts (symbols + entry) that decoded to at least one
+    /// instruction — the walker's restart and indirect-target pool.
+    pub func_starts: Vec<u64>,
+    /// Image entry point.
+    pub entry: u64,
+}
+
+/// Per-block instruction cap: a block longer than this without any
+/// control transfer is data, not code.
+const MAX_BLOCK_INSNS: usize = 1 << 16;
+
+impl Cfg {
+    /// Recovers the CFG of every reachable block in `image`.
+    pub fn recover(image: &ElfImage) -> Cfg {
+        let mut leaders: BTreeSet<u64> = image.func_starts.iter().copied().collect();
+        let mut work: VecDeque<u64> = leaders.iter().copied().collect();
+        let mut decoded: HashSet<u64> = HashSet::new();
+
+        // Pass 1: discover leaders by sweeping from every reachable
+        // control-transfer target.
+        while let Some(start) = work.pop_front() {
+            let mut pc = start;
+            loop {
+                if !decoded.insert(pc) {
+                    break; // already swept from here
+                }
+                let Some(bytes) = image.slice_at(pc) else {
+                    break;
+                };
+                let Ok(insn) = decode(&bytes[..bytes.len().min(MAX_INSN_LEN)], pc) else {
+                    break;
+                };
+                let next = pc + insn.len as u64;
+                let mut lead = |addr: u64, work: &mut VecDeque<u64>| {
+                    if leaders.insert(addr) {
+                        work.push_back(addr);
+                    }
+                };
+                match insn.ctrl {
+                    Ctrl::None => {
+                        pc = next;
+                        continue;
+                    }
+                    Ctrl::Jump { target } => lead(target, &mut work),
+                    Ctrl::CondJump { target } => {
+                        lead(target, &mut work);
+                        lead(next, &mut work);
+                    }
+                    Ctrl::Call { target } => {
+                        lead(target, &mut work);
+                        lead(next, &mut work);
+                    }
+                    Ctrl::IndirectCall => lead(next, &mut work),
+                    Ctrl::IndirectJump | Ctrl::Return | Ctrl::Halt => {}
+                }
+                break;
+            }
+        }
+
+        // Pass 2: materialise one block per leader.
+        let mut blocks = BTreeMap::new();
+        let leaders_vec: Vec<u64> = leaders.iter().copied().collect();
+        for (i, &start) in leaders_vec.iter().enumerate() {
+            let boundary = leaders_vec.get(i + 1).copied();
+            let mut insns = Vec::new();
+            let mut pc = start;
+            let term = loop {
+                // `pc > boundary` happens only when the next leader sits
+                // inside this block's final instruction (overlapping
+                // sweeps of misidentified code); the block still ends
+                // here, and execution continues at `pc`.
+                if boundary.is_some_and(|b| pc >= b) {
+                    break Terminator::FallThrough { next: pc };
+                }
+                if insns.len() >= MAX_BLOCK_INSNS {
+                    break Terminator::DeadEnd;
+                }
+                let Some(bytes) = image.slice_at(pc) else {
+                    break Terminator::DeadEnd;
+                };
+                let Ok(insn) = decode(&bytes[..bytes.len().min(MAX_INSN_LEN)], pc) else {
+                    break Terminator::DeadEnd;
+                };
+                let next = pc + insn.len as u64;
+                insns.push((pc, insn.len));
+                match insn.ctrl {
+                    Ctrl::None => {
+                        pc = next;
+                        continue;
+                    }
+                    Ctrl::Jump { target } => break Terminator::Jump { target },
+                    Ctrl::CondJump { target } => break Terminator::CondJump { target, fall: next },
+                    Ctrl::Call { target } => break Terminator::Call { target, ret: next },
+                    Ctrl::IndirectCall => break Terminator::IndirectCall { ret: next },
+                    Ctrl::IndirectJump => break Terminator::IndirectJump,
+                    Ctrl::Return => break Terminator::Return,
+                    Ctrl::Halt => break Terminator::DeadEnd,
+                }
+            };
+            blocks.insert(start, Block { start, insns, term });
+        }
+
+        // Walker restart pool: function starts whose block actually
+        // holds code.
+        let func_starts: Vec<u64> = image
+            .func_starts
+            .iter()
+            .copied()
+            .filter(|a| blocks.get(a).is_some_and(|b| !b.insns.is_empty()))
+            .collect();
+
+        Cfg {
+            blocks,
+            func_starts,
+            entry: image.entry,
+        }
+    }
+
+    /// Number of recovered blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total decoded instructions across all blocks.
+    pub fn insn_count(&self) -> usize {
+        self.blocks.values().map(|b| b.insns.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elf::Segment;
+
+    /// Builds a single-segment image at `base` directly from code
+    /// bytes, with the given function starts (absolute addresses).
+    fn image(base: u64, code: &[u8], funcs: &[u64]) -> ElfImage {
+        ElfImage {
+            entry: funcs[0],
+            segments: vec![Segment {
+                vaddr: base,
+                data: code.to_vec(),
+            }],
+            func_starts: funcs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn conditional_branch_splits_blocks() {
+        // 0x1000: xor eax,eax         (2)
+        // 0x1002: jne 0x1000          (2)  -> leaders: 0x1000, 0x1004
+        // 0x1004: ret
+        let code = [0x31, 0xc0, 0x75, 0xfc, 0xc3];
+        let cfg = Cfg::recover(&image(0x1000, &code, &[0x1000]));
+        let b = &cfg.blocks[&0x1000];
+        assert_eq!(b.insns, vec![(0x1000, 2), (0x1002, 2)]);
+        assert_eq!(
+            b.term,
+            Terminator::CondJump {
+                target: 0x1000,
+                fall: 0x1004
+            }
+        );
+        assert_eq!(cfg.blocks[&0x1004].term, Terminator::Return);
+    }
+
+    #[test]
+    fn call_and_return_recover_both_functions() {
+        // f:    0x2000: inc rax; ret
+        // main: 0x2004: call f; ret
+        let code = [
+            0x48, 0xff, 0xc0, 0xc3, // f
+            0xe8, 0xf7, 0xff, 0xff, 0xff, // call f (0x2009 - 9 = 0x2000)
+            0xc3,
+        ];
+        let cfg = Cfg::recover(&image(0x2000, &code, &[0x2004, 0x2000]));
+        assert_eq!(
+            cfg.blocks[&0x2004].term,
+            Terminator::Call {
+                target: 0x2000,
+                ret: 0x2009
+            }
+        );
+        assert_eq!(cfg.blocks[&0x2000].term, Terminator::Return);
+        // The post-call address is a leader with its own block.
+        assert_eq!(cfg.blocks[&0x2009].term, Terminator::Return);
+    }
+
+    #[test]
+    fn fallthrough_split_at_jump_target() {
+        // 0x3000: jmp 0x3004
+        // 0x3002: int3 padding (unreachable)
+        // 0x3004: nop           <- leader via jump target
+        // 0x3005: ret
+        let code = [0xeb, 0x02, 0xcc, 0xcc, 0x90, 0xc3];
+        let cfg = Cfg::recover(&image(0x3000, &code, &[0x3000]));
+        assert_eq!(
+            cfg.blocks[&0x3000].term,
+            Terminator::Jump { target: 0x3004 }
+        );
+        assert_eq!(cfg.blocks[&0x3004].term, Terminator::Return);
+        assert_eq!(cfg.blocks[&0x3004].insns.len(), 2);
+    }
+
+    #[test]
+    fn fallthrough_terminator_when_code_runs_into_a_leader() {
+        // Two functions back to back; the first has no terminator
+        // before the second's entry (falls through into it).
+        // 0x4000: nop; nop        (f1, falls into f2)
+        // 0x4002: ret             (f2)
+        let code = [0x90, 0x90, 0xc3];
+        let cfg = Cfg::recover(&image(0x4000, &code, &[0x4000, 0x4002]));
+        assert_eq!(
+            cfg.blocks[&0x4000].term,
+            Terminator::FallThrough { next: 0x4002 }
+        );
+        assert_eq!(cfg.blocks[&0x4000].end(), 0x4002);
+    }
+
+    #[test]
+    fn indirect_jump_is_a_statically_unknown_exit() {
+        // 0x5000: jmp [rip+0x1000] -> dead-ends the static walk
+        let code = [0xff, 0x25, 0x00, 0x10, 0x00, 0x00];
+        let cfg = Cfg::recover(&image(0x5000, &code, &[0x5000]));
+        assert_eq!(cfg.blocks[&0x5000].term, Terminator::IndirectJump);
+    }
+
+    #[test]
+    fn undecodable_bytes_dead_end_the_block() {
+        // 0x6000: nop, then an EVEX-prefixed (unsupported) tail.
+        let code = [0x90, 0x62, 0xf1, 0x7c, 0x48, 0x58];
+        let cfg = Cfg::recover(&image(0x6000, &code, &[0x6000]));
+        let b = &cfg.blocks[&0x6000];
+        assert_eq!(b.insns, vec![(0x6000, 1)]);
+        assert_eq!(b.term, Terminator::DeadEnd);
+        // Still a usable restart point: it holds one real instruction.
+        assert_eq!(cfg.func_starts, vec![0x6000]);
+    }
+
+    #[test]
+    fn demo_fixture_recovers_expected_shape() {
+        let bytes = crate::fixture::demo_elf();
+        let image = ElfImage::parse(&bytes).expect("fixture parses");
+        let cfg = Cfg::recover(&image);
+        assert_eq!(cfg.func_starts.len(), 3);
+        assert!(cfg.block_count() >= 5, "blocks: {:?}", cfg.blocks.keys());
+        assert!(cfg.insn_count() >= 10);
+        // Every non-empty block keeps instructions contiguous.
+        for b in cfg.blocks.values() {
+            for w in b.insns.windows(2) {
+                assert_eq!(w[0].0 + w[0].1 as u64, w[1].0, "gap inside a block");
+            }
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! A small x86-64 instruction-length and control-transfer decoder.
+//!
+//! CFG recovery only needs two facts per instruction: how long it is
+//! and whether it transfers control (and to where, for direct
+//! transfers). This module decodes exactly that — legacy/REX/VEX
+//! prefixes, the one-byte / `0F` / `0F 38` / `0F 3A` opcode maps with
+//! ModRM/SIB/displacement/immediate sizing, and the control-transfer
+//! opcodes (`JMP`/`Jcc`/`CALL`/`RET`/`FF /2../5`) — and deliberately
+//! nothing more: no operand semantics, no AVX-512 (`EVEX` decodes as an
+//! error, ending the block), no 16-bit modes. An undecodable byte
+//! sequence is not a failure of the frontend; it simply terminates the
+//! enclosing basic block as a dead end, and the walker restarts from a
+//! function entry.
+
+/// Architectural maximum instruction length; anything longer is a
+/// decode error.
+pub const MAX_INSN_LEN: usize = 15;
+
+/// Control-transfer behaviour of one decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctrl {
+    /// Plain instruction: execution falls through.
+    None,
+    /// `JMP rel8/rel32`: unconditional direct jump.
+    Jump {
+        /// Jump destination (PC-relative, already resolved).
+        target: u64,
+    },
+    /// `Jcc rel8/rel32` (also `LOOPcc`/`JRCXZ`): conditional branch.
+    CondJump {
+        /// Taken-path destination.
+        target: u64,
+    },
+    /// `CALL rel32`: direct call.
+    Call {
+        /// Call destination.
+        target: u64,
+    },
+    /// `JMP r/m64` (`FF /4`, `FF /5`): target known only at run time.
+    IndirectJump,
+    /// `CALL r/m64` (`FF /2`, `FF /3`): target known only at run time.
+    IndirectCall,
+    /// `RET` / `RET imm16` (and far returns).
+    Return,
+    /// Execution cannot continue: `INT3`, `UD2`, `HLT`, `IRET`.
+    Halt,
+}
+
+/// One decoded instruction: its length and control-transfer class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Encoded length in bytes (1..=15).
+    pub len: u8,
+    /// Control-transfer behaviour.
+    pub ctrl: Ctrl,
+}
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The instruction runs past the end of the available bytes.
+    Truncated,
+    /// More than [`MAX_INSN_LEN`] bytes of prefixes/operands.
+    TooLong,
+    /// An opcode this decoder does not model (includes EVEX).
+    Unsupported(u8),
+}
+
+/// What an opcode needs after the opcode byte itself.
+#[derive(Clone, Copy)]
+enum Spec {
+    /// ModRM byte (with SIB/displacement) iff `modrm`, then `imm`
+    /// immediate bytes.
+    Simple { modrm: bool, imm: usize },
+    /// Relative conditional jump with an `rel`-byte displacement.
+    JccRel(usize),
+    /// Relative unconditional jump.
+    JmpRel(usize),
+    /// Relative direct call.
+    CallRel(usize),
+    /// Near/far return with `imm` immediate bytes.
+    Ret(usize),
+    /// Block-terminating trap.
+    Halt,
+    /// `F6`/`F7` group 3: ModRM, immediate only for `/0` and `/1`.
+    Grp3 { imm: usize },
+    /// `FF` group 5: ModRM; `/2../3` indirect call, `/4../5` indirect
+    /// jump.
+    Grp5,
+    /// Not modelled.
+    Unsupported,
+}
+
+/// Spec for the one-byte opcode map. `iz` is the operand-size-dependent
+/// immediate width (4, or 2 under `66`), `moffs` the address-size width.
+fn one_byte_spec(op: u8, iz: usize, moffs: usize, rex_w: bool) -> Spec {
+    use Spec::*;
+    match op {
+        // ALU families: op r/m,r / r,r/m (0..=3), AL,Ib (4), eAX,Iz (5).
+        0x00..=0x05
+        | 0x08..=0x0d
+        | 0x10..=0x15
+        | 0x18..=0x1d
+        | 0x20..=0x25
+        | 0x28..=0x2d
+        | 0x30..=0x35
+        | 0x38..=0x3d => match op & 7 {
+            0..=3 => Simple {
+                modrm: true,
+                imm: 0,
+            },
+            4 => Simple {
+                modrm: false,
+                imm: 1,
+            },
+            _ => Simple {
+                modrm: false,
+                imm: iz,
+            },
+        },
+        0x50..=0x5f => Simple {
+            modrm: false,
+            imm: 0,
+        }, // push/pop r64
+        0x63 => Simple {
+            modrm: true,
+            imm: 0,
+        }, // movsxd
+        0x68 => Simple {
+            modrm: false,
+            imm: iz,
+        }, // push Iz
+        0x69 => Simple {
+            modrm: true,
+            imm: iz,
+        }, // imul r, r/m, Iz
+        0x6a => Simple {
+            modrm: false,
+            imm: 1,
+        }, // push Ib
+        0x6b => Simple {
+            modrm: true,
+            imm: 1,
+        }, // imul r, r/m, Ib
+        0x6c..=0x6f => Simple {
+            modrm: false,
+            imm: 0,
+        }, // ins/outs
+        0x70..=0x7f => JccRel(1),
+        0x80 | 0x83 => Simple {
+            modrm: true,
+            imm: 1,
+        }, // grp1 Ib
+        0x81 => Simple {
+            modrm: true,
+            imm: iz,
+        }, // grp1 Iz
+        0x84..=0x8f => Simple {
+            modrm: true,
+            imm: 0,
+        }, // test/xchg/mov/lea/pop
+        0x90..=0x99 | 0x9b..=0x9f => Simple {
+            modrm: false,
+            imm: 0,
+        }, // nop/xchg/cwde/pushf...
+        0xa0..=0xa3 => Simple {
+            modrm: false,
+            imm: moffs,
+        }, // mov moffs
+        0xa4..=0xa7 | 0xaa..=0xaf => Simple {
+            modrm: false,
+            imm: 0,
+        }, // string ops
+        0xa8 => Simple {
+            modrm: false,
+            imm: 1,
+        }, // test AL, Ib
+        0xa9 => Simple {
+            modrm: false,
+            imm: iz,
+        }, // test eAX, Iz
+        0xb0..=0xb7 => Simple {
+            modrm: false,
+            imm: 1,
+        }, // mov r8, Ib
+        0xb8..=0xbf => Simple {
+            modrm: false,
+            imm: if rex_w { 8 } else { iz },
+        }, // mov r, Iv
+        0xc0 | 0xc1 => Simple {
+            modrm: true,
+            imm: 1,
+        }, // shift grp2 Ib
+        0xc2 | 0xca => Ret(2), // ret imm16 / retf imm16
+        0xc3 | 0xcb => Ret(0), // ret / retf
+        0xc6 => Simple {
+            modrm: true,
+            imm: 1,
+        }, // mov r/m8, Ib
+        0xc7 => Simple {
+            modrm: true,
+            imm: iz,
+        }, // mov r/m, Iz
+        0xc8 => Simple {
+            modrm: false,
+            imm: 3,
+        }, // enter Iw, Ib
+        0xc9 => Simple {
+            modrm: false,
+            imm: 0,
+        }, // leave
+        0xcc | 0xcf => Halt,   // int3 / iret
+        0xcd => Simple {
+            modrm: false,
+            imm: 1,
+        }, // int n (kernel returns; treat as fall-through)
+        0xd0..=0xd3 => Simple {
+            modrm: true,
+            imm: 0,
+        }, // shift grp2, CL/1
+        0xd7 => Simple {
+            modrm: false,
+            imm: 0,
+        }, // xlat
+        0xd8..=0xdf => Simple {
+            modrm: true,
+            imm: 0,
+        }, // x87
+        0xe0..=0xe3 => JccRel(1), // loopcc / jrcxz
+        0xe4..=0xe7 => Simple {
+            modrm: false,
+            imm: 1,
+        }, // in/out Ib
+        0xe8 => CallRel(4),
+        0xe9 => JmpRel(4),
+        0xeb => JmpRel(1),
+        0xec..=0xef => Simple {
+            modrm: false,
+            imm: 0,
+        }, // in/out DX
+        0xf1 | 0xf4 => Halt, // int1 / hlt
+        0xf5 | 0xf8..=0xfd => Simple {
+            modrm: false,
+            imm: 0,
+        }, // cmc/clc/stc/cli/sti/cld/std
+        0xf6 => Grp3 { imm: 1 },
+        0xf7 => Grp3 { imm: iz },
+        0xfe => Simple {
+            modrm: true,
+            imm: 0,
+        }, // inc/dec r/m8
+        0xff => Grp5,
+        _ => Unsupported,
+    }
+}
+
+/// Spec for the two-byte `0F` opcode map.
+fn two_byte_spec(op: u8) -> Spec {
+    use Spec::*;
+    match op {
+        0x05..=0x09 | 0x0e | 0x30..=0x37 | 0x77 | 0xa2 | 0xaa => Simple {
+            modrm: false,
+            imm: 0,
+        }, // syscall/clts/sysret/invd/wbinvd/femms/wrmsr..sysexit/emms/cpuid/rsm
+        0x0b => Halt, // ud2
+        0x70..=0x73 | 0xa4 | 0xac | 0xba | 0xc2 | 0xc4..=0xc6 => Simple {
+            modrm: true,
+            imm: 1,
+        }, // pshuf*/grp12-14/shld/shrd/bt grp8/cmpps/pinsrw/pextrw/shufps
+        0x80..=0x8f => JccRel(4),
+        0xa0 | 0xa1 | 0xa8 | 0xa9 => Simple {
+            modrm: false,
+            imm: 0,
+        }, // push/pop fs/gs
+        0xc8..=0xcf => Simple {
+            modrm: false,
+            imm: 0,
+        }, // bswap
+        0x04 | 0x0a | 0x0c | 0x0f | 0x24..=0x27 | 0x36..=0x3f | 0x7a | 0x7b => Unsupported,
+        // Everything else in the 0F map takes a ModRM and no immediate:
+        // moves, cmov, setcc, SSE arithmetic, fences, movzx/movsx, ...
+        _ => Simple {
+            modrm: true,
+            imm: 0,
+        },
+    }
+}
+
+/// Returns the total ModRM+SIB+displacement length starting at `at`.
+fn modrm_len(bytes: &[u8], at: usize) -> Result<usize, DecodeError> {
+    let m = *bytes.get(at).ok_or(DecodeError::Truncated)?;
+    let (modf, rm) = (m >> 6, m & 7);
+    let mut len = 1usize;
+    if modf != 3 && rm == 4 {
+        let sib = *bytes.get(at + 1).ok_or(DecodeError::Truncated)?;
+        len += 1;
+        if modf == 0 && sib & 7 == 5 {
+            len += 4;
+        }
+    }
+    match modf {
+        0 if rm == 5 => len += 4, // RIP-relative disp32
+        1 => len += 1,
+        2 => len += 4,
+        _ => {}
+    }
+    Ok(len)
+}
+
+fn rel_target(bytes: &[u8], at: usize, width: usize, end_pc: u64) -> Result<u64, DecodeError> {
+    let rel = match width {
+        1 => *bytes.get(at).ok_or(DecodeError::Truncated)? as i8 as i64,
+        4 => {
+            let b = bytes.get(at..at + 4).ok_or(DecodeError::Truncated)?;
+            i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64
+        }
+        _ => unreachable!("relative widths are 1 or 4"),
+    };
+    Ok(end_pc.wrapping_add(rel as u64))
+}
+
+/// Decodes the instruction at `pc`, whose encoding starts at
+/// `bytes[0]`.
+///
+/// Only length and control-transfer class are recovered; `pc` is used
+/// to resolve PC-relative branch targets.
+pub fn decode(bytes: &[u8], pc: u64) -> Result<Insn, DecodeError> {
+    let mut i = 0usize;
+    let mut opsize16 = false;
+    let mut addr32 = false;
+    let mut rex_w = false;
+
+    // Legacy prefixes (group 1-4), in any order and multiplicity.
+    loop {
+        match bytes.get(i).copied().ok_or(DecodeError::Truncated)? {
+            0x26 | 0x2e | 0x36 | 0x3e | 0x64 | 0x65 | 0xf0 | 0xf2 | 0xf3 => i += 1,
+            0x66 => {
+                opsize16 = true;
+                i += 1;
+            }
+            0x67 => {
+                addr32 = true;
+                i += 1;
+            }
+            _ => break,
+        }
+        if i >= MAX_INSN_LEN {
+            return Err(DecodeError::TooLong);
+        }
+    }
+
+    let mut op = *bytes.get(i).ok_or(DecodeError::Truncated)?;
+
+    // REX.
+    if (0x40..=0x4f).contains(&op) {
+        rex_w = op & 8 != 0;
+        i += 1;
+        op = *bytes.get(i).ok_or(DecodeError::Truncated)?;
+    }
+
+    let iz = if opsize16 { 2 } else { 4 };
+    let moffs = if addr32 { 4 } else { 8 };
+
+    // VEX prefixes re-dispatch into an escape map; VEX encodings never
+    // transfer control, so a branch spec under VEX is garbage input.
+    let (spec, vex) = if op == 0xc5 {
+        let vop = *bytes.get(i + 2).ok_or(DecodeError::Truncated)?;
+        i += 3;
+        (two_byte_spec(vop), true)
+    } else if op == 0xc4 {
+        let mmmmm = *bytes.get(i + 1).ok_or(DecodeError::Truncated)? & 0x1f;
+        let vop = *bytes.get(i + 3).ok_or(DecodeError::Truncated)?;
+        i += 4;
+        let spec = match mmmmm {
+            1 => two_byte_spec(vop),
+            2 => Spec::Simple {
+                modrm: true,
+                imm: 0,
+            },
+            3 => Spec::Simple {
+                modrm: true,
+                imm: 1,
+            },
+            _ => Spec::Unsupported,
+        };
+        (spec, true)
+    } else if op == 0x0f {
+        i += 1;
+        let op2 = *bytes.get(i).ok_or(DecodeError::Truncated)?;
+        i += 1;
+        let spec = match op2 {
+            0x38 => {
+                i += 1;
+                Spec::Simple {
+                    modrm: true,
+                    imm: 0,
+                }
+            }
+            0x3a => {
+                i += 1;
+                Spec::Simple {
+                    modrm: true,
+                    imm: 1,
+                }
+            }
+            _ => two_byte_spec(op2),
+        };
+        (spec, false)
+    } else {
+        i += 1;
+        (one_byte_spec(op, iz, moffs, rex_w), false)
+    };
+
+    let finish = |end: usize, ctrl: Ctrl| -> Result<Insn, DecodeError> {
+        if end > MAX_INSN_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        if end > bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(Insn {
+            len: end as u8,
+            ctrl,
+        })
+    };
+
+    match spec {
+        _ if vex && !matches!(spec, Spec::Simple { .. }) => Err(DecodeError::Unsupported(op)),
+        Spec::Simple { modrm, imm } => {
+            let m = if modrm { modrm_len(bytes, i)? } else { 0 };
+            finish(i + m + imm, Ctrl::None)
+        }
+        Spec::JccRel(w) | Spec::JmpRel(w) | Spec::CallRel(w) => {
+            let end = i + w;
+            if end > MAX_INSN_LEN {
+                return Err(DecodeError::TooLong);
+            }
+            let target = rel_target(bytes, i, w, pc.wrapping_add(end as u64))?;
+            let ctrl = match spec {
+                Spec::JccRel(_) => Ctrl::CondJump { target },
+                Spec::JmpRel(_) => Ctrl::Jump { target },
+                _ => Ctrl::Call { target },
+            };
+            finish(end, ctrl)
+        }
+        Spec::Ret(imm) => finish(i + imm, Ctrl::Return),
+        Spec::Halt => finish(i, Ctrl::Halt),
+        Spec::Grp3 { imm } => {
+            let m = modrm_len(bytes, i)?;
+            let reg = (bytes[i] >> 3) & 7;
+            let imm = if reg <= 1 { imm } else { 0 };
+            finish(i + m + imm, Ctrl::None)
+        }
+        Spec::Grp5 => {
+            let m = modrm_len(bytes, i)?;
+            let ctrl = match (bytes[i] >> 3) & 7 {
+                2 | 3 => Ctrl::IndirectCall,
+                4 | 5 => Ctrl::IndirectJump,
+                6 | 0 | 1 => Ctrl::None, // push / inc / dec
+                _ => return Err(DecodeError::Unsupported(op)),
+            };
+            finish(i + m, ctrl)
+        }
+        Spec::Unsupported => Err(DecodeError::Unsupported(op)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn len_of(bytes: &[u8]) -> usize {
+        decode(bytes, 0x1000).expect("decodes").len as usize
+    }
+
+    #[test]
+    fn plain_instruction_lengths() {
+        assert_eq!(len_of(&[0x90]), 1); // nop
+        assert_eq!(len_of(&[0x31, 0xc0]), 2); // xor eax, eax
+        assert_eq!(len_of(&[0x48, 0x89, 0xe5]), 3); // mov rbp, rsp
+        assert_eq!(len_of(&[0x48, 0x83, 0xec, 0x20]), 4); // sub rsp, 0x20
+        assert_eq!(len_of(&[0xb8, 0x01, 0x00, 0x00, 0x00]), 5); // mov eax, 1
+        assert_eq!(len_of(&[0x48, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0]), 10); // movabs
+        assert_eq!(len_of(&[0x66, 0xb8, 0x01, 0x00]), 4); // mov ax, 1
+        assert_eq!(len_of(&[0x48, 0x8b, 0x05, 0x04, 0x00, 0x00, 0x00]), 7); // mov rax, [rip+4]
+        assert_eq!(len_of(&[0x48, 0x8b, 0x44, 0x24, 0x08]), 5); // mov rax, [rsp+8] (SIB+disp8)
+        assert_eq!(len_of(&[0x8b, 0x84, 0x24, 0, 0x01, 0, 0]), 7); // mov eax, [rsp+0x100]
+        assert_eq!(len_of(&[0xf3, 0x0f, 0x1e, 0xfa]), 4); // endbr64
+        assert_eq!(len_of(&[0x0f, 0x1f, 0x44, 0x00, 0x00]), 5); // 5-byte nop
+        assert_eq!(
+            len_of(&[0x66, 0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0]),
+            9 // 9-byte nop
+        );
+        assert_eq!(len_of(&[0xc5, 0xf8, 0x57, 0xc0]), 4); // vxorps (VEX2)
+        assert_eq!(len_of(&[0xc4, 0xe2, 0x79, 0x18, 0xc0]), 5); // vbroadcastss (VEX3)
+    }
+
+    #[test]
+    fn group3_immediate_depends_on_reg_field() {
+        assert_eq!(len_of(&[0xf7, 0xc0, 1, 0, 0, 0]), 6); // test eax, 1  (/0, Iz)
+        assert_eq!(len_of(&[0xf7, 0xd8]), 2); // neg eax      (/3, no imm)
+        assert_eq!(len_of(&[0xf6, 0xc1, 0x01]), 3); // test cl, 1   (/0, Ib)
+    }
+
+    #[test]
+    fn direct_branches_resolve_targets() {
+        // jmp rel8 at 0x1000: e9 target = 0x1000 + 2 + 0x10.
+        assert_eq!(
+            decode(&[0xeb, 0x10], 0x1000).unwrap().ctrl,
+            Ctrl::Jump { target: 0x1012 }
+        );
+        // Backwards rel32 call.
+        assert_eq!(
+            decode(&[0xe8, 0xfb, 0xff, 0xff, 0xff], 0x1000)
+                .unwrap()
+                .ctrl,
+            Ctrl::Call { target: 0x1000 }
+        );
+        // jne rel8 backwards.
+        assert_eq!(
+            decode(&[0x75, 0xfe], 0x1000).unwrap().ctrl,
+            Ctrl::CondJump { target: 0x1000 }
+        );
+        // 0F 84 jz rel32 forwards.
+        assert_eq!(
+            decode(&[0x0f, 0x84, 0x00, 0x01, 0x00, 0x00], 0x1000)
+                .unwrap()
+                .ctrl,
+            Ctrl::CondJump { target: 0x1106 }
+        );
+    }
+
+    #[test]
+    fn indirect_and_returns_classify() {
+        assert_eq!(decode(&[0xc3], 0).unwrap().ctrl, Ctrl::Return);
+        assert_eq!(
+            decode(&[0xc2, 0x08, 0x00], 0).unwrap(),
+            Insn {
+                len: 3,
+                ctrl: Ctrl::Return
+            }
+        );
+        assert_eq!(decode(&[0xff, 0xd0], 0).unwrap().ctrl, Ctrl::IndirectCall); // call rax
+        assert_eq!(decode(&[0xff, 0xe0], 0).unwrap().ctrl, Ctrl::IndirectJump); // jmp rax
+        assert_eq!(
+            decode(&[0xff, 0x25, 0, 0x10, 0, 0], 0).unwrap(),
+            Insn {
+                len: 6,
+                ctrl: Ctrl::IndirectJump
+            } // jmp [rip+0x1000]
+        );
+        assert_eq!(decode(&[0xff, 0xc0], 0).unwrap().ctrl, Ctrl::None); // inc eax
+    }
+
+    #[test]
+    fn traps_halt_the_block() {
+        assert_eq!(decode(&[0xcc], 0).unwrap().ctrl, Ctrl::Halt);
+        assert_eq!(decode(&[0x0f, 0x0b], 0).unwrap().ctrl, Ctrl::Halt);
+        assert_eq!(decode(&[0xf4], 0).unwrap().ctrl, Ctrl::Halt);
+    }
+
+    #[test]
+    fn bad_input_is_a_typed_error() {
+        assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xe9, 0x00], 0), Err(DecodeError::Truncated));
+        // EVEX prefix byte (0x62) is invalid in our 64-bit subset.
+        assert_eq!(
+            decode(&[0x62, 0xf1, 0x7c, 0x48, 0x58, 0xc2], 0),
+            Err(DecodeError::Unsupported(0x62))
+        );
+        // A wall of prefixes exceeds the architectural limit.
+        assert_eq!(decode(&[0x66; 16], 0), Err(DecodeError::TooLong));
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes() {
+        // Cheap exhaustive fuzz over short prefixes of a fixed pattern:
+        // every 2-byte opcode head with a plausible tail.
+        let tail = [0x24, 0x8d, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let mut buf = vec![a, b];
+                buf.extend_from_slice(&tail);
+                let _ = decode(&buf, 0xdead_0000);
+            }
+        }
+    }
+}

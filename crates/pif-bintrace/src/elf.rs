@@ -1,0 +1,265 @@
+//! Minimal ELF64 loader: executable `PT_LOAD` segments plus function
+//! starts from the symbol tables.
+//!
+//! This is deliberately not a general-purpose ELF library. It reads
+//! exactly what CFG recovery needs — the bytes of the executable
+//! segments at their virtual addresses, the entry point, and the
+//! `STT_FUNC` symbol values from `.symtab`/`.dynsym` — and nothing
+//! else. Relocation, dynamic linking, notes, and DWARF are all out of
+//! scope: the walker replays control flow over the *static* layout of
+//! one object, which is what the instruction-streaming experiments
+//! care about.
+
+use std::fmt;
+use std::path::Path;
+
+/// Why an ELF image failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElfError {
+    /// The file does not start with `\x7fELF`.
+    BadMagic,
+    /// Not a little-endian ELF64 (class 2, data 1).
+    UnsupportedFormat,
+    /// `e_machine` is not `EM_X86_64` (62).
+    NotX86_64,
+    /// A header table or referenced payload lies outside the file.
+    Truncated(&'static str),
+    /// The image has no executable `PT_LOAD` segment.
+    NoCode,
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            ElfError::UnsupportedFormat => write!(f, "not a little-endian ELF64 object"),
+            ElfError::NotX86_64 => write!(f, "not an x86-64 object (e_machine != 62)"),
+            ElfError::Truncated(what) => write!(f, "truncated ELF: {what} out of bounds"),
+            ElfError::NoCode => write!(f, "no executable PT_LOAD segment"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// One executable `PT_LOAD` segment: its mapped virtual address range
+/// and the file-backed bytes.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Virtual address of the first byte.
+    pub vaddr: u64,
+    /// File-backed contents (`p_filesz` bytes; any `.bss` tail is not
+    /// code and is dropped).
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// Returns the bytes from `addr` to the end of the segment, or
+    /// `None` if `addr` is outside it.
+    pub fn slice_from(&self, addr: u64) -> Option<&[u8]> {
+        let off = addr.checked_sub(self.vaddr)?;
+        self.data.get(off as usize..)
+    }
+}
+
+/// A parsed ELF64 executable or shared object: executable segments,
+/// entry point, and function start addresses.
+#[derive(Debug, Clone)]
+pub struct ElfImage {
+    /// `e_entry` (may be 0 for shared objects).
+    pub entry: u64,
+    /// Executable `PT_LOAD` segments, sorted by `vaddr`.
+    pub segments: Vec<Segment>,
+    /// `STT_FUNC` symbol values that land inside an executable segment,
+    /// sorted and deduplicated. Falls back to `[entry]` when the image
+    /// is fully stripped.
+    pub func_starts: Vec<u64>,
+}
+
+const PT_LOAD: u32 = 1;
+const PF_X: u32 = 1;
+const SHT_SYMTAB: u32 = 2;
+const SHT_DYNSYM: u32 = 11;
+const STT_FUNC: u8 = 2;
+
+fn u16_at(b: &[u8], off: usize) -> Option<u16> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn u32_at(b: &[u8], off: usize) -> Option<u32> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn u64_at(b: &[u8], off: usize) -> Option<u64> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+}
+
+impl ElfImage {
+    /// Parses an ELF64 image from its raw bytes.
+    pub fn parse(bytes: &[u8]) -> Result<ElfImage, ElfError> {
+        if bytes.len() < 64 || &bytes[..4] != b"\x7fELF" {
+            return Err(ElfError::BadMagic);
+        }
+        // EI_CLASS = ELFCLASS64, EI_DATA = ELFDATA2LSB.
+        if bytes[4] != 2 || bytes[5] != 1 {
+            return Err(ElfError::UnsupportedFormat);
+        }
+        if u16_at(bytes, 18) != Some(62) {
+            return Err(ElfError::NotX86_64);
+        }
+        let entry = u64_at(bytes, 24).ok_or(ElfError::Truncated("e_entry"))?;
+        let phoff = u64_at(bytes, 32).ok_or(ElfError::Truncated("e_phoff"))? as usize;
+        let shoff = u64_at(bytes, 40).ok_or(ElfError::Truncated("e_shoff"))? as usize;
+        let phentsize = u16_at(bytes, 54).ok_or(ElfError::Truncated("e_phentsize"))? as usize;
+        let phnum = u16_at(bytes, 56).ok_or(ElfError::Truncated("e_phnum"))? as usize;
+        let shentsize = u16_at(bytes, 58).ok_or(ElfError::Truncated("e_shentsize"))? as usize;
+        let shnum = u16_at(bytes, 60).ok_or(ElfError::Truncated("e_shnum"))? as usize;
+
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let ph = phoff + i * phentsize;
+            let p_type = u32_at(bytes, ph).ok_or(ElfError::Truncated("program header"))?;
+            let p_flags = u32_at(bytes, ph + 4).ok_or(ElfError::Truncated("program header"))?;
+            if p_type != PT_LOAD || p_flags & PF_X == 0 {
+                continue;
+            }
+            let p_offset = u64_at(bytes, ph + 8).ok_or(ElfError::Truncated("p_offset"))? as usize;
+            let vaddr = u64_at(bytes, ph + 16).ok_or(ElfError::Truncated("p_vaddr"))?;
+            let filesz = u64_at(bytes, ph + 32).ok_or(ElfError::Truncated("p_filesz"))? as usize;
+            let data = bytes
+                .get(p_offset..p_offset.saturating_add(filesz))
+                .ok_or(ElfError::Truncated("segment payload"))?
+                .to_vec();
+            segments.push(Segment { vaddr, data });
+        }
+        if segments.is_empty() {
+            return Err(ElfError::NoCode);
+        }
+        segments.sort_by_key(|s| s.vaddr);
+
+        let mut func_starts = Vec::new();
+        for i in 0..shnum {
+            let sh = shoff + i * shentsize;
+            let sh_type = match u32_at(bytes, sh + 4) {
+                Some(t) => t,
+                // Tolerate a truncated/absent section table: symbols are
+                // an enrichment, not a requirement.
+                None => break,
+            };
+            if sh_type != SHT_SYMTAB && sh_type != SHT_DYNSYM {
+                continue;
+            }
+            let sh_offset =
+                u64_at(bytes, sh + 24).ok_or(ElfError::Truncated("sh_offset"))? as usize;
+            let sh_size = u64_at(bytes, sh + 32).ok_or(ElfError::Truncated("sh_size"))? as usize;
+            let sh_entsize =
+                u64_at(bytes, sh + 56).ok_or(ElfError::Truncated("sh_entsize"))? as usize;
+            if sh_entsize < 24 {
+                continue;
+            }
+            let table = bytes
+                .get(sh_offset..sh_offset.saturating_add(sh_size))
+                .ok_or(ElfError::Truncated("symbol table"))?;
+            for sym in table.chunks_exact(sh_entsize) {
+                let info = sym[4];
+                let value = u64_at(sym, 8).unwrap_or(0);
+                if info & 0xf == STT_FUNC && value != 0 {
+                    func_starts.push(value);
+                }
+            }
+        }
+        let image = ElfImage {
+            entry,
+            segments,
+            func_starts: Vec::new(),
+        };
+        let mut func_starts: Vec<u64> = func_starts
+            .into_iter()
+            .filter(|&a| image.slice_at(a).is_some())
+            .collect();
+        if entry != 0 && image.slice_at(entry).is_some() {
+            func_starts.push(entry);
+        }
+        func_starts.sort_unstable();
+        func_starts.dedup();
+        if func_starts.is_empty() {
+            return Err(ElfError::NoCode);
+        }
+        Ok(ElfImage {
+            func_starts,
+            ..image
+        })
+    }
+
+    /// Reads and parses an ELF file from disk.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<ElfImage, crate::BintraceError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(crate::BintraceError::Io)?;
+        ElfImage::parse(&bytes).map_err(crate::BintraceError::Elf)
+    }
+
+    /// Returns the code bytes from `addr` to the end of its segment, or
+    /// `None` when `addr` is not inside any executable segment.
+    pub fn slice_at(&self, addr: u64) -> Option<&[u8]> {
+        // Segments are sorted; find the last one starting at or below addr.
+        let idx = self.segments.partition_point(|s| s.vaddr <= addr);
+        let seg = &self.segments[..idx];
+        let slice = seg.last()?.slice_from(addr)?;
+        if slice.is_empty() {
+            None
+        } else {
+            Some(slice)
+        }
+    }
+
+    /// Total executable bytes across all segments.
+    pub fn code_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_elf() {
+        assert!(matches!(
+            ElfImage::parse(b"not an elf"),
+            Err(ElfError::BadMagic)
+        ));
+        assert!(matches!(
+            ElfImage::parse(&[0x7f, b'E']),
+            Err(ElfError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_elf32() {
+        let mut bytes = vec![0u8; 64];
+        bytes[..4].copy_from_slice(b"\x7fELF");
+        bytes[4] = 1; // ELFCLASS32
+        bytes[5] = 1;
+        assert!(matches!(
+            ElfImage::parse(&bytes),
+            Err(ElfError::UnsupportedFormat)
+        ));
+    }
+
+    #[test]
+    fn parses_demo_fixture() {
+        let bytes = crate::fixture::demo_elf();
+        let image = ElfImage::parse(&bytes).expect("fixture parses");
+        assert_eq!(image.entry, crate::fixture::DEMO_ENTRY);
+        assert_eq!(image.segments.len(), 1);
+        // f_leaf, f_loop, f_main (= entry).
+        assert_eq!(image.func_starts.len(), 3);
+        assert!(image.func_starts.contains(&image.entry));
+        // Code bytes are readable at their virtual addresses.
+        let code = image.slice_at(image.entry).expect("entry is mapped");
+        assert!(!code.is_empty());
+        assert!(image.slice_at(0x10).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! A deterministic, hand-assembled demo ELF for tests, goldens, and
+//! CI smoke runs.
+//!
+//! The binary is tiny but exercises every CFG-recovery case the
+//! decoder models: a call/return pair, a counted loop (conditional
+//! branch), a RIP-relative load, a jump over padding (fall-through
+//! split), and an indirect jump that dead-ends the static walk. The
+//! bytes are assembled in code — no toolchain involvement — so the
+//! fixture is bit-identical everywhere, which is what lets a committed
+//! golden gate the full `gen-elf -> record-elf -> piflab` pipeline.
+
+/// Virtual address of the demo's code.
+pub const DEMO_BASE: u64 = 0x40_0200;
+
+/// Entry point (`f_main`).
+pub const DEMO_ENTRY: u64 = DEMO_BASE + 0x20;
+
+const CODE_FILE_OFF: u64 = 0x200;
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// The demo's `.text` bytes (64 bytes, `INT3`-padded).
+fn code() -> Vec<u8> {
+    let mut c = vec![0xcc; 0x40];
+    // f_leaf @ +0x00: inc rax; ret
+    c[0x00..0x04].copy_from_slice(&[0x48, 0xff, 0xc0, 0xc3]);
+    // f_loop @ +0x10:
+    //   mov ecx, 4
+    //   loop: call f_leaf
+    //   dec ecx
+    //   jne loop
+    //   ret
+    c[0x10..0x1f].copy_from_slice(&[
+        0xb9, 0x04, 0x00, 0x00, 0x00, // mov ecx, 4
+        0xe8, 0xe6, 0xff, 0xff, 0xff, // call -0x1a -> f_leaf
+        0xff, 0xc9, // dec ecx
+        0x75, 0xf7, // jne -9 -> the call
+        0xc3, // ret
+    ]);
+    // f_main @ +0x20 (entry):
+    //   call f_loop
+    //   mov rax, [rip+4]
+    //   jmp +2 (over padding)
+    //   (int3 padding)
+    //   jmp [rip+0x1000]        ; indirect -> dead end
+    c[0x20..0x36].copy_from_slice(&[
+        0xe8, 0xeb, 0xff, 0xff, 0xff, // call -0x15 -> f_loop
+        0x48, 0x8b, 0x05, 0x04, 0x00, 0x00, 0x00, // mov rax, [rip+4]
+        0xeb, 0x02, // jmp over the padding
+        0xcc, 0xcc, // padding (never executed)
+        0xff, 0x25, 0x00, 0x10, 0x00, 0x00, // jmp [rip+0x1000]
+    ]);
+    c
+}
+
+/// Builds the complete demo ELF image.
+pub fn demo_elf() -> Vec<u8> {
+    let code = code();
+    let strtab = b"\0f_leaf\0f_loop\0f_main\0".to_vec();
+    let shstrtab = b"\0.text\0.symtab\0.strtab\0.shstrtab\0".to_vec();
+
+    // Symbol table: null + three function symbols.
+    let syms: &[(u32, u64, u64)] = &[
+        (1, DEMO_BASE, 4),         // f_leaf
+        (8, DEMO_BASE + 0x10, 15), // f_loop
+        (15, DEMO_ENTRY, 22),      // f_main
+    ];
+    let mut symtab = vec![0u8; 24];
+    for &(name, value, size) in syms {
+        let mut s = vec![0u8; 24];
+        put_u32(&mut s, 0, name);
+        s[4] = 0x12; // GLOBAL | FUNC
+        put_u16(&mut s, 6, 1); // .text
+        put_u64(&mut s, 8, value);
+        put_u64(&mut s, 16, size);
+        symtab.extend_from_slice(&s);
+    }
+
+    let symtab_off = CODE_FILE_OFF as usize + code.len();
+    let strtab_off = symtab_off + symtab.len();
+    let shstrtab_off = strtab_off + strtab.len();
+    let shoff = (shstrtab_off + shstrtab.len() + 7) & !7;
+    let total = shoff + 5 * 64;
+
+    let mut elf = vec![0u8; total];
+    // ELF header.
+    elf[..4].copy_from_slice(b"\x7fELF");
+    elf[4] = 2; // ELFCLASS64
+    elf[5] = 1; // ELFDATA2LSB
+    elf[6] = 1; // EV_CURRENT
+    put_u16(&mut elf, 16, 2); // ET_EXEC
+    put_u16(&mut elf, 18, 62); // EM_X86_64
+    put_u32(&mut elf, 20, 1);
+    put_u64(&mut elf, 24, DEMO_ENTRY);
+    put_u64(&mut elf, 32, 64); // e_phoff
+    put_u64(&mut elf, 40, shoff as u64);
+    put_u16(&mut elf, 52, 64); // e_ehsize
+    put_u16(&mut elf, 54, 56); // e_phentsize
+    put_u16(&mut elf, 56, 1); // e_phnum
+    put_u16(&mut elf, 58, 64); // e_shentsize
+    put_u16(&mut elf, 60, 5); // e_shnum
+    put_u16(&mut elf, 62, 4); // e_shstrndx
+
+    // One executable PT_LOAD.
+    let ph = 64;
+    put_u32(&mut elf, ph, 1); // PT_LOAD
+    put_u32(&mut elf, ph + 4, 5); // PF_R | PF_X
+    put_u64(&mut elf, ph + 8, CODE_FILE_OFF);
+    put_u64(&mut elf, ph + 16, DEMO_BASE);
+    put_u64(&mut elf, ph + 24, DEMO_BASE);
+    put_u64(&mut elf, ph + 32, code.len() as u64);
+    put_u64(&mut elf, ph + 40, code.len() as u64);
+    put_u64(&mut elf, ph + 48, 0x1000);
+
+    // Payloads.
+    elf[CODE_FILE_OFF as usize..symtab_off].copy_from_slice(&code);
+    elf[symtab_off..strtab_off].copy_from_slice(&symtab);
+    elf[strtab_off..strtab_off + strtab.len()].copy_from_slice(&strtab);
+    elf[shstrtab_off..shstrtab_off + shstrtab.len()].copy_from_slice(&shstrtab);
+
+    // Section headers: NULL, .text, .symtab, .strtab, .shstrtab.
+    let sh = |idx: usize,
+              name: u32,
+              ty: u32,
+              flags: u64,
+              addr: u64,
+              off: usize,
+              size: usize,
+              link: u32,
+              entsize: u64,
+              elf: &mut [u8]| {
+        let s = shoff + idx * 64;
+        put_u32(elf, s, name);
+        put_u32(elf, s + 4, ty);
+        put_u64(elf, s + 8, flags);
+        put_u64(elf, s + 16, addr);
+        put_u64(elf, s + 24, off as u64);
+        put_u64(elf, s + 32, size as u64);
+        put_u32(elf, s + 40, link);
+        put_u64(elf, s + 56, entsize);
+    };
+    sh(
+        1,
+        1,
+        1, // SHT_PROGBITS
+        6, // ALLOC | EXECINSTR
+        DEMO_BASE,
+        CODE_FILE_OFF as usize,
+        code.len(),
+        0,
+        0,
+        &mut elf,
+    );
+    sh(
+        2,
+        7,
+        2, // SHT_SYMTAB
+        0,
+        0,
+        symtab_off,
+        symtab.len(),
+        3, // link -> .strtab
+        24,
+        &mut elf,
+    );
+    sh(3, 15, 3, 0, 0, strtab_off, strtab.len(), 0, 0, &mut elf);
+    sh(4, 23, 3, 0, 0, shstrtab_off, shstrtab.len(), 0, 0, &mut elf);
+    elf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        assert_eq!(demo_elf(), demo_elf());
+    }
+
+    #[test]
+    fn fixture_header_fields() {
+        let e = demo_elf();
+        assert_eq!(&e[..4], b"\x7fELF");
+        assert_eq!(u16::from_le_bytes([e[18], e[19]]), 62);
+    }
+}

@@ -1,0 +1,82 @@
+//! Real-binary trace frontend: turns compiled ELF64 x86-64 binaries
+//! into deterministic [`RetiredInstr`](pif_types::RetiredInstr)
+//! streams.
+//!
+//! FerdmanKF11's argument rests on the instruction-fetch behaviour of
+//! real server code layouts; this crate supplies those layouts without
+//! a full-system simulator. The pipeline has three stages:
+//!
+//! 1. [`elf::ElfImage`] — a minimal, dependency-free ELF64 loader:
+//!    executable `PT_LOAD` segments plus `STT_FUNC` symbols as function
+//!    starts.
+//! 2. [`cfg::Cfg`] — basic-block discovery and CFG recovery by sweeping
+//!    a small x86-64 length/control-transfer decoder ([`decode`]) from
+//!    every function start.
+//! 3. [`walk::Walker`] — a seeded walker over the CFG with a real
+//!    return-address stack, per-branch bias tables, and optional TL1
+//!    trap injection, emitting a coherent retire-order stream through
+//!    the standard `InstrSource` iterator contract.
+//!
+//! The emitted stream is a pure function of the ELF bytes and the
+//! [`walk::WalkConfig`] — same binary, same seed, same stream — which
+//! is what makes recorded traces reproducible and CI-gateable.
+//!
+//! # Example
+//!
+//! ```
+//! use pif_bintrace::{cfg::Cfg, elf::ElfImage, fixture, walk::{WalkConfig, Walker}};
+//! use std::sync::Arc;
+//!
+//! let image = ElfImage::parse(&fixture::demo_elf()).unwrap();
+//! let cfg = Arc::new(Cfg::recover(&image));
+//! let instrs: Vec<_> = Walker::new(cfg, WalkConfig::default().with_seed(42))
+//!     .unwrap()
+//!     .take(1000)
+//!     .collect();
+//! assert_eq!(instrs.len(), 1000);
+//! ```
+
+pub mod cfg;
+pub mod decode;
+pub mod elf;
+pub mod fixture;
+pub mod walk;
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Why a binary could not be turned into a walker.
+#[derive(Debug)]
+pub enum BintraceError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes are not a loadable ELF64 x86-64 image.
+    Elf(elf::ElfError),
+    /// The image loaded but no function start decoded to code.
+    Walk(walk::WalkError),
+}
+
+impl fmt::Display for BintraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BintraceError::Io(e) => write!(f, "cannot read binary: {e}"),
+            BintraceError::Elf(e) => write!(f, "cannot load binary: {e}"),
+            BintraceError::Walk(e) => write!(f, "cannot walk binary: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BintraceError {}
+
+/// Loads `path`, recovers its CFG, and returns a seeded walker over it
+/// together with the recovered CFG (for stats and reuse).
+pub fn walk_file(
+    path: impl AsRef<Path>,
+    conf: walk::WalkConfig,
+) -> Result<(Arc<cfg::Cfg>, walk::Walker), BintraceError> {
+    let image = elf::ElfImage::from_file(path)?;
+    let cfg = Arc::new(cfg::Cfg::recover(&image));
+    let walker = walk::Walker::new(Arc::clone(&cfg), conf).map_err(BintraceError::Walk)?;
+    Ok((cfg, walker))
+}

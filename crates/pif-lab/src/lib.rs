@@ -83,6 +83,7 @@ pub mod json;
 mod measure;
 pub mod profile;
 pub mod protocol;
+pub mod recorded;
 pub mod registry;
 pub mod report;
 pub mod sampled;
@@ -100,8 +101,6 @@ pub use spec::{CdfKind, Measure, ParamAxis, PrefetcherKind, SweepSpec};
 
 #[doc(hidden)]
 pub use measure::jobs_executed;
-
-use pif_workloads::WorkloadProfile;
 
 /// How to execute a sweep: scale, parallelism, smoke flag, and an
 /// optional result cache.
@@ -199,7 +198,8 @@ pub struct SweepRunStats {
 ///
 /// # Panics
 ///
-/// Panics if the spec names a workload that does not exist.
+/// Panics if the spec names a workload that does not exist (or, for
+/// recorded specs, a trace that cannot be loaded — see [`recorded`]).
 pub fn run_spec(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport {
     run_spec_stats(spec, opts).0
 }
@@ -208,7 +208,8 @@ pub fn run_spec(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport {
 ///
 /// # Panics
 ///
-/// Panics if the spec names a workload that does not exist.
+/// Panics if the spec names a workload that does not exist (or, for
+/// recorded specs, a trace that cannot be loaded — see [`recorded`]).
 pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, SweepRunStats) {
     let (report, stats, _) = run_spec_impl(spec, opts, false);
     (report, stats)
@@ -222,7 +223,8 @@ pub fn run_spec_stats(spec: &SweepSpec, opts: &RunOptions<'_>) -> (SweepReport, 
 ///
 /// # Panics
 ///
-/// Panics if the spec names a workload that does not exist.
+/// Panics if the spec names a workload that does not exist (or, for
+/// recorded specs, a trace that cannot be loaded — see [`recorded`]).
 pub fn run_spec_profiled(
     spec: &SweepSpec,
     opts: &RunOptions<'_>,
@@ -242,39 +244,70 @@ fn run_spec_impl(
 ) -> (SweepReport, SweepRunStats, Option<SweepProfile>) {
     let scale = &opts.scale;
     let names = spec.workload_names();
-    let available = scale.workloads();
-    let profiles: Vec<WorkloadProfile> = names
-        .iter()
-        .map(|n| {
-            available
-                .iter()
-                .find(|w| w.name() == *n)
-                .unwrap_or_else(|| panic!("spec {}: unknown workload {n:?}", spec.name))
-                .clone()
-        })
-        .collect();
+    let workloads: Vec<measure::JobWorkload> = if spec.recorded {
+        names
+            .iter()
+            .map(|n| measure::JobWorkload {
+                name: n.clone(),
+                profile: None,
+            })
+            .collect()
+    } else {
+        let available = scale.workloads();
+        names
+            .iter()
+            .map(|n| measure::JobWorkload {
+                name: n.clone(),
+                profile: Some(
+                    available
+                        .iter()
+                        .find(|w| w.name() == *n)
+                        .unwrap_or_else(|| panic!("spec {}: unknown workload {n:?}", spec.name))
+                        .clone(),
+                ),
+            })
+            .collect()
+    };
 
     let coords = spec.jobs();
     // Per-workload trace memo for analysis measures (see `measure`):
     // generated at most once per workload, shared across axis points.
     let traces: Vec<std::sync::OnceLock<pif_workloads::Trace>> =
-        (0..profiles.len()).map(|_| Default::default()).collect();
+        (0..workloads.len()).map(|_| Default::default()).collect();
 
     // Per-workload content-hash memo: the trace half of every cache key.
     // Hashing streams the workload once per (workload, scale, seed) —
     // far cheaper than simulating, which is the point of the cache.
     let trace_hashes: Vec<std::sync::OnceLock<u64>> =
-        (0..profiles.len()).map(|_| Default::default()).collect();
+        (0..workloads.len()).map(|_| Default::default()).collect();
+
+    // Recorded workloads have no generator: load (or, for the demo
+    // workload, synthesize) every trace up front and seed both memos, so
+    // job execution and cache keying never touch the filesystem and the
+    // report stays a pure function of the trace bytes.
+    if spec.recorded {
+        for (i, name) in names.iter().enumerate() {
+            let trace = recorded::load(name, scale.instructions)
+                .unwrap_or_else(|e| panic!("spec {}: workload {name:?}: {e}", spec.name));
+            let _ = trace_hashes[i].set(pif_trace::content_hash(trace.instrs().iter().copied()));
+            let _ = traces[i].set(trace);
+        }
+    }
+
     let cell_key = |coord: spec::JobCoord| -> CacheKey {
-        let profile = &profiles[coord.workload];
+        let workload = &workloads[coord.workload];
         let trace_hash = *trace_hashes[coord.workload].get_or_init(|| {
+            let profile = workload
+                .profile
+                .as_ref()
+                .expect("recorded hashes are pre-seeded above");
             pif_trace::content_hash(
                 profile.stream_with_execution_seed(scale.instructions, spec.seed_offset),
             )
         });
         CacheKey {
             trace_hash,
-            config_fp: cache::cell_fingerprint(spec, scale, profile.name(), coord),
+            config_fp: cache::cell_fingerprint(spec, scale, &workload.name, coord),
         }
     };
 
@@ -291,7 +324,7 @@ fn run_spec_impl(
                 cached_by_index[coord.index] = true;
                 cells[coord.index] = Some(Cell {
                     index: coord.index,
-                    workload: profiles[coord.workload].name().to_string(),
+                    workload: workloads[coord.workload].name.clone(),
                     prefetcher: coord.prefetcher.map(PrefetcherKind::label),
                     point: spec.axis.label(coord.point),
                     metrics,
@@ -316,7 +349,7 @@ fn run_spec_impl(
         // Timed only under profiling, and into a sidecar value — timing
         // never reaches the cell or the report.
         let started = want_profile.then(std::time::Instant::now);
-        let cell = measure::run_job(spec, scale, &profiles, &traces, missing[i], &inner);
+        let cell = measure::run_job(spec, scale, &workloads, &traces, missing[i], &inner);
         // Sub-microsecond cells (release builds at tiny scale) round up
         // to 1 so an executed cell is never recorded as untimed.
         let exec_us = started

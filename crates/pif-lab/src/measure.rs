@@ -9,6 +9,10 @@
 //! cells need random access into a slice, so the generated trace is
 //! memoized per workload and shared across the parameter axis instead of
 //! regenerated per cell.
+//!
+//! Recorded workloads ([`crate::recorded`]) have no generator at all:
+//! `run_spec_impl` pre-seeds the per-workload memo with the loaded trace,
+//! and every measure — engine cells included — consumes the memo.
 
 use pif_baselines::{DiscontinuityPrefetcher, NextLinePrefetcher, PerfectICache, Tifs};
 use pif_core::analysis::{analyze_regions, PifAnalyzer};
@@ -74,25 +78,40 @@ pub fn jobs_executed() -> u64 {
     JOBS_EXECUTED.load(Ordering::Relaxed)
 }
 
+/// One workload of the expanded grid: its stable report name plus, for
+/// synthetic workloads, the generating profile. Recorded workloads carry
+/// no profile — their traces are pre-seeded into the per-workload memo
+/// by `run_spec_impl` before any job runs.
+#[derive(Debug, Clone)]
+pub(crate) struct JobWorkload {
+    pub name: String,
+    pub profile: Option<WorkloadProfile>,
+}
+
 /// Runs one grid cell and returns it (without cross-cell derived
 /// metrics — see [`crate::run_spec`] for the merge pass).
 pub(crate) fn run_job(
     spec: &SweepSpec,
     scale: &Scale,
-    profiles: &[WorkloadProfile],
+    workloads: &[JobWorkload],
     traces: &[OnceLock<Trace>],
     coord: JobCoord,
     pool: &Pool,
 ) -> Cell {
     JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
-    let profile = &profiles[coord.workload];
+    let workload = &workloads[coord.workload];
     // Memoized per-workload trace for the slice-consuming analysis
     // measures: generated once per (workload, seed), shared across axis
     // points. `get_or_init` blocks concurrent initializers, so exactly
-    // one job pays the generation cost.
+    // one job pays the generation cost. Recorded workloads arrive
+    // pre-seeded, so the generating closure never runs for them.
     let trace = || {
         traces[coord.workload].get_or_init(|| {
-            profile.generate_with_execution_seed(scale.instructions, spec.seed_offset)
+            workload
+                .profile
+                .as_ref()
+                .expect("recorded traces are pre-seeded by run_spec_impl")
+                .generate_with_execution_seed(scale.instructions, spec.seed_offset)
         })
     };
     let mut pif = spec.pif_base;
@@ -102,7 +121,7 @@ pub(crate) fn run_job(
 
     let mut cell = Cell {
         index: coord.index,
-        workload: profile.name().to_string(),
+        workload: workload.name.clone(),
         prefetcher: coord.prefetcher.map(PrefetcherKind::label),
         point: spec.axis.label(coord.point),
         metrics: Vec::new(),
@@ -111,36 +130,18 @@ pub(crate) fn run_job(
     match spec.measure {
         Measure::Engine => {
             let engine = Engine::new(engine_cfg);
-            let source = profile.stream_with_execution_seed(scale.instructions, spec.seed_offset);
             let kind = coord.prefetcher.unwrap_or(PrefetcherKind::None);
-            let report = match kind {
-                PrefetcherKind::None => {
-                    engine.run(source, NoPrefetcher, RunOptions::new().warmup(warmup))
-                }
-                PrefetcherKind::NextLine => engine.run(
-                    source,
-                    NextLinePrefetcher::aggressive(),
-                    RunOptions::new().warmup(warmup),
+            let report = match &workload.profile {
+                // Synthetic workloads stream — no trace materialization.
+                Some(profile) => engine_run(
+                    &engine,
+                    profile.stream_with_execution_seed(scale.instructions, spec.seed_offset),
+                    kind,
+                    pif,
+                    warmup,
                 ),
-                PrefetcherKind::Tifs => engine.run(
-                    source,
-                    Tifs::new(Default::default()),
-                    RunOptions::new().warmup(warmup),
-                ),
-                PrefetcherKind::TifsUnbounded => {
-                    engine.run(source, Tifs::unbounded(), RunOptions::new().warmup(warmup))
-                }
-                PrefetcherKind::Discontinuity => engine.run(
-                    source,
-                    DiscontinuityPrefetcher::paper_scale(),
-                    RunOptions::new().warmup(warmup),
-                ),
-                PrefetcherKind::Pif => {
-                    engine.run(source, Pif::new(pif), RunOptions::new().warmup(warmup))
-                }
-                PrefetcherKind::Perfect => {
-                    engine.run(source, PerfectICache, RunOptions::new().warmup(warmup))
-                }
+                // Recorded workloads replay the pre-seeded trace memo.
+                None => engine_run(&engine, trace().instrs().iter().copied(), kind, pif, warmup),
             };
             engine_metrics(&mut cell, &report);
         }
@@ -276,6 +277,12 @@ pub(crate) fn run_job(
         Measure::Static => {
             // Table I reports workload identity parameters, which do not
             // depend on the run scale: use the unscaled profile.
+            let profile = workload.profile.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "spec {}: Measure::Static needs synthetic workloads",
+                    spec.name
+                )
+            });
             let unscaled = WorkloadProfile::all()
                 .into_iter()
                 .find(|w| w.name() == profile.name());
@@ -292,6 +299,29 @@ pub(crate) fn run_job(
         }
     }
     cell
+}
+
+/// One engine run of `source` under the cell's prefetcher kind — shared
+/// by the synthetic streaming path and the recorded-trace replay path.
+fn engine_run(
+    engine: &Engine,
+    source: impl pif_types::InstrSource,
+    kind: PrefetcherKind,
+    pif: pif_core::PifConfig,
+    warmup: usize,
+) -> RunReport {
+    let opts = RunOptions::new().warmup(warmup);
+    match kind {
+        PrefetcherKind::None => engine.run(source, NoPrefetcher, opts),
+        PrefetcherKind::NextLine => engine.run(source, NextLinePrefetcher::aggressive(), opts),
+        PrefetcherKind::Tifs => engine.run(source, Tifs::new(Default::default()), opts),
+        PrefetcherKind::TifsUnbounded => engine.run(source, Tifs::unbounded(), opts),
+        PrefetcherKind::Discontinuity => {
+            engine.run(source, DiscontinuityPrefetcher::paper_scale(), opts)
+        }
+        PrefetcherKind::Pif => engine.run(source, Pif::new(pif), opts),
+        PrefetcherKind::Perfect => engine.run(source, PerfectICache, opts),
+    }
 }
 
 /// One sampled cell run: windows over the memoized workload trace, fanned

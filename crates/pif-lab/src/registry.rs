@@ -15,6 +15,7 @@
 //! | `fig10` | Fig. 10 — competitive coverage and speedup |
 //! | `ablation` | (extension) design-element ablation grid |
 //! | `fig-sampling` | (extension) §5 methodology — CI half-width vs sample count |
+//! | `fig-bintrace` | (extension) prefetcher comparison on a recorded real-ELF trace |
 
 use pif_core::PifConfig;
 use pif_types::RegionGeometry;
@@ -254,6 +255,31 @@ pub fn fig_sampling() -> SweepSpec {
     .with_axis(ParamAxis::SampleCount(FIG_SAMPLING_COUNTS.to_vec()))
 }
 
+/// The real-binary front-end grid: every prefetcher on one recorded ELF
+/// trace ([`crate::recorded::DEMO_WORKLOAD`]). The workload resolves to
+/// `target/bintrace/bintrace-demo.pift` when `tracectl record-elf` has
+/// produced one, and otherwise synthesizes the identical stream from the
+/// `pif-bintrace` demo fixture — so this spec (and its golden) gates the
+/// whole record-elf pipeline without making the registry depend on
+/// pre-recorded files.
+pub fn fig_bintrace() -> SweepSpec {
+    SweepSpec::new(
+        "fig-bintrace",
+        "Recorded ELF trace: prefetcher comparison on a real-binary walk",
+        Measure::Engine,
+    )
+    .with_recorded_workloads()
+    .with_workloads(vec![crate::recorded::DEMO_WORKLOAD])
+    .with_prefetchers(vec![
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Tifs,
+        PrefetcherKind::Discontinuity,
+        PrefetcherKind::Pif,
+        PrefetcherKind::Perfect,
+    ])
+}
+
 /// Every committed figure spec, in paper order.
 pub fn all_specs() -> Vec<SweepSpec> {
     vec![
@@ -268,6 +294,7 @@ pub fn all_specs() -> Vec<SweepSpec> {
         fig10(),
         ablation(),
         fig_sampling(),
+        fig_bintrace(),
     ]
 }
 
@@ -283,7 +310,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let specs = all_specs();
-        assert_eq!(specs.len(), 11);
+        assert_eq!(specs.len(), 12);
         for s in &specs {
             assert_eq!(spec(s.name).map(|r| r.name), Some(s.name), "{}", s.name);
             assert!(s.grid_len() > 0);
@@ -323,5 +350,14 @@ mod tests {
         assert_eq!(fig10().grid_len(), 6 * 5);
         assert_eq!(ablation().grid_len(), 6 * AblationVariant::ALL.len());
         assert_eq!(fig_sampling().grid_len(), 2 * 2 * FIG_SAMPLING_COUNTS.len());
+        assert_eq!(fig_bintrace().grid_len(), 6);
+    }
+
+    #[test]
+    fn fig_bintrace_is_recorded_and_explicit() {
+        let spec = fig_bintrace();
+        assert!(spec.recorded);
+        assert_eq!(spec.workload_names(), vec!["bintrace-demo"]);
+        assert_eq!(spec.prefetchers.len(), 6);
     }
 }

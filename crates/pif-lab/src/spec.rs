@@ -202,8 +202,13 @@ pub struct SweepSpec {
     /// Human-readable title.
     pub title: &'static str,
     /// Workload names (must match [`pif_workloads::WorkloadProfile`]
-    /// names); empty means all six.
+    /// names); empty means all six. With
+    /// [`SweepSpec::with_recorded_workloads`] the names are recorded
+    /// traces instead, resolved by [`crate::recorded::load`].
     pub workloads: Vec<String>,
+    /// Workload names denote recorded real-binary traces rather than
+    /// synthetic profiles (see [`crate::recorded`]).
+    pub recorded: bool,
     /// Prefetcher axis; empty means the implicit unit axis (analysis
     /// measures).
     pub prefetchers: Vec<PrefetcherKind>,
@@ -230,6 +235,7 @@ impl SweepSpec {
             name,
             title,
             workloads: Vec::new(),
+            recorded: false,
             prefetchers: Vec::new(),
             axis: ParamAxis::Unit,
             measure,
@@ -244,6 +250,17 @@ impl SweepSpec {
     #[must_use]
     pub fn with_workloads<S: Into<String>>(mut self, workloads: Vec<S>) -> Self {
         self.workloads = workloads.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Marks the workload names as recorded real-binary traces, resolved
+    /// against [`crate::recorded::trace_dir`] instead of the synthetic
+    /// profile set. Recorded specs must name their workloads explicitly
+    /// and support only measures that consume a materialized trace
+    /// (engine, analysis, and sampled grids — not [`Measure::Static`]).
+    #[must_use]
+    pub fn with_recorded_workloads(mut self) -> Self {
+        self.recorded = true;
         self
     }
 

@@ -31,6 +31,18 @@ pub enum TraceDecodeError {
     BadVersion(u32),
     /// Structurally invalid payload (truncated or corrupt).
     Corrupt(&'static str),
+    /// A seek requested a record index beyond the end of the trace.
+    ///
+    /// Seeking *to* the end (`requested == total`) is not an error — it
+    /// leaves the reader cleanly exhausted; only `requested > total`
+    /// reports this, since such an index can never have existed and the
+    /// caller's arithmetic is off.
+    SeekPastEnd {
+        /// The record index the caller asked for.
+        requested: u64,
+        /// Total records in the trace.
+        total: u64,
+    },
 }
 
 /// Discriminant-only view of [`TraceDecodeError`], for tests and callers
@@ -45,6 +57,8 @@ pub enum TraceErrorKind {
     BadVersion,
     /// Structurally invalid payload.
     Corrupt,
+    /// Seek beyond the end of the trace.
+    SeekPastEnd,
 }
 
 impl TraceDecodeError {
@@ -55,6 +69,7 @@ impl TraceDecodeError {
             TraceDecodeError::BadMagic => TraceErrorKind::BadMagic,
             TraceDecodeError::BadVersion(_) => TraceErrorKind::BadVersion,
             TraceDecodeError::Corrupt(_) => TraceErrorKind::Corrupt,
+            TraceDecodeError::SeekPastEnd { .. } => TraceErrorKind::SeekPastEnd,
         }
     }
 }
@@ -65,6 +80,16 @@ impl PartialEq for TraceDecodeError {
             (TraceDecodeError::BadMagic, TraceDecodeError::BadMagic) => true,
             (TraceDecodeError::BadVersion(a), TraceDecodeError::BadVersion(b)) => a == b,
             (TraceDecodeError::Corrupt(a), TraceDecodeError::Corrupt(b)) => a == b,
+            (
+                TraceDecodeError::SeekPastEnd {
+                    requested: ra,
+                    total: ta,
+                },
+                TraceDecodeError::SeekPastEnd {
+                    requested: rb,
+                    total: tb,
+                },
+            ) => ra == rb && ta == tb,
             // io::Error carries no meaningful equality.
             _ => false,
         }
@@ -78,6 +103,10 @@ impl std::fmt::Display for TraceDecodeError {
             TraceDecodeError::BadMagic => f.write_str("not a PIF trace file"),
             TraceDecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceDecodeError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceDecodeError::SeekPastEnd { requested, total } => write!(
+                f,
+                "seek to record {requested} past the end of a {total}-record trace"
+            ),
         }
     }
 }
@@ -153,6 +182,40 @@ mod tests {
         assert_eq!(
             TraceDecodeError::Corrupt("x").kind(),
             TraceErrorKind::Corrupt
+        );
+        assert_eq!(
+            TraceDecodeError::SeekPastEnd {
+                requested: 5,
+                total: 4
+            }
+            .kind(),
+            TraceErrorKind::SeekPastEnd
+        );
+    }
+
+    #[test]
+    fn seek_past_end_compares_structurally_and_displays_both_numbers() {
+        let e = TraceDecodeError::SeekPastEnd {
+            requested: 7,
+            total: 6,
+        };
+        assert_eq!(
+            e,
+            TraceDecodeError::SeekPastEnd {
+                requested: 7,
+                total: 6
+            }
+        );
+        assert_ne!(
+            e,
+            TraceDecodeError::SeekPastEnd {
+                requested: 8,
+                total: 6
+            }
+        );
+        assert!(
+            e.to_string().contains('7') && e.to_string().contains('6'),
+            "{e}"
         );
     }
 

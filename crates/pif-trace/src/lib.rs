@@ -458,12 +458,28 @@ mod seek_tests {
     }
 
     #[test]
-    fn seek_past_end_is_cleanly_exhausted() {
-        let bytes = encode_v2("end", &branchy_trace(50));
+    fn seek_to_total_is_empty_but_past_total_is_a_typed_error() {
+        let instrs = branchy_trace(50);
+        let bytes = encode_v2("end", &instrs);
         let mut reader = TraceReader::open_indexed(Cursor::new(&bytes)).unwrap();
-        reader.seek_to_record(10_000).unwrap();
+        // n == total: cleanly exhausted, not an error.
+        reader.seek_to_record(50).unwrap();
         assert_eq!(reader.next(), None);
         assert_eq!(reader.declared_count(), Some(50));
+        // n > total: the index can never have existed — typed error.
+        for n in [51u64, 10_000, u64::MAX] {
+            assert_eq!(
+                reader.seek_to_record(n).err(),
+                Some(TraceDecodeError::SeekPastEnd {
+                    requested: n,
+                    total: 50
+                }),
+                "seek to {n}"
+            );
+        }
+        // A rejected seek does not poison the reader.
+        reader.seek_to_record(49).unwrap();
+        assert_eq!(collect_rest(&mut reader), instrs[49..]);
     }
 
     #[test]
@@ -542,14 +558,24 @@ mod seek_tests {
         let mut reader = TraceReader::open(Cursor::new(&bytes)).unwrap();
         assert_eq!(reader.version(), 1);
         assert!(reader.chunk_index().is_none(), "v1 has no chunks");
-        for n in [0usize, 1, 250, 399, 400, 500] {
+        for n in [0usize, 1, 250, 399, 400] {
             reader.seek_to_record(n as u64).unwrap();
+            assert_eq!(collect_rest(&mut reader), instrs[n..], "v1 seek to {n}");
+        }
+        // Same boundary contract as v2: past-the-end is a typed error
+        // (the old behavior silently clamped to an empty tail).
+        for n in [401u64, 500, u64::MAX] {
             assert_eq!(
-                collect_rest(&mut reader),
-                instrs[n.min(instrs.len())..],
+                reader.seek_to_record(n).err(),
+                Some(TraceDecodeError::SeekPastEnd {
+                    requested: n,
+                    total: 400
+                }),
                 "v1 seek to {n}"
             );
         }
+        reader.seek_to_record(399).unwrap();
+        assert_eq!(collect_rest(&mut reader), instrs[399..]);
     }
 }
 
@@ -620,7 +646,9 @@ mod proptests {
         }
 
         /// The sampling contract: `seek_to_record(n)` then stream-to-end
-        /// must equal the tail of a full decode, for arbitrary record
+        /// must equal the tail of a full decode for every `n <= total`
+        /// (including `n == total`, the empty tail), and `n > total`
+        /// must be the typed `SeekPastEnd` error — for arbitrary record
         /// counts straddling chunk boundaries.
         #[test]
         fn v2_seek_then_stream_equals_tail(
@@ -631,13 +659,24 @@ mod proptests {
             let mut w = TraceWriter::with_chunk_records(Vec::new(), "sp", chunk).unwrap();
             w.extend(instrs.iter().copied()).unwrap();
             let bytes = w.finish().unwrap();
-            // Bias targets toward boundaries: straddle n*chunk ± 1.
+            // Bias targets toward boundaries: straddle n*chunk ± 1, and
+            // len+1 exercises the past-the-end rejection.
             let n = seek_seed % (instrs.len() + 2);
             let mut reader =
                 TraceReader::open_indexed(std::io::Cursor::new(&bytes)).unwrap();
-            reader.seek_to_record(n as u64).unwrap();
-            let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
-            prop_assert_eq!(&tail, &instrs[n.min(instrs.len())..]);
+            if n <= instrs.len() {
+                reader.seek_to_record(n as u64).unwrap();
+                let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+                prop_assert_eq!(&tail, &instrs[n..]);
+            } else {
+                prop_assert_eq!(
+                    reader.seek_to_record(n as u64).err(),
+                    Some(TraceDecodeError::SeekPastEnd {
+                        requested: n as u64,
+                        total: instrs.len() as u64,
+                    })
+                );
+            }
         }
 
         /// Same contract over v1, where seeking is a linear re-decode.
@@ -649,9 +688,19 @@ mod proptests {
             let bytes = crate::seek_tests::encode_v1("v1p", &instrs);
             let n = seek_seed % (instrs.len() + 2);
             let mut reader = TraceReader::open(std::io::Cursor::new(&bytes)).unwrap();
-            reader.seek_to_record(n as u64).unwrap();
-            let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
-            prop_assert_eq!(&tail, &instrs[n.min(instrs.len())..]);
+            if n <= instrs.len() {
+                reader.seek_to_record(n as u64).unwrap();
+                let tail: Vec<_> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+                prop_assert_eq!(&tail, &instrs[n..]);
+            } else {
+                prop_assert_eq!(
+                    reader.seek_to_record(n as u64).err(),
+                    Some(TraceDecodeError::SeekPastEnd {
+                        requested: n as u64,
+                        total: instrs.len() as u64,
+                    })
+                );
+            }
         }
     }
 }

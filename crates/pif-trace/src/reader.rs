@@ -468,9 +468,13 @@ impl<R: Read + Seek> TraceReader<R> {
     }
 
     /// Repositions the reader so the next record yielded is record `n`
-    /// (0-based); seeking to or past the end leaves the reader cleanly
-    /// exhausted. Subsequent iteration streams to the end of the trace
-    /// exactly as if the first `n` records had been read and discarded.
+    /// (0-based); seeking exactly to the end (`n == total`) leaves the
+    /// reader cleanly exhausted, while `n > total` is a
+    /// [`TraceDecodeError::SeekPastEnd`] — that index never existed, so
+    /// the caller's window arithmetic is wrong and silently yielding an
+    /// empty (or worse, clamped) stream would mask it. Subsequent
+    /// iteration streams to the end of the trace exactly as if the first
+    /// `n` records had been read and discarded.
     ///
     /// For v2 this is random access: the chunk index (built on first use
     /// if [`TraceReader::open_indexed`] was not used) locates the chunk
@@ -484,8 +488,10 @@ impl<R: Read + Seek> TraceReader<R> {
     ///
     /// # Errors
     ///
-    /// I/O errors from seeking, and corruption in the chunk holding `n`
-    /// (or, for v1, anywhere in the first `n` records).
+    /// [`TraceDecodeError::SeekPastEnd`] when `n` exceeds the total
+    /// record count, I/O errors from seeking, and corruption in the
+    /// chunk holding `n` (or, for v1, anywhere in the first `n`
+    /// records).
     pub fn seek_to_record(&mut self, n: u64) -> Result<(), TraceDecodeError> {
         if self.version == VERSION_V1 {
             return self.seek_v1(n);
@@ -496,7 +502,13 @@ impl<R: Read + Seek> TraceReader<R> {
         let index = self.index.as_ref().expect("index built above");
         let total = index.total_records();
         let Some(entry) = index.locate(n).copied() else {
-            // At or past the end: cleanly exhausted, terminator verified
+            if n > total {
+                return Err(TraceDecodeError::SeekPastEnd {
+                    requested: n,
+                    total,
+                });
+            }
+            // Exactly at the end: cleanly exhausted, terminator verified
             // by the index build.
             self.declared = Some(total);
             self.state = State::V2 {
@@ -532,9 +544,15 @@ impl<R: Read + Seek> TraceReader<R> {
     /// branch records are wider).
     fn seek_v1(&mut self, n: u64) -> Result<(), TraceDecodeError> {
         let total = self.declared.expect("v1 header carries a count");
+        if n > total {
+            return Err(TraceDecodeError::SeekPastEnd {
+                requested: n,
+                total,
+            });
+        }
         self.source.seek(SeekFrom::Start(self.data_start))?;
         self.state = State::V1 { remaining: total };
-        for _ in 0..n.min(total) {
+        for _ in 0..n {
             self.next_v1()?;
         }
         Ok(())

@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]
+//! tracectl record-elf <binary> <out.pift> [-n N] [--seed S] [--interrupts MEAN]
+//! tracectl record-corpus <bin-dir> <out-dir> [-n N] [--seed S]
+//! tracectl gen-elf <out>
 //! tracectl info <file.pift> [--chunks]
 //! tracectl convert <in.pift> <out.pift> [--chunk N]
 //! tracectl head <file.pift> [-n N]
 //! tracectl hash <file.pift>
 //! ```
+//!
+//! `record-elf` loads a real ELF64 x86-64 binary, recovers its CFG with
+//! `pif-bintrace`, and records a seeded walk over the *actual compiled
+//! code layout* as a v2 trace; same binary + same seed is byte-identical.
+//! `record-corpus` does that for every repo release binary found under
+//! `<bin-dir>` (see `pif_workloads::corpus`), and `gen-elf` writes the
+//! deterministic hand-assembled demo ELF that CI goldens are gated on.
 //!
 //! `record` streams a synthetic workload straight into a compressed v2
 //! trace (bounded memory, any length); `--v1` writes the legacy format
@@ -33,6 +43,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          tracectl record <workload> <out.pift> [-n N] [--scale F] [--seed-offset K] [--chunk N] [--v1]\n  \
+         tracectl record-elf <binary> <out.pift> [-n N] [--seed S] [--interrupts MEAN]\n  \
+         tracectl record-corpus <bin-dir> <out-dir> [-n N] [--seed S]\n  \
+         tracectl gen-elf <out>\n  \
          tracectl info <file.pift> [--chunks]\n  \
          tracectl convert <in.pift> <out.pift> [--chunk N]\n  \
          tracectl head <file.pift> [-n N]\n  \
@@ -61,6 +74,10 @@ struct Opts {
     instructions: Option<usize>,
     scale: f64,
     seed_offset: u64,
+    /// Walker seed for the `record-elf` / `record-corpus` verbs.
+    seed: u64,
+    /// Mean TL1 interrupt interval for `record-elf` (0 = off).
+    interrupts: u64,
     chunk: u32,
     v1: bool,
     chunks: bool,
@@ -72,6 +89,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         instructions: None,
         scale: 1.0,
         seed_offset: 0,
+        seed: 0,
+        interrupts: 0,
         chunk: DEFAULT_CHUNK_RECORDS,
         v1: false,
         chunks: false,
@@ -92,6 +111,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.seed_offset = value(arg)?
                     .parse()
                     .map_err(|e| format!("--seed-offset: {e}"))?;
+            }
+            "--seed" => opts.seed = value(arg)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--interrupts" => {
+                opts.interrupts = value(arg)?
+                    .parse()
+                    .map_err(|e| format!("--interrupts: {e}"))?;
             }
             "--chunk" => opts.chunk = value(arg)?.parse().map_err(|e| format!("--chunk: {e}"))?,
             "--v1" => opts.v1 = true,
@@ -184,6 +209,83 @@ fn record(opts: &Opts) -> ExitCode {
         bytes as f64 / records.max(1) as f64,
         out,
     );
+    ExitCode::SUCCESS
+}
+
+/// Walker config shared by the ELF-recording verbs.
+fn walk_config(opts: &Opts) -> pif_bintrace::walk::WalkConfig {
+    pif_bintrace::walk::WalkConfig::default()
+        .with_seed(opts.seed)
+        .with_interrupts(opts.interrupts)
+}
+
+fn record_elf(opts: &Opts) -> ExitCode {
+    let [binary, out] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let name = std::path::Path::new(binary)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "elf".to_string());
+    let n = opts.instructions.unwrap_or(1_000_000);
+    let recorded =
+        match pif_workloads::corpus::record_elf_trace(binary, out, &name, n, walk_config(opts)) {
+            Ok(r) => r,
+            Err(e) => return fail(binary, e),
+        };
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {} (elf, seed {}) · {} blocks / {} static instrs · {} records · {} bytes → {}",
+        recorded.name,
+        opts.seed,
+        recorded.blocks,
+        recorded.static_insns,
+        recorded.records,
+        bytes,
+        out,
+    );
+    ExitCode::SUCCESS
+}
+
+fn record_corpus(opts: &Opts) -> ExitCode {
+    let [bin_dir, out_dir] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let n = opts.instructions.unwrap_or(1_000_000);
+    let recorded =
+        match pif_workloads::corpus::record_corpus(bin_dir, out_dir, n, walk_config(opts)) {
+            Ok(r) => r,
+            Err(e) => return fail(bin_dir, e),
+        };
+    if recorded.is_empty() {
+        eprintln!(
+            "tracectl: no corpus binaries ({}) under {bin_dir}; build with `cargo build --release` first",
+            pif_workloads::corpus::CORPUS_BINARIES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    for r in &recorded {
+        println!(
+            "recorded {} · {} blocks / {} static instrs · {} records → {}",
+            r.name,
+            r.blocks,
+            r.static_insns,
+            r.records,
+            r.path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn gen_elf(opts: &Opts) -> ExitCode {
+    let [out] = opts.positional.as_slice() else {
+        return usage();
+    };
+    let bytes = pif_bintrace::fixture::demo_elf();
+    if let Err(e) = std::fs::write(out, &bytes) {
+        return fail(out, e);
+    }
+    println!("wrote demo ELF ({} bytes) → {out}", bytes.len());
     ExitCode::SUCCESS
 }
 
@@ -352,6 +454,9 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "record" => record(&opts),
+        "record-elf" => record_elf(&opts),
+        "record-corpus" => record_corpus(&opts),
+        "gen-elf" => gen_elf(&opts),
         "info" => info(&opts),
         "convert" => convert(&opts),
         "head" => head(&opts),

@@ -1,0 +1,140 @@
+//! The first real-binary corpus: the repository's own release
+//! binaries.
+//!
+//! ROADMAP item 2 calls for trace scenarios derived from actual
+//! compiled code rather than the synthetic generators. The natural
+//! first corpus is the code this repository already builds: `piflab`,
+//! `tracectl`, and `perfbench` are megabyte-scale Rust release
+//! binaries with real compiler/linker layout, deep call graphs, and
+//! LLVM's block placement — exactly the properties the synthetic
+//! profiles approximate. [`record_corpus`] records each one into a v2
+//! trace via `pif-bintrace`'s CFG walker.
+//!
+//! Corpus traces are **host-toolchain-dependent**: two different rustc
+//! versions lay code out differently, so corpus traces are reproducible
+//! on one machine (same binary + same seed ⇒ byte-identical trace) but
+//! are not golden-comparable across machines. CI gates goldens on the
+//! hand-assembled `pif_bintrace::fixture` demo ELF instead, and uses
+//! corpus traces only for self-consistency checks (thread-count
+//! byte-equality, sampled-vs-exhaustive agreement).
+
+use std::path::{Path, PathBuf};
+
+use pif_bintrace::walk::WalkConfig;
+use pif_trace::AtomicTraceWriter;
+
+/// Names of the release binaries that make up the corpus.
+pub const CORPUS_BINARIES: &[&str] = &["piflab", "tracectl", "perfbench"];
+
+/// One recorded corpus trace.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// Corpus entry name (binary file stem).
+    pub name: String,
+    /// Path of the written `.pift` file.
+    pub path: PathBuf,
+    /// Records written.
+    pub records: u64,
+    /// Recovered CFG size, for reporting.
+    pub blocks: usize,
+    /// Total statically decoded instructions.
+    pub static_insns: usize,
+}
+
+/// Returns the corpus binaries present under `bin_dir`
+/// (`target/release` in a built checkout), with missing ones skipped.
+pub fn find_binaries(bin_dir: impl AsRef<Path>) -> Vec<(String, PathBuf)> {
+    CORPUS_BINARIES
+        .iter()
+        .map(|name| (name.to_string(), bin_dir.as_ref().join(name)))
+        .filter(|(_, p)| p.is_file())
+        .collect()
+}
+
+/// Records `instrs` instructions from the ELF binary at `binary` into
+/// a v2 trace at `out`, using `pif-bintrace`'s seeded CFG walker.
+///
+/// The write is atomic (temp file + fsync + rename). Returns the
+/// recorded stats.
+pub fn record_elf_trace(
+    binary: impl AsRef<Path>,
+    out: impl AsRef<Path>,
+    name: &str,
+    instrs: usize,
+    conf: WalkConfig,
+) -> Result<RecordedTrace, pif_bintrace::BintraceError> {
+    use pif_bintrace::BintraceError;
+    let (cfg, walker) = pif_bintrace::walk_file(binary, conf)?;
+    let out = out.as_ref();
+    let mut writer = AtomicTraceWriter::create_default(out, name).map_err(BintraceError::Io)?;
+    let mut io_err = None;
+    for instr in walker.take(instrs) {
+        if let Err(e) = writer.push(&instr) {
+            io_err = Some(e);
+            break;
+        }
+    }
+    if let Some(e) = io_err {
+        return Err(BintraceError::Io(e));
+    }
+    let records = writer.records_written();
+    writer.finish().map_err(BintraceError::Io)?;
+    Ok(RecordedTrace {
+        name: name.to_string(),
+        path: out.to_path_buf(),
+        records,
+        blocks: cfg.block_count(),
+        static_insns: cfg.insn_count(),
+    })
+}
+
+/// Records every corpus binary found under `bin_dir` into
+/// `<out_dir>/<name>.pift`. Returns the recorded traces (possibly
+/// empty when no binaries are built).
+pub fn record_corpus(
+    bin_dir: impl AsRef<Path>,
+    out_dir: impl AsRef<Path>,
+    instrs: usize,
+    conf: WalkConfig,
+) -> Result<Vec<RecordedTrace>, pif_bintrace::BintraceError> {
+    let out_dir = out_dir.as_ref();
+    std::fs::create_dir_all(out_dir).map_err(pif_bintrace::BintraceError::Io)?;
+    let mut recorded = Vec::new();
+    for (name, path) in find_binaries(bin_dir) {
+        let out = out_dir.join(format!("{name}.pift"));
+        recorded.push(record_elf_trace(&path, &out, &name, instrs, conf)?);
+    }
+    Ok(recorded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_bintrace::fixture;
+
+    #[test]
+    fn records_the_demo_elf_deterministically() {
+        let dir = std::env::temp_dir().join(format!("pif-corpus-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let elf = dir.join("demo.elf");
+        std::fs::write(&elf, fixture::demo_elf()).unwrap();
+
+        let conf = WalkConfig::default().with_seed(42);
+        let a = record_elf_trace(&elf, dir.join("a.pift"), "demo", 5_000, conf).unwrap();
+        let b = record_elf_trace(&elf, dir.join("b.pift"), "demo", 5_000, conf).unwrap();
+        assert_eq!(a.records, 5_000);
+        assert_eq!(b.records, 5_000);
+        assert_eq!(
+            std::fs::read(dir.join("a.pift")).unwrap(),
+            std::fs::read(dir.join("b.pift")).unwrap(),
+            "same seed must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_binaries_are_skipped() {
+        let found = find_binaries("/nonexistent-dir");
+        assert!(found.is_empty());
+    }
+}

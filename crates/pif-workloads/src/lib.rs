@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corpus;
 mod executor;
 pub mod io;
 mod params;

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `tracectl` binary: exit-code and printed-line
+//! contracts a library unit test cannot see.
+//!
+//! Each test works in its own temp directory and spawns the compiled
+//! binary via `CARGO_BIN_EXE_tracectl`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tracectl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tracectl"))
+        .args(args)
+        .output()
+        .expect("tracectl spawns")
+}
+
+fn ok(args: &[&str]) -> String {
+    let out = tracectl(args);
+    assert!(
+        out.status.success(),
+        "tracectl {args:?} exited {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tracectl-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn v1_info_chunks_says_no_index_and_exits_zero() {
+    // `info --chunks` on a v1 file must not error out: v1 simply has no
+    // random-access table, and the tool says so on a clear line.
+    let dir = tmp_dir("v1-chunks");
+    let trace = dir.join("t.pift");
+    let trace = trace.to_str().unwrap();
+    ok(&["record", "oltp-db2", trace, "-n", "400", "--v1"]);
+    let stdout = ok(&["info", trace, "--chunks"]);
+    assert!(stdout.contains("version:       1"), "{stdout}");
+    assert!(
+        stdout.contains("v1 files are unchunked; no random-access table"),
+        "{stdout}"
+    );
+    // ...and no chunk-table header was printed after it.
+    assert!(!stdout.contains("FIRST_REC"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_trace_info_and_head_exit_cleanly() {
+    // A 0-record trace is a legal file (e.g. a recording truncated by
+    // `-n 0`); inspection verbs must handle it without dividing by zero
+    // or erroring.
+    let dir = tmp_dir("empty");
+    let trace = dir.join("empty.pift");
+    let trace = trace.to_str().unwrap();
+    ok(&["record", "oltp-db2", trace, "-n", "0"]);
+
+    let stdout = ok(&["info", trace, "--chunks"]);
+    assert!(stdout.contains("records:       0"), "{stdout}");
+    assert!(stdout.contains("bytes/record:  0.00"), "{stdout}");
+
+    let stdout = ok(&["head", trace]);
+    assert!(stdout.contains("OLTP-DB2 (v2)"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 1, "no record lines: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_seed_record_elf_runs_are_byte_identical() {
+    // The determinism contract `record-elf` advertises, checked at the
+    // CLI boundary: same binary + same seed → identical files on disk.
+    let dir = tmp_dir("diff");
+    let elf = dir.join("demo.elf");
+    let elf = elf.to_str().unwrap();
+    ok(&["gen-elf", elf]);
+    let a = dir.join("a.pift");
+    let b = dir.join("b.pift");
+    for out in [&a, &b] {
+        ok(&[
+            "record-elf",
+            elf,
+            out.to_str().unwrap(),
+            "-n",
+            "20000",
+            "--seed",
+            "7",
+        ]);
+    }
+    let bytes_a = std::fs::read(&a).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, std::fs::read(&b).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}

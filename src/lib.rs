@@ -14,6 +14,8 @@
 //! * [`sim`] — caches, branch predictors, the front-end model, the
 //!   simulation engine and timing model.
 //! * [`workloads`] — the six synthetic server workload profiles.
+//! * [`bintrace`] — real-ELF trace frontend: loader, CFG recovery, and
+//!   the seeded walker behind `tracectl record-elf`.
 //! * [`pif`] — the Proactive Instruction Fetch prefetcher itself.
 //! * [`baselines`] — next-line, TIFS, discontinuity, perfect cache.
 //! * [`experiments`] — per-figure experiment runners.
@@ -34,6 +36,7 @@
 //! ```
 
 pub use pif_baselines as baselines;
+pub use pif_bintrace as bintrace;
 pub use pif_core as pif;
 pub use pif_experiments as experiments;
 pub use pif_lab as lab;
